@@ -1,0 +1,36 @@
+"""Shared helpers for the experiment-regeneration benchmarks.
+
+Each benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index). Pool sizes default to laptop-friendly
+values; set ``REPRO_BENCH_POOL`` to scale up toward the paper's 1000/5000
+program pools.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz import generate_validated
+
+
+def pool_size(default):
+    return int(os.environ.get("REPRO_BENCH_POOL", default))
+
+
+_PROGRAM_CACHE = {}
+
+
+def program_pool(count, seed_base=0):
+    """Shared, cached program pool so every experiment sees the same
+    subjects (as the paper's regression study requires)."""
+    key = (count, seed_base)
+    if key not in _PROGRAM_CACHE:
+        _PROGRAM_CACHE[key] = [
+            generate_validated(seed_base + i) for i in range(count)
+        ]
+    return _PROGRAM_CACHE[key]
+
+
+def banner(title):
+    line = "=" * len(title)
+    return f"\n{line}\n{title}\n{line}"

@@ -1,0 +1,64 @@
+"""Figure 1 — the quantitative study (Section 2).
+
+Regenerates the nine panels' data: line coverage, availability of
+variables, and their product, per compiler version and optimization
+level, averaged over a program pool. Checks the headline trends:
+
+* -Og preserves more lines than aggressive levels (except latest clang,
+  whose trunk enables loop removal at -Og);
+* availability improves from the oldest release to trunk;
+* by the product metric, gcc's -Og retains the most information.
+"""
+
+from repro.debugger import GdbLike, LldbLike
+from repro.metrics import run_study
+
+from conftest import banner, pool_size, program_pool
+
+GCC_VERSIONS = ("4", "6", "8", "10", "trunk")
+CLANG_VERSIONS = ("5", "7", "9", "11", "trunk")
+GCC_LEVELS = ("Og", "O1", "O2", "O3", "Os")
+CLANG_LEVELS = ("Og", "O2", "O3", "Os")
+
+
+def test_fig1(benchmark):
+    pool = program_pool(pool_size(10))
+    studies = {}
+
+    def run():
+        studies["gcc"] = run_study(pool, "gcc", GCC_VERSIONS,
+                                   GCC_LEVELS, GdbLike())
+        studies["clang"] = run_study(pool, "clang", CLANG_VERSIONS,
+                                     CLANG_LEVELS, LldbLike())
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for family in ("clang", "gcc"):
+        study = studies[family]
+        for metric in ("line_coverage", "availability", "product"):
+            print(banner(f"Figure 1: {metric} ({family})"))
+            print(study.format_table(metric))
+
+    gcc = studies["gcc"]
+    clang = studies["clang"]
+
+    # -Og preserves significantly more lines than -O3 for gcc.
+    for version in GCC_VERSIONS:
+        assert gcc.cell(version, "Og").line_coverage >= \
+            gcc.cell(version, "O3").line_coverage
+
+    # Availability improves from the oldest release to trunk.
+    assert gcc.cell("trunk", "O2").availability > \
+        gcc.cell("4", "O2").availability
+    assert clang.cell("trunk", "O2").availability > \
+        clang.cell("5", "O2").availability
+
+    # Latest clang's aggressive -Og loop removal: trunk covers fewer
+    # lines at -Og than the older releases did.
+    assert clang.cell("trunk", "Og").line_coverage <= \
+        clang.cell("9", "Og").line_coverage
+
+    # Combined product: gcc -Og retains the most information on trunk.
+    best = max(GCC_LEVELS,
+               key=lambda level: gcc.cell("trunk", level).product)
+    assert best == "Og", f"expected Og to win the product metric, {best}"

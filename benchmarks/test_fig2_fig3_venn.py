@@ -1,0 +1,63 @@
+"""Figures 2 & 3 — Venn regions of unique violations across levels.
+
+Regenerates the level-combination counts the paper's Venn diagrams plot
+(-Oz left out, violations cumulated over conjectures) and checks the
+anti-symmetric trends: clang concentrates violations at all levels and at
+-Og(-only / with -Os), while gcc's biggest regions *exclude* -Og/-O1.
+"""
+
+from repro.compilers import Compiler
+from repro.debugger import GdbLike, LldbLike
+from repro.pipeline import run_campaign_on_programs
+
+from conftest import banner, pool_size, program_pool
+
+
+def _print_regions(title, regions):
+    print(banner(title))
+    for combo, count in sorted(regions.items(), key=lambda kv: -kv[1]):
+        print(f"  {'+'.join(sorted(combo)):>20}: {count}")
+
+
+def test_fig2_venn_clang(benchmark):
+    pool = program_pool(pool_size(40))
+    holder = {}
+
+    def run():
+        holder["result"] = run_campaign_on_programs(
+            pool, Compiler("clang", "trunk"), LldbLike())
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result = holder["result"]
+    regions = result.venn(exclude=("Oz",))
+    _print_regions("Figure 2 (clang) unique violations per level set",
+                   regions)
+    all_levels = frozenset(l for l in result.levels if l != "Oz")
+    og_only = frozenset(["Og"])
+    assert regions, "no violations at all"
+    assert regions.get(og_only, 0) > 0, "clang must have Og-only region"
+    assert regions.get(all_levels, 0) > 0, \
+        "clang must have an all-levels region"
+
+
+def test_fig3_venn_gcc(benchmark):
+    pool = program_pool(pool_size(40))
+    holder = {}
+
+    def run():
+        holder["result"] = run_campaign_on_programs(
+            pool, Compiler("gcc", "trunk"), GdbLike())
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    result = holder["result"]
+    regions = result.venn(exclude=("Oz",))
+    _print_regions("Figure 3 (gcc) unique violations per level set",
+                   regions)
+    all_levels = frozenset(l for l in result.levels if l != "Oz")
+    all_but_og_o1 = all_levels - {"Og", "O1"}
+    # The paper's anti-symmetric trend: the "all levels except -Og/-O1"
+    # region dominates the "all levels" region for gcc.
+    assert regions.get(all_but_og_o1, 0) > regions.get(all_levels, 0), \
+        f"expected {all_but_og_o1} to dominate: {regions}"
+    og_only = regions.get(frozenset(["Og"]), 0)
+    assert og_only > 0, "gcc must retain an Og-only region (C3 bugs)"

@@ -1,0 +1,42 @@
+"""Figure 4 — per-program conjecture-violation grid across gcc versions.
+
+Regenerates the colored grid: for each test program (a cell) and each gcc
+version (a panel), how many of the three conjectures the program violates
+at any level. Prints one character per program (0-3) and checks that the
+total violated-conjecture mass shrinks from old releases toward the
+patched trunk.
+"""
+
+from repro.compilers import Compiler
+from repro.debugger import GdbLike
+from repro.pipeline import run_campaign_on_programs
+
+from conftest import banner, pool_size, program_pool
+
+VERSIONS = ("4", "8", "trunk", "patched")
+PER_ROW = 25
+
+
+def test_fig4(benchmark):
+    pool = program_pool(pool_size(30))
+    grids = {}
+
+    def run():
+        for version in VERSIONS:
+            result = run_campaign_on_programs(
+                pool, Compiler("gcc", version), GdbLike())
+            grids[version] = result.grid_row()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print(banner("Figure 4 — conjectures violated per program (gcc)"))
+    for version in VERSIONS:
+        row = grids[version]
+        print(f"\ngcc {version} (total {sum(row)}):")
+        for start in range(0, len(row), PER_ROW):
+            print("  " + "".join(str(v) for v in row[start:start + PER_ROW]))
+
+    totals = {v: sum(grids[v]) for v in VERSIONS}
+    assert totals["4"] >= totals["trunk"], totals
+    assert totals["patched"] <= totals["trunk"], totals
+    assert all(0 <= v <= 3 for row in grids.values() for v in row)

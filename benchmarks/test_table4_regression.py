@@ -1,0 +1,95 @@
+"""Table 4 — violations across compiler versions (Section 5.4).
+
+Regenerates the regression study on a fixed program pool:
+
+* gcc 4 / 8 / trunk / patched — the ``patched`` column carries the
+  cleanup-CFG fix (bug 105158), which must cut Conjecture 1 violations
+  substantially (the paper measured −63.5%) and nudge C2/C3 down;
+* clang 5 / 9 / trunk / trunk* — ``trunk*`` carries the partial LSR fix,
+  which must cut the LSR-attributed C2 violations (paper: −80.4%);
+* violations generally decrease from old releases to trunk;
+* the availability-of-variables metric at gcc -O1 improves from trunk to
+  patched, closing part of the gap to -Og (paper: 0.8562 -> 0.8633 vs
+  0.8758).
+"""
+
+from repro.compilers import Compiler
+from repro.conjectures import C1, C2, C3
+from repro.debugger import GdbLike, LldbLike
+from repro.metrics import run_study
+from repro.pipeline import run_campaign_on_programs
+
+from conftest import banner, pool_size, program_pool
+
+GCC_COLS = ("4", "8", "trunk", "patched")
+CLANG_COLS = ("5", "9", "trunk", "trunk-star")
+
+
+def test_table4(benchmark):
+    pool = program_pool(pool_size(30))
+    table = {}
+
+    def run():
+        for family, versions, debugger in (
+                ("gcc", GCC_COLS, GdbLike()),
+                ("clang", CLANG_COLS, LldbLike())):
+            for version in versions:
+                compiler = Compiler(family, version)
+                result = run_campaign_on_programs(pool, compiler,
+                                                  debugger)
+                cells = {c: result.unique_count(c) for c in (C1, C2, C3)}
+                cells["C2@Og"] = result.count("Og", C2)
+                table[(family, version)] = cells
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print(banner("Table 4 — unique violations across versions"))
+    for family, versions in (("gcc", GCC_COLS), ("clang", CLANG_COLS)):
+        print(f"\n{family}: " + "  ".join(f"{v:>10}" for v in versions))
+        for conjecture in (C1, C2, C3):
+            cells = [table[(family, v)][conjecture] for v in versions]
+            print(f"  {conjecture}: " +
+                  "  ".join(f"{c:>10}" for c in cells))
+
+    gcc_trunk = table[("gcc", "trunk")]
+    gcc_patched = table[("gcc", "patched")]
+    assert gcc_patched[C1] < gcc_trunk[C1], \
+        "the 105158 patch must reduce gcc C1 violations"
+    assert gcc_patched[C2] <= gcc_trunk[C2]
+    assert gcc_patched[C3] <= gcc_trunk[C3]
+
+    clang_trunk = table[("clang", "trunk")]
+    clang_star = table[("clang", "trunk-star")]
+    # The LSR fix never *adds* violations; the paper's -80.4% LSR drop
+    # reproduces only on programs whose induction variables LSR fully
+    # eliminates (see tests/test_passes.py) — the fuzz pool's IVs mostly
+    # have extra uses, so the aggregate delta is small here (deviation
+    # recorded in EXPERIMENTS.md).
+    assert clang_star["C2@Og"] <= clang_trunk["C2@Og"]
+    assert clang_star[C2] <= clang_trunk[C2]
+
+    # Old releases lose more than trunk.
+    assert table[("gcc", "4")][C2] >= gcc_trunk[C2]
+    assert table[("clang", "5")][C2] >= clang_trunk[C2]
+
+
+def test_table4_availability_gap(benchmark):
+    """The 105158 fix closes part of the -O1 vs -Og availability gap."""
+    pool = program_pool(pool_size(16))
+    holder = {}
+
+    def run():
+        holder["study"] = run_study(
+            pool, "gcc", ("trunk", "patched"), ("O1", "Og"), GdbLike())
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    study = holder["study"]
+    trunk_o1 = study.cell("trunk", "O1").availability
+    patched_o1 = study.cell("patched", "O1").availability
+    trunk_og = study.cell("trunk", "Og").availability
+    print(banner("gcc availability-of-variables (Section 5.4)"))
+    print(f"  trunk   -O1: {trunk_o1:.4f}")
+    print(f"  patched -O1: {patched_o1:.4f}")
+    print(f"  trunk   -Og: {trunk_og:.4f}")
+    assert patched_o1 >= trunk_o1, \
+        "the patch must not worsen -O1 availability"

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Full testing-campaign walkthrough (Sections 4 and 5 of the paper).
+
+Generates Csmith-style programs, checks the three conjectures against the
+trunk gcc-like compiler at every optimization level in the gdb-like
+debugger, then for the first violations found:
+
+1. cross-validates in the other debugger and classifies the DWARF data
+   (Missing / Hollow / Incomplete / Incorrect DIE, Section 5.3);
+2. identifies the culprit optimization with the gcc-style per-flag search
+   (Section 4.3);
+3. reduces the test program with the culprit-preserving reducer
+   (Section 4.4).
+"""
+
+from repro import (
+    Compiler, GdbLike, Reducer, SourceFacts, check_all, classify_violation,
+    print_program, test_program, triage,
+)
+from repro.fuzz import generate_validated
+
+
+def main():
+    compiler = Compiler("gcc", "trunk")
+    debugger = GdbLike()
+
+    print("searching for conjecture violations...")
+    found = None
+    for seed in range(200):
+        program = generate_validated(seed)
+        per_level = test_program(program, compiler, debugger)
+        for level, violations in per_level.items():
+            if violations:
+                found = (seed, program, level, violations[0])
+                break
+        if found:
+            break
+    assert found is not None, "no violations in 200 programs?"
+    seed, program, level, violation = found
+    print(f"\nseed {seed}, -{level}: {violation}")
+
+    facts = SourceFacts(program)
+    classified = classify_violation(program, compiler, level, violation,
+                                    facts)
+    print(f"suspected system: {classified.suspected_system}")
+    print(f"DWARF analysis:   {classified.category} DIE")
+
+    print("\ntriaging (gcc-style -fno-<flag> search)...")
+    result = triage(compiler, program, level, debugger, violation, facts)
+    print(f"flags tried: {result.tested}; culprit flags: "
+          f"{result.culprit_flags or 'none (method failed)'}")
+
+    culprit = result.culprit
+    print(f"\nreducing the test case (preserving culprit {culprit!r})...")
+    reducer = Reducer(compiler, level, debugger, violation,
+                      culprit_flag=culprit, max_steps=300)
+    reduction = reducer.reduce(program)
+    print(f"statements: {reduction.original_size} -> "
+          f"{reduction.reduced_size} "
+          f"({reduction.reduction_ratio:.0%} smaller, "
+          f"{reduction.steps_tried} candidates tried)")
+    print("\nreduced reproducer:\n")
+    print(print_program(reduction.program))
+
+
+if __name__ == "__main__":
+    main()

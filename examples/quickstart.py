@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: compile the paper's introduction example and watch the
+variable go missing.
+
+The program is the confirmed gcc bug 105161's test case (Section 1 of the
+paper): because ``k`` is zero, ``(j) * k`` constant-folds to zero and the
+optimizer no longer needs ``j`` — but complete debug information could
+still describe it (``DW_AT_const_value``). With the injected defect the
+debugger shows ``j`` as lost at the array-access line; a defect-free
+build of the same compiler keeps it available.
+"""
+
+from repro import Compiler, GdbLike, SourceFacts, check_all, parse, print_program
+from repro.bugs import Defect
+
+SOURCE = """
+int b[10][2];
+int a;
+int main(void) {
+    int i = 0, j, k;
+    for (; i < 10; i++) {
+        j = k = 0;
+        for (; k < 1; k++)
+            a = b[i][j * k];
+    }
+    return a;
+}
+"""
+
+
+def show(title, trace, line, names=("i", "j", "k")):
+    print(f"\n== {title} (stepping line {line}) ==")
+    visit = trace.visit_for_line(line)
+    if visit is None:
+        print("  line not steppable")
+        return
+    for name in names:
+        status = visit.status_of(name)
+        value = visit.value_of(name)
+        shown = f"{status} ({value})" if status == "available" else status
+        print(f"  {name}: {shown}")
+
+
+def main():
+    program = parse(SOURCE)
+    source = print_program(program)
+    print(source)
+    facts = SourceFacts(program)
+    access_line = next(s.line for s in facts.global_store_sites)
+
+    # A correct compiler: every variable stays available.
+    clean = Compiler("gcc", "trunk")
+    clean.defects = []
+    trace = GdbLike().trace(clean.compile(program, "O1").exe)
+    show("defect-free gcc -O1", trace, access_line)
+    assert not check_all(facts, trace)
+
+    # The same compiler with a bug-105161-style defect planted on j.
+    buggy = Compiler("gcc", "trunk")
+    buggy.defects = [Defect(
+        defect_id="demo-105161", point="codegen.drop_die", family="gcc",
+        pass_name="tree-ccp",
+        selector=lambda ctx: ctx.get("symbol") == "j")]
+    compilation = buggy.compile(program, "O1")
+    trace = GdbLike().trace(compilation.exe)
+    show("gcc -O1 with the 105161-style defect", trace, access_line)
+
+    print("\nConjecture violations found:")
+    for violation in check_all(facts, trace):
+        print(f"  {violation}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""The quantitative study and regression analysis (Sections 2 and 5.4).
+
+Measures line coverage and availability-of-variables for several gcc-like
+releases against their -O0 baselines (the Figure 1 panels), then shows the
+effect of the cleanup-CFG patch (bug 105158): the ``patched`` compiler
+recovers Conjecture 1 violations and availability at -O1.
+"""
+
+from repro import Compiler, GdbLike, run_campaign_on_programs, run_study
+from repro.conjectures import C1, C2, C3
+from repro.fuzz import generate_validated
+
+POOL = 12
+VERSIONS = ("4", "8", "trunk", "patched")
+LEVELS = ("Og", "O1", "O2", "O3")
+
+
+def main():
+    print(f"generating {POOL} programs...")
+    pool = [generate_validated(seed) for seed in range(POOL)]
+
+    print("running the Figure-1 style study (this compiles "
+          f"{len(VERSIONS) * (len(LEVELS) + 1) * POOL} executables)...")
+    study = run_study(pool, "gcc", VERSIONS, LEVELS, GdbLike())
+    for metric in ("line_coverage", "availability", "product"):
+        print(f"\n--- {metric} (gcc) ---")
+        print(study.format_table(metric))
+
+    print("\n--- unique conjecture violations per version ---")
+    print(f"{'version':>8}  {'C1':>4} {'C2':>4} {'C3':>4}")
+    for version in VERSIONS:
+        result = run_campaign_on_programs(
+            pool, Compiler("gcc", version), GdbLike())
+        print(f"{version:>8}  {result.unique_count(C1):>4} "
+              f"{result.unique_count(C2):>4} "
+              f"{result.unique_count(C3):>4}")
+    print("\nThe 'patched' row carries the fix for gcc bug 105158 "
+          "(cleanup_tree_cfg). On larger pools Conjecture 1 drops "
+          "sharply, as in Section 5.4 of the paper — run "
+          "benchmarks/test_table4_regression.py for that experiment.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Source-level analyses: symbol resolution, scopes, conjecture facts."""
+
+from .symbols import (
+    FunctionInfo, ResolutionError, Symbol, SymbolTable, resolve,
+)
+from .source_facts import (
+    CallArgSite, Constituent, GlobalStoreSite, LoopInfo, SourceFacts,
+    is_trivially_simplifiable,
+)

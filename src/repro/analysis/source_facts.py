@@ -1,0 +1,503 @@
+"""Source-level facts used by the conjecture checkers.
+
+From a resolved program this module extracts, purely at the source level:
+
+* **call-argument sites** (Conjecture 1): calls to opaque functions whose
+  arguments are plain variable references;
+* **global-store sites** (Conjecture 2): lines assigning to global storage
+  through a non-trivially-simplifiable expression, with each constituent
+  variable classified by *why* it is expected to be available (constant
+  source, induction variable indexing global memory, or live afterwards);
+* **per-symbol read/write line sets** and a conservative textual
+  "used-after" approximation of liveness (Conjecture 2's shortcut and
+  Conjecture 3's instance splitting).
+
+Everything here intentionally over-restricts rather than over-claims: a
+false *negative* merely hides a potential violation, while a false
+*positive* would poison bug reports — the same trade-off Section 7 of the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lang import ast_nodes as A
+from .symbols import Symbol, SymbolTable, resolve
+
+
+@dataclass
+class CallArgSite:
+    """A call to an opaque function with variable arguments (C1 anchor)."""
+
+    line: int
+    function: str
+    callee: str
+    arg_symbols: List[Symbol]
+    call: A.Call
+
+
+@dataclass
+class Constituent:
+    """A variable taking part in a global-store value computation."""
+
+    symbol: Symbol
+    #: "constant" | "induction" | "live_after"
+    reason: str
+
+
+@dataclass
+class GlobalStoreSite:
+    """A line assigning to global storage (C2 anchor)."""
+
+    line: int
+    function: str
+    target: Symbol
+    constituents: List[Constituent]
+    assign: A.Assign
+
+
+@dataclass
+class LoopInfo:
+    """A source loop: its line span and (if detected) induction variable."""
+
+    start_line: int
+    end_line: int
+    function: str
+    induction: Optional[Symbol] = None
+
+
+def _root_ident(expr: A.Expr) -> Optional[A.Ident]:
+    """The base identifier of an lvalue (``a``, ``a[i]``, ``a[i][j]``)."""
+    while isinstance(expr, A.ArrayIndex):
+        expr = expr.base
+    return expr if isinstance(expr, A.Ident) else None
+
+
+def is_trivially_simplifiable(expr: A.Expr) -> bool:
+    """True if the expression contains a literal identity/absorption that
+    makes some constituent unnecessary (the paper's ``v1 = v2 & 0`` case)."""
+    for sub in A.walk_expr(expr):
+        if isinstance(sub, A.Binary):
+            lhs_lit = isinstance(sub.left, A.IntLit)
+            rhs_lit = isinstance(sub.right, A.IntLit)
+            lval = sub.left.value if lhs_lit else None
+            rval = sub.right.value if rhs_lit else None
+            if sub.op in ("*", "&") and (lval == 0 or rval == 0):
+                return True
+            if sub.op == "%" and rval in (1, -1):
+                return True
+            if sub.op == "&&" and (lval == 0 or rval == 0):
+                return True
+            if sub.op == "||" and ((lhs_lit and lval != 0) or
+                                   (rhs_lit and rval != 0)):
+                return True
+            if sub.op in ("<<", ">>") and lval == 0:
+                return True
+    return False
+
+
+class SourceFacts:
+    """All conjecture-relevant facts for one program."""
+
+    def __init__(self, program: A.Program,
+                 symtab: Optional[SymbolTable] = None):
+        self.program = program
+        self.symtab = symtab if symtab is not None else resolve(program)
+        self.opaque_functions: Set[str] = set(program.extern_names())
+        self.defined_functions: Set[str] = {f.name for f in program.functions}
+
+        self.read_lines: Dict[Symbol, List[int]] = {}
+        self.write_lines: Dict[Symbol, List[int]] = {}
+        self.address_taken: Set[Symbol] = set()
+        #: writes whose RHS is a literal or &x (candidate constant sources)
+        self._const_writes: Dict[Symbol, int] = {}
+        self._nonconst_writes: Dict[Symbol, int] = {}
+
+        self.loops: List[LoopInfo] = []
+        #: induction symbols observed indexing a global array in their loop
+        self.induction_in_global_index: Set[Symbol] = set()
+
+        self.call_arg_sites: List[CallArgSite] = []
+        self.global_store_sites: List[GlobalStoreSite] = []
+
+        self._collect()
+
+    # -- collection ---------------------------------------------------------
+
+    def _note_read(self, sym: Symbol, line: int) -> None:
+        self.read_lines.setdefault(sym, []).append(line)
+
+    def _note_write(self, sym: Symbol, line: int, constant: bool) -> None:
+        self.write_lines.setdefault(sym, []).append(line)
+        if constant:
+            self._const_writes[sym] = self._const_writes.get(sym, 0) + 1
+        else:
+            self._nonconst_writes[sym] = (
+                self._nonconst_writes.get(sym, 0) + 1)
+
+    def _is_const_rhs(self, expr: A.Expr) -> bool:
+        if isinstance(expr, A.IntLit):
+            return True
+        if isinstance(expr, A.Unary) and expr.op == "&":
+            return isinstance(expr.operand, A.Ident)
+        return False
+
+    def _scan_expr(self, expr: A.Expr, fn_name: str) -> None:
+        """Record reads/writes/address-taking for one expression tree."""
+        if expr is None:
+            return
+        if isinstance(expr, A.Assign):
+            target = expr.target
+            if isinstance(target, A.Ident):
+                sym = self.symtab.lookup_ident(target)
+                self._note_write(sym, expr.line,
+                                 expr.op == "=" and
+                                 self._is_const_rhs(expr.value))
+                if expr.op != "=":
+                    self._note_read(sym, expr.line)
+            elif isinstance(target, A.ArrayIndex):
+                root = _root_ident(target)
+                if root is not None:
+                    sym = self.symtab.lookup_ident(root)
+                    self._note_write(sym, expr.line, False)
+                # index expressions are reads
+                t = target
+                while isinstance(t, A.ArrayIndex):
+                    self._scan_expr(t.index, fn_name)
+                    t = t.base
+            elif isinstance(target, A.Unary) and target.op == "*":
+                self._scan_expr(target.operand, fn_name)
+            self._scan_expr(expr.value, fn_name)
+            return
+        if isinstance(expr, A.Unary):
+            if expr.op == "&" and isinstance(expr.operand, A.Ident):
+                sym = self.symtab.lookup_ident(expr.operand)
+                self.address_taken.add(sym)
+                return
+            if expr.op in ("++", "--") and isinstance(expr.operand, A.Ident):
+                sym = self.symtab.lookup_ident(expr.operand)
+                self._note_read(sym, expr.line)
+                self._note_write(sym, expr.line, False)
+                return
+            self._scan_expr(expr.operand, fn_name)
+            return
+        if isinstance(expr, A.Ident):
+            self._note_read(self.symtab.lookup_ident(expr), expr.line)
+            return
+        if isinstance(expr, A.ArrayIndex):
+            self._scan_expr(expr.base, fn_name)
+            self._scan_expr(expr.index, fn_name)
+            return
+        if isinstance(expr, A.Binary):
+            self._scan_expr(expr.left, fn_name)
+            self._scan_expr(expr.right, fn_name)
+            return
+        if isinstance(expr, A.Call):
+            for arg in expr.args:
+                self._scan_expr(arg, fn_name)
+            return
+        if isinstance(expr, A.Conditional):
+            self._scan_expr(expr.cond, fn_name)
+            self._scan_expr(expr.then, fn_name)
+            self._scan_expr(expr.other, fn_name)
+            return
+        if isinstance(expr, A.IntLit):
+            return
+        raise TypeError(f"unknown expression {type(expr).__name__}")
+
+    def _collect(self) -> None:
+        for fn in self.program.functions:
+            self._collect_function(fn)
+
+    def _collect_function(self, fn: A.FuncDef) -> None:
+        # First pass: reads/writes and loop structure.
+        for stmt in A.walk_stmt(fn.body):
+            if isinstance(stmt, A.DeclStmt):
+                for decl in stmt.decls:
+                    sym = self.symtab.symbol_for_decl(decl)
+                    if decl.init is not None and not isinstance(
+                            decl.init, list):
+                        self._note_write(sym, decl.line,
+                                         self._is_const_rhs(decl.init))
+                        self._scan_expr(decl.init, fn.name)
+                    elif decl.init is not None:
+                        self._note_write(sym, decl.line, False)
+                        for item in _flatten_init(decl.init):
+                            self._scan_expr(item, fn.name)
+            elif isinstance(stmt, A.ExprStmt):
+                self._scan_expr(stmt.expr, fn.name)
+            elif isinstance(stmt, A.If):
+                self._scan_expr(stmt.cond, fn.name)
+            elif isinstance(stmt, A.For):
+                if isinstance(stmt.init, A.ExprStmt):
+                    self._scan_expr(stmt.init.expr, fn.name)
+                if stmt.cond is not None:
+                    self._scan_expr(stmt.cond, fn.name)
+                if stmt.step is not None:
+                    self._scan_expr(stmt.step, fn.name)
+                self._note_loop(stmt, fn.name)
+            elif isinstance(stmt, (A.While, A.DoWhile)):
+                self._scan_expr(stmt.cond, fn.name)
+                self._note_loop(stmt, fn.name)
+            elif isinstance(stmt, A.Return):
+                if stmt.value is not None:
+                    self._scan_expr(stmt.value, fn.name)
+
+        # Second pass: conjecture anchor sites.
+        for stmt in A.walk_stmt(fn.body):
+            if isinstance(stmt, A.ExprStmt):
+                self._scan_anchors(stmt.expr, fn.name)
+
+    def _note_loop(self, stmt: A.Stmt, fn_name: str) -> None:
+        end = stmt.line
+        for s in A.walk_stmt(stmt):
+            end = max(end, s.line)
+            for e in A.stmt_exprs(s):
+                end = max(end, e.line)
+        loop = LoopInfo(start_line=stmt.line, end_line=end, function=fn_name)
+        if isinstance(stmt, A.For) and stmt.step is not None:
+            loop.induction = self._step_induction_symbol(stmt.step)
+        self.loops.append(loop)
+        if loop.induction is not None:
+            if self._indexes_global_array(stmt, loop.induction):
+                self.induction_in_global_index.add(loop.induction)
+
+    def _step_induction_symbol(self, step: A.Expr) -> Optional[Symbol]:
+        """Recognize ``i++ / i-- / i += c / i = i + c`` style steps."""
+        if isinstance(step, A.Unary) and step.op in ("++", "--"):
+            if isinstance(step.operand, A.Ident):
+                return self.symtab.lookup_ident(step.operand)
+        if isinstance(step, A.Assign) and isinstance(step.target, A.Ident):
+            sym = self.symtab.lookup_ident(step.target)
+            if step.op in ("+=", "-="):
+                return sym
+            if step.op == "=" and isinstance(step.value, A.Binary) and \
+                    step.value.op in ("+", "-"):
+                left = step.value.left
+                if isinstance(left, A.Ident) and \
+                        self.symtab.lookup_ident(left) is sym:
+                    return sym
+        return None
+
+    def _indexes_global_array(self, loop: A.Stmt, sym: Symbol) -> bool:
+        """Does ``sym`` index a global array anywhere inside the loop?"""
+        for stmt in A.walk_stmt(loop):
+            for expr in A.stmt_exprs(stmt):
+                if isinstance(expr, A.ArrayIndex):
+                    root = _root_ident(expr)
+                    if root is None:
+                        continue
+                    base = self.symtab.lookup_ident(root)
+                    if not base.is_global:
+                        continue
+                    for idx in _index_exprs(expr):
+                        for part in A.walk_expr(idx):
+                            if isinstance(part, A.Ident) and \
+                                    self.symtab.lookup_ident(part) is sym:
+                                return True
+        return False
+
+    def _scan_anchors(self, expr: A.Expr, fn_name: str) -> None:
+        for sub in A.walk_expr(expr):
+            if isinstance(sub, A.Call) and sub.name in self.opaque_functions:
+                args = []
+                for arg in sub.args:
+                    if isinstance(arg, A.Ident):
+                        args.append(self.symtab.lookup_ident(arg))
+                if args:
+                    self.call_arg_sites.append(CallArgSite(
+                        line=sub.line, function=fn_name, callee=sub.name,
+                        arg_symbols=args, call=sub))
+            elif isinstance(sub, A.Assign):
+                self._maybe_global_store(sub, fn_name)
+
+    def _maybe_global_store(self, assign: A.Assign, fn_name: str) -> None:
+        root = _root_ident(assign.target)
+        if root is None:
+            return
+        target = self.symtab.lookup_ident(root)
+        if not target.is_global:
+            return
+        if is_trivially_simplifiable(assign.value):
+            return
+        constituents: List[Constituent] = []
+        seen: Set[Symbol] = set()
+        value_reads: List[A.Ident] = []
+        _collect_value_reads(assign.value, value_reads)
+        for idx in _index_exprs(assign.target):
+            _collect_value_reads(idx, value_reads)
+        for ident in value_reads:
+            sym = self.symtab.lookup_ident(ident)
+            if sym.is_global or sym in seen:
+                continue
+            seen.add(sym)
+            reason = self._classify_constituent(sym, assign.line)
+            if reason is not None:
+                constituents.append(Constituent(symbol=sym, reason=reason))
+        if constituents:
+            self.global_store_sites.append(GlobalStoreSite(
+                line=assign.line, function=fn_name, target=target,
+                constituents=constituents, assign=assign))
+
+    def _classify_constituent(self, sym: Symbol, line: int
+                              ) -> Optional[str]:
+        if sym in self.address_taken:
+            return None
+        if line in self.write_lines.get(sym, ()):
+            # Also written on this very line (e.g. by an embedded
+            # assignment): the line-entry value is dead or mid-update.
+            return None
+        if self.is_constant_source(sym) and self.assigned_before(sym, line):
+            return "constant"
+        if sym in self.induction_in_global_index and \
+                self._line_in_induction_loop(sym, line):
+            return "induction"
+        if self.used_after(sym, line):
+            return "live_after"
+        return None
+
+    def _line_in_induction_loop(self, sym: Symbol, line: int) -> bool:
+        for loop in self.loops:
+            if loop.induction is sym and \
+                    loop.start_line <= line <= loop.end_line:
+                return True
+        return False
+
+    # -- queries --------------------------------------------------------------
+
+    def is_constant_source(self, sym: Symbol) -> bool:
+        """All writes to ``sym`` are literals or address-of expressions."""
+        if sym in self.address_taken:
+            return False
+        const = self._const_writes.get(sym, 0)
+        nonconst = self._nonconst_writes.get(sym, 0)
+        return const > 0 and nonconst == 0
+
+    def assigned_before(self, sym: Symbol, line: int) -> bool:
+        """Some write to ``sym`` appears textually at or before ``line``."""
+        return any(w <= line for w in self.write_lines.get(sym, []))
+
+    def used_after(self, sym: Symbol, line: int) -> bool:
+        """Conservative textual liveness of ``sym``'s value at ``line``.
+
+        The value is live if a later read is reached before any
+        (textually) intervening write. Any write between ``line`` and the
+        read — even a conditional one — conservatively kills the claim:
+        a false "dead" only hides a potential violation, while a false
+        "live" would produce a false positive (Section 7's trade-off).
+        """
+        reads = sorted(self.read_lines.get(sym, []))
+        writes = sorted(self.write_lines.get(sym, []))
+        next_read = next((r for r in reads if r > line), None)
+        next_write = next((w for w in writes if w > line), None)
+        if next_read is not None and (next_write is None or
+                                      next_read <= next_write):
+            return True
+        # Wrap-around through a loop back edge: a read at or before
+        # ``line`` inside an enclosing loop sees the value again on the
+        # next iteration, provided no write intervenes on the way around.
+        for loop in self.loops:
+            if not (loop.start_line <= line <= loop.end_line):
+                continue
+            for r in reads:
+                if not (loop.start_line <= r <= line):
+                    continue
+                killed = any(
+                    line < w <= loop.end_line or loop.start_line <= w < r
+                    for w in writes)
+                if not killed:
+                    return True
+        return False
+
+    def assignment_lines(self, sym: Symbol) -> List[int]:
+        """Sorted distinct lines on which ``sym`` is written."""
+        return sorted(set(self.write_lines.get(sym, [])))
+
+
+def _collect_value_reads(expr: A.Expr, out: List[A.Ident]) -> None:
+    """Collect identifiers whose *current value* feeds the expression.
+
+    Excludes targets of embedded assignments and increment/decrement
+    operands (their line-entry value is dead or changing mid-line) and
+    address-of operands (no value read).
+    """
+    if expr is None:
+        return
+    if isinstance(expr, A.Ident):
+        out.append(expr)
+        return
+    if isinstance(expr, A.Assign):
+        # The target's old value is not a constituent (even compound
+        # assignment targets are excluded, conservatively); index
+        # expressions of an array target still read their variables.
+        if isinstance(expr.target, A.ArrayIndex):
+            for idx in _index_exprs(expr.target):
+                _collect_value_reads(idx, out)
+        _collect_value_reads(expr.value, out)
+        return
+    if isinstance(expr, A.Unary):
+        if expr.op in ("++", "--", "&"):
+            return
+        _collect_value_reads(expr.operand, out)
+        return
+    if isinstance(expr, A.ArrayIndex):
+        _collect_value_reads(expr.base, out)
+        _collect_value_reads(expr.index, out)
+        return
+    if isinstance(expr, A.Binary):
+        _collect_value_reads(expr.left, out)
+        _collect_value_reads(expr.right, out)
+        return
+    if isinstance(expr, A.Call):
+        for arg in expr.args:
+            _collect_value_reads(arg, out)
+        return
+    if isinstance(expr, A.Conditional):
+        decided = _literal_value(expr.cond)
+        if decided is not None:
+            # Constant condition: only the selected branch's variables
+            # take part in the value computation.
+            _collect_value_reads(expr.then if decided else expr.other, out)
+            return
+        _collect_value_reads(expr.cond, out)
+        _collect_value_reads(expr.then, out)
+        _collect_value_reads(expr.other, out)
+        return
+
+
+def _literal_value(expr: A.Expr):
+    """Evaluate a literal-only expression, or None if not constant."""
+    from ..ir.ops import UBError, eval_binop, eval_unop
+    if isinstance(expr, A.IntLit):
+        return expr.value
+    if isinstance(expr, A.Unary) and expr.op in ("-", "~", "!"):
+        inner = _literal_value(expr.operand)
+        return None if inner is None else eval_unop(expr.op, inner)
+    if isinstance(expr, A.Binary):
+        left = _literal_value(expr.left)
+        right = _literal_value(expr.right)
+        if left is None or right is None:
+            return None
+        try:
+            return eval_binop(expr.op, left, right)
+        except UBError:
+            return None
+    return None
+
+
+def _index_exprs(expr: A.Expr):
+    """Yield the index expressions of a (nested) ArrayIndex chain."""
+    while isinstance(expr, A.ArrayIndex):
+        yield expr.index
+        expr = expr.base
+
+
+def _flatten_init(init):
+    """Yield scalar expressions of a nested brace initializer."""
+    if isinstance(init, list):
+        for item in init:
+            yield from _flatten_init(item)
+    elif init is not None:
+        yield init

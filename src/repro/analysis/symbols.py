@@ -1,0 +1,290 @@
+"""Symbol resolution and lexical scoping for mini-C programs.
+
+Builds a :class:`SymbolTable` that maps every identifier occurrence in a
+program (by AST node ``uid``) to a :class:`Symbol`, honoring C's lexical
+scoping (block scopes, for-init scopes, shadowing). The table also records
+each symbol's *scope line range* — the span of source lines on which a
+debugger should consider the variable part of the frame — which is exactly
+what the DIE builder and the conjecture checkers need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..lang import ast_nodes as A
+from ..lang.types import Type
+
+_symbol_counter = itertools.count(1)
+
+
+@dataclass
+class Symbol:
+    """A resolved variable: a global, a function parameter, or a local."""
+
+    name: str
+    type: Type
+    kind: str  # "global" | "param" | "local"
+    decl: Optional[A.VarDecl]
+    function: Optional[str]
+    volatile: bool = False
+    static: bool = False
+    sid: int = field(default_factory=lambda: next(_symbol_counter))
+    #: inclusive line span on which the symbol is lexically in scope
+    scope_start: int = 0
+    scope_end: int = 10 ** 9
+    #: nesting depth of the declaring block (0 = function top level)
+    block_depth: int = 0
+
+    @property
+    def is_global(self) -> bool:
+        return self.kind == "global"
+
+    def key(self) -> Tuple[Optional[str], str, int]:
+        """Stable identity usable across analyses of the same AST."""
+        return (self.function, self.name, self.sid)
+
+    def __hash__(self) -> int:
+        return hash(self.sid)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Symbol) and self.sid == other.sid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self.function or "<global>"
+        return f"Symbol({self.name}@{where}#{self.sid})"
+
+
+class ResolutionError(Exception):
+    """Raised when an identifier cannot be resolved or is redeclared."""
+
+
+def _subtree_max_line(stmt: A.Stmt) -> int:
+    """The greatest line number appearing anywhere under ``stmt``."""
+    best = getattr(stmt, "line", 0)
+    for s in A.walk_stmt(stmt):
+        best = max(best, s.line)
+        for e in A.stmt_exprs(s):
+            best = max(best, e.line)
+    return best
+
+
+@dataclass
+class FunctionInfo:
+    """Per-function symbol summary."""
+
+    name: str
+    params: List[Symbol] = field(default_factory=list)
+    locals: List[Symbol] = field(default_factory=list)
+    first_line: int = 0
+    last_line: int = 0
+
+    def all_variables(self) -> List[Symbol]:
+        return self.params + self.locals
+
+
+class SymbolTable:
+    """Result of resolving a whole program."""
+
+    def __init__(self, program: A.Program):
+        self.program = program
+        self.globals: List[Symbol] = []
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: AST Ident uid -> Symbol
+        self.ident_map: Dict[int, Symbol] = {}
+        #: AST VarDecl uid -> Symbol
+        self.decl_map: Dict[int, Symbol] = {}
+        self._global_by_name: Dict[str, Symbol] = {}
+
+    def lookup_ident(self, ident: A.Ident) -> Symbol:
+        """The symbol an identifier occurrence refers to."""
+        try:
+            return self.ident_map[ident.uid]
+        except KeyError:
+            raise ResolutionError(
+                f"unresolved identifier {ident.name!r} at line {ident.line}"
+            ) from None
+
+    def symbol_for_decl(self, decl: A.VarDecl) -> Symbol:
+        """The symbol created by a declaration node."""
+        return self.decl_map[decl.uid]
+
+    def global_symbol(self, name: str) -> Symbol:
+        return self._global_by_name[name]
+
+    def function_info(self, name: str) -> FunctionInfo:
+        return self.functions[name]
+
+    def all_symbols(self) -> List[Symbol]:
+        out = list(self.globals)
+        for info in self.functions.values():
+            out.extend(info.all_variables())
+        return out
+
+
+class _Resolver:
+    """Single-pass scoped walker that populates a :class:`SymbolTable`."""
+
+    def __init__(self, program: A.Program):
+        self.program = program
+        self.table = SymbolTable(program)
+        self.scopes: List[Dict[str, Symbol]] = []
+        self.current: Optional[FunctionInfo] = None
+        self.block_depth = 0
+
+    # -- scope plumbing -----------------------------------------------------
+
+    def _push(self) -> None:
+        self.scopes.append({})
+
+    def _pop(self) -> None:
+        self.scopes.pop()
+
+    def _declare(self, sym: Symbol) -> None:
+        top = self.scopes[-1]
+        if sym.name in top:
+            raise ResolutionError(
+                f"redeclaration of {sym.name!r} at line {sym.scope_start}"
+            )
+        top[sym.name] = sym
+
+    def _resolve_name(self, name: str, line: int) -> Symbol:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise ResolutionError(f"use of undeclared {name!r} at line {line}")
+
+    # -- driver ---------------------------------------------------------------
+
+    def run(self) -> SymbolTable:
+        self._push()  # global scope
+        for decl in self.program.globals:
+            sym = Symbol(
+                name=decl.name, type=decl.type, kind="global", decl=decl,
+                function=None, volatile=decl.volatile, static=decl.static,
+                scope_start=decl.line,
+            )
+            self._declare(sym)
+            self.table.globals.append(sym)
+            self.table.decl_map[decl.uid] = sym
+            self.table._global_by_name[decl.name] = sym
+        for fn in self.program.functions:
+            self._resolve_function(fn)
+        self._pop()
+        return self.table
+
+    def _resolve_function(self, fn: A.FuncDef) -> None:
+        info = FunctionInfo(name=fn.name, first_line=fn.line,
+                            last_line=_subtree_max_line(fn.body))
+        self.current = info
+        self.table.functions[fn.name] = info
+        self._push()
+        self.block_depth = 0
+        for param in fn.params:
+            sym = Symbol(
+                name=param.name, type=param.type, kind="param", decl=None,
+                function=fn.name, scope_start=fn.line,
+                scope_end=info.last_line,
+            )
+            self._declare(sym)
+            info.params.append(sym)
+        self._resolve_block(fn.body, is_function_body=True)
+        self._pop()
+        self.current = None
+
+    def _resolve_block(self, block: A.Block, is_function_body: bool = False
+                       ) -> None:
+        if not is_function_body:
+            self._push()
+            self.block_depth += 1
+        end = _subtree_max_line(block)
+        for stmt in block.stmts:
+            self._resolve_stmt(stmt, block_end=end)
+        if not is_function_body:
+            self.block_depth -= 1
+            self._pop()
+
+    def _declare_locals(self, decl_stmt: A.DeclStmt, block_end: int) -> None:
+        for decl in decl_stmt.decls:
+            if decl.init is not None:
+                self._resolve_init(decl.init)
+            sym = Symbol(
+                name=decl.name, type=decl.type, kind="local", decl=decl,
+                function=self.current.name, volatile=decl.volatile,
+                static=decl.static, scope_start=decl.line,
+                scope_end=block_end, block_depth=self.block_depth,
+            )
+            self._declare(sym)
+            self.current.locals.append(sym)
+            self.table.decl_map[decl.uid] = sym
+
+    def _resolve_init(self, init) -> None:
+        if isinstance(init, list):
+            for item in init:
+                self._resolve_init(item)
+        else:
+            self._resolve_expr(init)
+
+    def _resolve_stmt(self, stmt: A.Stmt, block_end: int) -> None:
+        if isinstance(stmt, A.DeclStmt):
+            self._declare_locals(stmt, block_end)
+        elif isinstance(stmt, A.ExprStmt):
+            self._resolve_expr(stmt.expr)
+        elif isinstance(stmt, A.Block):
+            self._resolve_block(stmt)
+        elif isinstance(stmt, A.If):
+            self._resolve_expr(stmt.cond)
+            self._resolve_stmt_scoped(stmt.then)
+            if stmt.other is not None:
+                self._resolve_stmt_scoped(stmt.other)
+        elif isinstance(stmt, A.For):
+            self._push()
+            self.block_depth += 1
+            loop_end = _subtree_max_line(stmt)
+            if isinstance(stmt.init, A.DeclStmt):
+                self._declare_locals(stmt.init, loop_end)
+            elif isinstance(stmt.init, A.ExprStmt):
+                self._resolve_expr(stmt.init.expr)
+            if stmt.cond is not None:
+                self._resolve_expr(stmt.cond)
+            if stmt.step is not None:
+                self._resolve_expr(stmt.step)
+            self._resolve_stmt_scoped(stmt.body)
+            self.block_depth -= 1
+            self._pop()
+        elif isinstance(stmt, (A.While, A.DoWhile)):
+            self._resolve_expr(stmt.cond)
+            self._resolve_stmt_scoped(stmt.body)
+        elif isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                self._resolve_expr(stmt.value)
+        elif isinstance(stmt, A.LabeledStmt):
+            self._resolve_stmt(stmt.stmt, block_end)
+        elif isinstance(stmt, (A.Goto, A.Break, A.Continue, A.Empty)):
+            pass
+        else:
+            raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+    def _resolve_stmt_scoped(self, stmt: A.Stmt) -> None:
+        """Resolve a loop/if body, giving non-block bodies their own scope."""
+        if isinstance(stmt, A.Block):
+            self._resolve_block(stmt)
+        else:
+            self._push()
+            self.block_depth += 1
+            self._resolve_stmt(stmt, block_end=_subtree_max_line(stmt))
+            self.block_depth -= 1
+            self._pop()
+
+    def _resolve_expr(self, expr: A.Expr) -> None:
+        for sub in A.walk_expr(expr):
+            if isinstance(sub, A.Ident):
+                sym = self._resolve_name(sub.name, sub.line)
+                self.table.ident_map[sub.uid] = sym
+
+
+def resolve(program: A.Program) -> SymbolTable:
+    """Resolve all identifiers in ``program`` and compute scope ranges."""
+    return _Resolver(program).run()

@@ -1,0 +1,360 @@
+"""Catalog of injected defects, mirroring the paper's Table 3 / Appendix A.
+
+Each of the 38 reported issues is modeled as a :class:`Defect` bound to
+the hook point that reproduces its mechanism (see the pass docstrings for
+the mechanics). Tracker ids, systems, statuses, conjectures, and
+DWARF-analysis categories follow Table 3.
+
+Version indexing (for the regression study, Table 4 / Figures 1 and 4):
+
+* gcc family:   ``4, 6, 8, 10, trunk, patched`` -> indices 0..5, where
+  ``patched`` is trunk plus the fix for 105158 (which also fixes 105194);
+* clang family: ``5, 7, 9, 11, trunk, trunk*``  -> indices 0..5, where
+  ``trunk*`` carries the independent partial LSR fix (53855a fixed,
+  53855b not).
+
+Beyond the trunk-era issues, ``HISTORICAL_DEFECTS`` models the defects
+that earlier releases carried and later fixed (plus two deliberate
+regressions: gcc 8's across-the-board dip and clang 7's -Og/-Os dip),
+which is what gives Figure 1 its shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..debuginfo.categories import HOLLOW, INCOMPLETE, INCORRECT, MISSING
+from .defects import (
+    Defect, all_of, level_rate_selector, rate_selector, requires_pass,
+)
+
+GCC_VERSIONS: Tuple[str, ...] = ("4", "6", "8", "10", "trunk", "patched")
+CLANG_VERSIONS: Tuple[str, ...] = ("5", "7", "9", "11", "trunk",
+                                   "trunk-star")
+
+_TRUNK = 4          # index of the trunk version in both families
+_PATCHED = 5        # gcc "patched" / clang "trunk*"
+
+
+@dataclass
+class CatalogIssue:
+    """One reported issue from Table 3."""
+
+    tracker_id: str
+    system: str          # gcc | clang | gdb | lldb
+    status: str          # Confirmed | Fixed | Fixed by trunk* | Unconfirmed
+    conjecture: str      # C1 | C2 | C3
+    category: Optional[str]  # DWARF analysis column; None for debugger bugs
+    defect: Defect
+    note: str = ""
+
+
+def _issue(tracker_id, system, status, conjecture, category, point,
+           pass_name, levels, selector=None, fixed_in=None, family=None,
+           note=""):
+    family = family or ("clang" if system in ("clang", "lldb") else "gcc")
+    return CatalogIssue(
+        tracker_id=tracker_id, system=system, status=status,
+        conjecture=conjecture, category=category,
+        defect=Defect(
+            defect_id=f"{system}-{tracker_id}", point=point,
+            family=family, pass_name=pass_name, levels=levels,
+            introduced=0, fixed_in=fixed_in, selector=selector,
+            description=note,
+        ),
+        note=note,
+    )
+
+
+#: The 38 issues of Table 3, in table order.
+ISSUES: List[CatalogIssue] = [
+    # ---- clang, Conjecture 1 -------------------------------------------------
+    _issue("49546", "clang", "Confirmed", "C1", MISSING,
+           "codegen.drop_die", "simplifycfg", ("Og",),
+           selector=all_of(requires_pass("simplifycfg"),
+                           rate_selector(("function", "symbol"), 16, 0)),
+           note="Induction variable of a single-iteration loop passed to "
+                "an opaque callee; SimplifyCFG and loop opts lose both "
+                "value regions and the DIE."),
+    _issue("49580", "clang", "Confirmed", "C1", MISSING,
+           "codegen.drop_die", "loop-rotate", ("Og",),
+           selector=all_of(requires_pass("loop-rotate"),
+                           rate_selector(("function", "symbol"), 16, 1)),
+           note="Loop rotation fails to push dbg metadata to the exit "
+                "block; after loop reduction the DIE is never emitted."),
+    _issue("49769", "clang", "Confirmed", "C1", HOLLOW,
+           "cleanup.dbg_only_block", "simplifycfg", ("Og",),
+           selector=rate_selector(("function", "caller"), 20, 0),
+           note="CFG simplification after inlining removes debug "
+                "statements that are a block's only content."),
+    _issue("49973", "clang", "Confirmed", "C1", HOLLOW,
+           "unroll.iter_dbg", "unroll", ("O3",),
+           selector=rate_selector(("function",), 10, 1),
+           note="Induction-variable simplification drops the constant "
+                "value when a loop collapses."),
+    _issue("49975", "clang", "Confirmed", "C1", HOLLOW,
+           "instcombine.undef_dbg", "instcombine", ("O3",),
+           selector=rate_selector(("function",), 14, 1),
+           note="Peephole combination of a bitwise AND loses the dbg of "
+                "the variable assigned inside the expression."),
+    _issue("51780", "clang", "Confirmed", "C1", MISSING,
+           "codegen.drop_die", "instcombine", ("O2",),
+           selector=all_of(requires_pass("instcombine"),
+                           rate_selector(("function", "symbol"), 20, 2)),
+           note="Instruction selection gap: variable assigned from a "
+                "global load loses its DIE."),
+    _issue("55101", "clang", "Unconfirmed", "C1", HOLLOW,
+           "lsr.salvage", "lsr", ("O2", "O3"),
+           selector=rate_selector(("function",), 3, 0),
+           note="LSR drops in-loop locations; instruction selection then "
+                "loses the rest."),
+    _issue("55115", "clang", "Confirmed", "C1", MISSING,
+           "codegen.drop_die", "simplifycfg", ("Og", "O2", "O3", "Os", "Oz"),
+           selector=all_of(requires_pass("simplifycfg"),
+                           rate_selector(("function", "symbol"), 24, 3)),
+           note="Like 49769 but the dbg statement cannot be placed "
+                "anywhere in the IR; DIE lost at O1-O3 and Og."),
+    _issue("55123", "clang", "Unconfirmed", "C1", HOLLOW,
+           "instcombine.undef_dbg", "instcombine",
+           ("Og", "O2", "O3", "Os", "Oz"),
+           selector=rate_selector(("function",), 18, 3),
+           note="InstCombine + inlining interaction rewrites dbg "
+                "statements to an undefined location."),
+    # ---- clang, Conjecture 2 -------------------------------------------------
+    _issue("53855a", "clang", "Fixed by trunk*", "C2", HOLLOW,
+           "lsr.salvage", "lsr", ("Og", "Oz"), fixed_in=_PATCHED,
+           selector=level_rate_selector((), {"Og": 2, "Oz": 1}),
+           note="LSR does not salvage dbg values of eliminated induction "
+                "variables (fixed independently in trunk*)."),
+    _issue("53855b", "clang", "Confirmed", "C2", HOLLOW,
+           "lsr.salvage", "lsr", ("Os",),
+           note="Second LSR expression pattern not covered by the "
+                "trunk* fix."),
+    _issue("54611", "clang", "Unconfirmed", "C2", INCOMPLETE,
+           "sched.dbg", "misched", ("O2",),
+           selector=rate_selector(("function",), 4, 0),
+           note="Scheduling leaves a range that misses the moved "
+                "assignment instruction."),
+    _issue("54757", "clang", "Unconfirmed", "C2", HOLLOW,
+           "unroll.iter_dbg", "unroll", ("Og", "O2", "O3"),
+           selector=rate_selector(("function",), 5, 2),
+           note="Loop removal drops part of the dbg info of the "
+                "assignment expression."),
+    _issue("54763", "clang", "Unconfirmed", "C2", INCOMPLETE,
+           "cleanup.dbg_only_block", "simplifycfg", ("O2", "O3"),
+           selector=rate_selector(("function", "caller"), 7, 1),
+           note="Dbg statements cannot precede phi-nodes; variables "
+                "become available only after the join."),
+    # ---- clang, Conjecture 3 -------------------------------------------------
+    _issue("50286", "clang", "Confirmed", "C3", INCOMPLETE,
+           "sched.sink", "misched", ("Og",),
+           selector=rate_selector(("function", "symbol"), 24, 1),
+           note="Scheduling produces location ranges missing some "
+                "instructions of lines where the variable is live."),
+    _issue("54796", "clang", "Confirmed", "C3", INCOMPLETE,
+           "promote.sink", "sroa", ("Os",),
+           selector=rate_selector(("function", "symbol"), 20, 1),
+           note="SROA removes the location; later CFG simplification "
+                "restores it only partially."),
+    # ---- gcc, Conjecture 1 ---------------------------------------------------
+    _issue("104549", "gcc", "Unconfirmed", "C1", INCORRECT,
+           "sched.scope", "schedule-insns2", ("O2", "O3"),
+           selector=rate_selector(("function",), 5, 0),
+           note="Inlining wrongly updates the location definition of the "
+                "enclosing function."),
+    _issue("105007", "gcc", "Confirmed", "C1", HOLLOW,
+           "vrp.dbg", "tree-vrp", ("O2", "O3"),
+           note="EVRP lattice propagation removes a definition for a "
+                "propagated constant without inserting a debug stmt."),
+    _issue("105158", "gcc", "Fixed", "C1", HOLLOW,
+           "cleanup.move_dbg", "cleanup-cfg", ("O1", "O2", "O3", "Og"),
+           fixed_in=_PATCHED,
+           selector=level_rate_selector(("function", "caller"),
+                                        {"Og": 40, "O1": 3}, default=2),
+           note="cleanup_tree_cfg loses debug statements during basic "
+                "block manipulations; shared by many transformations "
+                "(the Section 5.4 regression-study patch)."),
+    _issue("105176", "gcc", "Unconfirmed", "C1", INCOMPLETE,
+           "dce.salvage", "tree-dce", ("Os", "Oz"),
+           selector=rate_selector(("function", "vreg"), 5, 0),
+           note="Dead code elimination drops debug info without changing "
+                "the emitted code."),
+    _issue("105179", "gcc", "Unconfirmed", "C1", INCOMPLETE,
+           "cprop.dbg", "cprop-registers", ("Og",),
+           selector=rate_selector(("function", "symbol"), 36, 0),
+           note="Copy propagation emits a range for the variable that "
+                "does not include the call address."),
+    _issue("105239", "gcc", "Unconfirmed", "C1", INCOMPLETE,
+           "cprop.dbg", "cprop-registers", ("Og",),
+           selector=rate_selector(("function", "symbol"), 28, 2),
+           note="Location definition does not include the address of the "
+                "opaque call when another call precedes it."),
+    _issue("105248", "gcc", "Confirmed", "C1", HOLLOW,
+           "dse.declare", "tree-dse", ("O1", "O2", "O3"),
+           selector=rate_selector(("function", "symbol"), 2, 1),
+           note="Dead store elimination drops debug information without "
+                "changing the output code."),
+    _issue("105261", "gcc", "Confirmed", "C1", HOLLOW,
+           "promote.store_dbg", "ipa-sra", ("O2", "O3", "Os", "Oz"),
+           selector=rate_selector(("function", "symbol"), 4, 2),
+           note="Scalar replacement of aggregates (plus scheduling) "
+                "loses constant-value dbg info."),
+    # ---- gcc, Conjecture 2 ---------------------------------------------------
+    _issue("104891", "gcc", "Unconfirmed", "C2", INCOMPLETE,
+           "sched.dbg", "schedule-insns2", ("O2", "O3"),
+           selector=rate_selector(("function",), 6, 3),
+           note="Incomplete location definitions for declarations inside "
+                "an unnamed scope."),
+    _issue("105036", "gcc", "Unconfirmed", "C2", INCORRECT,
+           "sched.scope", "schedule-insns2", ("O3",),
+           selector=rate_selector(("function",), 5, 1),
+           note="Scheduling + inlining + unrolling attribute the "
+                "instructions to the wrong function frame."),
+    _issue("105108", "gcc", "Confirmed", "C2", HOLLOW,
+           "ipa.salvage_const", "ipa-pure-const", ("Og", "O1"),
+           note="A pure call provably returning a constant is deleted; "
+                "the constant never reaches DW_AT_const_value at levels "
+                "where the call is not inlined."),
+    _issue("105145", "gcc", "Confirmed", "C2", HOLLOW,
+           "dse.declare", "tree-dse", ("O1", "O2", "O3"),
+           selector=rate_selector(("function", "symbol"), 4, 0),
+           note="Address-taken locals promoted to registers late lose "
+                "their debug information (design limitation)."),
+    _issue("105161", "gcc", "Confirmed", "C2", HOLLOW,
+           "ccp.dbg", "tree-ccp", ("O1", "O2", "O3", "Og"),
+           selector=level_rate_selector(("function", "symbol"),
+                                        {"Og": 22, "O1": 8}, default=6),
+           note="Constant folding of the introduction example: the "
+                "folded variable's constant never reaches its DIE."),
+    _issue("105249", "gcc", "Unconfirmed", "C2", INCORRECT,
+           "sched.scope", "schedule-insns2", ("Os",),
+           selector=rate_selector(("function",), 5, 2),
+           note="Unrolled loop body scheduled into the DIE of an inlined "
+                "function called right after the loop."),
+    # ---- gcc, Conjecture 3 ---------------------------------------------------
+    _issue("104938", "gcc", "Confirmed", "C3", INCOMPLETE,
+           "ccp.sink", "tree-ccp", ("Og",),
+           selector=rate_selector(("function", "symbol"), 10, 0),
+           note="Conditional constant propagation shrinks the variable's "
+                "location range (the Section 3.4 example)."),
+    _issue("105124", "gcc", "Confirmed", "C3", INCOMPLETE,
+           "cprop.sink", "cprop-registers", ("Og",),
+           selector=rate_selector(("function", "symbol"), 12, 1),
+           note="Location misses instructions of lines where the "
+                "variable is live; value-dependent."),
+    _issue("105159", "gcc", "Unconfirmed", "C3", HOLLOW,
+           "dce.salvage", "tree-dce", ("Og",),
+           selector=rate_selector(("function", "vreg"), 9, 1),
+           note="Location definition lost while code stays the same."),
+    _issue("105194", "gcc", "Fixed", "C3", INCOMPLETE,
+           "ccp.sink", "tree-ccp", ("O1",),
+           fixed_in=_PATCHED,
+           selector=rate_selector(("function", "symbol"), 90, 3),
+           note="Cleanup after DCE wrongly updates the location "
+                "definition; fixed by the 105158 patch."),
+    _issue("105389", "gcc", "Unconfirmed", "C3", INCOMPLETE,
+           "fre.sink", "tree-fre", ("Og",),
+           selector=rate_selector(("function", "symbol"), 14, 2),
+           note="One constant value of the variable's lifetime misses "
+                "its location range."),
+    # ---- debugger bugs ----------------------------------------------------------
+    # The consumer-side bugs live in the debugger implementations; these
+    # producer-side quirks emit the (legal) DWARF structures that trigger
+    # them.
+    _issue("28987", "gdb", "Confirmed", "C1", None,
+           "codegen.keep_empty_entries", "schedule-insns2", None,
+           family="gcc",
+           selector=all_of(requires_pass("schedule-insns2"),
+                           rate_selector(("function", "symbol"), 5, 1)),
+           note="Location list with empty (lo==hi) ranges derails gdb's "
+                "list processing; lldb copes."),
+    _issue("29060", "gdb", "Confirmed", "C1", None,
+           "codegen.concrete_lexical_block", "inline", None, family="gcc",
+           selector=all_of(requires_pass("inline"),
+                           rate_selector(("function", "symbol"), 4, 1)),
+           note="Concrete inlined instance has a lexical block absent "
+                "from the abstract origin; gdb cannot match them."),
+    _issue("50076", "lldb", "Confirmed", "C1", None,
+           "codegen.abstract_only_location", "inline", None,
+           family="clang",
+           selector=all_of(requires_pass("inline"),
+                           rate_selector(("function", "symbol"), 4, 2)),
+           note="Location only on the abstract origin of an inlined "
+                "subroutine; lldb does not merge it, gdb does."),
+]
+
+
+#: Pre-trunk defects that shape the Figure 1 / Figure 4 version trends:
+#: old releases carried more debug-info losses; two deliberate
+#: regressions reproduce the gcc 8 dip and the clang 5->7 -Og/-Os dip.
+HISTORICAL_DEFECTS: List[Defect] = [
+    # gcc: early releases lost most const-prop and DCE salvage.
+    Defect("gcc-hist-ccp", "ccp.dbg", "gcc", "tree-ccp", None,
+           introduced=0, fixed_in=2,
+           description="pre-8 releases: no const propagation into debug "
+                       "statements at all"),
+    Defect("gcc-hist-dce", "dce.salvage", "gcc", "tree-dce", None,
+           introduced=0, fixed_in=3,
+           description="pre-10 releases: DCE never salvaged dbg values"),
+    Defect("gcc-hist-inline", "inline.param_dbg", "gcc", "inline", None,
+           introduced=0, fixed_in=1,
+           description="gcc 4: inliner dropped parameter dbg bindings"),
+    Defect("gcc-hist-rotate", "rotate.exit_dbg", "gcc", "tree-ch", None,
+           introduced=0, fixed_in=2,
+           description="pre-8: header copying lost guard dbg values"),
+    Defect("gcc-hist-sched", "sched.dbg", "gcc", "schedule-insns2", None,
+           introduced=0, fixed_in=4,
+           selector=rate_selector(("function",), 2, 1),
+           description="pre-trunk: scheduler dropped moved dbg groups "
+                       "half the time"),
+    # The gcc 8 regression: levels other than -O1/-Og regressed on 8.0.
+    Defect("gcc-hist-v8-regression", "unroll.iter_dbg", "gcc", "unroll",
+           ("O2", "O3", "Os", "Oz"), introduced=2, fixed_in=3,
+           description="gcc 8 regression: new unroller dropped per-"
+                       "iteration dbg values at aggressive levels"),
+    # clang: early releases similar; plus the 5->7 -Og/-Os regression.
+    Defect("clang-hist-ccp", "ccp.dbg", "clang", "ipsccp", None,
+           introduced=0, fixed_in=2,
+           description="pre-9: SCCP did not rewrite dbg operands"),
+    Defect("clang-hist-dce", "dce.salvage", "clang", "adce", None,
+           introduced=0, fixed_in=3,
+           description="pre-11: ADCE lacked salvageDebugInfo"),
+    Defect("clang-hist-inline", "inline.param_dbg", "clang", "inline",
+           None, introduced=0, fixed_in=2,
+           selector=rate_selector(("function", "callee"), 2, 0),
+           description="pre-9: inliner dropped half the parameter "
+                       "bindings"),
+    Defect("clang-hist-lsr-early", "lsr.salvage", "clang", "lsr", None,
+           introduced=0, fixed_in=1,
+           description="clang 5: LSR had no salvage at all (all levels)"),
+    Defect("clang-hist-og-regression", "promote.store_dbg", "clang",
+           "sroa", ("Og", "Os"), introduced=1, fixed_in=3,
+           selector=rate_selector(("function", "symbol"), 2, 0),
+           description="clang 7 regression: aggressive SROA rewrite "
+                       "dropped store dbg values at -Og/-Os"),
+    Defect("clang-hist-sched", "sched.dbg", "clang", "misched", None,
+           introduced=0, fixed_in=4,
+           selector=rate_selector(("function",), 2, 0),
+           description="pre-trunk: MachineScheduler dropped moved dbg "
+                       "groups half the time"),
+]
+
+
+def issues_for(system: str) -> List[CatalogIssue]:
+    """Catalog issues filed against one system (gcc/clang/gdb/lldb)."""
+    return [i for i in ISSUES if i.system == system]
+
+
+def defects_for_family(family: str) -> List[Defect]:
+    """All defects (catalog + historical) carried by one compiler family."""
+    out = [i.defect for i in ISSUES if i.defect.family == family]
+    out.extend(d for d in HISTORICAL_DEFECTS if d.family == family)
+    return out
+
+
+def issue_by_tracker(tracker_id: str) -> CatalogIssue:
+    for issue in ISSUES:
+        if issue.tracker_id == tracker_id:
+            return issue
+    raise KeyError(tracker_id)

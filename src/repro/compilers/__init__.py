@@ -1,0 +1,9 @@
+"""Compiler families, versions, pipelines, and the compile driver."""
+
+from .pipelines import (
+    CLANG_LEVEL_ALIASES, CLANG_LEVELS, GCC_LEVELS, boolean_flags,
+    clang_pipeline, gcc_pipeline, pipeline_for,
+)
+from .compiler import (
+    Compilation, Compiler, UnknownVersionError, default_compilers,
+)

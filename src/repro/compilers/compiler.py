@@ -1,0 +1,151 @@
+"""The compiler driver.
+
+``Compiler(family, version).compile(program, level, ...)`` runs the whole
+toolchain: resolve -> lower -> optimization pipeline (with the version's
+active defects hooked in) -> codegen/link. The result bundles everything
+the testing pipeline needs: the executable with its debug information, the
+pipeline report, and the record of which injected defects actually fired
+(the ground truth that triage is later evaluated against).
+
+Triage controls are first-class, mirroring Section 4.3:
+
+* ``disabled`` — gcc-style ``-fno-<pass>`` boolean flags;
+* ``bisect_limit`` — clang-style ``-mllvm -opt-bisect-limit=N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..analysis.symbols import SymbolTable, resolve
+from ..bugs.catalog import (
+    CLANG_VERSIONS, GCC_VERSIONS, defects_for_family,
+)
+from ..bugs.defects import Defect, DefectHooks
+from ..ir.lower import lower_program
+from ..ir.module import Module
+from ..lang.ast_nodes import Program
+from ..passes.base import PassManager, PipelineReport
+from ..target.codegen import link
+from ..target.isa import Executable
+from .pipelines import (
+    CLANG_LEVEL_ALIASES, CLANG_LEVELS, GCC_LEVELS, boolean_flags,
+    pipeline_for,
+)
+
+
+class UnknownVersionError(ValueError):
+    """Raised for a version name outside the family's release list."""
+
+
+def _program_token(program: Program) -> str:
+    """A stable, structure-derived identity for selector sampling."""
+    from ..lang.ast_nodes import walk_stmt
+    count = 0
+    acc = 0
+    for fn in program.functions:
+        for stmt in walk_stmt(fn.body):
+            count += 1
+            acc = (acc * 31 + stmt.line) & 0xFFFFFFFF
+    return f"{len(program.globals)}g{count}s{acc:x}"
+
+
+@dataclass
+class Compilation:
+    """Everything produced by one compilation."""
+
+    family: str
+    version: str
+    level: str
+    module: Module
+    exe: Executable
+    report: PipelineReport = field(default_factory=PipelineReport)
+    hooks: Optional[DefectHooks] = None
+
+    def fired_defects(self) -> List[str]:
+        """Distinct ids of injected defects that fired."""
+        return self.hooks.fired_defect_ids() if self.hooks else []
+
+
+class Compiler:
+    """One (family, version) compiler instance."""
+
+    def __init__(self, family: str = "gcc", version: str = "trunk",
+                 verify: bool = False,
+                 extra_defects: Sequence[Defect] = ()):
+        if family not in ("gcc", "clang"):
+            raise ValueError(f"unknown compiler family {family!r}")
+        self.family = family
+        self.version = version
+        self.verify = verify
+        versions = GCC_VERSIONS if family == "gcc" else CLANG_VERSIONS
+        if version not in versions:
+            raise UnknownVersionError(
+                f"{family} has no version {version!r}; "
+                f"known: {', '.join(versions)}")
+        self.version_index = versions.index(version)
+        self.defects = list(defects_for_family(family)) + \
+            list(extra_defects)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def levels(self) -> Sequence[str]:
+        return GCC_LEVELS if self.family == "gcc" else CLANG_LEVELS
+
+    def normalize_level(self, level: str) -> str:
+        if self.family == "clang":
+            return CLANG_LEVEL_ALIASES.get(level, level)
+        return level
+
+    def flags(self, level: str) -> List[str]:
+        """Boolean optimization flags available at ``level``."""
+        return boolean_flags(self.family, self.normalize_level(level),
+                             self.version_index)
+
+    def pass_sequence(self, level: str) -> List[str]:
+        """Ordered pass instances (the bisect search space)."""
+        return [p.name for p in pipeline_for(
+            self.family, self.normalize_level(level), self.version_index)]
+
+    @property
+    def native_debugger_name(self) -> str:
+        return "gdb-like" if self.family == "gcc" else "lldb-like"
+
+    # -- compilation ----------------------------------------------------------
+
+    def compile(self, program: Program, level: str = "O2",
+                symtab: Optional[SymbolTable] = None,
+                disabled: Sequence[str] = (),
+                bisect_limit: Optional[int] = None) -> Compilation:
+        """Compile ``program`` at ``level`` and link an executable."""
+        level = self.normalize_level(level)
+        if level not in self.levels:
+            raise ValueError(
+                f"{self.family} does not support -{level}")
+        if symtab is None:
+            symtab = resolve(program)
+        module = lower_program(program, symtab)
+
+        hooks = DefectHooks(self.defects, self.family, level,
+                            self.version_index)
+        hooks.program_token = _program_token(program)
+        report = PipelineReport()
+        if level != "O0":
+            pipeline = pipeline_for(self.family, level, self.version_index)
+            manager = PassManager(pipeline, disabled=disabled,
+                                  bisect_limit=bisect_limit,
+                                  verify=self.verify)
+            report = manager.run(module, hooks=hooks, level=level,
+                                 family=self.family)
+            hooks.applied_passes = report.applied
+        exe = link(module, hooks=hooks if level != "O0" else None)
+        return Compilation(
+            family=self.family, version=self.version, level=level,
+            module=module, exe=exe, report=report, hooks=hooks)
+
+
+def default_compilers() -> List[Compiler]:
+    """Trunk compilers of both families (the Section 5.1 configuration)."""
+    return [Compiler("gcc", "trunk"), Compiler("clang", "trunk")]

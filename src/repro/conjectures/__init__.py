@@ -1,0 +1,6 @@
+"""The three conjectures and their checkers."""
+
+from .base import C1, C2, C3, CONJECTURES, ConjectureChecker, Violation, check_all
+from .c1_call_args import CallArgumentChecker
+from .c2_constituents import ConstituentChecker
+from .c3_decay import DecayChecker

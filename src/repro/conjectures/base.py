@@ -1,0 +1,69 @@
+"""Conjecture checking infrastructure.
+
+A checker consumes a :class:`~repro.analysis.source_facts.SourceFacts`
+(what the source *promises*) and a
+:class:`~repro.debugger.trace.DebugTrace` (what the debugger *showed*) and
+produces :class:`Violation` records. Violations at different program lines
+are distinct, as in the paper's counting (Section 5.1); the ``key`` is the
+deduplication unit used for the "unique" rows and the Venn diagrams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..analysis.source_facts import SourceFacts
+from ..debugger.trace import DebugTrace
+
+C1 = "C1"
+C2 = "C2"
+C3 = "C3"
+CONJECTURES = (C1, C2, C3)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One conjecture violation at one source line."""
+
+    conjecture: str
+    line: int
+    variable: str
+    function: str
+    observed: str          # "missing" | "optimized_out" | ...
+    detail: str = ""
+
+    def key(self) -> Tuple[str, int, str]:
+        """Identity for unique-violation counting."""
+        return (self.conjecture, self.line, self.variable)
+
+    def __str__(self) -> str:
+        return (f"[{self.conjecture}] line {self.line}: variable "
+                f"{self.variable!r} in {self.function} is {self.observed}"
+                + (f" ({self.detail})" if self.detail else ""))
+
+
+class ConjectureChecker:
+    """Base class for the three conjecture checkers."""
+
+    conjecture = "?"
+
+    def check(self, facts: SourceFacts,
+              trace: DebugTrace) -> List[Violation]:
+        raise NotImplementedError
+
+
+def check_all(facts: SourceFacts, trace: DebugTrace,
+              checkers: Optional[List[ConjectureChecker]] = None
+              ) -> List[Violation]:
+    """Run all (or the given) checkers over one trace."""
+    from .c1_call_args import CallArgumentChecker
+    from .c2_constituents import ConstituentChecker
+    from .c3_decay import DecayChecker
+    if checkers is None:
+        checkers = [CallArgumentChecker(), ConstituentChecker(),
+                    DecayChecker()]
+    out: List[Violation] = []
+    for checker in checkers:
+        out.extend(checker.check(facts, trace))
+    return out

@@ -1,0 +1,44 @@
+"""Conjecture 1 — Visibility of call argument sources (Section 3.2).
+
+    When a program variable appears as an argument for a call to an
+    opaque function, the variable should be visible along with its value
+    when stepping on the source line containing the call.
+
+The optimizer must materialize the argument's value for the call (it
+cannot know what the opaque callee does with it), so complete debug
+information can always describe the variable at that point. A variable
+that is missing from the frame or shown as optimized out is a violation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.source_facts import SourceFacts
+from ..debugger.trace import AVAILABLE, DebugTrace
+from .base import C1, ConjectureChecker, Violation
+
+
+class CallArgumentChecker(ConjectureChecker):
+    """Checks opaque-call argument availability."""
+
+    conjecture = C1
+
+    def check(self, facts: SourceFacts,
+              trace: DebugTrace) -> List[Violation]:
+        violations: List[Violation] = []
+        for site in facts.call_arg_sites:
+            visit = trace.visit_for_line(site.line)
+            if visit is None:
+                continue  # line never stepped; nothing to check
+            for sym in site.arg_symbols:
+                if sym.is_global:
+                    continue  # globals live at fixed addresses
+                status = visit.status_of(sym.name)
+                if status != AVAILABLE:
+                    violations.append(Violation(
+                        conjecture=C1, line=site.line, variable=sym.name,
+                        function=site.function, observed=status,
+                        detail=f"argument of opaque call to "
+                               f"{site.callee}"))
+        return violations

@@ -1,0 +1,46 @@
+"""Conjecture 2 — Availability of constituents (Section 3.3).
+
+    When stepping on a source-code line that assigns a value to global
+    storage through a non-simplifiable expression, we expect a variable x
+    taking part in the value computation to be visible at that line if
+    (i) x is a constant or (ii) optimizations cannot alter the value of x
+    and the program may use x later.
+
+The source analysis (:class:`~repro.analysis.source_facts.SourceFacts`)
+already applies the conjecture's three restrictions: trivially
+simplifiable expressions are excluded, only global-storage assignments
+anchor a check, and each constituent carries the reason it is expected
+("constant", "induction", or "live_after").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.source_facts import SourceFacts
+from ..debugger.trace import AVAILABLE, DebugTrace
+from .base import C2, ConjectureChecker, Violation
+
+
+class ConstituentChecker(ConjectureChecker):
+    """Checks constituent availability at global-store lines."""
+
+    conjecture = C2
+
+    def check(self, facts: SourceFacts,
+              trace: DebugTrace) -> List[Violation]:
+        violations: List[Violation] = []
+        for site in facts.global_store_sites:
+            visit = trace.visit_for_line(site.line)
+            if visit is None:
+                continue
+            for constituent in site.constituents:
+                sym = constituent.symbol
+                status = visit.status_of(sym.name)
+                if status != AVAILABLE:
+                    violations.append(Violation(
+                        conjecture=C2, line=site.line, variable=sym.name,
+                        function=site.function, observed=status,
+                        detail=f"{constituent.reason} constituent of "
+                               f"store to {site.target.name}"))
+        return violations

@@ -1,0 +1,95 @@
+"""Conjecture 3 — Decaying visibility of a variable (Section 3.4).
+
+    When a function assigns to a local variable and a subsequent source
+    line can be stepped on, the availability of the variable value can
+    only remain the same or worsen in the remainder of the program.
+
+Reassignments are the only events allowed to "refresh" visibility; each
+assignment starts a new variable instance. Availability is ranked
+``available (2) > optimized_out (1) > missing (0)`` and the checker walks
+the trace in execution order, flagging any rank increase that is not
+anchored at an assignment line of the variable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.source_facts import SourceFacts
+from ..debugger.trace import DebugTrace
+from .base import C3, ConjectureChecker, Violation
+
+_STATUS_BY_RANK = {0: "missing", 1: "optimized_out", 2: "available"}
+
+
+class DecayChecker(ConjectureChecker):
+    """Checks that availability only decays between reassignments."""
+
+    conjecture = C3
+
+    def check(self, facts: SourceFacts,
+              trace: DebugTrace) -> List[Violation]:
+        violations: List[Violation] = []
+        symtab = facts.symtab
+        for fn_name, info in symtab.functions.items():
+            for sym in info.locals:
+                violations.extend(
+                    self._check_symbol(facts, trace, fn_name, sym))
+        return violations
+
+    def _check_symbol(self, facts: SourceFacts, trace: DebugTrace,
+                      fn_name: str, sym) -> List[Violation]:
+        assignment_lines = set(facts.assignment_lines(sym))
+        if not assignment_lines:
+            return []
+        first_assign = min(assignment_lines)
+        violations: List[Violation] = []
+        prev_rank = None
+        prev_line = None
+        for visit in trace.visits_in_order():
+            if visit.function != fn_name:
+                continue
+            if not (sym.scope_start <= visit.line <= sym.scope_end):
+                continue
+            if visit.line <= first_assign and prev_rank is None:
+                continue  # instance not started yet
+            rank = visit.rank_of(sym.name)
+            if self._refreshed(assignment_lines, prev_line, visit.line):
+                # A reassignment (possibly on a non-steppable line) may
+                # have executed since the last stop: new instance.
+                prev_rank = rank
+                prev_line = visit.line
+                continue
+            if prev_rank is None:
+                prev_rank = rank
+                prev_line = visit.line
+                continue
+            if rank > prev_rank:
+                violations.append(Violation(
+                    conjecture=C3, line=visit.line, variable=sym.name,
+                    function=fn_name,
+                    observed=visit.status_of(sym.name),
+                    detail=f"availability improved from "
+                           f"{_STATUS_BY_RANK[prev_rank]} without a "
+                           f"reassignment"))
+            prev_rank = min(prev_rank, rank)
+            prev_line = visit.line
+        return violations
+
+    @staticmethod
+    def _refreshed(assignment_lines, prev_line, line) -> bool:
+        """Could an assignment have executed between the two stops?
+
+        A breakpoint stops *before* the line's code runs, so the previous
+        stop's own assignment executed after we observed it: the window
+        of assignments that may have run is ``[prev, line)`` for forward
+        motion. Backward motion (a loop back edge) means anything outside
+        ``[line, prev)`` may have run. Conservative on purpose — a false
+        refresh only hides violations, never invents them (the paper's
+        Section 7 trade-off).
+        """
+        if prev_line is None:
+            return False
+        if line >= prev_line:
+            return any(prev_line <= a < line for a in assignment_lines)
+        return any(a >= prev_line or a < line for a in assignment_lines)

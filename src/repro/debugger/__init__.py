@@ -1,0 +1,11 @@
+"""Source-level debuggers: stepping engine, traces, gdb/lldb consumers."""
+
+from .trace import (
+    AVAILABLE, OPTIMIZED_OUT, DebugTrace, LineVisit, VarReport,
+)
+from .base import Debugger
+from .gdb_like import GdbLike
+from .lldb_like import LldbLike
+
+#: The reference debugger of each compiler family (Section 4.2).
+NATIVE_DEBUGGERS = {"gcc": GdbLike, "clang": LldbLike}

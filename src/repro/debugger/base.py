@@ -1,0 +1,199 @@
+"""Source-level debugger engine.
+
+Implements the paper's tracing methodology (Section 4.2): place a one-shot
+breakpoint at the first address of every source line that has line-table
+rows, run the program, and at each stop record the variables the debugger
+presents for the current frame together with their values.
+
+The two shipped debuggers (:class:`~repro.debugger.gdb_like.GdbLike`,
+:class:`~repro.debugger.lldb_like.LldbLike`) share this engine and differ
+only in how they *consume* DWARF — abstract-origin following, lexical
+block recursion, and location-list traversal — which is where the paper's
+three debugger bugs live.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..debuginfo.die import DIE, TAG_INLINED_SUBROUTINE, TAG_LEXICAL_BLOCK
+from ..debuginfo.location import (
+    AddrLoc, ConstLoc, ExprLoc, FrameAddrVal, FrameExprLoc, FrameLoc,
+    GlobalAddrVal, Loc, LocationList, RegLoc,
+)
+from ..ir.ops import UBError, wrap
+from ..target.isa import Executable
+from ..target.vm import VM
+from .trace import AVAILABLE, OPTIMIZED_OUT, DebugTrace, LineVisit, VarReport
+
+
+class Debugger:
+    """Base debugger; subclasses override the DWARF-consumption quirks."""
+
+    name = "debugger"
+
+    # -- DWARF consumption knobs (overridden by subclasses) ----------------
+
+    #: follow DW_AT_abstract_origin when the concrete DIE lacks location
+    follows_abstract_origin_for_location = True
+    #: recurse into lexical blocks nested in inlined subroutines even when
+    #: the abstract origin has no matching block
+    tolerates_concrete_only_blocks = True
+    #: keep scanning a location list past an empty (lo == hi) entry
+    tolerates_empty_loclist_entries = True
+
+    # -- tracing ---------------------------------------------------------------
+
+    def trace(self, exe: Executable, fuel: int = 2_000_000) -> DebugTrace:
+        """Debug ``exe``: one-shot breakpoint per steppable line."""
+        trace = DebugTrace(debugger=self.name)
+        # A line can start several instruction runs (loop copies, the
+        # standalone body of an inlined function); like gdb, plant a
+        # breakpoint at each run start and keep the first *hit* per line.
+        line_addrs = {}
+        for line, addrs in exe.line_table.breakpoint_addrs().items():
+            for addr in addrs:
+                line_addrs[addr] = line
+        vm = VM(exe, fuel=fuel)
+        breakpoints = set(line_addrs)
+        seen_lines = set()
+
+        def on_break(vm_state: VM) -> None:
+            pc = vm_state.pc
+            line = line_addrs.get(pc)
+            vm_state.breakpoints.discard(pc)  # one-shot
+            if line is None or line in seen_lines:
+                return
+            seen_lines.add(line)
+            visit = self._observe(exe, vm_state, pc, line)
+            trace.visits.append(visit)
+
+        result = vm.run(breakpoints=breakpoints, on_break=on_break)
+        trace.exit_code = result.exit_code
+        return trace
+
+    # -- frame inspection ---------------------------------------------------------
+
+    def _observe(self, exe: Executable, vm: VM, pc: int,
+                 line: int) -> LineVisit:
+        unit = exe.debug
+        chain = unit.scope_chain_at(pc)
+        function = chain[0].name if chain else "?"
+        visit = LineVisit(line=line, pc=pc, function=function)
+
+        for die in self._frame_variable_dies(unit, pc):
+            name = die.name
+            if name is None or name in visit.variables:
+                continue
+            start = die.attrs.get("scope_start")
+            end = die.attrs.get("scope_end")
+            if start is not None and end is not None and \
+                    not (start <= line <= end):
+                continue
+            visit.variables[name] = self._report(die, vm, pc)
+
+        # Globals are always in scope.
+        for die in unit.root.children:
+            if die.is_variable() and die.attrs.get("global"):
+                if die.name not in visit.variables:
+                    report = self._report(die, vm, pc)
+                    report.is_global = True
+                    visit.variables[die.name] = report
+        return visit
+
+    def _frame_variable_dies(self, unit, pc: int) -> List[DIE]:
+        """Variable DIEs of the innermost frame at ``pc``.
+
+        When stopped inside an inlined subroutine, debuggers present the
+        inline frame: its variables come from the inlined_subroutine DIE.
+        Otherwise the subprogram's (and its lexical blocks') variables are
+        shown.
+        """
+        chain = unit.scope_chain_at(pc)
+        if not chain:
+            return []
+        frame_scope = chain[0]
+        out: List[DIE] = []
+
+        def collect(scope: DIE, inside_inline: bool) -> None:
+            for child in scope.children:
+                if child.is_variable():
+                    out.append(child)
+                elif child.tag == TAG_LEXICAL_BLOCK:
+                    if child.attrs.get("synthetic") and inside_inline and \
+                            not self.tolerates_concrete_only_blocks:
+                        # gdb bug 29060: concrete structure diverges from
+                        # the abstract origin; variables inside are lost.
+                        continue
+                    if child.pc_in_scope(pc):
+                        collect(child, inside_inline)
+                # nested inlined subroutines are separate frames: skip
+
+        collect(frame_scope,
+                frame_scope.tag == TAG_INLINED_SUBROUTINE)
+        return out
+
+    # -- value resolution --------------------------------------------------------
+
+    def _effective_location(self, die: DIE) -> Optional[LocationList]:
+        loclist = die.location
+        if loclist is not None:
+            return loclist
+        if self.follows_abstract_origin_for_location:
+            origin = die.abstract_origin
+            if origin is not None:
+                return origin.location
+        return None
+
+    def _effective_const(self, die: DIE) -> Optional[int]:
+        if die.const_value is not None:
+            return die.const_value
+        if self.follows_abstract_origin_for_location:
+            origin = die.abstract_origin
+            if origin is not None:
+                return origin.const_value
+        return None
+
+    def _lookup_loc(self, loclist: LocationList, pc: int) -> Optional[Loc]:
+        for entry in loclist.entries:
+            if entry.empty and not self.tolerates_empty_loclist_entries:
+                # gdb bug 28987: an empty range derails list processing.
+                return None
+            if entry.covers(pc):
+                return entry.loc
+        return None
+
+    def _report(self, die: DIE, vm: VM, pc: int) -> VarReport:
+        loclist = self._effective_location(die)
+        if loclist is not None:
+            loc = self._lookup_loc(loclist, pc)
+            if loc is not None:
+                try:
+                    value = self._evaluate(loc, vm)
+                except UBError:
+                    return VarReport(die.name, OPTIMIZED_OUT)
+                return VarReport(die.name, AVAILABLE, value)
+        const = self._effective_const(die)
+        if const is not None:
+            return VarReport(die.name, AVAILABLE, wrap(const))
+        return VarReport(die.name, OPTIMIZED_OUT)
+
+    def _evaluate(self, loc: Loc, vm: VM) -> int:
+        if isinstance(loc, RegLoc):
+            return vm.frame.regs[loc.reg]
+        if isinstance(loc, FrameLoc):
+            return vm.memory.load(vm.frame.frame_base + loc.offset)
+        if isinstance(loc, AddrLoc):
+            return vm.memory.load(loc.addr)
+        if isinstance(loc, ConstLoc):
+            return wrap(loc.value)
+        if isinstance(loc, FrameAddrVal):
+            return vm.frame.frame_base + loc.offset
+        if isinstance(loc, GlobalAddrVal):
+            return loc.addr
+        if isinstance(loc, ExprLoc):
+            return wrap(loc.evaluate(vm.frame.regs[loc.reg]))
+        if isinstance(loc, FrameExprLoc):
+            base = vm.memory.load(vm.frame.frame_base + loc.offset)
+            return wrap(loc.evaluate(base))
+        raise TypeError(f"unknown location {loc!r}")

@@ -1,0 +1,28 @@
+"""The gdb-like debugger.
+
+Models gdb's DWARF consumption, including the two gdb defects the paper
+reported:
+
+* **bug 28987** — a location list containing an empty range entry
+  (``lo == hi``) derails list processing, so the variable cannot be
+  displayed even though later entries cover the PC (lldb handles this);
+* **bug 29060** — when the concrete tree of an inlined subroutine contains
+  a lexical block absent from the abstract origin, gdb fails to match the
+  structures and does not display the variables inside the block.
+
+gdb *does* correctly merge abstract-origin attributes into concrete
+inlined variables (the case lldb gets wrong, bug 50076).
+"""
+
+from __future__ import annotations
+
+from .base import Debugger
+
+
+class GdbLike(Debugger):
+    """gdb-flavoured DWARF consumer."""
+
+    name = "gdb-like"
+    follows_abstract_origin_for_location = True
+    tolerates_concrete_only_blocks = False   # bug 29060
+    tolerates_empty_loclist_entries = False  # bug 28987

@@ -1,0 +1,26 @@
+"""The lldb-like debugger.
+
+Models lldb's DWARF consumption, including the lldb defect the paper
+reported:
+
+* **bug 50076** — a variable whose location/const-value information
+  appears only in the *abstract origin* of a ``DW_TAG_inlined_subroutine``
+  is not displayed: lldb does not merge the abstract DIE's location into
+  the concrete instance (gdb does).
+
+lldb is tolerant of the structural quirks gdb chokes on: it scans past
+empty location-list ranges and recurses into concrete-only lexical blocks.
+"""
+
+from __future__ import annotations
+
+from .base import Debugger
+
+
+class LldbLike(Debugger):
+    """lldb-flavoured DWARF consumer."""
+
+    name = "lldb-like"
+    follows_abstract_origin_for_location = False  # bug 50076
+    tolerates_concrete_only_blocks = True
+    tolerates_empty_loclist_entries = True

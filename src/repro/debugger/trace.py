@@ -1,0 +1,81 @@
+"""Debugger trace format.
+
+A :class:`DebugTrace` is what conjecture checkers and the quantitative
+study consume: for every source line visited (first visit only, per the
+paper's one-shot-breakpoint methodology), the set of variables the
+debugger showed in the frame and their availability status.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+AVAILABLE = "available"
+OPTIMIZED_OUT = "optimized_out"
+
+_RANK = {OPTIMIZED_OUT: 1, AVAILABLE: 2}
+
+
+@dataclass
+class VarReport:
+    """One variable as presented by the debugger at a stop."""
+
+    name: str
+    status: str  # AVAILABLE | OPTIMIZED_OUT
+    value: Optional[int] = None
+    is_global: bool = False
+
+    @property
+    def available(self) -> bool:
+        return self.status == AVAILABLE
+
+    def rank(self) -> int:
+        """Availability rank: higher = more information (missing = 0)."""
+        return _RANK.get(self.status, 0)
+
+
+@dataclass
+class LineVisit:
+    """The debugger's view at the first stop on one source line."""
+
+    line: int
+    pc: int
+    function: str
+    #: variables shown in the frame; a source variable absent from this
+    #: mapping was *missing* (no DIE / not in the presented frame)
+    variables: Dict[str, VarReport] = field(default_factory=dict)
+
+    def status_of(self, name: str) -> str:
+        """AVAILABLE / OPTIMIZED_OUT / "missing" for a variable name."""
+        report = self.variables.get(name)
+        return report.status if report is not None else "missing"
+
+    def rank_of(self, name: str) -> int:
+        report = self.variables.get(name)
+        return report.rank() if report is not None else 0
+
+    def value_of(self, name: str) -> Optional[int]:
+        report = self.variables.get(name)
+        return report.value if report is not None else None
+
+
+@dataclass
+class DebugTrace:
+    """A full debugging session over one executable."""
+
+    debugger: str = ""
+    visits: List[LineVisit] = field(default_factory=list)
+    exit_code: int = 0
+
+    def stepped_lines(self) -> Set[int]:
+        return {v.line for v in self.visits}
+
+    def visit_for_line(self, line: int) -> Optional[LineVisit]:
+        for visit in self.visits:
+            if visit.line == line:
+                return visit
+        return None
+
+    def visits_in_order(self) -> List[LineVisit]:
+        return list(self.visits)

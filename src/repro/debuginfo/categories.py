@@ -1,0 +1,57 @@
+"""DWARF-level classification of a variable's debug information.
+
+Implements the four-way taxonomy of Section 5.3 of the paper, used when
+triaging a conjecture violation:
+
+* ``missing``    — no DIE for the variable in the scope at hand;
+* ``hollow``     — a DIE exists but carries neither location nor
+  const_value information;
+* ``incomplete`` — location data exists but does not cover all the PCs
+  where the variable should be available;
+* ``incorrect``  — location data covers the PC but what it describes
+  cannot be displayed by the consumer (wrong scope attachment, malformed
+  ranges, stale registers);
+* ``complete``   — everything needed is present.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .die import DIE
+
+MISSING = "missing"
+HOLLOW = "hollow"
+INCOMPLETE = "incomplete"
+INCORRECT = "incorrect"
+COMPLETE = "complete"
+
+ALL_CATEGORIES = (MISSING, HOLLOW, INCOMPLETE, INCORRECT, COMPLETE)
+
+
+def classify_variable(die: Optional[DIE],
+                      required_pcs: Iterable[int]) -> str:
+    """Classify a variable's DWARF data against the PCs at which its
+    availability is expected (typically the breakpoint addresses of the
+    lines a conjecture involves).
+
+    The caller resolves scope membership; ``die`` is the variable DIE it
+    found (or ``None`` if the lookup failed — the Missing case).
+    """
+    if die is None:
+        return MISSING
+    loclist = die.location
+    has_const = die.const_value is not None
+    has_entries = loclist is not None and not loclist.is_empty()
+    if not has_entries and not has_const:
+        return HOLLOW
+    if has_const and not has_entries:
+        return COMPLETE
+    pcs = list(required_pcs)
+    uncovered = [pc for pc in pcs if not loclist.covers(pc)]
+    if uncovered and not has_const:
+        return INCOMPLETE
+    if loclist.has_empty_entries():
+        # Structurally suspicious data that consumers may mishandle.
+        return INCORRECT
+    return COMPLETE

@@ -1,0 +1,190 @@
+"""Debug Information Entries (DIEs) — the DWARF tree analogue.
+
+The tree mirrors DWARF structure at the granularity the paper reasons
+about:
+
+* ``compile_unit`` root;
+* ``subprogram`` per emitted function, with ``low_pc``/``high_pc``;
+* ``inlined_subroutine`` children with ``ranges`` and an
+  ``abstract_origin`` reference to an abstract ``subprogram`` DIE;
+* ``lexical_block`` children (scope nesting);
+* ``variable`` / ``formal_parameter`` leaves carrying ``name``,
+  ``decl_line``, ``scope_start``/``scope_end`` (source lines), an optional
+  ``const_value``, and an optional :class:`~repro.debuginfo.location.LocationList`.
+
+The paper's four defect manifestations map directly onto this model:
+**Missing DIE** (no variable DIE at all), **Hollow DIE** (DIE without
+location or const_value), **Incomplete DIE** (location list not covering
+all relevant PCs), **Incorrect DIE** (location/range data that misleads
+the consumer).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .location import LocationList
+
+_die_counter = itertools.count(1)
+
+#: Tags used by the producer.
+TAG_COMPILE_UNIT = "compile_unit"
+TAG_SUBPROGRAM = "subprogram"
+TAG_INLINED_SUBROUTINE = "inlined_subroutine"
+TAG_LEXICAL_BLOCK = "lexical_block"
+TAG_VARIABLE = "variable"
+TAG_FORMAL_PARAMETER = "formal_parameter"
+
+_VARIABLE_TAGS = (TAG_VARIABLE, TAG_FORMAL_PARAMETER)
+_SCOPE_TAGS = (TAG_SUBPROGRAM, TAG_INLINED_SUBROUTINE, TAG_LEXICAL_BLOCK)
+
+
+@dataclass
+class DIE:
+    """One debug information entry."""
+
+    tag: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+    children: List["DIE"] = field(default_factory=list)
+    parent: Optional["DIE"] = None
+    die_id: int = field(default_factory=lambda: next(_die_counter))
+
+    # -- construction -------------------------------------------------------
+
+    def add_child(self, child: "DIE") -> "DIE":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # -- attribute accessors --------------------------------------------------
+
+    @property
+    def name(self) -> Optional[str]:
+        return self.attrs.get("name")
+
+    @property
+    def location(self) -> Optional[LocationList]:
+        return self.attrs.get("location")
+
+    @property
+    def const_value(self) -> Optional[int]:
+        return self.attrs.get("const_value")
+
+    @property
+    def abstract_origin(self) -> Optional["DIE"]:
+        return self.attrs.get("abstract_origin")
+
+    @property
+    def low_pc(self) -> Optional[int]:
+        return self.attrs.get("low_pc")
+
+    @property
+    def high_pc(self) -> Optional[int]:
+        return self.attrs.get("high_pc")
+
+    @property
+    def ranges(self) -> List[tuple]:
+        """PC ranges of a scope DIE: explicit ``ranges`` or low/high pc."""
+        if "ranges" in self.attrs:
+            return list(self.attrs["ranges"])
+        if self.low_pc is not None and self.high_pc is not None:
+            return [(self.low_pc, self.high_pc)]
+        return []
+
+    def pc_in_scope(self, pc: int) -> bool:
+        ranges = self.ranges
+        if not ranges:
+            # Scopes without range info are treated as covering their
+            # parent's extent (lexical blocks often omit ranges).
+            return True
+        return any(lo <= pc < hi for lo, hi in ranges)
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_variable(self) -> bool:
+        return self.tag in _VARIABLE_TAGS
+
+    def is_scope(self) -> bool:
+        return self.tag in _SCOPE_TAGS
+
+    def walk(self) -> Iterator["DIE"]:
+        """Pre-order walk of this DIE and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def variables(self) -> List["DIE"]:
+        """Direct variable children of this scope DIE."""
+        return [c for c in self.children if c.is_variable()]
+
+    def find_variable(self, name: str) -> Optional["DIE"]:
+        for die in self.walk():
+            if die.is_variable() and die.name == name:
+                return die
+        return None
+
+    def dump(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        attrs = []
+        for key, value in self.attrs.items():
+            if key == "abstract_origin" and value is not None:
+                attrs.append(f"abstract_origin=<die {value.die_id}>")
+            else:
+                attrs.append(f"{key}={value!r}")
+        head = f"{pad}<{self.tag} {' '.join(attrs)}>"
+        body = "".join("\n" + c.dump(depth + 1) for c in self.children)
+        return head + body
+
+    def __repr__(self) -> str:
+        return f"DIE({self.tag}, name={self.name!r})"
+
+
+class DebugInfoUnit:
+    """The compile-unit-level container the debuggers consume."""
+
+    def __init__(self, name: str = "unit"):
+        self.root = DIE(TAG_COMPILE_UNIT, {"name": name})
+        #: abstract subprogram DIEs by function name (inlining origins)
+        self.abstract_subprograms: Dict[str, DIE] = {}
+
+    def add_subprogram(self, die: DIE) -> DIE:
+        return self.root.add_child(die)
+
+    def subprogram_at(self, pc: int) -> Optional[DIE]:
+        """The concrete subprogram DIE whose PC range covers ``pc``."""
+        for child in self.root.children:
+            if child.tag == TAG_SUBPROGRAM and child.pc_in_scope(pc):
+                if child.attrs.get("abstract") is not True:
+                    return child
+        return None
+
+    def subprogram_by_name(self, name: str) -> Optional[DIE]:
+        for child in self.root.children:
+            if child.tag == TAG_SUBPROGRAM and child.name == name and \
+                    child.attrs.get("abstract") is not True:
+                return child
+        return None
+
+    def scope_chain_at(self, pc: int) -> List[DIE]:
+        """Innermost-first chain of scope DIEs covering ``pc``."""
+        subprogram = self.subprogram_at(pc)
+        if subprogram is None:
+            return []
+        chain: List[DIE] = []
+
+        def descend(scope: DIE) -> None:
+            chain.append(scope)
+            for child in scope.children:
+                if child.is_scope() and child.pc_in_scope(pc) and \
+                        child.ranges:
+                    descend(child)
+                    return
+
+        descend(subprogram)
+        chain.reverse()
+        return chain
+
+    def dump(self) -> str:
+        return self.root.dump()

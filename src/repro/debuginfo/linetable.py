@@ -1,0 +1,79 @@
+"""The line table: PC-to-source-line mapping (``.debug_line`` analogue).
+
+The debugger's stepping engine consumes this to place one-shot
+breakpoints: for every distinct source line it picks the *first* address
+of each contiguous run of that line (the paper's criterion of checking a
+line the first time it is met, footnote 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class LineEntry:
+    """One row of the line table."""
+
+    addr: int
+    line: int
+    is_stmt: bool = True
+
+
+@dataclass
+class LineTable:
+    """Ordered line table rows for a whole executable."""
+
+    entries: List[LineEntry] = field(default_factory=list)
+
+    def add(self, addr: int, line: int, is_stmt: bool = True) -> None:
+        self.entries.append(LineEntry(addr, line, is_stmt))
+
+    def lines(self) -> Set[int]:
+        """All source lines with at least one mapped instruction."""
+        return {e.line for e in self.entries}
+
+    def line_at(self, addr: int) -> Optional[int]:
+        """The source line of the instruction at ``addr`` (exact match)."""
+        best = None
+        for entry in self.entries:
+            if entry.addr <= addr and (best is None or
+                                       entry.addr > best.addr):
+                best = entry
+        return best.line if best is not None else None
+
+    def breakpoint_addrs(self) -> Dict[int, List[int]]:
+        """line -> list of addresses that start a contiguous run of that
+        line, in address order. These are the stepping anchors."""
+        ordered = sorted(self.entries, key=lambda e: e.addr)
+        out: Dict[int, List[int]] = {}
+        prev_line: Optional[int] = None
+        for entry in ordered:
+            if entry.line != prev_line:
+                out.setdefault(entry.line, []).append(entry.addr)
+            prev_line = entry.line
+        return out
+
+    def first_addr_of_line(self, line: int) -> Optional[int]:
+        addrs = self.breakpoint_addrs().get(line)
+        return addrs[0] if addrs else None
+
+    def addr_ranges_of_line(self, line: int) -> List[Tuple[int, int]]:
+        """Contiguous [lo, hi) address runs mapped to ``line``."""
+        ordered = sorted(self.entries, key=lambda e: e.addr)
+        ranges: List[Tuple[int, int]] = []
+        run_start: Optional[int] = None
+        for i, entry in enumerate(ordered):
+            nxt = ordered[i + 1].addr if i + 1 < len(ordered) else \
+                entry.addr + 1
+            if entry.line == line:
+                if run_start is None:
+                    run_start = entry.addr
+                run_end = nxt
+            else:
+                if run_start is not None:
+                    ranges.append((run_start, entry.addr))
+                    run_start = None
+        if run_start is not None:
+            ranges.append((run_start, run_end))
+        return ranges

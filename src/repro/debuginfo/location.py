@@ -1,0 +1,214 @@
+"""Location descriptions and location lists (the DWARF ``DW_AT_location``
+analogue).
+
+A variable's value at a given PC is described by a :class:`Loc`:
+
+* :class:`RegLoc` — lives in a physical register (``DW_OP_regN``);
+* :class:`FrameLoc` — stored at frame pointer + offset (``DW_OP_fbreg``);
+* :class:`AddrLoc` — stored at an absolute address (``DW_OP_addr``,
+  used for statics);
+* :class:`ConstLoc` — the value itself is known (``DW_OP_consts`` /
+  location-list form of ``DW_AT_const_value``);
+* :class:`FrameAddrVal` / :class:`GlobalAddrVal` — the *value* is an
+  address (a pointer to a stack slot or global);
+* :class:`ExprLoc` — the value is an affine function of a register, the
+  miniature form of a salvaged DWARF expression
+  (``DW_OP_bregN; DW_OP_lit*; DW_OP_mul; DW_OP_plus; DW_OP_div``).
+
+A :class:`LocationList` maps half-open PC ranges ``[lo, hi)`` to locations.
+Buggy producers can and do emit overlapping, empty, or gappy lists — the
+consumers (our gdb-like and lldb-like debuggers) each cope in their own,
+not always correct, way, exactly as the paper found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Loc:
+    """Base class for location descriptions."""
+
+
+@dataclass(frozen=True)
+class RegLoc(Loc):
+    """Value lives in physical register ``reg``."""
+
+    reg: int = 0
+
+    def __repr__(self):
+        return f"reg{self.reg}"
+
+
+@dataclass(frozen=True)
+class FrameLoc(Loc):
+    """Value stored in the frame at ``fp + offset``."""
+
+    offset: int = 0
+
+    def __repr__(self):
+        return f"[fp+{self.offset}]"
+
+
+@dataclass(frozen=True)
+class AddrLoc(Loc):
+    """Value stored at absolute address ``addr``."""
+
+    addr: int = 0
+
+    def __repr__(self):
+        return f"[{self.addr:#x}]"
+
+
+@dataclass(frozen=True)
+class ConstLoc(Loc):
+    """The value is the constant itself."""
+
+    value: int = 0
+
+    def __repr__(self):
+        return f"const {self.value}"
+
+
+@dataclass(frozen=True)
+class FrameAddrVal(Loc):
+    """The value *is* the address ``fp + offset`` (pointer to a local)."""
+
+    offset: int = 0
+
+    def __repr__(self):
+        return f"=fp+{self.offset}"
+
+
+@dataclass(frozen=True)
+class GlobalAddrVal(Loc):
+    """The value *is* the absolute address ``addr`` (pointer to a global)."""
+
+    addr: int = 0
+
+    def __repr__(self):
+        return f"={self.addr:#x}"
+
+
+@dataclass(frozen=True)
+class ExprLoc(Loc):
+    """Value = ``(register * mul + add) // div`` — a salvaged expression."""
+
+    reg: int = 0
+    mul: int = 1
+    add: int = 0
+    div: int = 1
+
+    def evaluate(self, reg_value: int) -> int:
+        value = reg_value * self.mul + self.add
+        q = abs(value) // abs(self.div)
+        if (value < 0) != (self.div < 0):
+            q = -q
+        return q
+
+    def __repr__(self):
+        return f"expr(reg{self.reg}*{self.mul}+{self.add})/{self.div}"
+
+
+@dataclass(frozen=True)
+class FrameExprLoc(Loc):
+    """Value = ``(*(fp + offset) * mul + add) // div`` — a salvaged
+    expression over a spilled base (``DW_OP_fbreg``-rooted)."""
+
+    offset: int = 0
+    mul: int = 1
+    add: int = 0
+    div: int = 1
+
+    def evaluate(self, base_value: int) -> int:
+        value = base_value * self.mul + self.add
+        q = abs(value) // abs(self.div)
+        if (value < 0) != (self.div < 0):
+            q = -q
+        return q
+
+    def __repr__(self):
+        return (f"expr([fp+{self.offset}]*{self.mul}+{self.add})"
+                f"/{self.div}")
+
+
+@dataclass(frozen=True)
+class LocEntry:
+    """One location-list entry covering ``[lo, hi)``."""
+
+    lo: int
+    hi: int
+    loc: Loc
+
+    @property
+    def empty(self) -> bool:
+        return self.hi <= self.lo
+
+    def covers(self, pc: int) -> bool:
+        return self.lo <= pc < self.hi
+
+    def __repr__(self):
+        return f"[{self.lo:#x},{self.hi:#x}) {self.loc!r}"
+
+
+@dataclass
+class LocationList:
+    """An ordered list of location entries for one variable."""
+
+    entries: List[LocEntry] = field(default_factory=list)
+
+    def add(self, lo: int, hi: int, loc: Loc) -> None:
+        self.entries.append(LocEntry(lo, hi, loc))
+
+    def lookup(self, pc: int) -> Optional[Loc]:
+        """First entry covering ``pc`` (DWARF consumers use the first)."""
+        for entry in self.entries:
+            if entry.covers(pc):
+                return entry.loc
+        return None
+
+    def covers(self, pc: int) -> bool:
+        return self.lookup(pc) is not None
+
+    def covered_ranges(self) -> List[Tuple[int, int]]:
+        """All non-empty (lo, hi) ranges, in list order."""
+        return [(e.lo, e.hi) for e in self.entries if not e.empty]
+
+    def has_empty_entries(self) -> bool:
+        return any(e.empty for e in self.entries)
+
+    def is_empty(self) -> bool:
+        return not any(not e.empty for e in self.entries)
+
+    def normalized(self) -> "LocationList":
+        """Drop empty entries and merge adjacent entries with equal
+        locations. Producers normally emit normalized lists; *not*
+        normalizing is one of the defect knobs."""
+        entries = sorted((e for e in self.entries if not e.empty),
+                         key=lambda e: (e.lo, e.hi))
+        merged: List[LocEntry] = []
+        for entry in entries:
+            if merged and merged[-1].loc == entry.loc and \
+                    merged[-1].hi >= entry.lo:
+                prev = merged.pop()
+                entry = LocEntry(prev.lo, max(prev.hi, entry.hi), entry.loc)
+            merged.append(entry)
+        return LocationList(merged)
+
+    def truncated(self, hi_limit: int) -> "LocationList":
+        """A copy with every entry clipped to end at ``hi_limit``."""
+        out = LocationList()
+        for entry in self.entries:
+            out.add(entry.lo, min(entry.hi, hi_limit), entry.loc)
+        return out
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __repr__(self):
+        return "LocationList(" + ", ".join(map(repr, self.entries)) + ")"

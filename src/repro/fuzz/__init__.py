@@ -1,0 +1,4 @@
+"""Csmith-like seeded program generator."""
+
+from .config import FuzzOptions
+from .generator import ProgramGenerator, generate_program, generate_validated

@@ -1,0 +1,72 @@
+"""Fuzzer configuration — the analogue of Csmith's option assortments.
+
+The paper configures Csmith to "draw every time from different assortments
+of 20 options that define program characteristics" (Section 4.1).
+:class:`FuzzOptions` carries twenty knobs; :meth:`FuzzOptions.assortment`
+derives a fresh assortment deterministically from a seed, so every test
+program exercises a different feature mix while remaining reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class FuzzOptions:
+    """The twenty program-shape options."""
+
+    # structure
+    num_globals: int = 4
+    num_global_arrays: int = 2
+    max_array_dims: int = 2
+    num_helpers: int = 1
+    main_stmts: int = 10
+    max_block_stmts: int = 4
+    max_loop_depth: int = 2
+    expr_depth: int = 3
+    # features
+    volatile_globals: bool = True
+    static_globals: bool = False
+    use_while: bool = False
+    use_do_while: bool = False
+    use_if: bool = True
+    use_goto: bool = False
+    use_pointers: bool = False
+    use_ternary: bool = False
+    use_compound_assign: bool = True
+    use_inc_dec: bool = True
+    assign_in_expr: bool = False
+    opaque_calls: bool = True
+
+    @staticmethod
+    def assortment(seed: int) -> "FuzzOptions":
+        """A deterministic random assortment of the twenty options."""
+        rng = random.Random(seed * 2654435761 % (2 ** 31))
+        return FuzzOptions(
+            num_globals=rng.randint(2, 6),
+            num_global_arrays=rng.randint(1, 3),
+            max_array_dims=rng.randint(1, 3),
+            num_helpers=rng.randint(0, 2),
+            main_stmts=rng.randint(6, 14),
+            max_block_stmts=rng.randint(2, 5),
+            max_loop_depth=rng.randint(1, 3),
+            expr_depth=rng.randint(2, 4),
+            volatile_globals=rng.random() < 0.7,
+            static_globals=rng.random() < 0.3,
+            use_while=rng.random() < 0.4,
+            use_do_while=rng.random() < 0.25,
+            use_if=rng.random() < 0.9,
+            use_goto=rng.random() < 0.2,
+            use_pointers=rng.random() < 0.4,
+            use_ternary=rng.random() < 0.3,
+            use_compound_assign=rng.random() < 0.6,
+            use_inc_dec=rng.random() < 0.8,
+            assign_in_expr=rng.random() < 0.3,
+            opaque_calls=rng.random() < 0.9,
+        )
+
+    def describe(self) -> str:
+        parts = [f"{f.name}={getattr(self, f.name)}" for f in fields(self)]
+        return ", ".join(parts)

@@ -1,0 +1,523 @@
+"""Seeded random program generator (the Csmith analogue).
+
+Generates mini-C programs that are **UB-free and terminating by
+construction**:
+
+* all loops are counted with literal bounds and dedicated induction
+  variables never reassigned in the body;
+* array subscripts are loop induction variables whose bound never
+  exceeds the dimension, or in-range literals;
+* division/modulo only by non-zero literals, shifts by small literals;
+* gotos only jump forward;
+* pointers only ever hold the address of a live scalar.
+
+Programs are built as ASTs, then canonicalized through the printer (which
+stamps the line numbers the whole pipeline keys on). A final ``-O0``
+execution check (:func:`generate_validated`) discards any program that
+still trips the VM's UB detection — the analogue of the paper's
+compile-time checks plus compcert validation (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..lang import ast_nodes as A
+from ..lang.printer import print_program
+from ..lang.types import INT, ArrayType, IntType, PointerType
+from .config import FuzzOptions
+
+_BINOPS = ["+", "-", "*", "&", "|", "^", "==", "!=", "<", "<=", ">", ">="]
+_SMALL_LITERALS = [0, 1, 2, 3, 4, 5, 7, 8, 9, 10, 16, 100, 255]
+
+
+@dataclass
+class _Var:
+    """A generated variable the expression builder can reference."""
+
+    name: str
+    type: object
+    is_global: bool = False
+    volatile: bool = False
+    dims: Tuple[int, ...] = ()
+    #: for loop induction variables: exclusive upper bound
+    bound: Optional[int] = None
+    initialized: bool = False
+
+
+class ProgramGenerator:
+    """Generates one program from (seed, options)."""
+
+    def __init__(self, seed: int, options: Optional[FuzzOptions] = None):
+        self.seed = seed
+        self.options = options if options is not None else \
+            FuzzOptions.assortment(seed)
+        self.rng = random.Random(seed)
+        self.globals: List[_Var] = []
+        self.helpers: List[Tuple[str, int]] = []  # (name, arity)
+        self._name_counter = 0
+        self._label_counter = 0
+
+    # -- naming ---------------------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self._name_counter += 1
+        return f"{prefix}_{self._name_counter}"
+
+    # -- program ----------------------------------------------------------------
+
+    def generate(self) -> A.Program:
+        """Build and canonicalize one program."""
+        opts = self.options
+        program = A.Program()
+        if opts.opaque_calls:
+            program.externs.append(A.ExternDecl(
+                name="opaque", return_type=INT, variadic=True,
+                param_types=[INT]))
+
+        for _ in range(opts.num_globals):
+            self._gen_global(program, array=False)
+        for _ in range(opts.num_global_arrays):
+            self._gen_global(program, array=True)
+        if not any(g.volatile for g in self.globals) and \
+                opts.volatile_globals:
+            self._gen_global(program, array=False, force_volatile=True)
+
+        for _ in range(opts.num_helpers):
+            program.functions.append(self._gen_helper())
+
+        program.functions.append(self._gen_main())
+        print_program(program)  # canonicalize: stamp line numbers
+        return program
+
+    # -- globals ---------------------------------------------------------------
+
+    def _gen_global(self, program: A.Program, array: bool,
+                    force_volatile: bool = False) -> None:
+        opts = self.options
+        name = self._fresh("g")
+        volatile = force_volatile or (opts.volatile_globals and
+                                      self.rng.random() < 0.25)
+        static = opts.static_globals and self.rng.random() < 0.3
+        if array:
+            ndims = self.rng.randint(1, opts.max_array_dims)
+            dims = tuple(self.rng.randint(4, 8) for _ in range(ndims))
+            ty = ArrayType(elem=INT, dims=dims)
+            init = self._array_init(dims)
+            var = _Var(name=name, type=ty, is_global=True, dims=dims)
+        else:
+            ty = INT
+            init = A.IntLit(value=self.rng.choice(_SMALL_LITERALS))
+            var = _Var(name=name, type=ty, is_global=True,
+                       volatile=volatile, initialized=True)
+        program.globals.append(A.VarDecl(
+            name=name, type=ty, init=init, is_global=True,
+            volatile=volatile and not array, static=static))
+        self.globals.append(var)
+
+    def _array_init(self, dims: Tuple[int, ...]):
+        if len(dims) == 1:
+            return [A.IntLit(value=self.rng.randint(0, 9))
+                    for _ in range(dims[0])]
+        return [self._array_init(dims[1:]) for _ in range(dims[0])]
+
+    # -- helper functions ----------------------------------------------------------
+
+    def _gen_helper(self) -> A.FuncDef:
+        name = self._fresh("fn")
+        arity = self.rng.randint(1, 3)
+        params = [A.Param(name=f"p{i}", type=INT) for i in range(arity)]
+        scope = [_Var(name=p.name, type=INT, initialized=True)
+                 for p in params]
+        body: List[A.Stmt] = []
+        local = _Var(name="t0", type=INT, initialized=True)
+        body.append(A.DeclStmt(decls=[A.VarDecl(
+            name="t0", type=INT,
+            init=self._expr(2, scope, want_value=True))]))
+        scope.append(local)
+        if self.rng.random() < 0.5:
+            cond = self._comparison(scope)
+            body.append(A.If(cond=cond, then=A.Return(
+                value=self._expr(2, scope, want_value=True))))
+        body.append(A.Return(value=self._expr(2, scope, want_value=True)))
+        self.helpers.append((name, arity))
+        return A.FuncDef(name=name, return_type=INT, params=params,
+                         body=A.Block(stmts=body))
+
+    # -- main --------------------------------------------------------------------
+
+    def _gen_main(self) -> A.FuncDef:
+        opts = self.options
+        body: List[A.Stmt] = []
+        scope: List[_Var] = []
+
+        # Local declarations up front, Csmith style.
+        num_locals = self.rng.randint(3, 6)
+        decls: List[A.VarDecl] = []
+        for i in range(num_locals):
+            name = f"l_{i}"
+            init = None
+            initialized = False
+            if self.rng.random() < 0.7:
+                init = A.IntLit(value=self.rng.choice(_SMALL_LITERALS))
+                initialized = True
+            decls.append(A.VarDecl(name=name, type=INT, init=init))
+            scope.append(_Var(name=name, type=INT,
+                              initialized=initialized))
+        body.append(A.DeclStmt(decls=decls))
+
+        if opts.use_pointers:
+            target = self.rng.choice(
+                [v for v in scope] +
+                [g for g in self.globals if not g.dims])
+            body.append(A.DeclStmt(decls=[A.VarDecl(
+                name="ptr", type=PointerType(INT),
+                init=A.Unary(op="&", operand=A.Ident(name=target.name)))]))
+            scope.append(_Var(name="ptr", type=PointerType(INT),
+                              initialized=True))
+
+        for _ in range(opts.main_stmts):
+            body.append(self._gen_stmt(scope, depth=0))
+
+        if opts.opaque_calls:
+            body.append(self._opaque_call_stmt(scope))
+
+        body.append(A.Return(value=self._checksum_expr()))
+        return A.FuncDef(name="main", return_type=INT, params=[],
+                         body=A.Block(stmts=body))
+
+    def _checksum_expr(self) -> A.Expr:
+        scalars = [g for g in self.globals if not g.dims]
+        if not scalars:
+            return A.IntLit(value=0)
+        expr: A.Expr = A.Ident(name=scalars[0].name)
+        for g in scalars[1:3]:
+            expr = A.Binary(op="^", left=expr, right=A.Ident(name=g.name))
+        return expr
+
+    # -- statements --------------------------------------------------------------
+
+    def _gen_stmt(self, scope: List[_Var], depth: int) -> A.Stmt:
+        opts = self.options
+        choices = ["assign", "assign", "global_assign", "global_assign"]
+        if depth < opts.max_loop_depth:
+            choices += ["for", "for"]
+            if opts.use_while:
+                choices.append("while")
+            if opts.use_do_while:
+                choices.append("do_while")
+        if opts.use_if:
+            choices += ["if"]
+        if opts.use_inc_dec:
+            choices.append("incdec")
+        if opts.use_compound_assign:
+            choices.append("compound")
+        if self.helpers:
+            choices.append("helper_call")
+        if opts.opaque_calls and self.rng.random() < 0.4:
+            choices.append("opaque")
+        if opts.use_goto and depth == 0:
+            choices.append("goto")
+        if opts.use_pointers and any(
+                isinstance(v.type, PointerType) for v in scope):
+            choices.append("ptr_store")
+
+        kind = self.rng.choice(choices)
+        builder = getattr(self, f"_stmt_{kind}")
+        return builder(scope, depth)
+
+    def _writable_scalars(self, scope: List[_Var]) -> List[_Var]:
+        return [v for v in scope
+                if isinstance(v.type, IntType) and v.bound is None]
+
+    def _stmt_assign(self, scope: List[_Var], depth: int) -> A.Stmt:
+        candidates = self._writable_scalars(scope)
+        if not candidates:
+            return A.Empty()
+        var = self.rng.choice(candidates)
+        value = self._expr(self.options.expr_depth, scope, want_value=True)
+        var.initialized = True
+        return A.ExprStmt(expr=A.Assign(
+            target=A.Ident(name=var.name), value=value))
+
+    def _stmt_global_assign(self, scope: List[_Var], depth: int) -> A.Stmt:
+        scalars = [g for g in self.globals if not g.dims]
+        arrays = [g for g in self.globals if g.dims]
+        use_array = arrays and self.rng.random() < 0.4
+        if use_array:
+            arr = self.rng.choice(arrays)
+            target = self._array_ref(arr, scope)
+            if target is None:
+                use_array = False
+        if not use_array:
+            if not scalars:
+                return A.Empty()
+            target = A.Ident(name=self.rng.choice(scalars).name)
+        value = self._expr(self.options.expr_depth, scope, want_value=True)
+        return A.ExprStmt(expr=A.Assign(target=target, value=value))
+
+    def _stmt_compound(self, scope: List[_Var], depth: int) -> A.Stmt:
+        candidates = [v for v in self._writable_scalars(scope)
+                      if v.initialized]
+        scalars = [g for g in self.globals if not g.dims]
+        pool = candidates + scalars
+        if not pool:
+            return A.Empty()
+        var = self.rng.choice(pool)
+        op = self.rng.choice(["+=", "-=", "*=", "&=", "|=", "^="])
+        return A.ExprStmt(expr=A.Assign(
+            target=A.Ident(name=var.name), op=op,
+            value=self._expr(2, scope, want_value=True)))
+
+    def _stmt_incdec(self, scope: List[_Var], depth: int) -> A.Stmt:
+        candidates = [v for v in self._writable_scalars(scope)
+                      if v.initialized]
+        if not candidates:
+            return A.Empty()
+        var = self.rng.choice(candidates)
+        op = self.rng.choice(["++", "--"])
+        return A.ExprStmt(expr=A.Unary(
+            op=op, operand=A.Ident(name=var.name),
+            prefix=self.rng.random() < 0.5))
+
+    def _stmt_if(self, scope: List[_Var], depth: int) -> A.Stmt:
+        cond = self._comparison(scope)
+        then = self._block(scope, depth + 1, max_stmts=2)
+        other = None
+        if self.rng.random() < 0.4:
+            other = self._block(scope, depth + 1, max_stmts=2)
+        return A.If(cond=cond, then=then, other=other)
+
+    def _loop_header(self, scope: List[_Var]) -> Tuple[_Var, int]:
+        """Pick a dedicated induction variable and a bound."""
+        used = {v.name for v in scope}
+        name = self._fresh("i")
+        while name in used:  # pragma: no cover - fresh names never clash
+            name = self._fresh("i")
+        bound = self.rng.randint(1, 6)
+        return _Var(name=name, type=INT, bound=bound,
+                    initialized=True), bound
+
+    def _stmt_for(self, scope: List[_Var], depth: int) -> A.Stmt:
+        iv, bound = self._loop_header(scope)
+        inner_scope = scope + [iv]
+        body_stmts: List[A.Stmt] = []
+        for _ in range(self.rng.randint(1, self.options.max_block_stmts)):
+            body_stmts.append(self._gen_stmt(inner_scope, depth + 1))
+        init = A.DeclStmt(decls=[A.VarDecl(
+            name=iv.name, type=INT, init=A.IntLit(value=0))])
+        cond = A.Binary(op="<", left=A.Ident(name=iv.name),
+                        right=A.IntLit(value=bound))
+        step = A.Unary(op="++", operand=A.Ident(name=iv.name),
+                       prefix=False)
+        return A.For(init=init, cond=cond, step=step,
+                     body=A.Block(stmts=body_stmts))
+
+    def _stmt_while(self, scope: List[_Var], depth: int) -> A.Stmt:
+        iv, bound = self._loop_header(scope)
+        inner_scope = scope + [iv]
+        body_stmts: List[A.Stmt] = [
+            self._gen_stmt(inner_scope, depth + 1)]
+        body_stmts.append(A.ExprStmt(expr=A.Assign(
+            target=A.Ident(name=iv.name),
+            value=A.Binary(op="+", left=A.Ident(name=iv.name),
+                           right=A.IntLit(value=1)))))
+        decl = A.DeclStmt(decls=[A.VarDecl(
+            name=iv.name, type=INT, init=A.IntLit(value=0))])
+        loop = A.While(
+            cond=A.Binary(op="<", left=A.Ident(name=iv.name),
+                          right=A.IntLit(value=bound)),
+            body=A.Block(stmts=body_stmts))
+        return A.Block(stmts=[decl, loop])
+
+    def _stmt_do_while(self, scope: List[_Var], depth: int) -> A.Stmt:
+        iv, bound = self._loop_header(scope)
+        inner_scope = scope + [iv]
+        body_stmts: List[A.Stmt] = [
+            self._gen_stmt(inner_scope, depth + 1)]
+        body_stmts.append(A.ExprStmt(expr=A.Assign(
+            target=A.Ident(name=iv.name),
+            value=A.Binary(op="+", left=A.Ident(name=iv.name),
+                           right=A.IntLit(value=1)))))
+        decl = A.DeclStmt(decls=[A.VarDecl(
+            name=iv.name, type=INT, init=A.IntLit(value=0))])
+        loop = A.DoWhile(
+            body=A.Block(stmts=body_stmts),
+            cond=A.Binary(op="<", left=A.Ident(name=iv.name),
+                          right=A.IntLit(value=bound)))
+        return A.Block(stmts=[decl, loop])
+
+    def _stmt_helper_call(self, scope: List[_Var], depth: int) -> A.Stmt:
+        name, arity = self.rng.choice(self.helpers)
+        args = [self._expr(2, scope, want_value=True)
+                for _ in range(arity)]
+        call = A.Call(name=name, args=args)
+        scalars = [g for g in self.globals if not g.dims]
+        if scalars and self.rng.random() < 0.7:
+            target = A.Ident(name=self.rng.choice(scalars).name)
+            return A.ExprStmt(expr=A.Assign(target=target, value=call))
+        return A.ExprStmt(expr=call)
+
+    def _stmt_opaque(self, scope: List[_Var], depth: int) -> A.Stmt:
+        return self._opaque_call_stmt(scope)
+
+    def _stmt_goto(self, scope: List[_Var], depth: int) -> A.Stmt:
+        """A forward goto over one statement (always terminates)."""
+        self._label_counter += 1
+        label = f"lab_{self._label_counter}"
+        skipped = self._stmt_assign(scope, depth)
+        return A.Block(stmts=[
+            A.If(cond=self._comparison(scope),
+                 then=A.Goto(label=label)),
+            skipped,
+            A.LabeledStmt(label=label, stmt=A.Empty()),
+        ])
+
+    def _stmt_ptr_store(self, scope: List[_Var], depth: int) -> A.Stmt:
+        pointers = [v for v in scope if isinstance(v.type, PointerType)]
+        ptr = self.rng.choice(pointers)
+        return A.ExprStmt(expr=A.Assign(
+            target=A.Unary(op="*", operand=A.Ident(name=ptr.name)),
+            value=self._expr(2, scope, want_value=True)))
+
+    def _block(self, scope: List[_Var], depth: int,
+               max_stmts: int) -> A.Block:
+        stmts = [self._gen_stmt(scope, depth)
+                 for _ in range(self.rng.randint(1, max_stmts))]
+        return A.Block(stmts=stmts)
+
+    def _opaque_call_stmt(self, scope: List[_Var]) -> A.Stmt:
+        """Call the opaque external with a plurality of local variables
+        (the paper's Conjecture 1 instrumentation, Section 4.2)."""
+        locals_in_scope = [v for v in scope
+                           if isinstance(v.type, IntType)
+                           and v.initialized]
+        if not locals_in_scope:
+            return A.Empty()
+        count = min(len(locals_in_scope), self.rng.randint(2, 4))
+        picked = self.rng.sample(locals_in_scope, count)
+        return A.ExprStmt(expr=A.Call(
+            name="opaque",
+            args=[A.Ident(name=v.name) for v in picked]))
+
+    # -- expressions --------------------------------------------------------------
+
+    def _comparison(self, scope: List[_Var]) -> A.Expr:
+        left = self._leaf(scope)
+        op = self.rng.choice(["==", "!=", "<", "<=", ">", ">="])
+        right = A.IntLit(value=self.rng.randint(0, 10))
+        return A.Binary(op=op, left=left, right=right)
+
+    def _leaf(self, scope: List[_Var]) -> A.Expr:
+        choices = ["literal"]
+        readable = [v for v in scope
+                    if isinstance(v.type, IntType) and v.initialized]
+        if readable:
+            choices += ["local", "local"]
+        scalars = [g for g in self.globals if not g.dims and not g.volatile]
+        if scalars:
+            choices.append("global")
+        arrays = [g for g in self.globals if g.dims]
+        if arrays and any(v.bound is not None for v in scope):
+            choices += ["array", "array"]
+        pointers = [v for v in scope if isinstance(v.type, PointerType)]
+        if pointers:
+            choices.append("deref")
+
+        kind = self.rng.choice(choices)
+        if kind == "literal":
+            return A.IntLit(value=self.rng.choice(_SMALL_LITERALS))
+        if kind == "local":
+            return A.Ident(name=self.rng.choice(readable).name)
+        if kind == "global":
+            return A.Ident(name=self.rng.choice(scalars).name)
+        if kind == "deref":
+            return A.Unary(op="*",
+                           operand=A.Ident(
+                               name=self.rng.choice(pointers).name))
+        arr = self.rng.choice(arrays)
+        ref = self._array_ref(arr, scope)
+        if ref is None:
+            return A.IntLit(value=self.rng.choice(_SMALL_LITERALS))
+        return ref
+
+    def _array_ref(self, arr: _Var,
+                   scope: List[_Var]) -> Optional[A.Expr]:
+        """An in-bounds fully-indexed reference into ``arr``."""
+        expr: A.Expr = A.Ident(name=arr.name)
+        for dim in arr.dims:
+            loop_vars = [v for v in scope
+                         if v.bound is not None and v.bound <= dim]
+            if loop_vars and self.rng.random() < 0.8:
+                index: A.Expr = A.Ident(
+                    name=self.rng.choice(loop_vars).name)
+            else:
+                index = A.IntLit(value=self.rng.randint(0, dim - 1))
+            expr = A.ArrayIndex(base=expr, index=index)
+        return expr
+
+    def _expr(self, depth: int, scope: List[_Var],
+              want_value: bool) -> A.Expr:
+        opts = self.options
+        if depth <= 0 or self.rng.random() < 0.3:
+            return self._leaf(scope)
+        roll = self.rng.random()
+        if roll < 0.08 and opts.use_ternary:
+            return A.Conditional(
+                cond=self._comparison(scope),
+                then=self._expr(depth - 1, scope, want_value),
+                other=self._expr(depth - 1, scope, want_value))
+        if roll < 0.16 and opts.assign_in_expr:
+            targets = self._writable_scalars(scope)
+            if targets:
+                var = self.rng.choice(targets)
+                var.initialized = True
+                return A.Assign(
+                    target=A.Ident(name=var.name),
+                    value=self._expr(depth - 1, scope, want_value))
+        if roll < 0.24:
+            op = self.rng.choice(["-", "~", "!"])
+            return A.Unary(op=op,
+                           operand=self._expr(depth - 1, scope,
+                                              want_value))
+        if roll < 0.34:
+            # Safe division/shift by a literal.
+            op = self.rng.choice(["/", "%", "<<", ">>"])
+            divisor = self.rng.randint(1, 7)
+            return A.Binary(op=op,
+                            left=self._expr(depth - 1, scope, want_value),
+                            right=A.IntLit(value=divisor))
+        op = self.rng.choice(_BINOPS)
+        return A.Binary(op=op,
+                        left=self._expr(depth - 1, scope, want_value),
+                        right=self._expr(depth - 1, scope, want_value))
+
+
+def generate_program(seed: int,
+                     options: Optional[FuzzOptions] = None) -> A.Program:
+    """Generate one canonicalized program."""
+    return ProgramGenerator(seed, options).generate()
+
+
+def generate_validated(seed: int, options: Optional[FuzzOptions] = None,
+                       fuel: int = 500_000,
+                       max_attempts: int = 10) -> A.Program:
+    """Generate a program and validate it UB-free at -O0, retrying with
+    derived seeds on failure (the paper's UB screening step)."""
+    from ..ir.interp import run_module
+    from ..ir.lower import lower_program
+    from ..ir.ops import UBError
+
+    for attempt in range(max_attempts):
+        derived = seed + attempt * 1_000_003
+        program = generate_program(derived, options)
+        try:
+            lowered = lower_program(program)
+            run_module(lowered, fuel=fuel)
+            return program
+        except UBError:
+            continue
+    raise RuntimeError(
+        f"could not generate a UB-free program from seed {seed}")

@@ -1,0 +1,23 @@
+"""Three-address IR: values, instructions, lowering, analyses, interpreter."""
+
+from .values import AffineExpr, Const, GlobalRef, SlotRef, VReg
+from .instructions import (
+    BinOp, Branch, Call, DbgDeclare, DbgValue, InlineScope, Instr, Jump,
+    Load, Move, Ret, Store, UnOp,
+)
+from .module import BasicBlock, Function, GlobalVar, Module, StackSlot
+from .ops import (
+    COMMUTATIVE_OPS, COMPARISON_OPS, PURE_BINOPS, TRAPPING_BINOPS, UBError,
+    eval_binop, eval_unop, wrap,
+)
+from .lower import LoweringError, lower_program
+from .cfg import (
+    back_edges, natural_loop, predecessors, reachable_blocks,
+    reverse_postorder,
+)
+from .dominators import dominates, dominators, immediate_dominators
+from .liveness import LivenessInfo, dead_definitions, liveness
+from .verify import VerificationError, verify_function, verify_module
+from .interp import (
+    ExecResult, Interpreter, Observation, external_call_result, run_module,
+)

@@ -1,0 +1,76 @@
+"""CFG utilities over IR functions: predecessors, orderings, reachability."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .module import BasicBlock, Function
+
+
+def predecessors(fn: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Map each block to its predecessor list (in block order)."""
+    preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in fn.blocks}
+    for block in fn.blocks:
+        for succ in block.successors():
+            preds.setdefault(succ, []).append(block)
+    return preds
+
+
+def reverse_postorder(fn: Function) -> List[BasicBlock]:
+    """Blocks in reverse postorder from the entry (forward dataflow order)."""
+    visited: Set[int] = set()
+    order: List[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        if id(block) in visited:
+            return
+        visited.add(id(block))
+        for succ in block.successors():
+            visit(succ)
+        order.append(block)
+
+    visit(fn.entry)
+    order.reverse()
+    return order
+
+
+def reachable_blocks(fn: Function) -> Set[int]:
+    """ids of blocks reachable from entry."""
+    seen: Set[int] = set()
+    work = [fn.entry]
+    while work:
+        block = work.pop()
+        if id(block) in seen:
+            continue
+        seen.add(id(block))
+        work.extend(block.successors())
+    return seen
+
+
+def back_edges(fn: Function) -> List[tuple]:
+    """(tail, head) pairs where head dominates tail (natural loop edges)."""
+    from .dominators import dominators
+    dom = dominators(fn)
+    edges = []
+    for block in fn.blocks:
+        for succ in block.successors():
+            if succ in dom.get(block, set()):
+                edges.append((block, succ))
+    return edges
+
+
+def natural_loop(fn: Function, tail: BasicBlock,
+                 head: BasicBlock) -> List[BasicBlock]:
+    """Blocks of the natural loop for back edge ``tail -> head``."""
+    preds = predecessors(fn)
+    body = {id(head): head, id(tail): tail}
+    work = [tail]
+    while work:
+        block = work.pop()
+        if block is head:
+            continue
+        for pred in preds.get(block, []):
+            if id(pred) not in body:
+                body[id(pred)] = pred
+                work.append(pred)
+    return [b for b in fn.blocks if id(b) in body]

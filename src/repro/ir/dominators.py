@@ -1,0 +1,60 @@
+"""Iterative dominator analysis (Cooper-Harvey-Kennedy style, set-based)."""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from .cfg import predecessors, reverse_postorder
+from .module import BasicBlock, Function
+
+
+def dominators(fn: Function) -> Dict[BasicBlock, Set[BasicBlock]]:
+    """For each reachable block, the set of blocks that dominate it
+    (including itself)."""
+    order = reverse_postorder(fn)
+    preds = predecessors(fn)
+    all_blocks = set(order)
+    dom: Dict[BasicBlock, Set[BasicBlock]] = {
+        b: set(all_blocks) for b in order
+    }
+    dom[fn.entry] = {fn.entry}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            if block is fn.entry:
+                continue
+            reachable_preds = [p for p in preds.get(block, [])
+                               if p in all_blocks]
+            if not reachable_preds:
+                continue
+            new = set.intersection(*(dom[p] for p in reachable_preds))
+            new.add(block)
+            if new != dom[block]:
+                dom[block] = new
+                changed = True
+    return dom
+
+
+def immediate_dominators(fn: Function) -> Dict[BasicBlock, BasicBlock]:
+    """Map each non-entry reachable block to its immediate dominator."""
+    dom = dominators(fn)
+    idom: Dict[BasicBlock, BasicBlock] = {}
+    for block, doms in dom.items():
+        if block is fn.entry:
+            continue
+        strict = doms - {block}
+        # The idom is the strict dominator dominated by all other strict
+        # dominators.
+        for cand in strict:
+            if all(cand in dom[other] for other in strict):
+                idom[block] = cand
+                break
+    return idom
+
+
+def dominates(dom: Dict[BasicBlock, Set[BasicBlock]],
+              a: BasicBlock, b: BasicBlock) -> bool:
+    """True if ``a`` dominates ``b`` under a precomputed dominator map."""
+    return a in dom.get(b, set())

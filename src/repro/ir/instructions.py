@@ -1,0 +1,339 @@
+"""Instruction set of the three-address IR.
+
+Every instruction carries:
+
+* ``line`` — the source line it implements (drives the line table); may be
+  ``None`` for compiler-introduced glue;
+* ``scope`` — the inline scope it belongs to (``None`` = the enclosing
+  function's top scope). The inliner creates :class:`InlineScope` chains;
+  codegen turns them into ``DW_TAG_inlined_subroutine``-style DIEs.
+
+Debug intrinsics (:class:`DbgValue`, :class:`DbgDeclare`) flow *inside*
+the instruction stream, exactly like ``llvm.dbg.value`` / gcc debug
+statements, so every optimization pass must consciously transport them —
+which is precisely the behaviour the paper tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..analysis.symbols import Symbol
+from .values import AffineExpr, Const, GlobalRef, SlotRef, VReg
+
+_scope_counter = itertools.count(1)
+
+
+@dataclass(eq=False)
+class InlineScope:
+    """A scope created by inlining ``callee`` at ``call_line``."""
+
+    callee: str
+    call_line: int
+    parent: Optional["InlineScope"] = None
+    scope_id: int = field(default_factory=lambda: next(_scope_counter))
+
+    def chain(self) -> List["InlineScope"]:
+        """This scope and its ancestors, innermost first."""
+        out, cur = [], self
+        while cur is not None:
+            out.append(cur)
+            cur = cur.parent
+        return out
+
+    def __hash__(self) -> int:
+        return hash(self.scope_id)
+
+
+@dataclass(eq=False)
+class Instr:
+    """Base class for IR instructions."""
+
+    line: Optional[int] = None
+    scope: Optional[InlineScope] = None
+
+    def uses(self) -> List[VReg]:
+        """Virtual registers read by this instruction (no dbg operands)."""
+        return [op for op in self._use_operands() if isinstance(op, VReg)]
+
+    def _use_operands(self) -> List[object]:
+        return []
+
+    def defs(self) -> Optional[VReg]:
+        """The virtual register defined by this instruction, if any."""
+        return None
+
+    def replace_uses(self, mapping) -> None:
+        """Rewrite register operands via ``mapping: VReg -> Operand``."""
+
+    def is_terminator(self) -> bool:
+        return False
+
+    def is_dbg(self) -> bool:
+        return False
+
+    def has_side_effects(self) -> bool:
+        """True if the instruction must not be removed even when unused."""
+        return False
+
+
+def _subst(op, mapping):
+    if isinstance(op, VReg) and op in mapping:
+        return mapping[op]
+    return op
+
+
+@dataclass(eq=False)
+class Move(Instr):
+    """``dst = src`` — register copy or materialization of a constant
+    or address operand."""
+
+    dst: VReg = None
+    src: object = None  # Operand
+
+    def _use_operands(self):
+        return [self.src]
+
+    def defs(self):
+        return self.dst
+
+    def replace_uses(self, mapping):
+        self.src = _subst(self.src, mapping)
+
+    def __repr__(self):
+        return f"{self.dst} = {self.src}"
+
+
+@dataclass(eq=False)
+class BinOp(Instr):
+    """``dst = a <op> b``."""
+
+    dst: VReg = None
+    op: str = "+"
+    a: object = None
+    b: object = None
+
+    def _use_operands(self):
+        return [self.a, self.b]
+
+    def defs(self):
+        return self.dst
+
+    def replace_uses(self, mapping):
+        self.a = _subst(self.a, mapping)
+        self.b = _subst(self.b, mapping)
+
+    def has_side_effects(self):
+        # Division can trap; removing it would hide UB the program has.
+        return self.op in ("/", "%")
+
+    def __repr__(self):
+        return f"{self.dst} = {self.a} {self.op} {self.b}"
+
+
+@dataclass(eq=False)
+class UnOp(Instr):
+    """``dst = <op> a``."""
+
+    dst: VReg = None
+    op: str = "-"
+    a: object = None
+
+    def _use_operands(self):
+        return [self.a]
+
+    def defs(self):
+        return self.dst
+
+    def replace_uses(self, mapping):
+        self.a = _subst(self.a, mapping)
+
+    def __repr__(self):
+        return f"{self.dst} = {self.op}{self.a}"
+
+
+@dataclass(eq=False)
+class Load(Instr):
+    """``dst = *(addr)``; ``volatile`` loads are observable."""
+
+    dst: VReg = None
+    addr: object = None
+    volatile: bool = False
+
+    def _use_operands(self):
+        return [self.addr]
+
+    def defs(self):
+        return self.dst
+
+    def replace_uses(self, mapping):
+        self.addr = _subst(self.addr, mapping)
+
+    def has_side_effects(self):
+        return self.volatile
+
+    def __repr__(self):
+        v = "volatile " if self.volatile else ""
+        return f"{self.dst} = {v}load {self.addr}"
+
+
+@dataclass(eq=False)
+class Store(Instr):
+    """``*(addr) = value``."""
+
+    addr: object = None
+    value: object = None
+    volatile: bool = False
+
+    def _use_operands(self):
+        return [self.addr, self.value]
+
+    def replace_uses(self, mapping):
+        self.addr = _subst(self.addr, mapping)
+        self.value = _subst(self.value, mapping)
+
+    def has_side_effects(self):
+        return True
+
+    def __repr__(self):
+        v = "volatile " if self.volatile else ""
+        return f"{v}store {self.value} -> {self.addr}"
+
+
+@dataclass(eq=False)
+class Call(Instr):
+    """``dst = callee(args...)``; ``external`` marks opaque callees."""
+
+    dst: Optional[VReg] = None
+    callee: str = ""
+    args: List[object] = field(default_factory=list)
+    external: bool = False
+
+    def _use_operands(self):
+        return list(self.args)
+
+    def defs(self):
+        return self.dst
+
+    def replace_uses(self, mapping):
+        self.args = [_subst(a, mapping) for a in self.args]
+
+    def has_side_effects(self):
+        return True
+
+    def __repr__(self):
+        head = f"{self.dst} = " if self.dst is not None else ""
+        ext = "ext " if self.external else ""
+        return f"{head}call {ext}{self.callee}({', '.join(map(repr, self.args))})"
+
+
+@dataclass(eq=False)
+class Jump(Instr):
+    """Unconditional jump."""
+
+    target: "BasicBlock" = None
+
+    def is_terminator(self):
+        return True
+
+    def has_side_effects(self):
+        return True
+
+    def __repr__(self):
+        return f"jmp {self.target.name}"
+
+
+@dataclass(eq=False)
+class Branch(Instr):
+    """Conditional branch on ``cond != 0``."""
+
+    cond: object = None
+    if_true: "BasicBlock" = None
+    if_false: "BasicBlock" = None
+
+    def _use_operands(self):
+        return [self.cond]
+
+    def replace_uses(self, mapping):
+        self.cond = _subst(self.cond, mapping)
+
+    def is_terminator(self):
+        return True
+
+    def has_side_effects(self):
+        return True
+
+    def __repr__(self):
+        return (f"br {self.cond} ? {self.if_true.name} "
+                f": {self.if_false.name}")
+
+
+@dataclass(eq=False)
+class Ret(Instr):
+    """Function return."""
+
+    value: Optional[object] = None
+
+    def _use_operands(self):
+        return [] if self.value is None else [self.value]
+
+    def replace_uses(self, mapping):
+        if self.value is not None:
+            self.value = _subst(self.value, mapping)
+
+    def is_terminator(self):
+        return True
+
+    def has_side_effects(self):
+        return True
+
+    def __repr__(self):
+        return f"ret {self.value}" if self.value is not None else "ret"
+
+
+#: What a DbgValue can carry: a register, a constant, an address operand,
+#: a salvaged affine expression, or None (value unrecoverable from here).
+DbgOperand = Union[VReg, Const, SlotRef, GlobalRef, AffineExpr, None]
+
+
+@dataclass(eq=False)
+class DbgValue(Instr):
+    """From this point on, ``symbol``'s value is described by ``value``.
+
+    ``value=None`` is an explicit *kill*: the variable's value is not
+    recoverable until the next DbgValue (LLVM's ``undef`` dbg.value).
+    """
+
+    symbol: Symbol = None
+    value: DbgOperand = None
+
+    def is_dbg(self):
+        return True
+
+    def dbg_vreg(self) -> Optional[VReg]:
+        """The register this debug value depends on, if any."""
+        if isinstance(self.value, VReg):
+            return self.value
+        if isinstance(self.value, AffineExpr):
+            return self.value.vreg
+        return None
+
+    def __repr__(self):
+        return f"dbg.value {self.symbol.name} = {self.value}"
+
+
+@dataclass(eq=False)
+class DbgDeclare(Instr):
+    """``symbol`` lives in stack slot ``slot_id`` for its whole scope
+    (the ``-O0`` / unpromoted representation)."""
+
+    symbol: Symbol = None
+    slot_id: int = 0
+
+    def is_dbg(self):
+        return True
+
+    def __repr__(self):
+        return f"dbg.declare {self.symbol.name} @ slot{self.slot_id}"

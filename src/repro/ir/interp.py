@@ -1,0 +1,260 @@
+"""Reference interpreter for the IR.
+
+Executes a module from ``main`` and produces an :class:`Observation`
+stream — the program's externally visible behaviour: opaque-function call
+events (callee + argument values), volatile memory accesses, and the exit
+code. Optimization passes are correct iff they preserve this stream, which
+the differential property tests check against the ``-O0`` module and which
+mirrors the paper's reliance on semantics-preserving transformations.
+
+The interpreter shares `eval_binop`/`eval_unop` with constant folding so
+folding can never diverge from execution, and it detects the language's
+undefined behaviour (division by zero, out-of-object memory access,
+non-termination beyond a fuel bound) the way the paper uses compile-time
+checks plus compcert to reject UB-tainted test programs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .instructions import (
+    BinOp, Branch, Call, DbgDeclare, DbgValue, Jump, Load, Move, Ret, Store,
+    UnOp,
+)
+from .module import Function, Module
+from .ops import UBError, eval_binop, eval_unop, wrap
+from .values import Const, GlobalRef, SlotRef, VReg
+
+_GLOBAL_BASE = 0x10000
+_STACK_BASE = 0x1000000
+_FRAME_STRIDE = 0x1000
+
+
+def assign_global_addresses(module: Module) -> Dict[str, int]:
+    """Deterministic global layout shared by the interpreter and the
+    linker, so volatile-access observations agree across backends."""
+    addrs: Dict[str, int] = {}
+    cursor = _GLOBAL_BASE
+    for gvar in module.globals.values():
+        addrs[gvar.name] = cursor
+        cursor += gvar.size + 8
+    return addrs
+
+
+class TimeoutError_(UBError):
+    """Raised when execution exceeds its fuel budget."""
+
+    def __init__(self):
+        super().__init__("non-termination", "(fuel exhausted)")
+
+
+@dataclass
+class Observation:
+    """One externally visible event."""
+
+    kind: str  # "call" | "vstore" | "vload" | "exit"
+    detail: Tuple = ()
+
+    def __repr__(self) -> str:
+        return f"{self.kind}{self.detail}"
+
+
+@dataclass
+class ExecResult:
+    """Outcome of executing a module."""
+
+    observations: List[Observation] = field(default_factory=list)
+    exit_code: int = 0
+    steps: int = 0
+
+    def key(self) -> Tuple:
+        """Hashable equality key for differential testing."""
+        return tuple((o.kind, o.detail) for o in self.observations)
+
+
+def external_call_result(callee: str, args: List[int]) -> int:
+    """Deterministic model of the environment: the value an opaque
+    function returns. Stable across compilations by construction."""
+    acc = zlib.crc32(callee.encode("utf-8")) & 0x7FFFFFFF
+    for a in args:
+        acc = (acc * 1000003 + (a & 0xFFFFFFFF)) & 0x7FFFFFFF
+    return acc % 1024
+
+
+class _Memory:
+    """Flat word memory with an object registry for bounds checking."""
+
+    def __init__(self):
+        self.words: Dict[int, int] = {}
+        #: sorted list of (start, end_exclusive, name)
+        self.objects: List[Tuple[int, int, str]] = []
+
+    def add_object(self, start: int, size: int, name: str) -> None:
+        self.objects.append((start, start + size, name))
+
+    def remove_objects_from(self, start: int) -> None:
+        self.objects = [o for o in self.objects if o[0] < start]
+
+    def check(self, addr: int) -> None:
+        for lo, hi, _name in self.objects:
+            if lo <= addr < hi:
+                return
+        raise UBError("out-of-bounds access", f"at address {addr:#x}")
+
+    def object_of(self, addr: int) -> Tuple[str, int]:
+        """(object name, offset) for a valid address — used to record
+        volatile accesses symbolically so optimization levels with
+        different frame layouts still produce comparable observations."""
+        for lo, hi, name in self.objects:
+            if lo <= addr < hi:
+                return name, addr - lo
+        raise UBError("out-of-bounds access", f"at address {addr:#x}")
+
+    def load(self, addr: int) -> int:
+        self.check(addr)
+        return self.words.get(addr, 0)
+
+    def store(self, addr: int, value: int) -> None:
+        self.check(addr)
+        self.words[addr] = wrap(value)
+
+
+class Interpreter:
+    """Executes an IR module."""
+
+    def __init__(self, module: Module, fuel: int = 2_000_000,
+                 max_depth: int = 64):
+        self.module = module
+        self.fuel = fuel
+        self.max_depth = max_depth
+        self.memory = _Memory()
+        self.global_addr: Dict[str, int] = {}
+        self.result = ExecResult()
+        self.global_addr = assign_global_addresses(module)
+        for gvar in module.globals.values():
+            addr = self.global_addr[gvar.name]
+            self.memory.add_object(addr, gvar.size, gvar.name)
+            for offset, word in enumerate(gvar.initial_words()):
+                self.memory.words[addr + offset] = wrap(word)
+
+    # -- operand resolution ---------------------------------------------------
+
+    def _resolve(self, op, regs: Dict[VReg, int],
+                 slot_addr: Dict[int, int]) -> int:
+        if isinstance(op, Const):
+            return op.value
+        if isinstance(op, VReg):
+            if op not in regs:
+                raise UBError("use of undefined register", repr(op))
+            return regs[op]
+        if isinstance(op, SlotRef):
+            return slot_addr[op.slot_id] + op.offset
+        if isinstance(op, GlobalRef):
+            return self.global_addr[op.name] + op.offset
+        raise TypeError(f"bad operand {op!r}")
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, entry: str = "main") -> ExecResult:
+        fn = self.module.functions[entry]
+        code = self._call(fn, [], depth=0, frame_base=_STACK_BASE)
+        self.result.exit_code = wrap(code or 0) & 0xFF
+        self.result.observations.append(
+            Observation("exit", (self.result.exit_code,)))
+        return self.result
+
+    def _call(self, fn: Function, args: List[int], depth: int,
+              frame_base: int) -> Optional[int]:
+        if depth > self.max_depth:
+            raise UBError("stack overflow", fn.name)
+        regs: Dict[VReg, int] = {}
+        slot_addr: Dict[int, int] = {}
+        offset = 0
+        for slot in fn.slots.values():
+            slot_addr[slot.slot_id] = frame_base + offset
+            self.memory.add_object(frame_base + offset, slot.size,
+                                   f"{fn.name}.{slot.name}")
+            offset += slot.size
+        for (sym, vreg), value in zip(fn.params, args):
+            regs[vreg] = wrap(value)
+
+        block = fn.entry
+        index = 0
+        try:
+            while True:
+                if index >= len(block.instrs):
+                    raise UBError("fell off block end",
+                                  f"{fn.name}/{block.name}")
+                instr = block.instrs[index]
+                self.result.steps += 1
+                if self.result.steps > self.fuel:
+                    raise TimeoutError_()
+
+                if isinstance(instr, (DbgValue, DbgDeclare)):
+                    index += 1
+                    continue
+                if isinstance(instr, Move):
+                    regs[instr.dst] = wrap(
+                        self._resolve(instr.src, regs, slot_addr))
+                elif isinstance(instr, BinOp):
+                    a = self._resolve(instr.a, regs, slot_addr)
+                    b = self._resolve(instr.b, regs, slot_addr)
+                    regs[instr.dst] = eval_binop(instr.op, a, b)
+                elif isinstance(instr, UnOp):
+                    a = self._resolve(instr.a, regs, slot_addr)
+                    regs[instr.dst] = eval_unop(instr.op, a)
+                elif isinstance(instr, Load):
+                    addr = self._resolve(instr.addr, regs, slot_addr)
+                    value = self.memory.load(addr)
+                    if instr.volatile:
+                        name, off = self.memory.object_of(addr)
+                        self.result.observations.append(
+                            Observation("vload", (name, off)))
+                    regs[instr.dst] = value
+                elif isinstance(instr, Store):
+                    addr = self._resolve(instr.addr, regs, slot_addr)
+                    value = self._resolve(instr.value, regs, slot_addr)
+                    self.memory.store(addr, value)
+                    if instr.volatile:
+                        name, off = self.memory.object_of(addr)
+                        self.result.observations.append(
+                            Observation("vstore", (name, off, wrap(value))))
+                elif isinstance(instr, Call):
+                    values = [self._resolve(a, regs, slot_addr)
+                              for a in instr.args]
+                    if instr.external:
+                        self.result.observations.append(
+                            Observation("call",
+                                        (instr.callee, tuple(values))))
+                        ret = external_call_result(instr.callee, values)
+                    else:
+                        callee = self.module.functions[instr.callee]
+                        ret = self._call(callee, values, depth + 1,
+                                         frame_base + _FRAME_STRIDE)
+                    if instr.dst is not None:
+                        regs[instr.dst] = wrap(ret or 0)
+                elif isinstance(instr, Jump):
+                    block, index = instr.target, 0
+                    continue
+                elif isinstance(instr, Branch):
+                    cond = self._resolve(instr.cond, regs, slot_addr)
+                    block = instr.if_true if cond != 0 else instr.if_false
+                    index = 0
+                    continue
+                elif isinstance(instr, Ret):
+                    if instr.value is None:
+                        return None
+                    return self._resolve(instr.value, regs, slot_addr)
+                else:
+                    raise TypeError(f"cannot interpret {instr!r}")
+                index += 1
+        finally:
+            self.memory.remove_objects_from(frame_base)
+
+
+def run_module(module: Module, fuel: int = 2_000_000) -> ExecResult:
+    """Execute ``module`` from ``main`` and return its observations."""
+    return Interpreter(module, fuel=fuel).run()

@@ -1,0 +1,639 @@
+"""AST -> IR lowering (the unoptimized, ``-O0``-style code generator).
+
+The lowering follows the strategy real compilers use at ``-O0``:
+
+* every local variable and parameter gets a stack slot;
+* every read/write of a variable is an explicit load/store;
+* one ``DbgDeclare`` per variable says "this variable lives in this slot
+  for its whole scope" — trivially complete debug information, which is
+  why ``-O0`` serves as the reference in the paper's quantitative study;
+* every emitted instruction carries the source line of its statement.
+
+Optimization (starting with mem2reg) then progressively destroys this
+direct mapping, and the rest of the pipeline has to *earn back* debug
+information via dbg intrinsics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.symbols import Symbol, SymbolTable, resolve
+from ..lang import ast_nodes as A
+from ..lang.types import ArrayType, IntType, PointerType
+from .instructions import (
+    BinOp, Branch, Call, DbgDeclare, Instr, Jump, Load, Move, Ret, Store,
+    UnOp,
+)
+from .module import Function, GlobalVar, Module, StackSlot
+from .ops import eval_binop, eval_unop
+from .values import Const, GlobalRef, SlotRef, VReg
+
+
+class LoweringError(Exception):
+    """Raised when the AST uses a construct lowering does not support."""
+
+
+def _const_eval(expr: A.Expr) -> int:
+    """Evaluate a compile-time-constant initializer expression."""
+    if isinstance(expr, A.IntLit):
+        return expr.value
+    if isinstance(expr, A.Unary) and expr.op == "-":
+        return eval_unop("-", _const_eval(expr.operand))
+    if isinstance(expr, A.Unary) and expr.op == "~":
+        return eval_unop("~", _const_eval(expr.operand))
+    if isinstance(expr, A.Binary):
+        return eval_binop(expr.op, _const_eval(expr.left),
+                          _const_eval(expr.right))
+    raise LoweringError(
+        f"global initializer at line {expr.line} is not constant")
+
+
+def _flatten_global_init(init, size: int) -> List[int]:
+    """Flatten a brace initializer into at most ``size`` words."""
+    words: List[int] = []
+
+    def rec(item):
+        if isinstance(item, list):
+            for sub in item:
+                rec(sub)
+        elif item is not None:
+            words.append(_const_eval(item))
+
+    rec(init)
+    if len(words) > size:
+        raise LoweringError("too many initializers for global")
+    return words
+
+
+def _array_strides(ty: ArrayType) -> List[int]:
+    """Row-major stride (in words) for each dimension."""
+    strides = []
+    for i in range(len(ty.dims)):
+        stride = ty.elem.sizeof()
+        for d in ty.dims[i + 1:]:
+            stride *= d
+        strides.append(stride)
+    return strides
+
+
+class _FunctionLowerer:
+    """Lowers one function body."""
+
+    def __init__(self, module: Module, symtab: SymbolTable, fn_ast: A.FuncDef):
+        self.module = module
+        self.symtab = symtab
+        self.fn_ast = fn_ast
+        self.fn = Function(fn_ast.name,
+                           return_value=fn_ast.return_type is not None)
+        self.fn.is_static = fn_ast.static
+        self.block = self.fn.new_block("entry")
+        self.line: Optional[int] = fn_ast.line
+        self.slots_by_symbol: Dict[Symbol, StackSlot] = {}
+        self.label_blocks: Dict[str, object] = {}
+        self.break_stack: List[object] = []
+        self.continue_stack: List[object] = []
+
+    # -- emission helpers ---------------------------------------------------
+
+    def emit(self, instr: Instr) -> Instr:
+        if instr.line is None:
+            instr.line = self.line
+        self.block.append(instr)
+        return instr
+
+    def _switch(self, block) -> None:
+        if block not in self.fn.blocks:
+            self.fn.blocks.append(block)
+        self.block = block
+
+    def _terminated(self) -> bool:
+        return self.block.terminator is not None
+
+    def _ensure_slot(self, sym: Symbol) -> StackSlot:
+        slot = self.slots_by_symbol.get(sym)
+        if slot is None:
+            slot = self.fn.new_slot(sym.name, size=sym.type.sizeof(),
+                                    symbol=sym)
+            self.slots_by_symbol[sym] = slot
+        return slot
+
+    def _as_operand(self, value):
+        return value
+
+    def _to_vreg(self, operand, hint: str = "") -> VReg:
+        if isinstance(operand, VReg):
+            return operand
+        dst = self.fn.new_vreg(hint)
+        self.emit(Move(dst=dst, src=operand))
+        return dst
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self) -> Function:
+        # Parameters: incoming registers spilled to slots, O0-style.
+        info = self.symtab.function_info(self.fn_ast.name)
+        self.fn.source_symbols = list(info.all_variables())
+        self.fn.symbol_scopes = {sym: None for sym in self.fn.source_symbols}
+        for sym in info.params:
+            incoming = self.fn.new_vreg(sym.name)
+            self.fn.params.append((sym, incoming))
+            slot = self._ensure_slot(sym)
+            self.emit(DbgDeclare(symbol=sym, slot_id=slot.slot_id,
+                                 line=self.fn_ast.line))
+            self.emit(Store(addr=SlotRef(slot.slot_id), value=incoming,
+                            line=self.fn_ast.line))
+        for stmt in self.fn_ast.body.stmts:
+            self.lower_stmt(stmt)
+        if not self._terminated():
+            self.line = None
+            if self.fn.return_value:
+                self.emit(Ret(value=Const(0)))
+            else:
+                self.emit(Ret(value=None))
+        self.fn.remove_unreferenced_blocks()
+        return self.fn
+
+    # -- statements --------------------------------------------------------------
+
+    def lower_stmt(self, stmt: A.Stmt) -> None:
+        if self._terminated() and not isinstance(stmt, A.LabeledStmt):
+            # Unreachable code after return/goto still defines labels, so
+            # only labeled statements can resurrect the flow.
+            if not any(isinstance(s, A.LabeledStmt)
+                       for s in A.walk_stmt(stmt)):
+                return
+        self.line = stmt.line
+
+        if isinstance(stmt, A.DeclStmt):
+            self._lower_decl_stmt(stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            self.lower_expr(stmt.expr)
+        elif isinstance(stmt, A.Block):
+            for inner in stmt.stmts:
+                self.lower_stmt(inner)
+        elif isinstance(stmt, A.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, A.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, A.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, A.DoWhile):
+            self._lower_do_while(stmt)
+        elif isinstance(stmt, A.Return):
+            value = None
+            if stmt.value is not None:
+                value = self.lower_expr(stmt.value)
+            elif self.fn.return_value:
+                value = Const(0)
+            self.emit(Ret(value=value))
+        elif isinstance(stmt, A.Goto):
+            self.emit(Jump(target=self._label_block(stmt.label)))
+        elif isinstance(stmt, A.LabeledStmt):
+            target = self._label_block(stmt.label)
+            if not self._terminated():
+                self.emit(Jump(target=target))
+            self._switch(target)
+            self.lower_stmt(stmt.stmt)
+        elif isinstance(stmt, A.Break):
+            if not self.break_stack:
+                raise LoweringError(f"break outside loop at line {stmt.line}")
+            self.emit(Jump(target=self.break_stack[-1]))
+        elif isinstance(stmt, A.Continue):
+            if not self.continue_stack:
+                raise LoweringError(
+                    f"continue outside loop at line {stmt.line}")
+            self.emit(Jump(target=self.continue_stack[-1]))
+        elif isinstance(stmt, A.Empty):
+            pass
+        else:
+            raise LoweringError(f"cannot lower {type(stmt).__name__}")
+
+    def _label_block(self, label: str):
+        block = self.label_blocks.get(label)
+        if block is None:
+            block = self.fn.new_block(f"label_{label}")
+            self.fn.blocks.remove(block)  # attach on first use
+            self.label_blocks[label] = block
+        return block
+
+    def _lower_decl_stmt(self, stmt: A.DeclStmt) -> None:
+        for decl in stmt.decls:
+            sym = self.symtab.symbol_for_decl(decl)
+            if decl.static:
+                self._lower_static_local(decl, sym)
+                continue
+            slot = self._ensure_slot(sym)
+            self.emit(DbgDeclare(symbol=sym, slot_id=slot.slot_id,
+                                 line=decl.line))
+            if decl.init is None:
+                continue
+            if isinstance(decl.init, list):
+                words = _flatten_global_init(decl.init, sym.type.sizeof())
+                for offset, word in enumerate(words):
+                    self.emit(Store(
+                        addr=SlotRef(slot.slot_id, offset),
+                        value=Const(word), line=decl.line))
+            else:
+                value = self.lower_expr(decl.init)
+                self.emit(Store(addr=SlotRef(slot.slot_id), value=value,
+                                volatile=sym.volatile, line=decl.line))
+
+    def _lower_static_local(self, decl: A.VarDecl, sym: Symbol) -> None:
+        mangled = f"{self.fn.name}.{decl.name}"
+        if mangled not in self.module.globals:
+            size = sym.type.sizeof()
+            init: List[int] = []
+            if decl.init is not None:
+                if isinstance(decl.init, list):
+                    init = _flatten_global_init(decl.init, size)
+                else:
+                    init = [_const_eval(decl.init)]
+            self.module.add_global(GlobalVar(
+                name=mangled, size=size, init=init,
+                volatile=sym.volatile, type=sym.type, symbol=sym))
+        self._static_names = getattr(self, "_static_names", {})
+        self._static_names[sym] = mangled
+
+    def _lower_if(self, stmt: A.If) -> None:
+        then_block = self.fn.new_block("if_then")
+        end_block = self.fn.new_block("if_end")
+        else_block = (self.fn.new_block("if_else")
+                      if stmt.other is not None else end_block)
+        self.fn.blocks.remove(then_block)
+        self.fn.blocks.remove(end_block)
+        if else_block is not end_block:
+            self.fn.blocks.remove(else_block)
+
+        cond = self.lower_expr(stmt.cond)
+        self.emit(Branch(cond=cond, if_true=then_block, if_false=else_block))
+
+        self._switch(then_block)
+        self.lower_stmt(stmt.then)
+        if not self._terminated():
+            self.emit(Jump(target=end_block))
+
+        if stmt.other is not None:
+            self._switch(else_block)
+            self.lower_stmt(stmt.other)
+            if not self._terminated():
+                self.emit(Jump(target=end_block))
+
+        self._switch(end_block)
+
+    def _lower_loop(self, line: int, cond_expr: Optional[A.Expr],
+                    body: A.Stmt, step_expr: Optional[A.Expr],
+                    test_first: bool = True) -> None:
+        cond_block = self.fn.new_block("loop_cond")
+        body_block = self.fn.new_block("loop_body")
+        step_block = self.fn.new_block("loop_step")
+        end_block = self.fn.new_block("loop_end")
+        for b in (cond_block, body_block, step_block, end_block):
+            self.fn.blocks.remove(b)
+
+        first = cond_block if test_first else body_block
+        self.emit(Jump(target=first))
+
+        self._switch(cond_block)
+        self.line = line
+        if cond_expr is not None:
+            cond = self.lower_expr(cond_expr)
+            self.emit(Branch(cond=cond, if_true=body_block,
+                             if_false=end_block))
+        else:
+            self.emit(Jump(target=body_block))
+
+        self._switch(body_block)
+        self.break_stack.append(end_block)
+        self.continue_stack.append(step_block)
+        self.lower_stmt(body)
+        self.break_stack.pop()
+        self.continue_stack.pop()
+        if not self._terminated():
+            self.emit(Jump(target=step_block))
+
+        self._switch(step_block)
+        self.line = line
+        if step_expr is not None:
+            self.lower_expr(step_expr)
+        self.emit(Jump(target=cond_block))
+
+        self._switch(end_block)
+
+    def _lower_for(self, stmt: A.For) -> None:
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+            self.line = stmt.line
+        self._lower_loop(stmt.line, stmt.cond, stmt.body, stmt.step)
+
+    def _lower_while(self, stmt: A.While) -> None:
+        self._lower_loop(stmt.line, stmt.cond, stmt.body, None)
+
+    def _lower_do_while(self, stmt: A.DoWhile) -> None:
+        self._lower_loop(stmt.line, stmt.cond, stmt.body, None,
+                         test_first=False)
+
+    # -- expressions ------------------------------------------------------------
+
+    def lower_expr(self, expr: A.Expr):
+        """Lower an expression; returns an operand with its value."""
+        if isinstance(expr, A.IntLit):
+            return Const(expr.value)
+        if isinstance(expr, A.Ident):
+            return self._lower_ident_read(expr)
+        if isinstance(expr, A.ArrayIndex):
+            addr, volatile, complete = self._lower_index_addr(expr)
+            if not complete:
+                return addr  # array decay: the address itself
+            dst = self.fn.new_vreg()
+            self.emit(Load(dst=dst, addr=addr, volatile=volatile))
+            return dst
+        if isinstance(expr, A.Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, A.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, A.Assign):
+            return self._lower_assign(expr)
+        if isinstance(expr, A.Call):
+            return self._lower_call(expr)
+        if isinstance(expr, A.Conditional):
+            return self._lower_conditional(expr)
+        raise LoweringError(f"cannot lower {type(expr).__name__}")
+
+    def _symbol_base(self, sym: Symbol):
+        """Address operand of a symbol's storage (slot or global)."""
+        statics = getattr(self, "_static_names", {})
+        if sym in statics:
+            return GlobalRef(statics[sym])
+        if sym.is_global:
+            return GlobalRef(sym.name)
+        slot = self._ensure_slot(sym)
+        return SlotRef(slot.slot_id)
+
+    def _lower_ident_read(self, expr: A.Ident):
+        sym = self.symtab.lookup_ident(expr)
+        base = self._symbol_base(sym)
+        if isinstance(sym.type, ArrayType):
+            return base  # array decays to its address
+        dst = self.fn.new_vreg(sym.name)
+        self.emit(Load(dst=dst, addr=base, volatile=sym.volatile))
+        return dst
+
+    def _lower_index_addr(self, expr: A.ArrayIndex):
+        """Compute the address of an indexed expression.
+
+        Returns ``(addr_operand, volatile, complete)`` where ``complete``
+        says whether the indexing covers all array dimensions (if not, the
+        result is a decayed sub-array address).
+        """
+        # Collect the index chain innermost-last.
+        indices: List[A.Expr] = []
+        base = expr
+        while isinstance(base, A.ArrayIndex):
+            indices.append(base.index)
+            base = base.base
+        indices.reverse()
+
+        if isinstance(base, A.Ident):
+            sym = self.symtab.lookup_ident(base)
+            if isinstance(sym.type, ArrayType):
+                return self._index_array(sym, indices)
+            if isinstance(sym.type, PointerType):
+                ptr = self._lower_ident_read(base)
+                return self._index_pointer(ptr, indices, sym.volatile)
+            raise LoweringError(
+                f"indexing non-array {sym.name!r} at line {expr.line}")
+        if isinstance(base, A.Unary) and base.op == "*":
+            ptr = self.lower_expr(base)
+            return self._index_pointer(self._to_vreg(ptr), indices, False)
+        raise LoweringError(f"unsupported indexing base at line {expr.line}")
+
+    def _index_array(self, sym: Symbol, indices: List[A.Expr]):
+        ty = sym.type
+        assert isinstance(ty, ArrayType)
+        if len(indices) > len(ty.dims):
+            raise LoweringError(f"too many subscripts for {sym.name!r}")
+        strides = _array_strides(ty)
+        base = self._symbol_base(sym)
+        addr = self._accumulate_address(base, indices, strides)
+        complete = len(indices) == len(ty.dims)
+        return addr, sym.volatile, complete
+
+    def _index_pointer(self, ptr_operand, indices: List[A.Expr],
+                       volatile: bool):
+        addr = ptr_operand
+        for index in indices:
+            idx = self.lower_expr(index)
+            offset = self._scale(idx, 1)
+            dst = self.fn.new_vreg("addr")
+            self.emit(BinOp(dst=dst, op="+", a=addr, b=offset))
+            addr = dst
+        return addr, volatile, True
+
+    def _accumulate_address(self, base, indices: List[A.Expr],
+                            strides: List[int]):
+        addr = base
+        for index, stride in zip(indices, strides):
+            idx = self.lower_expr(index)
+            if isinstance(idx, Const) and isinstance(addr, (SlotRef,
+                                                            GlobalRef)):
+                # Constant folding of addresses keeps -O0 code readable.
+                offset = idx.value * stride
+                if isinstance(addr, SlotRef):
+                    addr = SlotRef(addr.slot_id, addr.offset + offset)
+                else:
+                    addr = GlobalRef(addr.name, addr.offset + offset)
+                continue
+            scaled = self._scale(idx, stride)
+            dst = self.fn.new_vreg("addr")
+            self.emit(BinOp(dst=dst, op="+", a=addr, b=scaled))
+            addr = dst
+        return addr
+
+    def _scale(self, idx, stride: int):
+        if stride == 1:
+            return idx
+        if isinstance(idx, Const):
+            return Const(idx.value * stride)
+        dst = self.fn.new_vreg()
+        self.emit(BinOp(dst=dst, op="*", a=idx, b=Const(stride)))
+        return dst
+
+    def _lower_unary(self, expr: A.Unary):
+        if expr.op == "&":
+            return self._lower_address_of(expr.operand)
+        if expr.op == "*":
+            addr = self.lower_expr(expr.operand)
+            dst = self.fn.new_vreg()
+            self.emit(Load(dst=dst, addr=addr))
+            return dst
+        if expr.op in ("++", "--"):
+            return self._lower_incdec(expr)
+        value = self.lower_expr(expr.operand)
+        if isinstance(value, Const):
+            return Const(eval_unop(expr.op, value.value))
+        dst = self.fn.new_vreg()
+        self.emit(UnOp(dst=dst, op=expr.op, a=value))
+        return dst
+
+    def _lower_address_of(self, operand: A.Expr):
+        if isinstance(operand, A.Ident):
+            sym = self.symtab.lookup_ident(operand)
+            base = self._symbol_base(sym)
+            if isinstance(base, SlotRef):
+                self.fn.slots[base.slot_id].address_taken = True
+            return base
+        if isinstance(operand, A.ArrayIndex):
+            addr, _volatile, _complete = self._lower_index_addr(operand)
+            if isinstance(addr, SlotRef):
+                self.fn.slots[addr.slot_id].address_taken = True
+            return addr
+        if isinstance(operand, A.Unary) and operand.op == "*":
+            return self.lower_expr(operand.operand)
+        raise LoweringError(f"cannot take address at line {operand.line}")
+
+    def _lower_incdec(self, expr: A.Unary):
+        op = "+" if expr.op == "++" else "-"
+        addr, volatile = self._lvalue_addr(expr.operand)
+        old = self.fn.new_vreg()
+        self.emit(Load(dst=old, addr=addr, volatile=volatile))
+        new = self.fn.new_vreg()
+        self.emit(BinOp(dst=new, op=op, a=old, b=Const(1)))
+        self.emit(Store(addr=addr, value=new, volatile=volatile))
+        return new if expr.prefix else old
+
+    def _lvalue_addr(self, expr: A.Expr) -> Tuple[object, bool]:
+        """Address operand + volatility for an lvalue expression."""
+        if isinstance(expr, A.Ident):
+            sym = self.symtab.lookup_ident(expr)
+            if isinstance(sym.type, ArrayType):
+                raise LoweringError(
+                    f"cannot assign whole array {sym.name!r}")
+            return self._symbol_base(sym), sym.volatile
+        if isinstance(expr, A.ArrayIndex):
+            addr, volatile, complete = self._lower_index_addr(expr)
+            if not complete:
+                raise LoweringError("cannot assign to a sub-array")
+            return addr, volatile
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            value = self.lower_expr(expr.operand)
+            return value, False
+        raise LoweringError(f"invalid lvalue at line {expr.line}")
+
+    def _lower_binary(self, expr: A.Binary):
+        if expr.op in ("&&", "||"):
+            return self._lower_short_circuit(expr)
+        a = self.lower_expr(expr.left)
+        b = self.lower_expr(expr.right)
+        if isinstance(a, Const) and isinstance(b, Const) and \
+                expr.op not in ("/", "%"):
+            return Const(eval_binop(expr.op, a.value, b.value))
+        dst = self.fn.new_vreg()
+        self.emit(BinOp(dst=dst, op=expr.op, a=a, b=b))
+        return dst
+
+    def _lower_short_circuit(self, expr: A.Binary):
+        result = self.fn.new_vreg("sc")
+        rhs_block = self.fn.new_block("sc_rhs")
+        done = self.fn.new_block("sc_done")
+        short = self.fn.new_block("sc_short")
+        for b in (rhs_block, done, short):
+            self.fn.blocks.remove(b)
+
+        a = self.lower_expr(expr.left)
+        if expr.op == "&&":
+            self.emit(Branch(cond=a, if_true=rhs_block, if_false=short))
+            short_value = Const(0)
+        else:
+            self.emit(Branch(cond=a, if_true=short, if_false=rhs_block))
+            short_value = Const(1)
+
+        self._switch(short)
+        self.emit(Move(dst=result, src=short_value))
+        self.emit(Jump(target=done))
+
+        self._switch(rhs_block)
+        b = self.lower_expr(expr.right)
+        norm = self.fn.new_vreg()
+        self.emit(BinOp(dst=norm, op="!=", a=b, b=Const(0)))
+        self.emit(Move(dst=result, src=norm))
+        self.emit(Jump(target=done))
+
+        self._switch(done)
+        return result
+
+    def _lower_conditional(self, expr: A.Conditional):
+        result = self.fn.new_vreg("sel")
+        then_block = self.fn.new_block("sel_then")
+        else_block = self.fn.new_block("sel_else")
+        done = self.fn.new_block("sel_done")
+        for b in (then_block, else_block, done):
+            self.fn.blocks.remove(b)
+
+        cond = self.lower_expr(expr.cond)
+        self.emit(Branch(cond=cond, if_true=then_block, if_false=else_block))
+
+        self._switch(then_block)
+        tval = self.lower_expr(expr.then)
+        self.emit(Move(dst=result, src=tval))
+        self.emit(Jump(target=done))
+
+        self._switch(else_block)
+        fval = self.lower_expr(expr.other)
+        self.emit(Move(dst=result, src=fval))
+        self.emit(Jump(target=done))
+
+        self._switch(done)
+        return result
+
+    def _lower_assign(self, expr: A.Assign):
+        addr, volatile = self._lvalue_addr(expr.target)
+        if expr.op == "=":
+            value = self.lower_expr(expr.value)
+        else:
+            op = expr.op[:-1]
+            old = self.fn.new_vreg()
+            self.emit(Load(dst=old, addr=addr, volatile=volatile))
+            rhs = self.lower_expr(expr.value)
+            value = self.fn.new_vreg()
+            self.emit(BinOp(dst=value, op=op, a=old, b=rhs))
+        self.emit(Store(addr=addr, value=value, volatile=volatile))
+        return value
+
+    def _lower_call(self, expr: A.Call):
+        args = [self.lower_expr(arg) for arg in expr.args]
+        external = expr.name not in self.module.functions and \
+            expr.name not in {f.name for f in self.symtab.program.functions}
+        returns_value = True
+        if not external:
+            fn_ast = self.symtab.program.function(expr.name)
+            returns_value = fn_ast.return_type is not None
+        dst = self.fn.new_vreg(expr.name) if returns_value else None
+        self.emit(Call(dst=dst, callee=expr.name, args=args,
+                       external=external))
+        return dst if dst is not None else Const(0)
+
+
+def lower_program(program: A.Program,
+                  symtab: Optional[SymbolTable] = None) -> Module:
+    """Lower a resolved program to an unoptimized IR module."""
+    if symtab is None:
+        symtab = resolve(program)
+    module = Module()
+    for decl in program.globals:
+        size = decl.type.sizeof()
+        init: List[int] = []
+        if decl.init is not None:
+            if isinstance(decl.init, list):
+                init = _flatten_global_init(decl.init, size)
+            else:
+                init = [_const_eval(decl.init)]
+        module.add_global(GlobalVar(
+            name=decl.name, size=size, init=init, volatile=decl.volatile,
+            type=decl.type, symbol=symtab.symbol_for_decl(decl)))
+    for ext in program.externs:
+        module.externs[ext.name] = ext.return_type is not None
+    for fn_ast in program.functions:
+        lowerer = _FunctionLowerer(module, symtab, fn_ast)
+        module.add_function(lowerer.run())
+    return module

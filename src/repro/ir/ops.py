@@ -1,0 +1,128 @@
+"""Shared arithmetic semantics for the IR, the VM, and constant folding.
+
+One evaluation function is used by *every* consumer — the IR interpreter,
+the target VM, and the constant-folding/propagation passes — so that an
+optimizer can never change observable behaviour by folding: folding is
+evaluation, by construction.
+
+Semantics: 64-bit two's-complement signed integers with wraparound for
+``+ - * << ~ -``; C-style truncating division; shifts take the count
+modulo 64 (masked, never UB); comparisons and logical operators yield
+0/1. The only UB the language retains is division/modulo by zero, plus
+memory errors (detected by the VM).
+"""
+
+from __future__ import annotations
+
+_BITS = 64
+_MASK = (1 << _BITS) - 1
+_SIGN = 1 << (_BITS - 1)
+
+
+class UBError(Exception):
+    """Raised when evaluation hits undefined behaviour."""
+
+    def __init__(self, kind: str, detail: str = ""):
+        super().__init__(f"undefined behaviour: {kind} {detail}".rstrip())
+        self.kind = kind
+
+
+def wrap(value: int) -> int:
+    """Wrap a Python int to 64-bit two's-complement."""
+    value &= _MASK
+    if value & _SIGN:
+        value -= 1 << _BITS
+    return value
+
+
+def wrap_to(value: int, bits: int, signed: bool) -> int:
+    """Wrap to an arbitrary width (used when storing typed variables)."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if signed and value >= (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def _trunc_div(a: int, b: int) -> int:
+    if b == 0:
+        raise UBError("division by zero")
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return wrap(q)
+
+
+def _trunc_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise UBError("modulo by zero")
+    return wrap(a - _trunc_div(a, b) * b)
+
+
+def eval_binop(op: str, a: int, b: int) -> int:
+    """Evaluate a binary operation with the language's fixed semantics."""
+    if op == "+":
+        return wrap(a + b)
+    if op == "-":
+        return wrap(a - b)
+    if op == "*":
+        return wrap(a * b)
+    if op == "/":
+        return _trunc_div(a, b)
+    if op == "%":
+        return _trunc_mod(a, b)
+    if op == "&":
+        return wrap(a & b)
+    if op == "|":
+        return wrap(a | b)
+    if op == "^":
+        return wrap(a ^ b)
+    if op == "<<":
+        return wrap(a << (b & (_BITS - 1)))
+    if op == ">>":
+        # Arithmetic shift on the 64-bit signed representation.
+        return wrap(a >> (b & (_BITS - 1)))
+    if op == "==":
+        return 1 if a == b else 0
+    if op == "!=":
+        return 1 if a != b else 0
+    if op == "<":
+        return 1 if a < b else 0
+    if op == "<=":
+        return 1 if a <= b else 0
+    if op == ">":
+        return 1 if a > b else 0
+    if op == ">=":
+        return 1 if a >= b else 0
+    if op == "&&":
+        return 1 if (a != 0 and b != 0) else 0
+    if op == "||":
+        return 1 if (a != 0 or b != 0) else 0
+    raise ValueError(f"unknown binary operator {op!r}")
+
+
+def eval_unop(op: str, a: int) -> int:
+    """Evaluate a unary operation."""
+    if op == "-":
+        return wrap(-a)
+    if op == "~":
+        return wrap(~a)
+    if op == "!":
+        return 1 if a == 0 else 0
+    raise ValueError(f"unknown unary operator {op!r}")
+
+
+#: Binary operators that are pure (no UB) for all operand values.
+PURE_BINOPS = frozenset(
+    ["+", "-", "*", "&", "|", "^", "<<", ">>", "==", "!=", "<", "<=",
+     ">", ">=", "&&", "||"]
+)
+
+#: Operators whose result can raise UB (division family).
+TRAPPING_BINOPS = frozenset(["/", "%"])
+
+#: Comparison operators (always yield 0/1).
+COMPARISON_OPS = frozenset(["==", "!=", "<", "<=", ">", ">="])
+
+#: Commutative operators (used by CSE/value numbering).
+COMMUTATIVE_OPS = frozenset(["+", "*", "&", "|", "^", "==", "!="])

@@ -1,0 +1,111 @@
+"""Operand kinds for the three-address IR.
+
+The IR is deliberately *not* SSA: each source variable that gets promoted
+out of memory lives in one virtual register that may be assigned many
+times, the way late (RTL/Machine-IR) compiler stages work. This is where
+real debug-location maintenance happens — and where the paper's bugs live —
+so it is the level our optimization and codegen passes operate on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_vreg_counter = itertools.count(1)
+
+
+@dataclass(eq=False)
+class VReg:
+    """A virtual register. Identity-based equality."""
+
+    name: str = ""
+    vid: int = field(default_factory=lambda: next(_vreg_counter))
+
+    def __repr__(self) -> str:
+        return f"%{self.name or 'v'}{self.vid}"
+
+    def __hash__(self) -> int:
+        return hash(self.vid)
+
+
+@dataclass(frozen=True)
+class Const:
+    """An integer constant operand."""
+
+    value: int = 0
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class SlotRef:
+    """The address of a stack slot (``&local``), plus a constant offset."""
+
+    slot_id: int = 0
+    offset: int = 0
+
+    def __repr__(self) -> str:
+        if self.offset:
+            return f"slot{self.slot_id}+{self.offset}"
+        return f"slot{self.slot_id}"
+
+
+@dataclass(frozen=True)
+class GlobalRef:
+    """The address of a global variable, plus a constant offset."""
+
+    name: str = ""
+    offset: int = 0
+
+    def __repr__(self) -> str:
+        if self.offset:
+            return f"@{self.name}+{self.offset}"
+        return f"@{self.name}"
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """A salvaged debug value: ``(vreg * mul + add) // div``.
+
+    This is the miniature analogue of a DWARF expression
+    (``DW_OP_breg... DW_OP_mul ...``). Passes that rewrite a variable's
+    defining computation (e.g. loop strength reduction) can still describe
+    the original value in terms of a surviving register. ``div`` must
+    divide exactly in well-formed salvages; the debugger evaluates with
+    truncating division regardless.
+    """
+
+    vreg: VReg = None
+    mul: int = 1
+    add: int = 0
+    div: int = 1
+
+    def evaluate(self, reg_value: int) -> int:
+        value = reg_value * self.mul + self.add
+        # C-style truncation toward zero.
+        q = abs(value) // abs(self.div)
+        if (value < 0) != (self.div < 0) and q != 0:
+            q = -q
+        elif (value < 0) != (self.div < 0):
+            q = 0
+        return q
+
+    def __repr__(self) -> str:
+        return f"({self.vreg}*{self.mul}+{self.add})/{self.div}"
+
+
+#: An operand is one of VReg | Const | SlotRef | GlobalRef.
+Operand = object
+
+
+def is_operand(value) -> bool:
+    """True for any legal instruction operand."""
+    return isinstance(value, (VReg, Const, SlotRef, GlobalRef))
+
+
+def operand_vreg(value) -> Optional[VReg]:
+    """The VReg inside an operand, or None for non-register operands."""
+    return value if isinstance(value, VReg) else None

@@ -1,0 +1,125 @@
+"""Structural verifier for IR modules.
+
+Run after lowering and after every optimization pass in checked builds;
+pass-pipeline tests lean on this to catch malformed rewrites early.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .instructions import (
+    BinOp, Branch, Call, DbgDeclare, DbgValue, Jump, Load, Move, Ret, Store,
+    UnOp,
+)
+from .module import Function, Module
+from .values import AffineExpr, Const, GlobalRef, SlotRef, VReg
+
+
+class VerificationError(Exception):
+    """Raised when an IR module is structurally malformed."""
+
+
+def _check_operand(op, fn: Function, module: Module, where: str,
+                   errors: List[str], allow_none: bool = False) -> None:
+    if op is None:
+        if not allow_none:
+            errors.append(f"{where}: missing operand")
+        return
+    if isinstance(op, VReg):
+        return
+    if isinstance(op, Const):
+        return
+    if isinstance(op, SlotRef):
+        if op.slot_id not in fn.slots:
+            errors.append(f"{where}: dangling slot ref {op}")
+        return
+    if isinstance(op, GlobalRef):
+        if op.name not in module.globals:
+            errors.append(f"{where}: dangling global ref {op}")
+        return
+    errors.append(f"{where}: bad operand {op!r}")
+
+
+def verify_function(fn: Function, module: Module) -> List[str]:
+    """Return a list of problems found in ``fn`` (empty = well-formed)."""
+    errors: List[str] = []
+    if not fn.blocks:
+        return [f"{fn.name}: no blocks"]
+
+    block_ids = {id(b) for b in fn.blocks}
+    names = {}
+    for block in fn.blocks:
+        if block.name in names:
+            errors.append(f"{fn.name}: duplicate block name {block.name}")
+        names[block.name] = block
+
+    for block in fn.blocks:
+        where = f"{fn.name}/{block.name}"
+        if not block.instrs or not block.instrs[-1].is_terminator():
+            errors.append(f"{where}: missing terminator")
+        for i, instr in enumerate(block.instrs):
+            at = f"{where}[{i}]"
+            if instr.is_terminator() and i != len(block.instrs) - 1:
+                errors.append(f"{at}: terminator in mid-block")
+            if isinstance(instr, (Jump,)):
+                if id(instr.target) not in block_ids:
+                    errors.append(f"{at}: jump to detached block")
+            elif isinstance(instr, Branch):
+                _check_operand(instr.cond, fn, module, at, errors)
+                for tgt in (instr.if_true, instr.if_false):
+                    if id(tgt) not in block_ids:
+                        errors.append(f"{at}: branch to detached block")
+            elif isinstance(instr, Move):
+                if not isinstance(instr.dst, VReg):
+                    errors.append(f"{at}: move without dst vreg")
+                _check_operand(instr.src, fn, module, at, errors)
+            elif isinstance(instr, (BinOp,)):
+                if not isinstance(instr.dst, VReg):
+                    errors.append(f"{at}: binop without dst vreg")
+                _check_operand(instr.a, fn, module, at, errors)
+                _check_operand(instr.b, fn, module, at, errors)
+            elif isinstance(instr, UnOp):
+                if not isinstance(instr.dst, VReg):
+                    errors.append(f"{at}: unop without dst vreg")
+                _check_operand(instr.a, fn, module, at, errors)
+            elif isinstance(instr, Load):
+                if not isinstance(instr.dst, VReg):
+                    errors.append(f"{at}: load without dst vreg")
+                _check_operand(instr.addr, fn, module, at, errors)
+            elif isinstance(instr, Store):
+                _check_operand(instr.addr, fn, module, at, errors)
+                _check_operand(instr.value, fn, module, at, errors)
+            elif isinstance(instr, Call):
+                known = (instr.callee in module.functions or
+                         instr.callee in module.externs)
+                if not known:
+                    errors.append(f"{at}: call to unknown {instr.callee!r}")
+                for arg in instr.args:
+                    _check_operand(arg, fn, module, at, errors)
+            elif isinstance(instr, Ret):
+                _check_operand(instr.value, fn, module, at, errors,
+                               allow_none=True)
+            elif isinstance(instr, DbgValue):
+                if instr.symbol is None:
+                    errors.append(f"{at}: dbg.value without symbol")
+                if isinstance(instr.value, AffineExpr):
+                    if not isinstance(instr.value.vreg, VReg):
+                        errors.append(f"{at}: affine dbg without vreg")
+                    if instr.value.div == 0:
+                        errors.append(f"{at}: affine dbg with zero divisor")
+                elif instr.value is not None:
+                    _check_operand(instr.value, fn, module, at, errors)
+            elif isinstance(instr, DbgDeclare):
+                if instr.slot_id not in fn.slots:
+                    errors.append(f"{at}: dbg.declare of dangling slot")
+    return errors
+
+
+def verify_module(module: Module) -> None:
+    """Raise :class:`VerificationError` if any function is malformed."""
+    errors: List[str] = []
+    for fn in module.functions.values():
+        errors.extend(verify_function(fn, module))
+    if errors:
+        raise VerificationError("; ".join(errors[:10]))

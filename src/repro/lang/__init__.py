@@ -1,0 +1,17 @@
+"""Mini-C language frontend: lexer, parser, AST, types, printer."""
+
+from . import ast_nodes
+from .ast_nodes import (
+    ArrayIndex, Assign, Binary, Block, Break, Call, Conditional, Continue,
+    DeclStmt, DoWhile, Empty, Expr, ExprStmt, ExternDecl, For, FuncDef,
+    Goto, Ident, If, IntLit, LabeledStmt, Node, Param, Program, Return,
+    Stmt, Unary, VarDecl, While, walk_expr, walk_stmt, stmt_exprs,
+    walk_program_stmts,
+)
+from .lexer import LexError, Lexer, tokenize
+from .parser import ParseError, Parser, parse, parse_expr
+from .printer import Printer, format_expr, print_program
+from .types import (
+    CHAR, INT, INT_TYPES, LONG, SHORT, UCHAR, UINT, ULONG, USHORT,
+    ArrayType, IntType, PointerType, Type, is_array, is_integer, is_pointer,
+)

@@ -1,0 +1,396 @@
+"""AST for the mini-C language.
+
+Every node carries the 1-based source ``line`` it starts on. Lines are the
+currency of the whole system: the compiler's line table, the debugger's
+stepping, and the conjecture checkers all speak in terms of these numbers,
+so AST construction (by the parser or by the fuzzer) must assign them
+consistently. The printer is the inverse: it renders a program such that
+each statement lands on its recorded line.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .types import ArrayType, IntType, PointerType, Type
+
+_node_counter = itertools.count(1)
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = 0
+    uid: int = field(default_factory=lambda: next(_node_counter), repr=False,
+                     compare=False)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLit(Expr):
+    """Integer literal."""
+
+    value: int = 0
+
+
+@dataclass
+class Ident(Expr):
+    """Reference to a variable by name; resolved by ``analysis.scopes``."""
+
+    name: str = ""
+
+
+@dataclass
+class ArrayIndex(Expr):
+    """``base[index]`` — ``base`` may itself be an ArrayIndex (multi-dim)."""
+
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operation: ``-``, ``!``, ``~``, ``&`` (address-of), ``*``
+    (dereference), and prefix/postfix ``++``/``--``."""
+
+    op: str = "-"
+    operand: Expr = None
+    prefix: bool = True
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operation over the usual C operator set."""
+
+    op: str = "+"
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment expression (C-style, usable inside larger expressions).
+
+    ``op`` is ``"="`` or a compound operator (``"+="`` ...). The target is
+    an lvalue expression: :class:`Ident`, :class:`ArrayIndex`, or a
+    dereference :class:`Unary`.
+    """
+
+    target: Expr = None
+    value: Expr = None
+    op: str = "="
+
+
+@dataclass
+class Call(Expr):
+    """Function call by name."""
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Conditional(Expr):
+    """Ternary conditional ``cond ? then : other``."""
+
+    cond: Expr = None
+    then: Expr = None
+    other: Expr = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class VarDecl(Node):
+    """A single declared variable (one declarator).
+
+    Used both for globals (``is_global=True``) and locals inside a
+    :class:`DeclStmt`. ``init`` is an expression for scalars, or a nested
+    list structure of expressions for brace-initialized arrays.
+    """
+
+    name: str = ""
+    type: Type = field(default_factory=IntType)
+    init: object = None
+    is_global: bool = False
+    volatile: bool = False
+    static: bool = False
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """A declaration statement: ``int i = 0, j, k;``."""
+
+    decls: List[VarDecl] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for effect: assignments and calls."""
+
+    expr: Expr = None
+
+
+@dataclass
+class Block(Stmt):
+    """A compound statement ``{ ... }``."""
+
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    """``if (cond) then [else other]``."""
+
+    cond: Expr = None
+    then: Stmt = None
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    """``for (init; cond; step) body``; each header part may be absent.
+
+    ``init`` is either a :class:`DeclStmt`, an :class:`ExprStmt`, or None.
+    """
+
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None
+
+
+@dataclass
+class While(Stmt):
+    """``while (cond) body``."""
+
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    """``do body while (cond);``."""
+
+    body: Stmt = None
+    cond: Expr = None
+
+
+@dataclass
+class Return(Stmt):
+    """``return [expr];``."""
+
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Goto(Stmt):
+    """``goto label;``."""
+
+    label: str = ""
+
+
+@dataclass
+class LabeledStmt(Stmt):
+    """``label: stmt``."""
+
+    label: str = ""
+    stmt: Stmt = None
+
+
+@dataclass
+class Break(Stmt):
+    """``break;``."""
+
+
+@dataclass
+class Continue(Stmt):
+    """``continue;``."""
+
+
+@dataclass
+class Empty(Stmt):
+    """A lone ``;``."""
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    """A function parameter."""
+
+    name: str = ""
+    type: Type = field(default_factory=IntType)
+
+
+@dataclass
+class FuncDef(Node):
+    """A function definition."""
+
+    name: str = ""
+    return_type: Type = field(default_factory=IntType)
+    params: List[Param] = field(default_factory=list)
+    body: Block = None
+    static: bool = False
+
+
+@dataclass
+class ExternDecl(Node):
+    """An external (opaque) function declaration.
+
+    Opaque functions are the anchor of Conjecture 1: the optimizer knows
+    nothing about their body and must materialize argument values.
+    """
+
+    name: str = ""
+    return_type: Optional[Type] = None  # None means void
+    variadic: bool = False
+    param_types: List[Type] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    """A whole translation unit."""
+
+    globals: List[VarDecl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)
+    externs: List[ExternDecl] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDef:
+        """Look up a function definition by name."""
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+    def global_decl(self, name: str) -> VarDecl:
+        """Look up a global declaration by name."""
+        for g in self.globals:
+            if g.name == name:
+                return g
+        raise KeyError(name)
+
+    def extern_names(self) -> List[str]:
+        """Names of all declared opaque functions."""
+        return [e.name for e in self.externs]
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and all sub-expressions, pre-order."""
+    if expr is None:
+        return
+    yield expr
+    if isinstance(expr, ArrayIndex):
+        yield from walk_expr(expr.base)
+        yield from walk_expr(expr.index)
+    elif isinstance(expr, Unary):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, Binary):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, Assign):
+        yield from walk_expr(expr.target)
+        yield from walk_expr(expr.value)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+    elif isinstance(expr, Conditional):
+        yield from walk_expr(expr.cond)
+        yield from walk_expr(expr.then)
+        yield from walk_expr(expr.other)
+
+
+def _init_exprs(init):
+    """Yield all expressions inside a (possibly nested) initializer."""
+    if init is None:
+        return
+    if isinstance(init, list):
+        for item in init:
+            yield from _init_exprs(item)
+    else:
+        yield from walk_expr(init)
+
+
+def walk_stmt(stmt: Stmt):
+    """Yield ``stmt`` and all nested statements, pre-order."""
+    if stmt is None:
+        return
+    yield stmt
+    if isinstance(stmt, Block):
+        for s in stmt.stmts:
+            yield from walk_stmt(s)
+    elif isinstance(stmt, If):
+        yield from walk_stmt(stmt.then)
+        yield from walk_stmt(stmt.other)
+    elif isinstance(stmt, For):
+        yield from walk_stmt(stmt.init)
+        yield from walk_stmt(stmt.body)
+    elif isinstance(stmt, (While, DoWhile)):
+        yield from walk_stmt(stmt.body)
+    elif isinstance(stmt, LabeledStmt):
+        yield from walk_stmt(stmt.stmt)
+
+
+def stmt_exprs(stmt: Stmt):
+    """Yield the expressions directly owned by ``stmt`` (not nested stmts)."""
+    if isinstance(stmt, ExprStmt):
+        yield from walk_expr(stmt.expr)
+    elif isinstance(stmt, DeclStmt):
+        for d in stmt.decls:
+            yield from _init_exprs(d.init)
+    elif isinstance(stmt, If):
+        yield from walk_expr(stmt.cond)
+    elif isinstance(stmt, For):
+        if stmt.cond is not None:
+            yield from walk_expr(stmt.cond)
+        if stmt.step is not None:
+            yield from walk_expr(stmt.step)
+    elif isinstance(stmt, (While, DoWhile)):
+        yield from walk_expr(stmt.cond)
+    elif isinstance(stmt, Return):
+        if stmt.value is not None:
+            yield from walk_expr(stmt.value)
+
+
+def walk_program_stmts(program: Program):
+    """Yield every statement in every function of ``program``."""
+    for fn in program.functions:
+        yield from walk_stmt(fn.body)
+
+
+__all__ = [
+    "Node", "Expr", "IntLit", "Ident", "ArrayIndex", "Unary", "Binary",
+    "Assign", "Call", "Conditional", "Stmt", "VarDecl", "DeclStmt",
+    "ExprStmt", "Block", "If", "For", "While", "DoWhile", "Return", "Goto",
+    "LabeledStmt", "Break", "Continue", "Empty", "Param", "FuncDef",
+    "ExternDecl", "Program", "walk_expr", "walk_stmt", "stmt_exprs",
+    "walk_program_stmts", "ArrayType", "IntType", "PointerType", "Type",
+]

@@ -1,0 +1,199 @@
+"""Hand-written lexer for the mini-C language.
+
+The lexer tracks line numbers precisely because the entire debug-info
+pipeline keys on source lines: the line table, debugger stepping, and the
+conjecture checkers all reason in terms of the line a token appeared on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .tokens import KEYWORDS, Token, TokenKind
+
+
+class LexError(Exception):
+    """Raised on an unrecognized character or malformed literal."""
+
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"line {line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = [
+    ("...", TokenKind.ELLIPSIS),
+    ("<<=", None),  # unsupported, reported as error below
+    (">>=", None),
+    ("<<", TokenKind.SHL),
+    (">>", TokenKind.SHR),
+    ("&&", TokenKind.ANDAND),
+    ("||", TokenKind.OROR),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("++", TokenKind.PLUSPLUS),
+    ("--", TokenKind.MINUSMINUS),
+    ("+=", TokenKind.PLUS_ASSIGN),
+    ("-=", TokenKind.MINUS_ASSIGN),
+    ("*=", TokenKind.STAR_ASSIGN),
+    ("/=", TokenKind.SLASH_ASSIGN),
+    ("%=", TokenKind.PERCENT_ASSIGN),
+    ("&=", TokenKind.AMP_ASSIGN),
+    ("|=", TokenKind.PIPE_ASSIGN),
+    ("^=", TokenKind.CARET_ASSIGN),
+]
+
+_SINGLE_OPS = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ":": TokenKind.COLON,
+    "?": TokenKind.QUESTION,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "&": TokenKind.AMP,
+    "|": TokenKind.PIPE,
+    "^": TokenKind.CARET,
+    "~": TokenKind.TILDE,
+    "!": TokenKind.BANG,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+}
+
+
+class Lexer:
+    """Converts mini-C source text into a token stream."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.col
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated comment", start_line, start_col)
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+        # Swallow integer suffixes (UL etc.) so Csmith-style constants lex.
+        while self._peek() and self._peek() in "uUlL":
+            self._advance()
+        return Token(TokenKind.NUMBER, self.source[start : self.pos], line, col)
+
+    def _lex_ident(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        while self._peek() and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, line, col)
+
+    def _lex_string(self) -> Token:
+        line, col = self.line, self.col
+        start = self.pos
+        self._advance()  # opening quote
+        while self._peek() and self._peek() != '"':
+            if self._peek() == "\\":
+                self._advance()
+            self._advance()
+        if not self._peek():
+            raise LexError("unterminated string", line, col)
+        self._advance()  # closing quote
+        return Token(TokenKind.STRING, self.source[start : self.pos], line, col)
+
+    def next_token(self) -> Token:
+        """Return the next token (EOF token at end of input)."""
+        self._skip_trivia()
+        if self.pos >= len(self.source):
+            return Token(TokenKind.EOF, "", self.line, self.col)
+
+        ch = self._peek()
+        if ch.isdigit():
+            return self._lex_number()
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident()
+        if ch == '"':
+            return self._lex_string()
+
+        for text, kind in _MULTI_OPS:
+            if self.source.startswith(text, self.pos):
+                if kind is None:
+                    raise LexError(f"unsupported operator {text!r}", self.line, self.col)
+                tok = Token(kind, text, self.line, self.col)
+                self._advance(len(text))
+                return tok
+
+        if ch in _SINGLE_OPS:
+            tok = Token(_SINGLE_OPS[ch], ch, self.line, self.col)
+            self._advance()
+            return tok
+
+        raise LexError(f"unexpected character {ch!r}", self.line, self.col)
+
+    def tokenize(self) -> List[Token]:
+        """Lex the entire input, returning tokens ending with EOF."""
+        tokens: List[Token] = []
+        while True:
+            tok = self.next_token()
+            tokens.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return tokens
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,547 @@
+"""Recursive-descent parser for the mini-C language.
+
+Grammar (informal):
+
+    program      := (extern_decl | global_decl | func_def)*
+    extern_decl  := "extern" type IDENT "(" param_types ")" ";"
+    func_def     := ["static"] type IDENT "(" params ")" block
+    global_decl  := ["static"] ["volatile"] type declarator ("," declarator)* ";"
+    declarator   := "*"* IDENT ("[" NUMBER "]")* ["=" initializer]
+    stmt         := decl_stmt | expr_stmt | if | for | while | do_while
+                  | return | goto | labeled | block | break | continue | ";"
+    expr         := assignment ("," handled only in for-steps)
+
+Operator precedence follows C. The parser is deliberately strict: anything
+outside the subset raises :class:`ParseError` with a line number, which the
+fuzzer's round-trip property tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast_nodes as A
+from .lexer import tokenize
+from .tokens import Token, TokenKind as T
+from .types import ArrayType, IntType, PointerType, Type, INT_TYPES
+
+
+class ParseError(Exception):
+    """Raised on a syntax error, carrying the offending line."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+#: Binary operator precedence table (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_BINOP_TOKENS = {
+    T.OROR: "||", T.ANDAND: "&&", T.PIPE: "|", T.CARET: "^", T.AMP: "&",
+    T.EQ: "==", T.NE: "!=", T.LT: "<", T.LE: "<=", T.GT: ">", T.GE: ">=",
+    T.SHL: "<<", T.SHR: ">>", T.PLUS: "+", T.MINUS: "-", T.STAR: "*",
+    T.SLASH: "/", T.PERCENT: "%",
+}
+
+_ASSIGN_TOKENS = {
+    T.ASSIGN: "=", T.PLUS_ASSIGN: "+=", T.MINUS_ASSIGN: "-=",
+    T.STAR_ASSIGN: "*=", T.SLASH_ASSIGN: "/=", T.PERCENT_ASSIGN: "%=",
+    T.AMP_ASSIGN: "&=", T.PIPE_ASSIGN: "|=", T.CARET_ASSIGN: "^=",
+}
+
+_TYPE_KEYWORDS = {
+    T.KW_INT, T.KW_SHORT, T.KW_CHAR, T.KW_LONG, T.KW_UNSIGNED, T.KW_SIGNED,
+    T.KW_VOID, T.KW_VOLATILE, T.KW_STATIC, T.KW_EXTERN, T.KW_CONST,
+}
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.lang.ast_nodes.Program`."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not T.EOF:
+            self.pos += 1
+        return tok
+
+    def _check(self, kind: T) -> bool:
+        return self._peek().kind is kind
+
+    def _accept(self, kind: T) -> Optional[Token]:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: T, what: str = "") -> Token:
+        tok = self._peek()
+        if tok.kind is not kind:
+            wanted = what or kind.name
+            raise ParseError(
+                f"expected {wanted}, found {tok.text!r}", tok.line
+            )
+        return self._advance()
+
+    # -- types -------------------------------------------------------------
+
+    def _at_type(self) -> bool:
+        return self._peek().kind in _TYPE_KEYWORDS
+
+    def _parse_base_type(self) -> Optional[Type]:
+        """Parse an integer base type or ``void`` (returned as None)."""
+        signed = True
+        saw_sign = False
+        if self._accept(T.KW_UNSIGNED):
+            signed = False
+            saw_sign = True
+        elif self._accept(T.KW_SIGNED):
+            saw_sign = True
+        tok = self._peek()
+        if tok.kind is T.KW_INT:
+            self._advance()
+            return INT_TYPES[("int", signed)]
+        if tok.kind is T.KW_SHORT:
+            self._advance()
+            self._accept(T.KW_INT)
+            return INT_TYPES[("short", signed)]
+        if tok.kind is T.KW_CHAR:
+            self._advance()
+            return INT_TYPES[("char", signed)]
+        if tok.kind is T.KW_LONG:
+            self._advance()
+            self._accept(T.KW_LONG)
+            self._accept(T.KW_INT)
+            return INT_TYPES[("long", signed)]
+        if tok.kind is T.KW_VOID:
+            if saw_sign:
+                raise ParseError("'void' cannot be signed", tok.line)
+            self._advance()
+            return None
+        if saw_sign:
+            return INT_TYPES[("int", signed)]
+        raise ParseError(f"expected a type, found {tok.text!r}", tok.line)
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_program(self) -> A.Program:
+        """Parse a whole translation unit."""
+        program = A.Program(line=1)
+        while not self._check(T.EOF):
+            self._parse_top_level(program)
+        return program
+
+    def _parse_top_level(self, program: A.Program) -> None:
+        if self._check(T.KW_EXTERN):
+            program.externs.append(self._parse_extern())
+            return
+
+        static = bool(self._accept(T.KW_STATIC))
+        volatile = bool(self._accept(T.KW_VOLATILE))
+        self._accept(T.KW_CONST)
+        line = self._peek().line
+        base = self._parse_base_type()
+
+        # Distinguish function definition from global declaration by
+        # looking ahead: IDENT followed by '(' is a function.
+        ptr_depth = 0
+        while self._accept(T.STAR):
+            ptr_depth += 1
+        name_tok = self._expect(T.IDENT, "identifier")
+
+        if self._check(T.LPAREN):
+            if volatile:
+                raise ParseError("volatile function", name_tok.line)
+            ret = base
+            for _ in range(ptr_depth):
+                ret = PointerType(ret)
+            fn = self._parse_func_def(name_tok.text, ret, line, static)
+            program.functions.append(fn)
+            return
+
+        if base is None:
+            raise ParseError("variable of type void", name_tok.line)
+
+        decl = self._finish_declarator(
+            name_tok.text, base, ptr_depth, line,
+            is_global=True, volatile=volatile, static=static,
+        )
+        program.globals.append(decl)
+        while self._accept(T.COMMA):
+            ptr_depth = 0
+            while self._accept(T.STAR):
+                ptr_depth += 1
+            ntok = self._expect(T.IDENT, "identifier")
+            program.globals.append(
+                self._finish_declarator(
+                    ntok.text, base, ptr_depth, ntok.line,
+                    is_global=True, volatile=volatile, static=static,
+                )
+            )
+        self._expect(T.SEMI, "';'")
+
+    def _parse_extern(self) -> A.ExternDecl:
+        line = self._expect(T.KW_EXTERN).line
+        ret = self._parse_base_type()
+        ptr_depth = 0
+        while self._accept(T.STAR):
+            ptr_depth += 1
+        for _ in range(ptr_depth):
+            ret = PointerType(ret)
+        name = self._expect(T.IDENT, "identifier").text
+        self._expect(T.LPAREN, "'('")
+        param_types: List[Type] = []
+        variadic = False
+        if not self._check(T.RPAREN):
+            while True:
+                if self._accept(T.ELLIPSIS):
+                    variadic = True
+                    break
+                pty = self._parse_base_type()
+                pdepth = 0
+                while self._accept(T.STAR):
+                    pdepth += 1
+                for _ in range(pdepth):
+                    pty = PointerType(pty)
+                self._accept(T.IDENT)
+                if pty is not None:
+                    param_types.append(pty)
+                if not self._accept(T.COMMA):
+                    break
+        self._expect(T.RPAREN, "')'")
+        self._expect(T.SEMI, "';'")
+        return A.ExternDecl(line=line, name=name, return_type=ret,
+                            variadic=variadic, param_types=param_types)
+
+    def _parse_func_def(self, name: str, ret: Optional[Type], line: int,
+                        static: bool) -> A.FuncDef:
+        self._expect(T.LPAREN, "'('")
+        params: List[A.Param] = []
+        if not self._check(T.RPAREN):
+            if self._check(T.KW_VOID) and self._peek(1).kind is T.RPAREN:
+                self._advance()
+            else:
+                while True:
+                    pty = self._parse_base_type()
+                    pdepth = 0
+                    while self._accept(T.STAR):
+                        pdepth += 1
+                    for _ in range(pdepth):
+                        pty = PointerType(pty)
+                    ptok = self._expect(T.IDENT, "parameter name")
+                    if pty is None:
+                        raise ParseError("parameter of type void", ptok.line)
+                    params.append(A.Param(line=ptok.line, name=ptok.text,
+                                          type=pty))
+                    if not self._accept(T.COMMA):
+                        break
+        self._expect(T.RPAREN, "')'")
+        body = self._parse_block()
+        return A.FuncDef(line=line, name=name,
+                         return_type=ret if ret is not None else None,
+                         params=params, body=body, static=static)
+
+    def _finish_declarator(self, name: str, base: Type, ptr_depth: int,
+                           line: int, is_global: bool, volatile: bool,
+                           static: bool) -> A.VarDecl:
+        ty: Type = base
+        for _ in range(ptr_depth):
+            ty = PointerType(ty)
+        dims: List[int] = []
+        while self._accept(T.LBRACKET):
+            num = self._expect(T.NUMBER, "array extent")
+            dims.append(int(num.text.rstrip("uUlL"), 0))
+            self._expect(T.RBRACKET, "']'")
+        if dims:
+            ty = ArrayType(elem=ty, dims=tuple(dims))
+        init = None
+        if self._accept(T.ASSIGN):
+            init = self._parse_initializer()
+        return A.VarDecl(line=line, name=name, type=ty, init=init,
+                         is_global=is_global, volatile=volatile,
+                         static=static)
+
+    def _parse_initializer(self):
+        if self._accept(T.LBRACE):
+            items = []
+            if not self._check(T.RBRACE):
+                while True:
+                    items.append(self._parse_initializer())
+                    if not self._accept(T.COMMA):
+                        break
+                    if self._check(T.RBRACE):
+                        break  # trailing comma
+            self._expect(T.RBRACE, "'}'")
+            return items
+        return self.parse_expr()
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block(self) -> A.Block:
+        lbrace = self._expect(T.LBRACE, "'{'")
+        stmts: List[A.Stmt] = []
+        while not self._check(T.RBRACE):
+            if self._check(T.EOF):
+                raise ParseError("unterminated block", lbrace.line)
+            stmts.append(self.parse_stmt())
+        self._expect(T.RBRACE, "'}'")
+        return A.Block(line=lbrace.line, stmts=stmts)
+
+    def parse_stmt(self) -> A.Stmt:
+        """Parse one statement."""
+        tok = self._peek()
+
+        if tok.kind is T.LBRACE:
+            return self._parse_block()
+        if tok.kind is T.SEMI:
+            self._advance()
+            return A.Empty(line=tok.line)
+        if tok.kind is T.KW_IF:
+            return self._parse_if()
+        if tok.kind is T.KW_FOR:
+            return self._parse_for()
+        if tok.kind is T.KW_WHILE:
+            return self._parse_while()
+        if tok.kind is T.KW_DO:
+            return self._parse_do_while()
+        if tok.kind is T.KW_RETURN:
+            self._advance()
+            value = None if self._check(T.SEMI) else self.parse_expr()
+            self._expect(T.SEMI, "';'")
+            return A.Return(line=tok.line, value=value)
+        if tok.kind is T.KW_GOTO:
+            self._advance()
+            label = self._expect(T.IDENT, "label").text
+            self._expect(T.SEMI, "';'")
+            return A.Goto(line=tok.line, label=label)
+        if tok.kind is T.KW_BREAK:
+            self._advance()
+            self._expect(T.SEMI, "';'")
+            return A.Break(line=tok.line)
+        if tok.kind is T.KW_CONTINUE:
+            self._advance()
+            self._expect(T.SEMI, "';'")
+            return A.Continue(line=tok.line)
+        if tok.kind is T.IDENT and self._peek(1).kind is T.COLON:
+            self._advance()
+            self._advance()
+            inner = self.parse_stmt()
+            return A.LabeledStmt(line=tok.line, label=tok.text, stmt=inner)
+        if self._at_type():
+            return self._parse_decl_stmt()
+
+        expr = self.parse_expr()
+        self._expect(T.SEMI, "';'")
+        return A.ExprStmt(line=tok.line, expr=expr)
+
+    def _parse_decl_stmt(self) -> A.DeclStmt:
+        line = self._peek().line
+        static = bool(self._accept(T.KW_STATIC))
+        volatile = bool(self._accept(T.KW_VOLATILE))
+        self._accept(T.KW_CONST)
+        base = self._parse_base_type()
+        if base is None:
+            raise ParseError("variable of type void", line)
+        decls: List[A.VarDecl] = []
+        while True:
+            ptr_depth = 0
+            while self._accept(T.STAR):
+                ptr_depth += 1
+            ntok = self._expect(T.IDENT, "identifier")
+            decls.append(
+                self._finish_declarator(
+                    ntok.text, base, ptr_depth, ntok.line,
+                    is_global=False, volatile=volatile, static=static,
+                )
+            )
+            if not self._accept(T.COMMA):
+                break
+        self._expect(T.SEMI, "';'")
+        return A.DeclStmt(line=line, decls=decls)
+
+    def _parse_if(self) -> A.If:
+        line = self._expect(T.KW_IF).line
+        self._expect(T.LPAREN, "'('")
+        cond = self.parse_expr()
+        self._expect(T.RPAREN, "')'")
+        then = self.parse_stmt()
+        other = None
+        if self._accept(T.KW_ELSE):
+            other = self.parse_stmt()
+        return A.If(line=line, cond=cond, then=then, other=other)
+
+    def _parse_for(self) -> A.For:
+        line = self._expect(T.KW_FOR).line
+        self._expect(T.LPAREN, "'('")
+        init: Optional[A.Stmt] = None
+        if not self._check(T.SEMI):
+            if self._at_type():
+                init = self._parse_decl_stmt()
+            else:
+                expr = self.parse_expr()
+                self._expect(T.SEMI, "';'")
+                init = A.ExprStmt(line=line, expr=expr)
+        else:
+            self._advance()
+        cond = None if self._check(T.SEMI) else self.parse_expr()
+        self._expect(T.SEMI, "';'")
+        step = None if self._check(T.RPAREN) else self.parse_expr()
+        self._expect(T.RPAREN, "')'")
+        body = self.parse_stmt()
+        return A.For(line=line, init=init, cond=cond, step=step, body=body)
+
+    def _parse_while(self) -> A.While:
+        line = self._expect(T.KW_WHILE).line
+        self._expect(T.LPAREN, "'('")
+        cond = self.parse_expr()
+        self._expect(T.RPAREN, "')'")
+        body = self.parse_stmt()
+        return A.While(line=line, cond=cond, body=body)
+
+    def _parse_do_while(self) -> A.DoWhile:
+        line = self._expect(T.KW_DO).line
+        body = self.parse_stmt()
+        self._expect(T.KW_WHILE, "'while'")
+        self._expect(T.LPAREN, "'('")
+        cond = self.parse_expr()
+        self._expect(T.RPAREN, "')'")
+        self._expect(T.SEMI, "';'")
+        return A.DoWhile(line=line, body=body, cond=cond)
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> A.Expr:
+        """Parse an assignment-level expression."""
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> A.Expr:
+        left = self._parse_conditional()
+        tok = self._peek()
+        if tok.kind in _ASSIGN_TOKENS:
+            if not isinstance(left, (A.Ident, A.ArrayIndex, A.Unary)):
+                raise ParseError("invalid assignment target", tok.line)
+            if isinstance(left, A.Unary) and left.op != "*":
+                raise ParseError("invalid assignment target", tok.line)
+            self._advance()
+            value = self._parse_assignment()
+            return A.Assign(line=left.line, target=left, value=value,
+                            op=_ASSIGN_TOKENS[tok.kind])
+        return left
+
+    def _parse_conditional(self) -> A.Expr:
+        cond = self._parse_binary(1)
+        if self._accept(T.QUESTION):
+            then = self.parse_expr()
+            self._expect(T.COLON, "':'")
+            other = self._parse_conditional()
+            return A.Conditional(line=cond.line, cond=cond, then=then,
+                                 other=other)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> A.Expr:
+        left = self._parse_unary()
+        while True:
+            tok = self._peek()
+            op = _BINOP_TOKENS.get(tok.kind)
+            if op is None or _PRECEDENCE[op] < min_prec:
+                return left
+            self._advance()
+            right = self._parse_binary(_PRECEDENCE[op] + 1)
+            left = A.Binary(line=left.line, op=op, left=left, right=right)
+
+    def _parse_unary(self) -> A.Expr:
+        tok = self._peek()
+        unary_map = {
+            T.MINUS: "-", T.BANG: "!", T.TILDE: "~",
+            T.AMP: "&", T.STAR: "*",
+        }
+        if tok.kind is T.PLUS:
+            self._advance()
+            return self._parse_unary()
+        if tok.kind in unary_map:
+            self._advance()
+            operand = self._parse_unary()
+            return A.Unary(line=tok.line, op=unary_map[tok.kind],
+                           operand=operand, prefix=True)
+        if tok.kind in (T.PLUSPLUS, T.MINUSMINUS):
+            self._advance()
+            operand = self._parse_unary()
+            op = "++" if tok.kind is T.PLUSPLUS else "--"
+            return A.Unary(line=tok.line, op=op, operand=operand, prefix=True)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> A.Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self._peek()
+            if tok.kind is T.LBRACKET:
+                self._advance()
+                index = self.parse_expr()
+                self._expect(T.RBRACKET, "']'")
+                expr = A.ArrayIndex(line=expr.line, base=expr, index=index)
+            elif tok.kind in (T.PLUSPLUS, T.MINUSMINUS):
+                self._advance()
+                op = "++" if tok.kind is T.PLUSPLUS else "--"
+                expr = A.Unary(line=expr.line, op=op, operand=expr,
+                               prefix=False)
+            else:
+                return expr
+
+    def _parse_primary(self) -> A.Expr:
+        tok = self._peek()
+        if tok.kind is T.NUMBER:
+            self._advance()
+            return A.IntLit(line=tok.line,
+                            value=int(tok.text.rstrip("uUlL"), 0))
+        if tok.kind is T.IDENT:
+            self._advance()
+            if self._check(T.LPAREN):
+                self._advance()
+                args: List[A.Expr] = []
+                if not self._check(T.RPAREN):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self._accept(T.COMMA):
+                            break
+                self._expect(T.RPAREN, "')'")
+                return A.Call(line=tok.line, name=tok.text, args=args)
+            return A.Ident(line=tok.line, name=tok.text)
+        if tok.kind is T.LPAREN:
+            self._advance()
+            expr = self.parse_expr()
+            self._expect(T.RPAREN, "')'")
+            return expr
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line)
+
+
+def parse(source: str) -> A.Program:
+    """Parse mini-C ``source`` text into a :class:`Program`."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_expr(source: str) -> A.Expr:
+    """Parse a single expression (used by tests and the reducer)."""
+    parser = Parser(tokenize(source))
+    expr = parser.parse_expr()
+    parser._expect(T.EOF, "end of input")
+    return expr

@@ -1,0 +1,370 @@
+"""Source printer for the mini-C AST.
+
+The printer produces canonical C-like text and, importantly, *assigns line
+numbers back onto the AST* so that the AST and the emitted source agree on
+which line every statement lives on. The whole downstream pipeline (line
+tables, debugger stepping, conjecture checking) relies on this agreement,
+so both the parser and the fuzzer funnel their programs through
+:func:`print_program` before compilation.
+
+Conventions (one statement per line, matching how Csmith output is usually
+normalized for bug reports):
+
+* each global declaration, statement, and closing brace gets its own line;
+* ``if (cond) {`` / ``for (...) {`` / function headers share a line with
+  their opening brace;
+* a labeled statement shares its line with its label (``f: if (a)``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast_nodes as A
+from .types import ArrayType, IntType, PointerType, Type
+
+#: Precedence levels for parenthesization; mirrors the parser's table.
+_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_PREC_UNARY = 11
+_PREC_POSTFIX = 12
+_PREC_ASSIGN = 0
+_PREC_COND = 0.5
+
+
+def format_type_prefix(ty: Type) -> str:
+    """The part of a declaration before the variable name."""
+    if isinstance(ty, ArrayType):
+        return format_type_prefix(ty.elem)
+    if isinstance(ty, PointerType):
+        return format_type_prefix(ty.base) + " *"
+    assert isinstance(ty, IntType)
+    return ty.c_name()
+
+
+def format_type_suffix(ty: Type) -> str:
+    """The part of a declaration after the variable name (array extents)."""
+    if isinstance(ty, ArrayType):
+        return "".join(f"[{d}]" for d in ty.dims)
+    return ""
+
+
+def format_expr(expr: A.Expr, parent_prec: float = -1) -> str:
+    """Render ``expr``, adding parentheses when precedence demands."""
+    text, prec = _format_expr(expr)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _format_expr(expr: A.Expr):
+    if isinstance(expr, A.IntLit):
+        if expr.value < 0:
+            return str(expr.value), _PREC_UNARY
+        return str(expr.value), _PREC_POSTFIX
+    if isinstance(expr, A.Ident):
+        return expr.name, _PREC_POSTFIX
+    if isinstance(expr, A.ArrayIndex):
+        base = format_expr(expr.base, _PREC_POSTFIX)
+        return f"{base}[{format_expr(expr.index)}]", _PREC_POSTFIX
+    if isinstance(expr, A.Unary):
+        if expr.op in ("++", "--"):
+            if expr.prefix:
+                inner = format_expr(expr.operand, _PREC_UNARY)
+                return f"{expr.op}{inner}", _PREC_UNARY
+            inner = format_expr(expr.operand, _PREC_POSTFIX)
+            return f"{inner}{expr.op}", _PREC_POSTFIX
+        inner = format_expr(expr.operand, _PREC_UNARY)
+        return f"{expr.op}{inner}", _PREC_UNARY
+    if isinstance(expr, A.Binary):
+        prec = _PREC[expr.op]
+        left = format_expr(expr.left, prec)
+        right = format_expr(expr.right, prec + 1)
+        return f"{left} {expr.op} {right}", prec
+    if isinstance(expr, A.Assign):
+        target = format_expr(expr.target, _PREC_UNARY)
+        value = format_expr(expr.value, _PREC_ASSIGN)
+        return f"{target} {expr.op} {value}", _PREC_ASSIGN
+    if isinstance(expr, A.Call):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.name}({args})", _PREC_POSTFIX
+    if isinstance(expr, A.Conditional):
+        cond = format_expr(expr.cond, 1)
+        then = format_expr(expr.then)
+        other = format_expr(expr.other, _PREC_COND)
+        return f"{cond} ? {then} : {other}", _PREC_COND
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def _format_initializer(init) -> str:
+    if isinstance(init, list):
+        return "{" + ", ".join(_format_initializer(i) for i in init) + "}"
+    return format_expr(init)
+
+
+def _base_int_type(ty: Type) -> IntType:
+    """Peel arrays and pointers down to the underlying integer type."""
+    if isinstance(ty, ArrayType):
+        return _base_int_type(ty.elem)
+    if isinstance(ty, PointerType):
+        return _base_int_type(ty.base)
+    assert isinstance(ty, IntType)
+    return ty
+
+
+def _declarator_text(decl: A.VarDecl) -> str:
+    """The declarator part of a declaration: ``**name[2][3] = init``."""
+    stars = ""
+    inner = decl.type.elem if isinstance(decl.type, ArrayType) else decl.type
+    while isinstance(inner, PointerType):
+        stars += "*"
+        inner = inner.base
+    text = stars + decl.name + format_type_suffix(decl.type)
+    if decl.init is not None:
+        text += f" = {_format_initializer(decl.init)}"
+    return text
+
+
+def _format_decl(decl: A.VarDecl) -> str:
+    return f"{_base_int_type(decl.type).c_name()} {_declarator_text(decl)}"
+
+
+def _format_decl_stmt(stmt: A.DeclStmt) -> str:
+    first = stmt.decls[0]
+    prefix = ""
+    if first.static:
+        prefix += "static "
+    if first.volatile:
+        prefix += "volatile "
+    base = _base_int_type(first.type).c_name()
+    declarators = ", ".join(_declarator_text(d) for d in stmt.decls)
+    return f"{prefix}{base} {declarators};"
+
+
+class Printer:
+    """Stateful printer that records emitted line numbers onto the AST."""
+
+    def __init__(self, indent_width: int = 4):
+        self.lines: List[str] = []
+        self.indent = 0
+        self.indent_width = indent_width
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _emit(self, text: str) -> int:
+        """Append one source line; returns its 1-based line number."""
+        pad = " " * (self.indent * self.indent_width)
+        self.lines.append(pad + text if text else "")
+        return len(self.lines)
+
+    def _stamp(self, node: A.Node, line: int) -> None:
+        node.line = line
+
+    def _stamp_expr(self, expr: Optional[A.Expr], line: int) -> None:
+        if expr is None:
+            return
+        for sub in A.walk_expr(expr):
+            sub.line = line
+
+    def _stamp_init(self, init, line: int) -> None:
+        if init is None:
+            return
+        if isinstance(init, list):
+            for item in init:
+                self._stamp_init(item, line)
+        else:
+            self._stamp_expr(init, line)
+
+    # -- top level ------------------------------------------------------------
+
+    def print_program(self, program: A.Program) -> str:
+        """Render the program, stamping line numbers onto every node."""
+        self.lines = []
+        for ext in program.externs:
+            line = self._emit(self._extern_text(ext))
+            self._stamp(ext, line)
+        for decl in program.globals:
+            prefix = ""
+            if decl.static:
+                prefix += "static "
+            if decl.volatile:
+                prefix += "volatile "
+            line = self._emit(prefix + _format_decl(decl) + ";")
+            self._stamp(decl, line)
+            self._stamp_init(decl.init, line)
+        for fn in program.functions:
+            self._print_function(fn)
+        program.line = 1
+        return "\n".join(self.lines) + "\n"
+
+    def _extern_text(self, ext: A.ExternDecl) -> str:
+        ret = "void" if ext.return_type is None else ext.return_type.c_name()
+        params = [t.c_name() for t in ext.param_types]
+        if ext.variadic:
+            params.append("...")
+        if not params:
+            params = ["void"]
+        return f"extern {ret} {ext.name}({', '.join(params)});"
+
+    def _print_function(self, fn: A.FuncDef) -> None:
+        ret = "void" if fn.return_type is None else fn.return_type.c_name()
+        params = ", ".join(
+            f"{format_type_prefix(p.type)} {p.name}".replace("* ", "*")
+            for p in fn.params
+        ) or "void"
+        prefix = "static " if fn.static else ""
+        line = self._emit(f"{prefix}{ret} {fn.name}({params}) {{")
+        self._stamp(fn, line)
+        for p in fn.params:
+            p.line = line
+        self.indent += 1
+        for stmt in fn.body.stmts:
+            self._print_stmt(stmt)
+        self.indent -= 1
+        self._emit("}")
+        fn.body.line = line
+
+    # -- statements -------------------------------------------------------------
+
+    def _print_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.Block):
+            line = self._emit("{")
+            self._stamp(stmt, line)
+            self.indent += 1
+            for inner in stmt.stmts:
+                self._print_stmt(inner)
+            self.indent -= 1
+            self._emit("}")
+        elif isinstance(stmt, A.DeclStmt):
+            line = self._emit(_format_decl_stmt(stmt))
+            self._stamp(stmt, line)
+            for decl in stmt.decls:
+                self._stamp(decl, line)
+                self._stamp_init(decl.init, line)
+        elif isinstance(stmt, A.ExprStmt):
+            line = self._emit(format_expr(stmt.expr) + ";")
+            self._stamp(stmt, line)
+            self._stamp_expr(stmt.expr, line)
+        elif isinstance(stmt, A.If):
+            self._print_if(stmt)
+        elif isinstance(stmt, A.For):
+            self._print_for(stmt)
+        elif isinstance(stmt, A.While):
+            line = self._emit_header(
+                f"while ({format_expr(stmt.cond)})", stmt.body)
+            self._stamp(stmt, line)
+            self._stamp_expr(stmt.cond, line)
+            self._print_body(stmt.body)
+        elif isinstance(stmt, A.DoWhile):
+            line = self._emit("do {")
+            self._stamp(stmt, line)
+            self.indent += 1
+            body_stmts = (stmt.body.stmts if isinstance(stmt.body, A.Block)
+                          else [stmt.body])
+            for inner in body_stmts:
+                self._print_stmt(inner)
+            self.indent -= 1
+            tail = self._emit(f"}} while ({format_expr(stmt.cond)});")
+            self._stamp_expr(stmt.cond, tail)
+        elif isinstance(stmt, A.Return):
+            if stmt.value is None:
+                line = self._emit("return;")
+            else:
+                line = self._emit(f"return {format_expr(stmt.value)};")
+                self._stamp_expr(stmt.value, line)
+            self._stamp(stmt, line)
+        elif isinstance(stmt, A.Goto):
+            line = self._emit(f"goto {stmt.label};")
+            self._stamp(stmt, line)
+        elif isinstance(stmt, A.LabeledStmt):
+            # The label gets its own line; the inner statement follows
+            # (an empty inner statement is folded into the label line so
+            # printing is a parse fixpoint).
+            if isinstance(stmt.stmt, A.Empty):
+                line = self._emit(f"{stmt.label}:;")
+                self._stamp(stmt, line)
+                self._stamp(stmt.stmt, line)
+            else:
+                line = self._emit(f"{stmt.label}:")
+                self._stamp(stmt, line)
+                self._print_stmt(stmt.stmt)
+        elif isinstance(stmt, A.Break):
+            self._stamp(stmt, self._emit("break;"))
+        elif isinstance(stmt, A.Continue):
+            self._stamp(stmt, self._emit("continue;"))
+        elif isinstance(stmt, A.Empty):
+            self._stamp(stmt, self._emit(";"))
+        else:
+            raise TypeError(f"unknown statement node {type(stmt).__name__}")
+
+    def _emit_header(self, header: str, body: A.Stmt) -> int:
+        if isinstance(body, A.Block):
+            return self._emit(header + " {")
+        return self._emit(header)
+
+    def _print_body(self, body: A.Stmt) -> None:
+        if isinstance(body, A.Block):
+            self.indent += 1
+            for inner in body.stmts:
+                self._print_stmt(inner)
+            self.indent -= 1
+            self._emit("}")
+            body.line = len(self.lines)
+        else:
+            self.indent += 1
+            self._print_stmt(body)
+            self.indent -= 1
+
+    def _print_if(self, stmt: A.If) -> None:
+        line = self._emit_header(f"if ({format_expr(stmt.cond)})", stmt.then)
+        self._stamp(stmt, line)
+        self._stamp_expr(stmt.cond, line)
+        self._print_body(stmt.then)
+        if stmt.other is not None:
+            if isinstance(stmt.other, A.Block):
+                self._emit("else {")
+                self.indent += 1
+                for inner in stmt.other.stmts:
+                    self._print_stmt(inner)
+                self.indent -= 1
+                self._emit("}")
+            else:
+                self._emit("else")
+                self.indent += 1
+                self._print_stmt(stmt.other)
+                self.indent -= 1
+
+    def _print_for(self, stmt: A.For) -> None:
+        if stmt.init is None:
+            init_text = ""
+        elif isinstance(stmt.init, A.DeclStmt):
+            init_text = _format_decl_stmt(stmt.init)[:-1]  # strip ';'
+        else:
+            init_text = format_expr(stmt.init.expr)
+        cond_text = "" if stmt.cond is None else format_expr(stmt.cond)
+        step_text = "" if stmt.step is None else format_expr(stmt.step)
+        header = f"for ({init_text}; {cond_text}; {step_text})"
+        line = self._emit_header(header, stmt.body)
+        self._stamp(stmt, line)
+        if stmt.init is not None:
+            self._stamp(stmt.init, line)
+            if isinstance(stmt.init, A.DeclStmt):
+                for decl in stmt.init.decls:
+                    self._stamp(decl, line)
+                    self._stamp_init(decl.init, line)
+            else:
+                self._stamp_expr(stmt.init.expr, line)
+        self._stamp_expr(stmt.cond, line)
+        self._stamp_expr(stmt.step, line)
+        self._print_body(stmt.body)
+
+
+def print_program(program: A.Program) -> str:
+    """Render ``program`` to canonical source, stamping line numbers."""
+    return Printer().print_program(program)

@@ -1,0 +1,122 @@
+"""Token definitions for the mini-C lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    """Lexical category of a token."""
+
+    IDENT = auto()
+    NUMBER = auto()
+    STRING = auto()
+
+    # keywords
+    KW_INT = auto()
+    KW_SHORT = auto()
+    KW_CHAR = auto()
+    KW_LONG = auto()
+    KW_UNSIGNED = auto()
+    KW_SIGNED = auto()
+    KW_VOID = auto()
+    KW_VOLATILE = auto()
+    KW_STATIC = auto()
+    KW_EXTERN = auto()
+    KW_CONST = auto()
+    KW_IF = auto()
+    KW_ELSE = auto()
+    KW_FOR = auto()
+    KW_WHILE = auto()
+    KW_DO = auto()
+    KW_RETURN = auto()
+    KW_GOTO = auto()
+    KW_BREAK = auto()
+    KW_CONTINUE = auto()
+
+    # punctuation / operators
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    SEMI = auto()
+    COMMA = auto()
+    COLON = auto()
+    QUESTION = auto()
+    ELLIPSIS = auto()
+
+    ASSIGN = auto()          # =
+    PLUS_ASSIGN = auto()     # +=
+    MINUS_ASSIGN = auto()    # -=
+    STAR_ASSIGN = auto()     # *=
+    SLASH_ASSIGN = auto()    # /=
+    PERCENT_ASSIGN = auto()  # %=
+    AMP_ASSIGN = auto()      # &=
+    PIPE_ASSIGN = auto()     # |=
+    CARET_ASSIGN = auto()    # ^=
+
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    PERCENT = auto()
+    AMP = auto()
+    PIPE = auto()
+    CARET = auto()
+    TILDE = auto()
+    BANG = auto()
+    SHL = auto()             # <<
+    SHR = auto()             # >>
+    ANDAND = auto()          # &&
+    OROR = auto()            # ||
+    EQ = auto()              # ==
+    NE = auto()              # !=
+    LT = auto()
+    LE = auto()
+    GT = auto()
+    GE = auto()
+    PLUSPLUS = auto()        # ++
+    MINUSMINUS = auto()      # --
+
+    EOF = auto()
+
+
+#: Reserved words mapped to their token kinds.
+KEYWORDS = {
+    "int": TokenKind.KW_INT,
+    "short": TokenKind.KW_SHORT,
+    "char": TokenKind.KW_CHAR,
+    "long": TokenKind.KW_LONG,
+    "unsigned": TokenKind.KW_UNSIGNED,
+    "signed": TokenKind.KW_SIGNED,
+    "void": TokenKind.KW_VOID,
+    "volatile": TokenKind.KW_VOLATILE,
+    "static": TokenKind.KW_STATIC,
+    "extern": TokenKind.KW_EXTERN,
+    "const": TokenKind.KW_CONST,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "for": TokenKind.KW_FOR,
+    "while": TokenKind.KW_WHILE,
+    "do": TokenKind.KW_DO,
+    "return": TokenKind.KW_RETURN,
+    "goto": TokenKind.KW_GOTO,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, L{self.line})"

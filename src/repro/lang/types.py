@@ -1,0 +1,144 @@
+"""Type model for the mini-C language.
+
+The language deliberately covers the type constructs that appear in the
+paper's test programs and reported bugs: sized integer types (``char``,
+``short``, ``int``, ``long``) with optional unsignedness, pointers
+(including pointer-to-pointer, as in the Conjecture 3 example), and
+multi-dimensional arrays (as in the Conjecture 2 LSR example).
+
+All run-time arithmetic in the VM is performed on Python integers and
+wrapped to the declared width on store, which keeps semantics deterministic
+and free of C's undefined-overflow subtleties; the *declared* type still
+matters for printing, for sizing storage, and for wrapping behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for all mini-C types."""
+
+    def sizeof(self) -> int:
+        """Size of a value of this type, in abstract words."""
+        raise NotImplementedError
+
+    def c_name(self) -> str:
+        """The C-like spelling of this type (for the printer)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """A sized integer type such as ``int`` or ``unsigned short``."""
+
+    name: str = "int"
+    bits: int = 32
+    signed: bool = True
+
+    def sizeof(self) -> int:
+        return 1
+
+    def c_name(self) -> str:
+        if self.signed:
+            return self.name
+        return f"unsigned {self.name}"
+
+    def wrap(self, value: int) -> int:
+        """Wrap ``value`` to this type's width and signedness."""
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if self.signed and value >= (1 << (self.bits - 1)):
+            value -= 1 << self.bits
+        return value
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    """A pointer to another type (``int *``, ``int **`` ...)."""
+
+    base: Type = field(default_factory=IntType)
+
+    def sizeof(self) -> int:
+        return 1
+
+    def c_name(self) -> str:
+        return f"{self.base.c_name()} *"
+
+    def depth(self) -> int:
+        """Pointer indirection depth (``int **`` has depth 2)."""
+        if isinstance(self.base, PointerType):
+            return 1 + self.base.depth()
+        return 1
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A (possibly multi-dimensional) array with constant extents."""
+
+    elem: Type = field(default_factory=IntType)
+    dims: Tuple[int, ...] = (1,)
+
+    def sizeof(self) -> int:
+        total = self.elem.sizeof()
+        for d in self.dims:
+            total *= d
+        return total
+
+    def c_name(self) -> str:
+        return self.elem.c_name() + "".join(f"[{d}]" for d in self.dims)
+
+    def flat_index(self, indices: Tuple[int, ...]) -> int:
+        """Row-major flattening of a full index tuple; raises on OOB."""
+        if len(indices) != len(self.dims):
+            raise ValueError(
+                f"array of rank {len(self.dims)} indexed with "
+                f"{len(indices)} subscripts"
+            )
+        flat = 0
+        for idx, dim in zip(indices, self.dims):
+            if not 0 <= idx < dim:
+                raise IndexError(f"index {idx} out of bounds for dim {dim}")
+            flat = flat * dim + idx
+        return flat
+
+
+#: Canonical integer types used throughout the generator and tests.
+CHAR = IntType("char", 8, True)
+UCHAR = IntType("char", 8, False)
+SHORT = IntType("short", 16, True)
+USHORT = IntType("short", 16, False)
+INT = IntType("int", 32, True)
+UINT = IntType("int", 32, False)
+LONG = IntType("long", 64, True)
+ULONG = IntType("long", 64, False)
+
+#: All scalar integer types, indexable by (name, signed).
+INT_TYPES = {
+    ("char", True): CHAR,
+    ("char", False): UCHAR,
+    ("short", True): SHORT,
+    ("short", False): USHORT,
+    ("int", True): INT,
+    ("int", False): UINT,
+    ("long", True): LONG,
+    ("long", False): ULONG,
+}
+
+
+def is_integer(ty: Type) -> bool:
+    """True for any :class:`IntType`."""
+    return isinstance(ty, IntType)
+
+
+def is_pointer(ty: Type) -> bool:
+    """True for any :class:`PointerType`."""
+    return isinstance(ty, PointerType)
+
+
+def is_array(ty: Type) -> bool:
+    """True for any :class:`ArrayType`."""
+    return isinstance(ty, ArrayType)

@@ -1,0 +1,5 @@
+"""Quantitative debug-information metrics (Figure 1 study)."""
+
+from .study import (
+    ProgramMetrics, StudyResult, compare_traces, measure_program, run_study,
+)

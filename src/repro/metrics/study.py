@@ -1,0 +1,127 @@
+"""Quantitative debug-information metrics (Section 2, Figure 1).
+
+For an optimized executable and its ``-O0`` counterpart of the same
+program, computes:
+
+* **line coverage** — the ratio of unique source lines the debugger can
+  step on, compared to ``-O0``;
+* **availability of variables** — the average, over the source lines
+  steppable in *both* instances, of the ratio of available local
+  variables to the ``-O0`` count on that line;
+* their **product**, the per-stepped-point information retention used to
+  compare optimization levels.
+
+The study driver aggregates these as global averages over a program pool,
+per (compiler version, optimization level) — exactly the grid Figure 1
+plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..compilers.compiler import Compiler
+from ..debugger.base import Debugger
+from ..debugger.trace import DebugTrace
+from ..lang.ast_nodes import Program
+
+
+@dataclass
+class ProgramMetrics:
+    """Metrics of one optimized instance against its -O0 baseline."""
+
+    line_coverage: float
+    availability: float
+
+    @property
+    def product(self) -> float:
+        return self.line_coverage * self.availability
+
+
+def _available_locals(visit) -> int:
+    return sum(1 for report in visit.variables.values()
+               if not report.is_global and report.available)
+
+
+def compare_traces(baseline: DebugTrace,
+                   optimized: DebugTrace) -> ProgramMetrics:
+    """Metrics of an optimized trace against the -O0 trace."""
+    base_lines = baseline.stepped_lines()
+    opt_lines = optimized.stepped_lines()
+    if not base_lines:
+        return ProgramMetrics(line_coverage=0.0, availability=0.0)
+    line_coverage = len(opt_lines & base_lines) / len(base_lines)
+
+    ratios: List[float] = []
+    for line in sorted(base_lines & opt_lines):
+        base_visit = baseline.visit_for_line(line)
+        opt_visit = optimized.visit_for_line(line)
+        base_avail = _available_locals(base_visit)
+        if base_avail == 0:
+            continue
+        ratios.append(min(1.0, _available_locals(opt_visit) / base_avail))
+    availability = sum(ratios) / len(ratios) if ratios else 0.0
+    return ProgramMetrics(line_coverage=line_coverage,
+                          availability=availability)
+
+
+def measure_program(program: Program, compiler: Compiler, level: str,
+                    debugger: Debugger,
+                    baseline: Optional[DebugTrace] = None
+                    ) -> ProgramMetrics:
+    """Compile at -O0 and ``level`` and compare the two traces."""
+    if baseline is None:
+        baseline = debugger.trace(compiler.compile(program, "O0").exe)
+    optimized = debugger.trace(compiler.compile(program, level).exe)
+    return compare_traces(baseline, optimized)
+
+
+@dataclass
+class StudyResult:
+    """Aggregated Figure 1 grid."""
+
+    #: (version, level) -> averaged metrics over the pool
+    cells: Dict[Tuple[str, str], ProgramMetrics] = field(
+        default_factory=dict)
+    pool_size: int = 0
+
+    def cell(self, version: str, level: str) -> ProgramMetrics:
+        return self.cells[(version, level)]
+
+    def format_table(self, metric: str = "availability") -> str:
+        versions = sorted({v for v, _l in self.cells})
+        levels = sorted({l for _v, l in self.cells})
+        rows = ["version  " + "  ".join(f"{l:>6}" for l in levels)]
+        for version in versions:
+            vals = []
+            for level in levels:
+                m = self.cells.get((version, level))
+                vals.append(f"{getattr(m, metric):6.3f}" if m else "     -")
+            rows.append(f"{version:>7}  " + "  ".join(vals))
+        return "\n".join(rows)
+
+
+def run_study(programs: Sequence[Program], family: str,
+              versions: Sequence[str], levels: Sequence[str],
+              debugger: Debugger) -> StudyResult:
+    """The Section 2 quantitative study over a program pool."""
+    result = StudyResult(pool_size=len(programs))
+    for version in versions:
+        compiler = Compiler(family, version)
+        baselines = [debugger.trace(compiler.compile(p, "O0").exe)
+                     for p in programs]
+        for level in levels:
+            coverage_sum = 0.0
+            avail_sum = 0.0
+            count = 0
+            for program, baseline in zip(programs, baselines):
+                metrics = measure_program(program, compiler, level,
+                                          debugger, baseline)
+                coverage_sum += metrics.line_coverage
+                avail_sum += metrics.availability
+                count += 1
+            result.cells[(version, level)] = ProgramMetrics(
+                line_coverage=coverage_sum / max(count, 1),
+                availability=avail_sum / max(count, 1))
+    return result

@@ -1,0 +1,20 @@
+"""Optimization passes with debug-information maintenance."""
+
+from .base import Pass, PassContext, PassManager, PipelineReport
+from .cfg_cleanup import cleanup_cfg
+from .mem2reg import Mem2Reg, SROA
+from .constprop import ConstantPropagation
+from .copyprop import CopyPropagation
+from .fre import RedundancyElimination
+from .instcombine import InstCombine
+from .dce import DeadCodeElimination
+from .dse import DeadStoreElimination
+from .vrp import ValueRangePropagation
+from .inline import Inliner
+from .ipa import IPAPureConst
+from .licm import LoopInvariantCodeMotion
+from .loops import LoopRotate, LoopStrengthReduce, LoopUnroll
+from .sched import InstructionScheduler
+from .salvage import salvage_dbg_uses
+
+from .simplifycfg import SimplifyCFG

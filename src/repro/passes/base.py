@@ -1,0 +1,118 @@
+"""Optimization pass framework.
+
+A :class:`Pass` transforms a module in place and reports whether it
+changed anything. The :class:`PassManager` runs a pipeline honoring:
+
+* **disabled passes** — the gcc-style ``-fno-<pass>`` boolean flags the
+  triage machinery toggles one at a time (Section 4.3);
+* **bisect limit** — the clang-style ``-opt-bisect-limit=N`` that stops
+  the pipeline after N passes, used for violation grouping (Section 4.3);
+* **defect hooks** — the bug registry's interception points. A pass asks
+  ``ctx.fires("point", **info)`` at each place where it must transport or
+  salvage debug information; an active defect answering True makes the
+  pass skip (or corrupt) that provision, exactly the "lack of internal
+  design provisions" failure mode the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.module import Function, Module
+from ..ir.verify import verify_module
+
+
+class _NullHooks:
+    """No active defects."""
+
+    def fires(self, point: str, **ctx) -> bool:
+        return False
+
+
+@dataclass
+class PassContext:
+    """Shared state handed to every pass invocation."""
+
+    module: Module
+    hooks: object = field(default_factory=_NullHooks)
+    level: str = "O0"
+    family: str = "generic"
+    verify: bool = False
+    #: passes applied so far (pass names, in order)
+    applied: List[str] = field(default_factory=list)
+
+    def fires(self, point: str, **info) -> bool:
+        """True if an active defect intercepts this debug provision."""
+        return self.hooks.fires(point, level=self.level,
+                                family=self.family, **info)
+
+
+class Pass:
+    """Base class for optimization passes."""
+
+    #: canonical pass name: flag name (gcc side) / pass label (clang side)
+    name = "pass"
+
+    def run(self, ctx: PassContext) -> bool:
+        """Transform the module; return True if anything changed."""
+        changed = False
+        for fn in list(ctx.module.functions.values()):
+            if self.run_on_function(fn, ctx):
+                changed = True
+        return changed
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<pass {self.name}>"
+
+
+@dataclass
+class PipelineReport:
+    """What the pass manager actually did."""
+
+    applied: List[str] = field(default_factory=list)
+    skipped_disabled: List[str] = field(default_factory=list)
+    skipped_bisect: List[str] = field(default_factory=list)
+    changes: Dict[str, bool] = field(default_factory=dict)
+
+
+class PassManager:
+    """Runs a pass pipeline with flag / bisect / defect support."""
+
+    def __init__(self, passes: Sequence[Pass],
+                 disabled: Optional[Sequence[str]] = None,
+                 bisect_limit: Optional[int] = None,
+                 verify: bool = False):
+        self.passes = list(passes)
+        self.disabled = set(disabled or ())
+        self.bisect_limit = bisect_limit
+        self.verify = verify
+
+    def run(self, module: Module, hooks=None, level: str = "O2",
+            family: str = "generic") -> PipelineReport:
+        ctx = PassContext(module=module,
+                          hooks=hooks if hooks is not None else _NullHooks(),
+                          level=level, family=family, verify=self.verify)
+        report = PipelineReport()
+        count = 0
+        for opt_pass in self.passes:
+            if opt_pass.name in self.disabled:
+                report.skipped_disabled.append(opt_pass.name)
+                continue
+            if self.bisect_limit is not None and count >= self.bisect_limit:
+                report.skipped_bisect.append(opt_pass.name)
+                continue
+            count += 1
+            changed = opt_pass.run(ctx)
+            ctx.applied.append(opt_pass.name)
+            report.applied.append(opt_pass.name)
+            report.changes[opt_pass.name] = bool(changed)
+            if self.verify:
+                verify_module(module)
+        return report
+
+    def pass_names(self) -> List[str]:
+        return [p.name for p in self.passes]

@@ -1,0 +1,67 @@
+"""Copy propagation (gcc ``cprop-registers`` flavour).
+
+Within each block, a use of register ``B`` where ``B`` was defined by
+``B = A`` (and neither has been redefined since) is replaced with ``A``.
+This reduces scheduling dependencies — and makes the copy dead, handing it
+to DCE.
+
+Debug handling: the correct behaviour leaves ``dbg.value`` operands alone;
+the dbg record keeps naming ``B``, whose deletion (if it becomes dead) is
+then handled by DCE's salvage. The hook point models gcc bug 105179:
+
+* ``cprop.dbg`` — the pass eagerly rewrites dbg operands to the copy
+  source. Since the source's live range can end *before* the program point
+  the dbg record covers (e.g. the opaque call at the end of a loop body),
+  codegen clips the location range and the variable's DIE no longer covers
+  the call address: an Incomplete DIE, exactly as reported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..ir.instructions import DbgValue, Move
+from ..ir.module import Function
+from ..ir.values import VReg
+from .base import Pass, PassContext
+
+
+class CopyPropagation(Pass):
+    """Local (per-block) register copy propagation."""
+
+    def __init__(self, name: str = "cprop-registers"):
+        self.name = name
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        from .sink import maybe_sink_dbg
+        maybe_sink_dbg(fn, ctx, point="cprop.sink")
+        for block in fn.blocks:
+            copies: Dict[VReg, VReg] = {}
+            for instr in block.instrs:
+                if isinstance(instr, DbgValue):
+                    if isinstance(instr.value, VReg) and \
+                            instr.value in copies and \
+                            ctx.fires("cprop.dbg", function=fn.name,
+                                      symbol=instr.symbol.name):
+                        instr.value = copies[instr.value]
+                        changed = True
+                    continue
+                if instr.is_dbg():
+                    continue
+                mapping = {u: copies[u] for u in instr.uses()
+                           if u in copies}
+                if mapping:
+                    instr.replace_uses(mapping)
+                    changed = True
+                dst = instr.defs()
+                if dst is not None:
+                    # Invalidate copies involving the redefined register.
+                    copies.pop(dst, None)
+                    for key in [k for k, v in copies.items() if v is dst]:
+                        copies.pop(key)
+                    if isinstance(instr, Move) and \
+                            isinstance(instr.src, VReg) and \
+                            instr.src is not dst:
+                        copies[dst] = instr.src
+        return changed

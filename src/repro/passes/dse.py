@@ -1,0 +1,99 @@
+"""Dead store elimination (gcc ``tree-dse``).
+
+Removes stores to stack slots that are provably never read:
+
+* a store overwritten by a later store to the same slot with no
+  intervening read, call, or potentially-aliasing access;
+* all stores to a slot that has no loads at all (and does not escape).
+
+Debug handling: an unpromoted slot with a ``DbgDeclare`` keeps its frame
+location even when its stores die, so deleting a dead store would make the
+debugger show a stale value. The correct provision converts the declare
+into per-store ``dbg.value`` records when it eliminates stores to a
+declared scalar slot.
+
+Hook point:
+
+* ``dse.declare`` — gcc bug 105248-style: the pass drops the debug
+  information outright (no dbg.values, declare removed) while the emitted
+  code is unchanged relative to a correct compiler: a Hollow DIE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.instructions import Call, DbgDeclare, DbgValue, Load, Store
+from ..ir.module import Function
+from ..ir.values import Const, SlotRef, VReg
+from .base import Pass, PassContext
+from .mem2reg import _escaping_slots
+
+
+class DeadStoreElimination(Pass):
+    """Slot-level dead store removal with declare-to-value conversion."""
+
+    def __init__(self, name: str = "tree-dse"):
+        self.name = name
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        escaping = _escaping_slots(fn)
+        loaded: Set[int] = set()
+        stored: Dict[int, int] = {}
+        for block in fn.blocks:
+            for instr in block.instrs:
+                if isinstance(instr, Load) and \
+                        isinstance(instr.addr, SlotRef):
+                    loaded.add(instr.addr.slot_id)
+                elif isinstance(instr, Store) and \
+                        isinstance(instr.addr, SlotRef):
+                    stored[instr.addr.slot_id] = \
+                        stored.get(instr.addr.slot_id, 0) + 1
+
+        dead_slots = []
+        for slot in fn.slots.values():
+            if slot.slot_id in loaded or slot.slot_id in escaping:
+                continue
+            if slot.size != 1 or slot.slot_id not in stored:
+                continue
+            if slot.symbol is not None and slot.symbol.volatile:
+                continue
+            dead_slots.append(slot)
+        if not dead_slots:
+            return False
+
+        dead_ids = {s.slot_id for s in dead_slots}
+        defective = {
+            s.slot_id: ctx.fires(
+                "dse.declare", function=fn.name,
+                symbol=s.symbol.name if s.symbol else s.name)
+            for s in dead_slots
+        }
+        changed = False
+        for block in fn.blocks:
+            new_instrs = []
+            for instr in block.instrs:
+                if isinstance(instr, Store) and \
+                        isinstance(instr.addr, SlotRef) and \
+                        instr.addr.slot_id in dead_ids:
+                    slot = fn.slots[instr.addr.slot_id]
+                    changed = True
+                    if slot.symbol is not None and \
+                            not defective[slot.slot_id]:
+                        value = instr.value
+                        dbg_operand = value if isinstance(
+                            value, (Const, VReg)) else None
+                        new_instrs.append(DbgValue(
+                            symbol=slot.symbol, value=dbg_operand,
+                            line=instr.line, scope=instr.scope))
+                    continue
+                if isinstance(instr, DbgDeclare) and \
+                        instr.slot_id in dead_ids:
+                    changed = True
+                    continue  # declare no longer describes live storage
+                new_instrs.append(instr)
+            block.instrs = new_instrs
+
+        for slot in dead_slots:
+            del fn.slots[slot.slot_id]
+        return changed

@@ -1,0 +1,124 @@
+"""Local redundancy elimination (gcc ``tree-fre`` / LLVM ``EarlyCSE``).
+
+Per-block value numbering: a pure computation whose operands have the same
+value numbers as an earlier one is replaced by a copy of the earlier
+result. Loads from non-escaping slots are also value-numbered until a
+potentially-aliasing write or call intervenes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..ir.instructions import BinOp, Call, Load, Move, Store, UnOp
+from ..ir.module import Function
+from ..ir.values import Const, GlobalRef, SlotRef, VReg
+from .base import Pass, PassContext
+
+
+class RedundancyElimination(Pass):
+    """Per-block common subexpression elimination."""
+
+    def __init__(self, name: str = "tree-fre"):
+        self.name = name
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        from .sink import maybe_sink_dbg
+        maybe_sink_dbg(fn, ctx, point="fre.sink")
+        for block in fn.blocks:
+            version: Dict[VReg, int] = {}
+            counter = [0]
+
+            def vn(op) -> Tuple:
+                if isinstance(op, Const):
+                    return ("c", op.value)
+                if isinstance(op, VReg):
+                    fwd = forwarded.get(op)
+                    if fwd is not None:
+                        return fwd
+                    return ("v", op.vid, version.get(op, 0))
+                if isinstance(op, SlotRef):
+                    return ("s", op.slot_id, op.offset)
+                if isinstance(op, GlobalRef):
+                    return ("g", op.name, op.offset)
+                return ("?",)
+
+            available: Dict[Tuple, VReg] = {}
+            loads: Dict[Tuple, VReg] = {}
+            #: copies get the value number of their source, so
+            #: redundancy is found through Move chains
+            forwarded: Dict[VReg, Tuple] = {}
+
+            def bump(vreg: VReg) -> None:
+                counter[0] += 1
+                version[vreg] = counter[0]
+                forwarded.pop(vreg, None)
+                # A redefined register invalidates results stored in it.
+                for table in (available, loads):
+                    stale = [k for k, v in table.items() if v is vreg]
+                    for key in stale:
+                        del table[key]
+            new_instrs = []
+            for instr in block.instrs:
+                if instr.is_dbg():
+                    new_instrs.append(instr)
+                    continue
+                if isinstance(instr, BinOp) and not instr.has_side_effects():
+                    key = ("bin", instr.op, vn(instr.a), vn(instr.b))
+                    prior = available.get(key)
+                    if prior is not None and prior is not instr.dst:
+                        new_instrs.append(Move(
+                            dst=instr.dst, src=prior, line=instr.line,
+                            scope=instr.scope))
+                        bump(instr.dst)
+                        forwarded[instr.dst] = vn(prior)
+                        changed = True
+                        continue
+                    bump(instr.dst)
+                    available[key] = instr.dst
+                elif isinstance(instr, UnOp):
+                    key = ("un", instr.op, vn(instr.a))
+                    prior = available.get(key)
+                    if prior is not None and prior is not instr.dst:
+                        new_instrs.append(Move(
+                            dst=instr.dst, src=prior, line=instr.line,
+                            scope=instr.scope))
+                        bump(instr.dst)
+                        forwarded[instr.dst] = vn(prior)
+                        changed = True
+                        continue
+                    bump(instr.dst)
+                    available[key] = instr.dst
+                elif isinstance(instr, Load) and not instr.volatile and \
+                        isinstance(instr.addr, (SlotRef, GlobalRef)):
+                    key = ("ld", vn(instr.addr))
+                    prior = loads.get(key)
+                    if prior is not None and prior is not instr.dst:
+                        new_instrs.append(Move(
+                            dst=instr.dst, src=prior, line=instr.line,
+                            scope=instr.scope))
+                        bump(instr.dst)
+                        forwarded[instr.dst] = vn(prior)
+                        changed = True
+                        continue
+                    bump(instr.dst)
+                    loads[key] = instr.dst
+                elif isinstance(instr, Store):
+                    # Conservative: any store invalidates load numbering.
+                    loads.clear()
+                elif isinstance(instr, Call):
+                    loads.clear()
+                    if instr.dst is not None:
+                        bump(instr.dst)
+                elif isinstance(instr, Move):
+                    src_vn = vn(instr.src)
+                    bump(instr.dst)
+                    forwarded[instr.dst] = src_vn
+                else:
+                    dst = instr.defs()
+                    if dst is not None:
+                        bump(dst)
+                new_instrs.append(instr)
+            block.instrs = new_instrs
+        return changed

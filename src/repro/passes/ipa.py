@@ -1,0 +1,83 @@
+"""Interprocedural analyses (gcc ``ipa-pure-const`` flavour).
+
+Marks internal functions *pure* when they have no observable effects: no
+stores to memory that outlives the call, no volatile accesses, no calls to
+externals or to non-pure functions. DCE may then delete calls whose result
+is unused.
+
+Additionally computes ``const_return``: the constant a pure function
+provably returns (the ``return 0;`` helper of gcc bug 105108). DCE's
+``ipa.salvage_const`` hook point consumes it when deleting such calls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..ir.instructions import Call, Load, Move, Ret, Store
+from ..ir.module import Function, Module
+from ..ir.values import Const, GlobalRef, SlotRef
+from .base import Pass, PassContext
+
+
+def _locally_pure(fn: Function, pure: Set[str], module: Module) -> bool:
+    for instr in fn.instructions():
+        if instr.is_dbg():
+            continue
+        if isinstance(instr, Store):
+            if isinstance(instr.addr, SlotRef) and not instr.volatile:
+                continue  # frame-local effect only
+            return False
+        if isinstance(instr, Load) and instr.volatile:
+            return False
+        if isinstance(instr, Call):
+            if instr.external or instr.callee not in pure:
+                return False
+    return True
+
+
+def _const_return(fn: Function) -> Optional[int]:
+    """The single constant every return yields, if provable locally."""
+    values: Set[int] = set()
+    for block in fn.blocks:
+        term = block.terminator
+        if isinstance(term, Ret):
+            if isinstance(term.value, Const):
+                values.add(term.value.value)
+            else:
+                return None
+    if len(values) == 1:
+        return next(iter(values))
+    return None
+
+
+class IPAPureConst(Pass):
+    """Propagate purity and constant-return facts bottom-up."""
+
+    def __init__(self, name: str = "ipa-pure-const"):
+        self.name = name
+
+    def run(self, ctx: PassContext) -> bool:
+        module = ctx.module
+        pure: Set[str] = set()
+        for _round in range(len(module.functions) + 1):
+            grew = False
+            for fn in module.functions.values():
+                if fn.name in pure or fn.name == "main":
+                    continue
+                if _locally_pure(fn, pure, module):
+                    pure.add(fn.name)
+                    grew = True
+            if not grew:
+                break
+        changed = False
+        for fn in module.functions.values():
+            was = fn.known_pure
+            fn.known_pure = fn.name in pure
+            fn.const_return = _const_return(fn) if fn.known_pure else None
+            if fn.known_pure != was:
+                changed = True
+        return changed
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        raise NotImplementedError("module-level pass")

@@ -1,0 +1,111 @@
+"""Loop-invariant code motion.
+
+Hoists loop-invariant pure computations and non-volatile loads from
+loop-invariant addresses into the loop preheader. This is the pass behind
+the paper's Conjecture 3 motivating example (gcc bug 104938): hoisting a
+load out of an ``if``-``goto`` loop changes where, and from when, a
+variable's value is recoverable.
+
+Debug handling: hoisting a definition does not by itself lose debug
+information (dbg.values still name the hoisted register), but it widens
+register pressure regions; the honest "optimized out" gaps this creates
+are exactly the unavoidable losses the paper distinguishes from defects.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..ir.cfg import back_edges, natural_loop, predecessors
+from ..ir.instructions import BinOp, Instr, Jump, Load, Move, Store, UnOp
+from ..ir.module import BasicBlock, Function
+from ..ir.values import Const, GlobalRef, SlotRef, VReg
+from .base import Pass, PassContext
+
+
+class LoopInvariantCodeMotion(Pass):
+    """Hoist invariant computations to preheaders."""
+
+    def __init__(self, name: str = "licm"):
+        self.name = name
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        for tail, head in back_edges(fn):
+            loop = natural_loop(fn, tail, head)
+            if self._hoist_loop(fn, head, loop):
+                changed = True
+        return changed
+
+    def _hoist_loop(self, fn: Function, head: BasicBlock,
+                    loop: List[BasicBlock]) -> bool:
+        loop_ids = {id(b) for b in loop}
+        preds = predecessors(fn)
+        outside = [p for p in preds.get(head, []) if id(p) not in loop_ids]
+        if len(outside) != 1:
+            return False
+        preheader = outside[0]
+        term = preheader.terminator
+        if not isinstance(term, Jump):
+            return False
+
+        defined_in_loop: Set[VReg] = set()
+        stores_in_loop = False
+        calls_in_loop = False
+        for block in loop:
+            for instr in block.instrs:
+                if instr.is_dbg():
+                    continue
+                d = instr.defs()
+                if d is not None:
+                    defined_in_loop.add(d)
+                if isinstance(instr, Store):
+                    stores_in_loop = True
+                from ..ir.instructions import Call
+                if isinstance(instr, Call):
+                    calls_in_loop = True
+
+        def invariant_operand(op) -> bool:
+            if isinstance(op, VReg):
+                return op not in defined_in_loop
+            return True
+
+        changed = False
+        for block in loop:
+            hoistable: List[Instr] = []
+            for instr in list(block.instrs):
+                if instr.is_dbg() or instr.is_terminator():
+                    continue
+                d = instr.defs()
+                if d is None:
+                    continue
+                # The register must have exactly one definition in the
+                # whole function, and no use in the head before it (so the
+                # preheader copy observes the same values).
+                def_count = sum(
+                    1 for b in fn.blocks for i in b.instrs
+                    if not i.is_dbg() and i.defs() is d)
+                if def_count != 1:
+                    continue
+                before = block.instrs[:block.instrs.index(instr)]
+                if any(d in i.uses() for i in before if not i.is_dbg()):
+                    continue
+                if isinstance(instr, (BinOp, UnOp, Move)) and \
+                        not instr.has_side_effects():
+                    if all(invariant_operand(op)
+                           for op in instr._use_operands()):
+                        hoistable.append(instr)
+                elif isinstance(instr, Load) and not instr.volatile and \
+                        not stores_in_loop and not calls_in_loop and \
+                        isinstance(instr.addr, (SlotRef, GlobalRef)):
+                    hoistable.append(instr)
+            for instr in hoistable:
+                # Hoisting is only sound from blocks that dominate the
+                # back edge; restrict to the loop head for simplicity.
+                if block is not head:
+                    continue
+                block.instrs.remove(instr)
+                preheader.instrs.insert(len(preheader.instrs) - 1, instr)
+                defined_in_loop.discard(instr.defs())
+                changed = True
+        return changed

@@ -1,0 +1,501 @@
+"""Loop transformations: header copying (rotation), full unrolling, and
+loop strength reduction.
+
+These are the transformations most frequently behind the paper's
+violations (Table 2: LSR, LoopUnroll, tree-ch, tree-loop-ivcanon).
+
+Hook points:
+
+* ``rotate.exit_dbg`` — clang bug 49580: loop rotation duplicates the
+  header (guard) but does not push the debug metadata into the copy, so
+  variable values bound in the header are lost on the not-taken path and
+  at the loop boundary.
+* ``unroll.iter_dbg`` — the "different constant values at different
+  location ranges" family (paper §5.3, footnote 7): dbg records are only
+  kept for the first unrolled iteration.
+* ``lsr.salvage`` — clang bugs 53855a/b: when strength reduction
+  eliminates an induction variable, its dbg values must be salvaged as an
+  expression over the strength-reduced accumulator; the defect drops them
+  instead, making the variable unavailable inside (and after) the loop.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.cfg import back_edges, natural_loop, predecessors
+from ..ir.instructions import (
+    BinOp, Branch, Call, DbgValue, Instr, Jump, Load, Move, Store, UnOp,
+)
+from ..ir.module import BasicBlock, Function
+from ..ir.ops import eval_binop
+from ..ir.values import AffineExpr, Const, VReg
+from .base import Pass, PassContext
+from .cfg_cleanup import cleanup_cfg
+
+
+def _loop_of(fn: Function, head: BasicBlock) -> Optional[List[BasicBlock]]:
+    for tail, h in back_edges(fn):
+        if h is head:
+            return natural_loop(fn, tail, h)
+    return None
+
+
+def _resolve_copy(block: BasicBlock, idx: int, vreg: VReg) -> VReg:
+    """Follow ``Move`` chains backwards within a block: the register whose
+    value ``vreg`` holds at position ``idx`` (used so the loop matchers
+    see through the frontend's load-temporary copies)."""
+    for j in range(idx - 1, -1, -1):
+        prev = block.instrs[j]
+        if prev.is_dbg():
+            continue
+        if prev.defs() is vreg:
+            if isinstance(prev, Move) and isinstance(prev.src, VReg):
+                source = prev.src
+                # The source must not be redefined between the copy and
+                # the use.
+                for k in range(j + 1, idx):
+                    mid = block.instrs[k]
+                    if not mid.is_dbg() and mid.defs() is source:
+                        return vreg
+                return _resolve_copy(block, j, source)
+            return vreg
+    return vreg
+
+
+def _step_delta(block: BasicBlock, idx: int, iv: VReg) -> Optional[int]:
+    """If ``block.instrs[idx]`` redefines ``iv`` as ``iv + delta`` (either
+    directly or through the ``t = iv + c; iv = t`` form the frontend
+    produces), return delta."""
+    instr = block.instrs[idx]
+    if isinstance(instr, BinOp) and instr.op in ("+", "-") and \
+            instr.a is iv and isinstance(instr.b, Const):
+        return instr.b.value if instr.op == "+" else -instr.b.value
+    if isinstance(instr, Move) and isinstance(instr.src, VReg):
+        temp = instr.src
+        for j in range(idx - 1, -1, -1):
+            prev = block.instrs[j]
+            if prev.is_dbg():
+                continue
+            if prev.defs() is temp:
+                if isinstance(prev, BinOp) and prev.op in ("+", "-") and \
+                        isinstance(prev.a, VReg) and \
+                        isinstance(prev.b, Const) and \
+                        _resolve_copy(block, j, prev.a) is iv:
+                    return (prev.b.value if prev.op == "+"
+                            else -prev.b.value)
+                return None
+            if prev.defs() is iv:
+                return None
+    return None
+
+
+def _unique_preheader(fn: Function, head: BasicBlock,
+                      loop: List[BasicBlock],
+                      require_jump: bool = True) -> Optional[BasicBlock]:
+    """The single block entering the loop from outside.
+
+    Rotation/unrolling rewrite the preheader's terminator, so they need a
+    plain Jump; strength reduction only inserts pure computations before
+    the terminator and accepts a rotated (Branch-terminated) preheader.
+    """
+    loop_ids = {id(b) for b in loop}
+    preds = predecessors(fn)
+    outside = [p for p in preds.get(head, []) if id(p) not in loop_ids]
+    if len(outside) != 1:
+        return None
+    if require_jump and not isinstance(outside[0].terminator, Jump):
+        return None
+    return outside[0]
+
+
+class LoopRotate(Pass):
+    """Loop header copying (gcc ``tree-ch`` / LLVM ``loop-rotate``)."""
+
+    def __init__(self, name: str = "tree-ch"):
+        self.name = name
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        for tail, head in back_edges(fn):
+            loop = natural_loop(fn, tail, head)
+            if self._rotate(fn, head, loop, ctx):
+                changed = True
+        if changed:
+            cleanup_cfg(fn, ctx, caller=self.name)
+        return changed
+
+    def _rotate(self, fn: Function, head: BasicBlock,
+                loop: List[BasicBlock], ctx: PassContext) -> bool:
+        preheader = _unique_preheader(fn, head, loop)
+        if preheader is None:
+            return False
+        term = head.terminator
+        if not isinstance(term, Branch):
+            return False
+        if getattr(head, "_rotated", False):
+            return False
+        # Header must be duplication-safe: pure computations only.
+        for instr in head.instrs[:-1]:
+            if instr.is_dbg():
+                continue
+            if isinstance(instr, (Move, BinOp, UnOp)) and \
+                    not instr.has_side_effects():
+                continue
+            if isinstance(instr, Load) and not instr.volatile:
+                continue
+            return False
+
+        drop_dbg = ctx.fires("rotate.exit_dbg", function=fn.name)
+        guard_instrs: List[Instr] = []
+        for instr in head.instrs:
+            if instr.is_dbg():
+                if drop_dbg:
+                    continue
+                clone = _copy.copy(instr)
+                guard_instrs.append(clone)
+                continue
+            guard_instrs.append(_copy.copy(instr))
+        # Replace the preheader's jump with the guard copy.
+        preheader.instrs.pop()
+        preheader.instrs.extend(guard_instrs)
+        head._rotated = True
+        return True
+
+
+class LoopUnroll(Pass):
+    """Full unrolling of small constant-trip-count loops."""
+
+    def __init__(self, name: str = "unroll", max_trips: int = 8,
+                 max_body: int = 30):
+        self.name = name
+        self.max_trips = max_trips
+        self.max_body = max_body
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        for tail, head in back_edges(fn):
+            loop = natural_loop(fn, tail, head)
+            if self._unroll(fn, head, loop, ctx):
+                changed = True
+                break  # CFG changed wholesale; one loop per run
+        if changed:
+            cleanup_cfg(fn, ctx, caller=self.name)
+        return changed
+
+    def _straight_chain(self, head: BasicBlock,
+                        loop: List[BasicBlock]) -> Optional[List[BasicBlock]]:
+        """The loop body as a straight-line chain head -> ... -> latch."""
+        term = head.terminator
+        if not isinstance(term, Branch):
+            return None
+        chain = [head]
+        block = term.if_true
+        loop_ids = {id(b) for b in loop}
+        if id(block) not in loop_ids:
+            return None
+        seen = {id(head)}
+        while True:
+            if id(block) in seen or id(block) not in loop_ids:
+                return None
+            chain.append(block)
+            seen.add(id(block))
+            t = block.terminator
+            if not isinstance(t, Jump):
+                return None
+            if t.target is head:
+                return chain
+            block = t.target
+
+    def _trip_info(self, fn: Function, head: BasicBlock,
+                   chain: List[BasicBlock], preheader: BasicBlock
+                   ) -> Optional[Tuple[VReg, int, int, int, BinOp]]:
+        """(iv, init, bound, step, compare) for a counted loop."""
+        term = head.terminator
+        compare = None
+        for instr in reversed(head.instrs[:-1]):
+            if not instr.is_dbg() and instr.defs() is term.cond:
+                compare = instr
+                break
+        if not isinstance(compare, BinOp) or compare.op not in ("<", "<=",
+                                                                ">", ">="):
+            return None
+        if not isinstance(compare.a, VReg) or \
+                not isinstance(compare.b, Const):
+            return None
+        iv = _resolve_copy(head, head.instrs.index(compare), compare.a)
+        # Find the single in-loop step: iv = iv + c (direct or via temp).
+        step = None
+        for block in chain:
+            for idx, instr in enumerate(block.instrs):
+                if instr.is_dbg() or instr.defs() is not iv:
+                    continue
+                if block is head or step is not None:
+                    return None
+                delta = _step_delta(block, idx, iv)
+                if delta is None:
+                    return None
+                step = delta
+        if step is None or step == 0:
+            return None
+        # Initial value: last definition of iv in the preheader.
+        init = None
+        for instr in preheader.instrs:
+            if instr.is_dbg():
+                continue
+            if instr.defs() is iv:
+                if isinstance(instr, Move) and isinstance(instr.src, Const):
+                    init = instr.src.value
+                else:
+                    init = None
+        if init is None:
+            return None
+        # Any other definition of iv elsewhere disqualifies.
+        chain_ids = {id(b) for b in chain}
+        for block in fn.blocks:
+            if block is preheader or id(block) in chain_ids:
+                continue
+            for instr in block.instrs:
+                if not instr.is_dbg() and instr.defs() is iv:
+                    return None
+        return iv, init, compare.b.value, step, compare
+
+    def _unroll(self, fn: Function, head: BasicBlock,
+                loop: List[BasicBlock], ctx: PassContext) -> bool:
+        preheader = _unique_preheader(fn, head, loop)
+        if preheader is None:
+            return False
+        chain = self._straight_chain(head, loop)
+        if chain is None or set(map(id, chain)) != set(map(id, loop)):
+            return False
+        body_size = sum(len(b.non_dbg_instrs()) for b in chain)
+        if body_size > self.max_body:
+            return False
+        info = self._trip_info(fn, head, chain, preheader)
+        if info is None:
+            return False
+        iv, init, bound, step, compare = info
+
+        # Compute the trip count by abstract execution of the exit test.
+        trips = 0
+        value = init
+        while trips <= self.max_trips:
+            if eval_binop(compare.op, value, bound) == 0:
+                break
+            trips += 1
+            value += step
+        if trips > self.max_trips:
+            return False
+
+        exit_block = head.terminator.if_false
+        drop_iter_dbg = ctx.fires("unroll.iter_dbg", function=fn.name)
+
+        # Build the unrolled straight-line replacement.
+        unrolled = fn.new_block(f"unrolled_{head.name}")
+        fn.blocks.remove(unrolled)
+        fn.blocks.insert(fn.blocks.index(head), unrolled)
+        out: List[Instr] = []
+        for k in range(trips):
+            for block in chain:
+                instrs = block.instrs[:-1]  # strip terminator
+                if block is head:
+                    instrs = [i for i in instrs
+                              if i.is_dbg() or i.defs() is not compare.dst]
+                for instr in instrs:
+                    if instr.is_dbg():
+                        if drop_iter_dbg and k > 0:
+                            continue
+                        out.append(_copy.copy(instr))
+                        continue
+                    out.append(_copy.copy(instr))
+        # Trailing header computations run once more (final exit test side
+        # effects are pure, so only dbg/line context matters).
+        for instr in head.instrs[:-1]:
+            if instr.is_dbg():
+                if not (drop_iter_dbg and trips > 0):
+                    out.append(_copy.copy(instr))
+                continue
+            if instr.defs() is compare.dst:
+                continue
+            out.append(_copy.copy(instr))
+        out.append(Jump(target=exit_block, line=head.terminator.line,
+                        scope=head.terminator.scope))
+        unrolled.instrs = out
+
+        # Point the preheader at the unrolled code; the old loop blocks
+        # become unreachable and are cleaned up.
+        preheader.instrs[-1] = Jump(target=unrolled,
+                                    line=preheader.instrs[-1].line,
+                                    scope=preheader.instrs[-1].scope)
+        return True
+
+
+class LoopStrengthReduce(Pass):
+    """Strength-reduce induction-variable multiplications (LSR)."""
+
+    def __init__(self, name: str = "lsr"):
+        self.name = name
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        for tail, head in back_edges(fn):
+            loop = natural_loop(fn, tail, head)
+            if self._reduce(fn, head, loop, ctx):
+                changed = True
+        return changed
+
+    def _find_step(self, loop: List[BasicBlock], iv: VReg
+                   ) -> Optional[Tuple[BasicBlock, int, int]]:
+        """(block, index, delta) of the unique ``iv += delta`` in loop."""
+        found = None
+        for block in loop:
+            for idx, instr in enumerate(block.instrs):
+                if instr.is_dbg() or instr.defs() is not iv:
+                    continue
+                if found is not None:
+                    return None
+                delta = _step_delta(block, idx, iv)
+                if delta is None:
+                    return None
+                found = (block, idx, delta)
+        return found
+
+    def _reduce(self, fn: Function, head: BasicBlock,
+                loop: List[BasicBlock], ctx: PassContext) -> bool:
+        preheader = _unique_preheader(fn, head, loop, require_jump=False)
+        if preheader is None:
+            return False
+        loop_ids = {id(b) for b in loop}
+
+        # Find candidate multiplications: t = iv * stride with iv stepped
+        # by a constant inside the loop.
+        for block in loop:
+            for idx, instr in enumerate(block.instrs):
+                if not isinstance(instr, BinOp) or \
+                        instr.op not in ("*", "<<"):
+                    continue
+                if not isinstance(instr.a, VReg) or \
+                        not isinstance(instr.b, Const):
+                    continue
+                iv = instr.a
+                if instr.op == "*":
+                    stride = instr.b.value
+                else:  # peepholed multiplication: iv << k
+                    if not 0 < instr.b.value < 32:
+                        continue
+                    stride = 1 << instr.b.value
+                if stride == 0:
+                    continue
+                step_info = self._find_step(loop, iv)
+                if step_info is None:
+                    continue
+                step_block, step_idx, delta = step_info
+                if self._apply(fn, preheader, loop, block, idx, iv,
+                               stride, step_block, step_idx, delta, ctx):
+                    return True
+        return False
+
+    def _apply(self, fn: Function, preheader: BasicBlock,
+               loop: List[BasicBlock], mul_block: BasicBlock, mul_idx: int,
+               iv: VReg, stride: int, step_block: BasicBlock,
+               step_idx: int, delta: int, ctx: PassContext) -> bool:
+        mul = mul_block.instrs[mul_idx]
+        acc = fn.new_vreg(f"lsr_{iv.name or iv.vid}")
+        loop_ids = {id(b) for b in loop}
+
+        # The step may be the two-instruction ``t = iv + c; iv = t`` form:
+        # both instructions belong to the step and are exempt below.
+        step_instr = step_block.instrs[step_idx]
+        step_family = {id(step_instr)}
+        if isinstance(step_instr, Move) and \
+                isinstance(step_instr.src, VReg):
+            for j in range(step_idx - 1, -1, -1):
+                prev = step_block.instrs[j]
+                if not prev.is_dbg() and prev.defs() is step_instr.src:
+                    step_family.add(id(prev))
+                    break
+
+        # Classify every real use of iv *before* rewriting anything.
+        # Compares against constants (in the loop or its preheader — loop
+        # rotation leaves a guard copy there) can be rewritten in terms
+        # of acc; any other use keeps iv alive.
+        compares = []
+        eliminable = stride > 0
+        for b in fn.blocks:
+            for i, ins in enumerate(b.instrs):
+                if ins.is_dbg() or iv not in ins.uses():
+                    continue
+                if ins.defs() is iv or id(ins) in step_family:
+                    continue  # its own step
+                if ins is mul:
+                    continue  # being strength-reduced
+                in_scope = id(b) in loop_ids or b is preheader
+                if isinstance(ins, BinOp) and ins.op in ("<", "<=") and \
+                        ins.a is iv and isinstance(ins.b, Const) and \
+                        in_scope:
+                    compares.append((b, i, ins))
+                    continue
+                eliminable = False
+
+        # Seed acc in the preheader: before the terminator and before any
+        # guard compare that will be rewritten.
+        seed_at = len(preheader.instrs) - 1
+        for b, i, _ins in compares:
+            if b is preheader:
+                seed_at = min(seed_at, i)
+        seed = BinOp(dst=acc, op="*", a=iv, b=Const(stride),
+                     line=preheader.instrs[-1].line)
+        preheader.instrs.insert(seed_at, seed)
+
+        # Replace the in-loop multiplication with a copy of acc.
+        mul_block.instrs[mul_idx] = Move(dst=mul.dst, src=acc,
+                                         line=mul.line, scope=mul.scope)
+        # Step the accumulator right after the iv step.
+        if step_block is preheader and step_idx >= seed_at:
+            step_idx += 1
+        step_block.instrs.insert(
+            step_idx + 1,
+            BinOp(dst=acc, op="+", a=acc, b=Const(delta * stride),
+                  line=step_block.instrs[step_idx].line,
+                  scope=step_block.instrs[step_idx].scope))
+
+        if not (eliminable and compares):
+            # The induction variable survives (other uses), but LSR has
+            # rewritten its addressing recurrence. The correct pass needs
+            # no dbg work here; the 53855-family defect drops the IV's
+            # in-loop debug values during the rewrite anyway.
+            if ctx.fires("lsr.salvage", function=fn.name):
+                for block in loop:
+                    for ins in block.instrs:
+                        if isinstance(ins, DbgValue):
+                            base = ins.value
+                            if isinstance(base, AffineExpr):
+                                base = base.vreg
+                            if base is iv:
+                                ins.value = None
+            return True
+
+        if eliminable and compares:
+            for b, i, cmp_ins in compares:
+                if b is preheader and i >= seed_at:
+                    i += 1
+                if b is step_block and i > step_idx:
+                    i += 1
+                assert b.instrs[i] is cmp_ins, "index drift in LSR"
+                b.instrs[i] = BinOp(dst=cmp_ins.dst, op=cmp_ins.op, a=acc,
+                                    b=Const(cmp_ins.b.value * stride),
+                                    line=cmp_ins.line, scope=cmp_ins.scope)
+            # Delete the iv step; salvage its dbg values.
+            salvage = not ctx.fires("lsr.salvage", function=fn.name)
+            del step_block.instrs[step_idx]
+            for block in fn.blocks:
+                for ins in block.instrs:
+                    if isinstance(ins, DbgValue):
+                        base = ins.value
+                        if isinstance(base, AffineExpr):
+                            base = base.vreg
+                        if base is iv:
+                            ins.value = (AffineExpr(acc, 1, 0, stride)
+                                         if salvage else None)
+        return True

@@ -1,0 +1,142 @@
+"""Memory-to-register promotion (LLVM's SROA / mem2reg, gcc's into-SSA).
+
+Promotes every eligible scalar stack slot to a virtual register:
+
+* a promoted variable's loads become register reads and its stores become
+  register writes;
+* the slot's ``DbgDeclare`` ("lives in memory here, always") is replaced
+  with a ``DbgValue`` *per store* ("from here, the value is X") — this is
+  the moment debug information becomes a liability that every later pass
+  must consciously maintain;
+* the language zero-initializes storage, so promotion seeds the register
+  with zero at entry to preserve semantics of reads-before-writes.
+
+Eligibility mirrors the real constraints: single-word slots, address never
+taken, never accessed with a computed address, not volatile.
+
+Hook points:
+
+* ``promote.store_dbg`` — the defect of clang bugs 54796/105261 (SROA):
+  dbg values are only emitted for the first store in each block, producing
+  intermittent availability later (Conjecture 3 violations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..ir.instructions import DbgDeclare, DbgValue, Load, Move, Store
+from ..ir.module import Function
+from ..ir.values import Const, SlotRef, VReg
+from .base import Pass, PassContext
+
+
+def _escaping_slots(fn: Function) -> Set[int]:
+    """Slots whose address is used other than by a direct load/store."""
+    escaping: Set[int] = set()
+    for block in fn.blocks:
+        for instr in block.instrs:
+            if isinstance(instr, Load):
+                ops = [instr.addr]
+                direct = [instr.addr]
+            elif isinstance(instr, Store):
+                ops = [instr.addr, instr.value]
+                direct = [instr.addr]
+            elif instr.is_dbg():
+                continue
+            else:
+                ops = instr._use_operands()
+                direct = []
+            for op in ops:
+                if isinstance(op, SlotRef) and (op not in direct or
+                                                op.offset != 0):
+                    escaping.add(op.slot_id)
+    return escaping
+
+
+class Mem2Reg(Pass):
+    """Promote scalar stack slots to virtual registers."""
+
+    def __init__(self, name: str = "mem2reg"):
+        self.name = name
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        escaping = _escaping_slots(fn)
+        promotable: Dict[int, VReg] = {}
+        for slot in fn.slots.values():
+            if slot.size != 1 or slot.address_taken:
+                continue
+            if slot.slot_id in escaping:
+                continue
+            if slot.symbol is not None and slot.symbol.volatile:
+                continue
+            promotable[slot.slot_id] = fn.new_vreg(slot.name)
+        if not promotable:
+            return False
+
+        for block in fn.blocks:
+            first_store_seen: Set[int] = set()
+            new_instrs = []
+            for instr in block.instrs:
+                if isinstance(instr, DbgDeclare) and \
+                        instr.slot_id in promotable:
+                    # The declare is replaced by an entry-anchored zero
+                    # dbg.value (inserted below with the zero seeds), so
+                    # the variable has coverage from its very first
+                    # steppable line, exactly like the slot did.
+                    continue
+                if isinstance(instr, Load) and \
+                        isinstance(instr.addr, SlotRef) and \
+                        instr.addr.slot_id in promotable:
+                    new_instrs.append(Move(
+                        dst=instr.dst, src=promotable[instr.addr.slot_id],
+                        line=instr.line, scope=instr.scope))
+                    continue
+                if isinstance(instr, Store) and \
+                        isinstance(instr.addr, SlotRef) and \
+                        instr.addr.slot_id in promotable:
+                    slot_id = instr.addr.slot_id
+                    vreg = promotable[slot_id]
+                    new_instrs.append(Move(
+                        dst=vreg, src=instr.value, line=instr.line,
+                        scope=instr.scope))
+                    slot = fn.slots[slot_id]
+                    sym = slot.symbol
+                    if sym is not None:
+                        drop = ctx.fires(
+                            "promote.store_dbg", function=fn.name,
+                            symbol=sym.name,
+                            first_in_block=slot_id not in first_store_seen)
+                        first_store_seen.add(slot_id)
+                        if not drop:
+                            dbg_operand = (instr.value
+                                           if isinstance(instr.value, Const)
+                                           else vreg)
+                            new_instrs.append(DbgValue(
+                                symbol=sym, value=dbg_operand,
+                                line=instr.line, scope=instr.scope))
+                    continue
+                new_instrs.append(instr)
+            block.instrs = new_instrs
+
+        # Seed zero-initialization at entry (before any other code),
+        # anchor the initial dbg values there, and delete the slots.
+        seed = []
+        for slot_id, vreg in promotable.items():
+            slot = fn.slots[slot_id]
+            seed.append(Move(dst=vreg, src=Const(0), line=None))
+            if slot.symbol is not None:
+                seed.append(DbgValue(symbol=slot.symbol, value=Const(0),
+                                     line=None))
+            del fn.slots[slot_id]
+        fn.entry.instrs[0:0] = seed
+        from .sink import maybe_sink_dbg
+        maybe_sink_dbg(fn, ctx, point="promote.sink")
+        return True
+
+
+class SROA(Mem2Reg):
+    """clang-family name for the promotion pass."""
+
+    def __init__(self, name: str = "sroa"):
+        super().__init__(name)

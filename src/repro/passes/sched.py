@@ -1,0 +1,161 @@
+"""Instruction scheduling (gcc ``schedule-insns2`` / LLVM MachineScheduler
+flavour).
+
+Per block, independent instruction *groups* (a real instruction plus the
+dbg records attached after it) are bubbled earlier to shorten dependence
+chains — loads and register copies move up past unrelated computations.
+Memory operations never cross stores, calls, or volatile accesses.
+
+Debug handling: the attached dbg records travel with their group, so a
+variable's location range still begins at its (moved) definition.
+
+Hook points:
+
+* ``sched.dbg`` — clang bugs 54611/50286: when a group moves, its dbg
+  records are conservatively dropped instead of transported; the location
+  range no longer includes the instructions of the source line
+  (Incomplete DIE, intermittent availability for Conjecture 3).
+* ``sched.scope`` — gcc bugs 105249/105036: the moved instruction is
+  wrongly re-tagged with the inline scope of its new neighborhood, so the
+  debugger attributes its address to the wrong function frame and cannot
+  display the variable (Incorrect DIE).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..ir.instructions import Call, DbgValue, Instr, Load, Move, Store
+from ..ir.module import BasicBlock, Function
+from ..ir.values import VReg
+from .base import Pass, PassContext
+
+
+class _Group:
+    """A real instruction with its trailing dbg records."""
+
+    def __init__(self, instr: Instr):
+        self.instr = instr
+        self.dbg: List[Instr] = []
+
+    def defs(self) -> Optional[VReg]:
+        return self.instr.defs()
+
+    def uses(self) -> Set[VReg]:
+        return set(self.instr.uses())
+
+    def is_mem(self) -> bool:
+        return isinstance(self.instr, (Load, Store, Call))
+
+    def is_barrier(self) -> bool:
+        if isinstance(self.instr, Call):
+            return True
+        if isinstance(self.instr, (Load, Store)) and self.instr.volatile:
+            return True
+        return isinstance(self.instr, Store)
+
+
+def _independent(earlier: _Group, later: _Group) -> bool:
+    """Can ``later`` move before ``earlier``?"""
+    if earlier.is_barrier() or later.is_barrier():
+        return False
+    if earlier.is_mem() and later.is_mem():
+        return False
+    e_def, l_def = earlier.defs(), later.defs()
+    if l_def is not None and (l_def is e_def or l_def in earlier.uses()):
+        return False
+    if e_def is not None and e_def in later.uses():
+        return False
+    # Debug records of the earlier group are scheduling barriers: moving
+    # code from a later source line above them would make that line's
+    # first address precede the variable's location-range start, i.e.
+    # manufacture an availability gap out of thin air. (Dropping this
+    # provision is exactly what the ``sched.dbg``/``sched.scope`` defect
+    # paths do to the *moved* group's own records.)
+    if earlier.dbg:
+        return False
+    return True
+
+
+class InstructionScheduler(Pass):
+    """Bubble movable groups earlier within each block."""
+
+    def __init__(self, name: str = "schedule-insns2", window: int = 3):
+        self.name = name
+        self.window = window
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        from .sink import maybe_sink_dbg
+        if maybe_sink_dbg(fn, ctx, point="sched.sink"):
+            changed = True
+        for block in fn.blocks:
+            if self._schedule_block(fn, block, ctx):
+                changed = True
+        return changed
+
+    def _schedule_block(self, fn: Function, block: BasicBlock,
+                        ctx: PassContext) -> bool:
+        if len(block.instrs) < 3:
+            return False
+        terminator = block.instrs[-1] if block.terminator else None
+        body = block.instrs[:-1] if terminator is not None else \
+            list(block.instrs)
+
+        # Build groups: leading dbg records attach to a synthetic head.
+        groups: List[_Group] = []
+        leading_dbg: List[Instr] = []
+        for instr in body:
+            if instr.is_dbg():
+                if groups:
+                    groups[-1].dbg.append(instr)
+                else:
+                    leading_dbg.append(instr)
+                continue
+            groups.append(_Group(instr))
+
+        changed = False
+        for _round in range(2):
+            moved = False
+            for idx in range(1, len(groups)):
+                group = groups[idx]
+                if not isinstance(group.instr, (Load, Move)):
+                    continue
+                # Find how far up it can move within the window.
+                dest = idx
+                for back in range(1, self.window + 1):
+                    j = idx - back
+                    if j < 0:
+                        break
+                    if not _independent(groups[j], group):
+                        break
+                    dest = j
+                if dest < idx:
+                    groups.insert(dest, groups.pop(idx))
+                    moved = True
+                    changed = True
+                    if group.dbg and ctx.fires("sched.dbg",
+                                               function=fn.name):
+                        for dbg in group.dbg:
+                            if isinstance(dbg, DbgValue):
+                                dbg.value = None
+                    if ctx.fires("sched.scope", function=fn.name):
+                        neighbor = groups[dest - 1].instr if dest > 0 \
+                            else None
+                        if neighbor is not None and \
+                                neighbor.scope is not group.instr.scope:
+                            group.instr.scope = neighbor.scope
+                            for dbg in group.dbg:
+                                dbg.scope = neighbor.scope
+            if not moved:
+                break
+
+        if changed:
+            new_body: List[Instr] = list(leading_dbg)
+            for group in groups:
+                new_body.append(group.instr)
+                new_body.extend(group.dbg)
+            if terminator is not None:
+                new_body.append(terminator)
+            block.instrs = new_body
+        return changed

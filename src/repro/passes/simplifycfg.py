@@ -1,0 +1,25 @@
+"""SimplifyCFG (clang) — a scheduled pass wrapping the shared CFG cleanup.
+
+In LLVM, SimplifyCFG is an explicit pipeline pass (and the one clang bugs
+49769/55115 live in, via the ``cleanup.dbg_only_block`` hook inside the
+cleanup helper); in gcc the equivalent cleanup runs as a helper invoked by
+other passes. Both families funnel through
+:func:`repro.passes.cfg_cleanup.cleanup_cfg` — only the attribution
+differs.
+"""
+
+from __future__ import annotations
+
+from ..ir.module import Function
+from .base import Pass, PassContext
+from .cfg_cleanup import cleanup_cfg
+
+
+class SimplifyCFG(Pass):
+    """Standalone CFG simplification pass."""
+
+    def __init__(self, name: str = "simplifycfg"):
+        self.name = name
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        return cleanup_cfg(fn, ctx, caller=self.name)

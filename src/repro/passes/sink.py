@@ -1,0 +1,57 @@
+"""The "sunk debug record" defect action.
+
+Several of the paper's Conjecture 3 bugs (gcc 104938/105124/105389, clang
+50286) share one manifestation: the variable's location range *starts
+well after* the instruction that assigns it — the value is shown as
+optimized out for a stretch of its lifetime, only to (counter-intuitively)
+become available later, without any reassignment.
+
+The producer-side mechanism is a pass updating debug statements to a
+position past the code of the following source lines. The helper below
+implements that action for any pass: when the corresponding defect fires
+for a (function, variable) pair, the variable's debug records are moved
+down past a handful of following real instructions. With no active defect
+it is a no-op — correct passes keep debug records anchored.
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import DbgValue
+from ..ir.module import Function
+from .base import PassContext
+
+#: How many real instructions a sunk record skips.
+SINK_DISTANCE = 6
+
+
+def maybe_sink_dbg(fn: Function, ctx: PassContext, point: str) -> bool:
+    """Apply the sink-defect action where the registry says so."""
+    changed = False
+    for block in fn.blocks:
+        sunk = []
+        new_instrs = []
+        pending = []  # (remaining_distance, instr)
+        for instr in block.instrs:
+            if isinstance(instr, DbgValue) and instr.value is not None \
+                    and ctx.fires(point, function=fn.name,
+                                  symbol=instr.symbol.name):
+                pending.append([SINK_DISTANCE, instr])
+                changed = True
+                continue
+            new_instrs.append(instr)
+            if not instr.is_dbg() and not instr.is_terminator():
+                for entry in pending:
+                    entry[0] -= 1
+                matured = [e for e in pending if e[0] <= 0]
+                pending = [e for e in pending if e[0] > 0]
+                for _dist, dbg in matured:
+                    new_instrs.append(dbg)
+        # Records that never matured land just before the terminator.
+        if pending:
+            insert_at = len(new_instrs)
+            if new_instrs and new_instrs[-1].is_terminator():
+                insert_at -= 1
+            for _dist, dbg in pending:
+                new_instrs.insert(insert_at, dbg)
+        block.instrs = new_instrs
+    return changed

@@ -1,0 +1,206 @@
+"""Value range propagation (gcc ``tree-vrp`` / EVRP flavour).
+
+A deliberately small VRP: when a block is reached only through one edge of
+a conditional branch comparing a register against a constant, the branch
+predicate holds inside the block (until the register is redefined). The
+pass uses the predicate to:
+
+* replace uses of a register known *equal* to a constant with the
+  constant (and delete its in-block definition if it becomes dead);
+* fold comparisons implied by known inequalities;
+* fold branches whose condition becomes constant, followed by the shared
+  CFG cleanup.
+
+Hook point:
+
+* ``vrp.dbg`` — gcc bug 105007: the lattice propagation removes a
+  definition for a propagated constant without inserting a debug
+  statement, leaving the variable's DIE without location information.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..ir.instructions import BinOp, Branch, DbgValue, Jump, Move
+from ..ir.module import BasicBlock, Function
+from ..ir.ops import eval_binop
+from ..ir.values import AffineExpr, Const, VReg
+from .base import Pass, PassContext
+from .cfg_cleanup import cleanup_cfg
+
+_RANGE_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+def _single_pred_fact(fn: Function, block: BasicBlock
+                      ) -> Optional[Tuple[VReg, str, int, bool]]:
+    """(reg, op, const, taken) if ``block`` is reached only via one branch
+    edge testing ``reg op const``."""
+    preds = []
+    for candidate in fn.blocks:
+        for succ in candidate.successors():
+            if succ is block:
+                preds.append(candidate)
+    if len(preds) != 1 or block is fn.entry:
+        return None
+    pred = preds[0]
+    term = pred.terminator
+    if not isinstance(term, Branch):
+        return None
+    if term.if_true is term.if_false:
+        return None
+    cond = term.cond
+    if not isinstance(cond, VReg):
+        return None
+    # Find the comparison defining the condition (last def in pred).
+    compare = None
+    for instr in reversed(pred.instrs):
+        if not instr.is_dbg() and instr.defs() is cond:
+            compare = instr
+            break
+    if not isinstance(compare, BinOp) or compare.op not in _RANGE_OPS:
+        return None
+    if not isinstance(compare.a, VReg) or not isinstance(compare.b, Const):
+        return None
+    # The comparison's operand must not change between it and the branch.
+    seen = False
+    for instr in pred.instrs:
+        if instr is compare:
+            seen = True
+            continue
+        if seen and not instr.is_dbg() and instr.defs() is compare.a:
+            return None
+    taken = term.if_true is block
+    return compare.a, compare.op, compare.b.value, taken
+
+
+def _implied(op: str, const: int, taken: bool, test_op: str,
+             test_const: int) -> Optional[int]:
+    """Does ``reg op const`` (negated if not taken) imply a constant value
+    for ``reg test_op test_const``? Sampling-free interval reasoning for
+    the handful of operator pairs we need."""
+    # Derive an interval [lo, hi] (inclusive, possibly open-ended).
+    lo, hi = None, None
+    if taken:
+        if op == "==":
+            lo = hi = const
+        elif op == "<":
+            hi = const - 1
+        elif op == "<=":
+            hi = const
+        elif op == ">":
+            lo = const + 1
+        elif op == ">=":
+            lo = const
+        elif op == "!=":
+            return None
+    else:
+        if op == "!=":
+            lo = hi = const
+        elif op == "<":
+            lo = const
+        elif op == "<=":
+            lo = const + 1
+        elif op == ">":
+            hi = const
+        elif op == ">=":
+            hi = const - 1
+        elif op == "==":
+            return None
+    c = test_const
+    if test_op == "<":
+        if hi is not None and hi < c:
+            return 1
+        if lo is not None and lo >= c:
+            return 0
+    elif test_op == "<=":
+        if hi is not None and hi <= c:
+            return 1
+        if lo is not None and lo > c:
+            return 0
+    elif test_op == ">":
+        if lo is not None and lo > c:
+            return 1
+        if hi is not None and hi <= c:
+            return 0
+    elif test_op == ">=":
+        if lo is not None and lo >= c:
+            return 1
+        if hi is not None and hi < c:
+            return 0
+    elif test_op == "==":
+        if lo is not None and lo == hi == c:
+            return 1
+        if (hi is not None and hi < c) or (lo is not None and lo > c):
+            return 0
+    elif test_op == "!=":
+        if lo is not None and lo == hi == c:
+            return 0
+        if (hi is not None and hi < c) or (lo is not None and lo > c):
+            return 1
+    return None
+
+
+class ValueRangePropagation(Pass):
+    """Edge-predicated constant/range folding."""
+
+    def __init__(self, name: str = "tree-vrp"):
+        self.name = name
+
+    def run_on_function(self, fn: Function, ctx: PassContext) -> bool:
+        changed = False
+        folded_branch = False
+        for block in list(fn.blocks):
+            fact = _single_pred_fact(fn, block)
+            if fact is None:
+                continue
+            reg, op, const, taken = fact
+            if self._apply_fact(fn, block, reg, op, const, taken, ctx):
+                changed = True
+                folded_branch = True
+        if folded_branch:
+            cleanup_cfg(fn, ctx, caller=self.name)
+        return changed
+
+    def _apply_fact(self, fn: Function, block: BasicBlock, reg: VReg,
+                    op: str, const: int, taken: bool,
+                    ctx: PassContext) -> bool:
+        changed = False
+        replaced_use = False
+        equal_const = const if (op == "==" and taken) or \
+            (op == "!=" and not taken) else None
+
+        for idx, instr in enumerate(block.instrs):
+            if not instr.is_dbg() and instr.defs() is reg:
+                break  # predicate dead past a redefinition
+            if isinstance(instr, DbgValue):
+                continue
+            if equal_const is not None and reg in instr.uses():
+                instr.replace_uses({reg: Const(equal_const)})
+                changed = True
+                replaced_use = True
+                continue
+            if isinstance(instr, BinOp) and instr.op in _RANGE_OPS and \
+                    instr.a is reg and isinstance(instr.b, Const):
+                implied = _implied(op, const, taken, instr.op,
+                                   instr.b.value)
+                if implied is not None:
+                    block.instrs[idx] = Move(
+                        dst=instr.dst, src=Const(implied),
+                        line=instr.line, scope=instr.scope)
+                    changed = True
+
+        # Replacing the register's uses can make its definition dead and
+        # later deletable; the correct provision (what bug 105007's EVRP
+        # missed) is to also bind the in-region debug statements to the
+        # propagated constant, so they survive the deletion.
+        if replaced_use:
+            defective = ctx.fires("vrp.dbg", function=fn.name)
+            for instr in block.instrs:
+                if not instr.is_dbg() and instr.defs() is reg:
+                    break
+                if isinstance(instr, DbgValue) and instr.value is reg:
+                    # Defect: the lattice propagation removes the binding
+                    # without inserting a debug statement.
+                    instr.value = None if defective else Const(equal_const)
+        return changed

@@ -1,0 +1,7 @@
+"""End-to-end campaigns, classification, and reporting."""
+
+from .campaign import (
+    CampaignResult, ProgramResult, ViolationKey, run_campaign,
+    run_campaign_on_programs, test_program,
+)
+from .classify import ClassifiedViolation, classify_violation, dwarf_category

@@ -1,0 +1,172 @@
+"""End-to-end testing campaigns (Section 5.1/5.2 drivers).
+
+``run_campaign`` reproduces the paper's core experiment: generate N
+programs, compile each at every optimization level of a compiler, trace in
+the family's native debugger, check the three conjectures, and aggregate:
+
+* per-level violation counts per conjecture (Table 1's body);
+* unique violations (deduplicated across levels — Table 1's last row);
+* the level-set membership of each unique violation (Figures 2/3's Venn
+  regions);
+* per-program violated-conjecture counts (Figure 4's grid rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.source_facts import SourceFacts
+from ..compilers.compiler import Compiler
+from ..conjectures.base import CONJECTURES, Violation, check_all
+from ..debugger.base import Debugger
+from ..fuzz.generator import generate_validated
+from ..lang.ast_nodes import Program
+
+#: A unique violation identity: (conjecture, line, variable).
+ViolationKey = Tuple[str, int, str]
+
+
+@dataclass
+class ProgramResult:
+    """All violations found for one test program."""
+
+    seed: int
+    violations: Dict[str, List[Violation]] = field(default_factory=dict)
+
+    def unique_keys(self) -> Dict[ViolationKey, Set[str]]:
+        """Map each unique violation to the levels it reproduces at."""
+        out: Dict[ViolationKey, Set[str]] = {}
+        for level, violations in self.violations.items():
+            for violation in violations:
+                out.setdefault(violation.key(), set()).add(level)
+        return out
+
+    def conjectures_violated(self) -> Set[str]:
+        return {key[0] for key in self.unique_keys()}
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated campaign statistics."""
+
+    family: str
+    version: str
+    levels: List[str]
+    pool_size: int = 0
+    programs: List[ProgramResult] = field(default_factory=list)
+
+    # -- Table 1 -----------------------------------------------------------
+
+    def count(self, level: str, conjecture: str) -> int:
+        total = 0
+        for result in self.programs:
+            total += sum(1 for v in result.violations.get(level, ())
+                         if v.conjecture == conjecture)
+        return total
+
+    def unique_count(self, conjecture: str) -> int:
+        keys = set()
+        for result in self.programs:
+            keys.update((result.seed, k)
+                        for k in result.unique_keys()
+                        if k[0] == conjecture)
+        return len(keys)
+
+    def programs_without_violations(self, conjecture: str) -> int:
+        return sum(1 for r in self.programs
+                   if conjecture not in r.conjectures_violated())
+
+    def table1(self) -> Dict[str, Dict[str, int]]:
+        """{level: {conjecture: count}} plus a "unique" pseudo-level."""
+        table = {level: {c: self.count(level, c) for c in CONJECTURES}
+                 for level in self.levels}
+        table["unique"] = {c: self.unique_count(c) for c in CONJECTURES}
+        return table
+
+    # -- Figures 2/3 ---------------------------------------------------------
+
+    def venn(self, exclude: Sequence[str] = ("Oz",),
+             conjecture: Optional[str] = None
+             ) -> Dict[FrozenSet[str], int]:
+        """Counts of unique violations per exact level combination
+        (the paper plots these cumulatively over conjectures and leaves
+        -Oz out of the diagrams)."""
+        regions: Dict[FrozenSet[str], int] = {}
+        for result in self.programs:
+            for key, levels in result.unique_keys().items():
+                if conjecture is not None and key[0] != conjecture:
+                    continue
+                visible = frozenset(l for l in levels
+                                    if l not in exclude)
+                if not visible:
+                    continue
+                regions[visible] = regions.get(visible, 0) + 1
+        return regions
+
+    def only_at(self, level: str,
+                conjecture: Optional[str] = None) -> int:
+        """Unique violations occurring at exactly one level."""
+        return self.venn(exclude=(), conjecture=conjecture).get(
+            frozenset([level]), 0)
+
+    # -- Figure 4 -------------------------------------------------------------
+
+    def grid_row(self) -> List[int]:
+        """#conjectures violated per program, in seed order."""
+        return [len(r.conjectures_violated()) for r in self.programs]
+
+
+def test_program(program: Program, compiler: Compiler,
+                 debugger: Debugger,
+                 levels: Optional[Sequence[str]] = None,
+                 facts: Optional[SourceFacts] = None
+                 ) -> Dict[str, List[Violation]]:
+    """Check one program at each level; returns violations per level."""
+    if facts is None:
+        facts = SourceFacts(program)
+    if levels is None:
+        levels = [l for l in compiler.levels if l != "O0"]
+    out: Dict[str, List[Violation]] = {}
+    for level in levels:
+        compilation = compiler.compile(program, level)
+        trace = debugger.trace(compilation.exe)
+        out[level] = check_all(facts, trace)
+    return out
+
+
+def run_campaign(compiler: Compiler, debugger: Debugger,
+                 pool_size: int = 100, seed_base: int = 0,
+                 levels: Optional[Sequence[str]] = None) -> CampaignResult:
+    """Generate ``pool_size`` programs and test them all."""
+    if levels is None:
+        levels = [l for l in compiler.levels if l != "O0"]
+    result = CampaignResult(family=compiler.family,
+                            version=compiler.version,
+                            levels=list(levels), pool_size=pool_size)
+    for index in range(pool_size):
+        seed = seed_base + index
+        program = generate_validated(seed)
+        violations = test_program(program, compiler, debugger, levels)
+        result.programs.append(
+            ProgramResult(seed=seed, violations=violations))
+    return result
+
+
+def run_campaign_on_programs(programs: Sequence[Program],
+                             compiler: Compiler, debugger: Debugger,
+                             levels: Optional[Sequence[str]] = None
+                             ) -> CampaignResult:
+    """Campaign over a fixed, shared program pool (used by the regression
+    study so every version sees identical programs, Section 5.4)."""
+    if levels is None:
+        levels = [l for l in compiler.levels if l != "O0"]
+    result = CampaignResult(family=compiler.family,
+                            version=compiler.version,
+                            levels=list(levels),
+                            pool_size=len(programs))
+    for index, program in enumerate(programs):
+        violations = test_program(program, compiler, debugger, levels)
+        result.programs.append(
+            ProgramResult(seed=index, violations=violations))
+    return result

@@ -1,0 +1,90 @@
+"""Violation classification: cross-debugger validation and DWARF analysis.
+
+Implements the two validation steps of Sections 4.2 and 5.3:
+
+* **cross-debugger check** — a violation that disappears when the trace is
+  taken with the *other* family's debugger points at a consumer (debugger)
+  bug rather than a producer (compiler) bug;
+* **DWARF-level categorization** — inspecting the variable's DIE at the
+  violating line yields the paper's four-way taxonomy: Missing / Hollow /
+  Incomplete / Incorrect DIE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.source_facts import SourceFacts
+from ..compilers.compiler import Compilation, Compiler
+from ..conjectures.base import Violation, check_all
+from ..debuginfo.categories import (
+    COMPLETE, HOLLOW, INCOMPLETE, INCORRECT, MISSING, classify_variable,
+)
+from ..debugger.base import Debugger
+from ..debugger.gdb_like import GdbLike
+from ..debugger.lldb_like import LldbLike
+from ..lang.ast_nodes import Program
+
+
+def dwarf_category(compilation: Compilation,
+                   violation: Violation) -> str:
+    """Classify the variable's DWARF data at the violating line."""
+    exe = compilation.exe
+    addrs = exe.line_table.breakpoint_addrs().get(violation.line, [])
+    if not addrs:
+        return MISSING
+    pc = addrs[0]
+    chain = exe.debug.scope_chain_at(pc)
+    die = None
+    for scope in chain:
+        for child in scope.walk():
+            if child.is_variable() and child.name == violation.variable:
+                die = child
+                break
+        if die is not None:
+            break
+    return classify_variable(die, addrs)
+
+
+@dataclass
+class ClassifiedViolation:
+    """A violation with its validation verdicts attached."""
+
+    violation: Violation
+    #: "compiler" or "debugger" (Section 4.2 cross-check)
+    suspected_system: str
+    #: Missing / Hollow / Incomplete / Incorrect / Complete
+    category: str
+
+
+def classify_violation(program: Program, compiler: Compiler, level: str,
+                       violation: Violation,
+                       facts: Optional[SourceFacts] = None
+                       ) -> ClassifiedViolation:
+    """Full validation of one violation.
+
+    Repeats the test in the non-native debugger: if the other debugger
+    shows the variable fine *and* the DWARF data is complete, the native
+    debugger mishandled valid data — a debugger bug. A violation whose
+    DWARF data is itself deficient is a compiler bug regardless of which
+    debuggers stumble.
+    """
+    if facts is None:
+        facts = SourceFacts(program)
+    compilation = compiler.compile(program, level)
+    category = dwarf_category(compilation, violation)
+
+    other: Debugger = (LldbLike() if compiler.family == "gcc"
+                       else GdbLike())
+    other_trace = other.trace(compilation.exe)
+    in_other = any(v.key() == violation.key()
+                   for v in check_all(facts, other_trace))
+
+    if not in_other and category in (COMPLETE, INCORRECT):
+        suspected = "debugger"
+    else:
+        suspected = "compiler"
+    return ClassifiedViolation(violation=violation,
+                               suspected_system=suspected,
+                               category=category)

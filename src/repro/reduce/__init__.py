@@ -1,0 +1,3 @@
+"""Violation-preserving test-case reduction (C-Reduce analogue)."""
+
+from .reducer import ReductionResult, Reducer

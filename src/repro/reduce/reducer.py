@@ -1,0 +1,283 @@
+"""Violation-preserving test-case reduction (the C-Reduce analogue).
+
+Applies structural AST transformations greedily until a fixed point,
+accepting a candidate only if the oracle holds (Section 4.4):
+
+1. the reduced program is still UB-free at ``-O0``;
+2. the conjecture violation is still present (same conjecture + variable;
+   line numbers shift during reduction, so lines are not part of the
+   oracle identity);
+3. **the culprit optimization is preserved**: recompiling with the culprit
+   flag disabled must make the violation disappear — without this check,
+   C-Reduce-style rewriting frequently lands on programs where the same
+   variable is lost to a *different* optimization, which would poison the
+   by-group prioritization of bug reports.
+
+Transformations (applied in order, restarting after any acceptance):
+statement deletion, if-branch flattening, loop-body extraction, block
+unwrapping, expression simplification (operand selection, literal
+replacement), unused function/global removal.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..analysis.source_facts import SourceFacts
+from ..compilers.compiler import Compiler
+from ..conjectures.base import Violation, check_all
+from ..debugger.base import Debugger
+from ..ir.interp import run_module
+from ..ir.lower import lower_program
+from ..ir.ops import UBError
+from ..lang import ast_nodes as A
+from ..lang.printer import print_program
+
+
+def _program_size(program: A.Program) -> int:
+    count = 0
+    for fn in program.functions:
+        count += sum(1 for _ in A.walk_stmt(fn.body))
+    count += len(program.globals)
+    return count
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of one reduction session."""
+
+    program: A.Program
+    original_size: int
+    reduced_size: int
+    steps_tried: int = 0
+    steps_accepted: int = 0
+
+    @property
+    def reduction_ratio(self) -> float:
+        if self.original_size == 0:
+            return 0.0
+        return 1.0 - self.reduced_size / self.original_size
+
+
+class Reducer:
+    """Greedy structural reducer with a violation-preserving oracle."""
+
+    def __init__(self, compiler: Compiler, level: str, debugger: Debugger,
+                 violation: Violation,
+                 culprit_flag: Optional[str] = None,
+                 max_steps: int = 2000):
+        self.compiler = compiler
+        self.level = level
+        self.debugger = debugger
+        self.violation = violation
+        self.culprit_flag = culprit_flag
+        self.max_steps = max_steps
+
+    # -- oracle ---------------------------------------------------------------
+
+    def _matches(self, v: Violation) -> bool:
+        return (v.conjecture == self.violation.conjecture and
+                v.variable == self.violation.variable)
+
+    def holds(self, program: A.Program) -> bool:
+        """The full reduction oracle."""
+        try:
+            facts = SourceFacts(program)
+            module = lower_program(program)
+            run_module(module, fuel=500_000)
+        except Exception:
+            # UB, non-termination, or a construct the frontend rejects:
+            # the candidate is not a valid test case.
+            return False
+
+        compilation = self.compiler.compile(program, self.level)
+        trace = self.debugger.trace(compilation.exe)
+        if not any(self._matches(v) for v in check_all(facts, trace)):
+            return False
+
+        if self.culprit_flag is not None:
+            fixed = self.compiler.compile(program, self.level,
+                                          disabled=(self.culprit_flag,))
+            fixed_trace = self.debugger.trace(fixed.exe)
+            if any(self._matches(v)
+                   for v in check_all(facts, fixed_trace)):
+                return False  # a different optimization took over
+        return True
+
+    # -- reduction loop ----------------------------------------------------------
+
+    def reduce(self, program: A.Program) -> ReductionResult:
+        """Reduce ``program`` to a (local) fixed point."""
+        original_size = _program_size(program)
+        current = copy.deepcopy(program)
+        print_program(current)
+        result = ReductionResult(program=current,
+                                 original_size=original_size,
+                                 reduced_size=original_size)
+        progress = True
+        while progress and result.steps_tried < self.max_steps:
+            progress = False
+            for candidate, _desc in self._candidates(current):
+                result.steps_tried += 1
+                if result.steps_tried >= self.max_steps:
+                    break
+                print_program(candidate)  # restamp lines
+                if self.holds(candidate):
+                    current = candidate
+                    result.steps_accepted += 1
+                    progress = True
+                    break
+        print_program(current)
+        result.program = current
+        result.reduced_size = _program_size(current)
+        return result
+
+    # -- transformation candidates --------------------------------------------------
+
+    def _candidates(self, program: A.Program
+                    ) -> Iterator[Tuple[A.Program, str]]:
+        yield from self._remove_statements(program)
+        yield from self._flatten_control(program)
+        yield from self._simplify_exprs(program)
+        yield from self._drop_unused_toplevel(program)
+
+    def _each_stmt_list(self, program: A.Program):
+        """Yield (owner_path, stmts_list) pairs addressable in a copy."""
+        for f_idx, fn in enumerate(program.functions):
+            stack: List[Tuple[List[A.Stmt], Tuple]] = [
+                (fn.body.stmts, (f_idx,))]
+            while stack:
+                stmts, path = stack.pop()
+                yield stmts, path
+                for s_idx, stmt in enumerate(stmts):
+                    for child in self._child_lists(stmt):
+                        stack.append((child, path + (s_idx,)))
+
+    @staticmethod
+    def _child_lists(stmt: A.Stmt) -> List[List[A.Stmt]]:
+        if isinstance(stmt, A.Block):
+            return [stmt.stmts]
+        out = []
+        for attr in ("then", "other", "body", "stmt"):
+            child = getattr(stmt, attr, None)
+            if isinstance(child, A.Block):
+                out.append(child.stmts)
+        return out
+
+    def _remove_statements(self, program: A.Program):
+        """Try deleting each statement (largest subtrees first)."""
+        sites = []
+        for stmts, path in self._each_stmt_list(program):
+            for idx, stmt in enumerate(stmts):
+                size = sum(1 for _ in A.walk_stmt(stmt))
+                sites.append((size, id(stmts), idx, stmts))
+        sites.sort(key=lambda s: (-s[0], s[2]))
+        for _size, _key, idx, stmts in sites:
+            candidate = copy.deepcopy(program)
+            target = self._find_matching_list(candidate, program, stmts)
+            if target is None or idx >= len(target):
+                continue
+            removed = target[idx]
+            if self._mentions_label(program, removed):
+                continue
+            del target[idx]
+            yield candidate, f"delete statement #{idx}"
+
+    def _mentions_label(self, program: A.Program, stmt: A.Stmt) -> bool:
+        """Don't delete labels that remain goto targets."""
+        labels = {s.label for s in A.walk_stmt(stmt)
+                  if isinstance(s, A.LabeledStmt)}
+        if not labels:
+            return False
+        for fn in program.functions:
+            for s in A.walk_stmt(fn.body):
+                if isinstance(s, A.Goto) and s.label in labels and \
+                        s not in list(A.walk_stmt(stmt)):
+                    return True
+        return False
+
+    def _find_matching_list(self, candidate: A.Program,
+                            original: A.Program,
+                            stmts: List[A.Stmt]) -> Optional[List[A.Stmt]]:
+        """Locate in the deep copy the list matching ``stmts``."""
+        orig_lists = [lst for lst, _p in self._each_stmt_list(original)]
+        cand_lists = [lst for lst, _p in self._each_stmt_list(candidate)]
+        for orig, cand in zip(orig_lists, cand_lists):
+            if orig is stmts:
+                return cand
+        return None
+
+    def _flatten_control(self, program: A.Program):
+        """Replace ifs/loops with their bodies."""
+        for stmts, _path in self._each_stmt_list(program):
+            for idx, stmt in enumerate(stmts):
+                replacement = None
+                if isinstance(stmt, A.If):
+                    replacement = stmt.then
+                elif isinstance(stmt, (A.For, A.While, A.DoWhile)):
+                    replacement = stmt.body
+                if replacement is None:
+                    continue
+                candidate = copy.deepcopy(program)
+                target = self._find_matching_list(candidate, program,
+                                                  stmts)
+                if target is None or idx >= len(target):
+                    continue
+                inner = target[idx]
+                body = (inner.then if isinstance(inner, A.If)
+                        else inner.body)
+                target[idx] = body if body is not None else A.Empty()
+                yield candidate, f"flatten control at #{idx}"
+
+    def _simplify_exprs(self, program: A.Program):
+        """Replace binary expressions with one operand, literals with 0."""
+        for f_idx, fn in enumerate(program.functions):
+            for stmt in A.walk_stmt(fn.body):
+                if not isinstance(stmt, A.ExprStmt):
+                    continue
+                expr = stmt.expr
+                if isinstance(expr, A.Assign) and \
+                        isinstance(expr.value, A.Binary):
+                    for side in ("left", "right"):
+                        candidate = copy.deepcopy(program)
+                        done = self._rewrite_assign_value(
+                            candidate, f_idx, stmt, side)
+                        if done:
+                            yield candidate, f"keep {side} operand"
+
+    def _rewrite_assign_value(self, candidate: A.Program, f_idx: int,
+                              stmt: A.ExprStmt, side: str) -> bool:
+        fn = candidate.functions[f_idx]
+        for cand_stmt in A.walk_stmt(fn.body):
+            if isinstance(cand_stmt, A.ExprStmt) and \
+                    cand_stmt.uid == stmt.uid:
+                expr = cand_stmt.expr
+                if isinstance(expr, A.Assign) and \
+                        isinstance(expr.value, A.Binary):
+                    expr.value = getattr(expr.value, side)
+                    return True
+        return False
+
+    def _drop_unused_toplevel(self, program: A.Program):
+        """Remove functions and globals with no remaining references."""
+        used_names = set()
+        for fn in program.functions:
+            for stmt in A.walk_stmt(fn.body):
+                for expr in A.stmt_exprs(stmt):
+                    if isinstance(expr, A.Ident):
+                        used_names.add(expr.name)
+                    elif isinstance(expr, A.Call):
+                        used_names.add(expr.name)
+        for idx, fn in enumerate(program.functions):
+            if fn.name != "main" and fn.name not in used_names:
+                candidate = copy.deepcopy(program)
+                del candidate.functions[idx]
+                yield candidate, f"drop function {fn.name}"
+        for idx, decl in enumerate(program.globals):
+            if decl.name not in used_names:
+                candidate = copy.deepcopy(program)
+                del candidate.globals[idx]
+                yield candidate, f"drop global {decl.name}"

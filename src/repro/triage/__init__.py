@@ -1,0 +1,6 @@
+"""Culprit-optimization identification (flag search + pass bisection)."""
+
+from .triage import (
+    LOW_PRIORITY_FLAGS, TriageResult, find_culprit_bisect,
+    find_culprit_flags, prioritize_flags, triage, violation_present,
+)

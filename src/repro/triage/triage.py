@@ -1,0 +1,142 @@
+"""Culprit-optimization identification (Section 4.3).
+
+Two methods, as in the paper:
+
+* **gcc-style flag search** — enumerate the level's boolean ``-fno-<pass>``
+  flags, recompile with each one disabled, and keep the flags whose
+  absence makes the violation disappear. Dependencies between passes can
+  surface several flags (disabling inlining prevents downstream
+  optimizations), so results go through a prioritization heuristic that
+  ranks enabling passes (inlining, promotion) low.
+* **clang-style bisection** — binary-search the smallest
+  ``-opt-bisect-limit`` N at which the violation appears; the culprit is
+  the N-th pass instance of the pipeline.
+
+Both can legitimately fail (paper: "the method fails only when a behavior
+cannot be controlled by flags or when more than one optimization should be
+disabled"), reported as an empty result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..analysis.source_facts import SourceFacts
+from ..compilers.compiler import Compiler
+from ..conjectures.base import Violation, check_all
+from ..debugger.base import Debugger
+from ..lang.ast_nodes import Program
+
+#: Passes that merely *enable* later optimizations; disabling them masks
+#: the true culprit, so they rank last (the paper's inlining heuristic).
+LOW_PRIORITY_FLAGS = ("inline", "ipa-sra", "sroa", "mem2reg",
+                      "ipa-pure-const")
+
+
+@dataclass
+class TriageResult:
+    """Outcome of triaging one violation."""
+
+    violation: Violation
+    method: str                      # "flags" | "bisect"
+    culprit_flags: List[str] = field(default_factory=list)
+    culprit_pass: Optional[str] = None
+    tested: int = 0
+
+    @property
+    def culprit(self) -> Optional[str]:
+        if self.culprit_pass is not None:
+            return self.culprit_pass
+        if self.culprit_flags:
+            return self.culprit_flags[0]
+        return None
+
+    @property
+    def failed(self) -> bool:
+        return self.culprit is None
+
+
+def violation_present(compiler: Compiler, program: Program, level: str,
+                      debugger: Debugger, violation: Violation,
+                      facts: Optional[SourceFacts] = None,
+                      disabled: Tuple[str, ...] = (),
+                      bisect_limit: Optional[int] = None) -> bool:
+    """Recompile with the given controls and re-check one violation."""
+    if facts is None:
+        facts = SourceFacts(program)
+    compilation = compiler.compile(program, level, disabled=disabled,
+                                   bisect_limit=bisect_limit)
+    trace = debugger.trace(compilation.exe)
+    key = violation.key()
+    return any(v.key() == key for v in check_all(facts, trace))
+
+
+def prioritize_flags(flags: List[str]) -> List[str]:
+    """Order candidate culprit flags, enabling passes last."""
+    return sorted(flags, key=lambda f: (f in LOW_PRIORITY_FLAGS, f))
+
+
+def find_culprit_flags(compiler: Compiler, program: Program, level: str,
+                       debugger: Debugger, violation: Violation,
+                       facts: Optional[SourceFacts] = None
+                       ) -> TriageResult:
+    """The gcc-style method: try every boolean flag separately."""
+    if facts is None:
+        facts = SourceFacts(program)
+    result = TriageResult(violation=violation, method="flags")
+    for flag in compiler.flags(level):
+        result.tested += 1
+        still_there = violation_present(
+            compiler, program, level, debugger, violation, facts,
+            disabled=(flag,))
+        if not still_there:
+            result.culprit_flags.append(flag)
+    result.culprit_flags = prioritize_flags(result.culprit_flags)
+    return result
+
+
+def find_culprit_bisect(compiler: Compiler, program: Program, level: str,
+                        debugger: Debugger, violation: Violation,
+                        facts: Optional[SourceFacts] = None
+                        ) -> TriageResult:
+    """The clang-style method: smallest pass prefix showing the loss."""
+    if facts is None:
+        facts = SourceFacts(program)
+    result = TriageResult(violation=violation, method="bisect")
+    passes = compiler.pass_sequence(level)
+
+    # The violation must be present with the full pipeline and absent
+    # with none of it, otherwise bisection has nothing to localize.
+    result.tested += 1
+    if not violation_present(compiler, program, level, debugger,
+                             violation, facts,
+                             bisect_limit=len(passes)):
+        return result
+    result.tested += 1
+    if violation_present(compiler, program, level, debugger, violation,
+                         facts, bisect_limit=0):
+        return result
+
+    lo, hi = 0, len(passes)  # absent at lo, present at hi
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        result.tested += 1
+        if violation_present(compiler, program, level, debugger,
+                             violation, facts, bisect_limit=mid):
+            hi = mid
+        else:
+            lo = mid
+    result.culprit_pass = passes[hi - 1]
+    return result
+
+
+def triage(compiler: Compiler, program: Program, level: str,
+           debugger: Debugger, violation: Violation,
+           facts: Optional[SourceFacts] = None) -> TriageResult:
+    """Triage with the family's native method (Section 4.3)."""
+    if compiler.family == "clang":
+        return find_culprit_bisect(compiler, program, level, debugger,
+                                   violation, facts)
+    return find_culprit_flags(compiler, program, level, debugger,
+                              violation, facts)

@@ -1,0 +1,106 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.compilers import Compiler
+from repro.debugger import GdbLike, LldbLike
+from repro.lang import parse, print_program
+
+
+LOOP_PROGRAM = """
+extern int opaque(int, ...);
+int b[10][2];
+int a;
+int main(void) {
+    int i = 0, j, k;
+    for (; i < 10; i++) {
+        j = k = 0;
+        for (; k < 1; k++)
+            a = b[i][j * k];
+    }
+    opaque(i, j);
+    return a;
+}
+"""
+
+CALL_PROGRAM = """
+extern int opaque(int, ...);
+int g_total = 0;
+int helper(int x, int y) {
+    return x * y + 1;
+}
+int main(void) {
+    int v1 = 2, v2 = 9, v3;
+    v3 = helper(v1, v2);
+    g_total = v3 + v1;
+    opaque(v1, v2, v3);
+    return g_total;
+}
+"""
+
+VOLATILE_PROGRAM = """
+volatile int c;
+int a[2][4] = {{1, 2, 3, 4}, {5, 6, 7, 8}};
+int main(void) {
+    int i, j;
+    for (i = 0; i < 2; i++)
+        for (j = 0; j < 4; j++)
+            c = a[i][j];
+    return 0;
+}
+"""
+
+
+def make_program(source):
+    program = parse(source)
+    print_program(program)
+    return program
+
+
+@pytest.fixture
+def loop_program():
+    return make_program(LOOP_PROGRAM)
+
+
+@pytest.fixture
+def call_program():
+    return make_program(CALL_PROGRAM)
+
+
+@pytest.fixture
+def volatile_program():
+    return make_program(VOLATILE_PROGRAM)
+
+
+@pytest.fixture
+def gcc_trunk():
+    return Compiler("gcc", "trunk")
+
+
+@pytest.fixture
+def clang_trunk():
+    return Compiler("clang", "trunk")
+
+
+@pytest.fixture
+def gcc_clean():
+    compiler = Compiler("gcc", "trunk")
+    compiler.defects = []
+    return compiler
+
+
+@pytest.fixture
+def clang_clean():
+    compiler = Compiler("clang", "trunk")
+    compiler.defects = []
+    return compiler
+
+
+@pytest.fixture
+def gdb():
+    return GdbLike()
+
+
+@pytest.fixture
+def lldb():
+    return LldbLike()

@@ -1,0 +1,232 @@
+"""Symbol resolution and source-facts tests."""
+
+import pytest
+
+from repro.analysis import (
+    ResolutionError, SourceFacts, resolve,
+)
+from repro.analysis.source_facts import is_trivially_simplifiable
+from repro.lang import parse, parse_expr, print_program
+
+
+def facts_of(source):
+    program = parse(source)
+    print_program(program)
+    return SourceFacts(program)
+
+
+def test_globals_resolved():
+    program = parse("int g;\nint main(void) { return g; }")
+    table = resolve(program)
+    assert table.global_symbol("g").is_global
+
+
+def test_locals_and_params_resolved():
+    program = parse("int f(int p) { int l = p; return l; }\n"
+                    "int main(void) { return f(1); }")
+    table = resolve(program)
+    info = table.function_info("f")
+    assert [s.name for s in info.params] == ["p"]
+    assert [s.name for s in info.locals] == ["l"]
+
+
+def test_shadowing():
+    source = """
+int x = 1;
+int main(void) {
+    int x = 2;
+    {
+        int x = 3;
+        x = 4;
+    }
+    return x;
+}
+"""
+    program = parse(source)
+    print_program(program)
+    table = resolve(program)
+    locals_ = table.function_info("main").locals
+    assert len(locals_) == 2
+    assert locals_[0].name == locals_[1].name == "x"
+    assert locals_[0].sid != locals_[1].sid
+
+
+def test_undeclared_identifier_rejected():
+    with pytest.raises(ResolutionError):
+        resolve(parse("int main(void) { return nope; }"))
+
+
+def test_redeclaration_in_same_scope_rejected():
+    with pytest.raises(ResolutionError):
+        resolve(parse("int main(void) { int a; int a; return 0; }"))
+
+
+def test_scope_line_ranges():
+    source = """
+int main(void) {
+    int outer = 1;
+    {
+        int inner = 2;
+        outer = inner;
+    }
+    return outer;
+}
+"""
+    program = parse(source)
+    print_program(program)
+    table = resolve(program)
+    outer, inner = table.function_info("main").locals
+    assert outer.scope_start < inner.scope_start
+    assert inner.scope_end < outer.scope_end
+
+
+def test_call_arg_sites_found():
+    facts = facts_of("""
+extern int opaque(int, ...);
+int main(void) {
+    int a = 1, b = 2;
+    opaque(a, b);
+    return 0;
+}""")
+    assert len(facts.call_arg_sites) == 1
+    site = facts.call_arg_sites[0]
+    assert [s.name for s in site.arg_symbols] == ["a", "b"]
+
+
+def test_internal_calls_are_not_c1_anchors():
+    facts = facts_of("""
+int f(int x) { return x; }
+int main(void) {
+    int a = 1;
+    f(a);
+    return 0;
+}""")
+    assert facts.call_arg_sites == []
+
+
+def test_global_store_constituents_constant():
+    facts = facts_of("""
+int g;
+int main(void) {
+    int c = 5;
+    g = c + 1;
+    return 0;
+}""")
+    site = facts.global_store_sites[0]
+    assert site.constituents[0].reason == "constant"
+
+
+def test_global_store_constituents_induction():
+    facts = facts_of("""
+int g[4];
+volatile int c;
+int main(void) {
+    int i;
+    for (i = 0; i < 4; i++)
+        c = g[i];
+    return 0;
+}""")
+    reasons = {c.reason for s in facts.global_store_sites
+               for c in s.constituents}
+    assert "induction" in reasons
+
+
+def test_live_after_requires_no_intervening_write():
+    facts = facts_of("""
+int g;
+int main(void) {
+    int x = 1;
+    g = x + 2;
+    x = 9;
+    g = x;
+    return x;
+}""")
+    first = facts.global_store_sites[0]
+    # x is rewritten before its next read, so at the first store its
+    # current value is dead -> but it's a constant source... check both:
+    # x has two writes (both literal) so constancy fails; liveness fails.
+    assert all(c.reason != "live_after" for c in first.constituents)
+
+
+def test_trivially_simplifiable_excluded():
+    facts = facts_of("""
+int g;
+int main(void) {
+    int v = 3;
+    g = v & 0;
+    return v;
+}""")
+    assert facts.global_store_sites == []
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("v & 0", True),
+    ("0 & v", True),
+    ("v * 0", True),
+    ("v % 1", True),
+    ("v && 0", True),
+    ("v || 1", True),
+    ("v + 0", False),
+    ("v * 2", False),
+    ("v & 1", False),
+])
+def test_is_trivially_simplifiable(text, expected):
+    assert is_trivially_simplifiable(parse_expr(text)) is expected
+
+
+def test_address_taken_disqualifies():
+    facts = facts_of("""
+int g;
+int main(void) {
+    int x = 5;
+    int *p = &x;
+    g = x + 1;
+    *p = 2;
+    return g;
+}""")
+    for site in facts.global_store_sites:
+        assert all(c.symbol.name != "x" for c in site.constituents)
+
+
+def test_assignment_lines():
+    facts = facts_of("""
+int main(void) {
+    int x = 1;
+    x = 2;
+    x += 3;
+    x++;
+    return x;
+}""")
+    sym = facts.symtab.function_info("main").locals[0]
+    assert len(facts.assignment_lines(sym)) == 4
+
+
+def test_constant_source_detection():
+    facts = facts_of("""
+int g;
+int main(void) {
+    int c = 5;
+    int d = 1;
+    d = d + 1;
+    g = c;
+    return d;
+}""")
+    c_sym, d_sym = facts.symtab.function_info("main").locals
+    assert facts.is_constant_source(c_sym)
+    assert not facts.is_constant_source(d_sym)
+
+
+def test_loop_detection_with_induction():
+    facts = facts_of("""
+int a[5];
+volatile int c;
+int main(void) {
+    int i;
+    for (i = 0; i < 5; i++)
+        c = a[i];
+    return 0;
+}""")
+    inductions = [l.induction for l in facts.loops if l.induction]
+    assert len(inductions) == 1
+    assert inductions[0].name == "i"
+    assert inductions[0] in facts.induction_in_global_index

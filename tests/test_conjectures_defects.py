@@ -1,0 +1,220 @@
+"""Conjecture checkers, defect registry, and end-to-end defect findings."""
+
+import pytest
+
+from repro.analysis import SourceFacts
+from repro.bugs import (
+    CLANG_VERSIONS, GCC_VERSIONS, ISSUES, Defect, DefectHooks,
+    defects_for_family, issue_by_tracker, issues_for, rate_selector,
+)
+from repro.compilers import Compiler
+from repro.conjectures import C1, C2, C3, check_all
+from repro.debugger import GdbLike, LldbLike
+from repro.fuzz import generate_validated
+from repro.lang import parse, print_program
+from repro.pipeline import dwarf_category
+from repro.pipeline import test_program as check_program
+
+
+def prepared(source):
+    program = parse(source)
+    print_program(program)
+    return program
+
+
+# -- checker logic on synthetic traces -----------------------------------------
+
+def test_c1_flags_missing_argument(gcc_trunk=None):
+    """A defect-free compile shows no violation; one with the cleanup
+    defect shows the argument as lost."""
+    program = prepared("""
+extern int opaque(int, ...);
+int g;
+int main(void) {
+    int v = 5;
+    if (g > 0)
+        v = 6;
+    g = 1;
+    opaque(v);
+    return 0;
+}""")
+    facts = SourceFacts(program)
+    clean = Compiler("gcc", "trunk")
+    clean.defects = []
+    trace = GdbLike().trace(clean.compile(program, "O2").exe)
+    assert not [v for v in check_all(facts, trace) if v.conjecture == C1]
+
+
+def test_c2_constant_constituent_violation_with_ccp_defect():
+    program = prepared("""
+int b[10][2];
+int a;
+int main(void) {
+    int i = 0, j, k;
+    for (; i < 10; i++) {
+        j = k = 0;
+        for (; k < 1; k++)
+            a = b[i][j * k];
+    }
+    return a;
+}""")
+    facts = SourceFacts(program)
+    defect = Defect(defect_id="test-die", point="codegen.drop_die",
+                    family="gcc", pass_name="ipa-sra",
+                    selector=lambda ctx: ctx.get("symbol") == "j")
+    compiler = Compiler("gcc", "trunk", extra_defects=[defect])
+    compiler.defects = [defect]
+    trace = GdbLike().trace(compiler.compile(program, "O1").exe)
+    violations = [v for v in check_all(facts, trace)
+                  if v.conjecture == C2 and v.variable == "j"]
+    assert violations, "the introduction example's j must be lost"
+
+
+def test_c3_decay_violation_with_sink_defect():
+    program = prepared("""
+int g;
+int main(void) {
+    int v = 7;
+    g = 1;
+    g = 2;
+    g = 3;
+    g = v;
+    return 0;
+}""")
+    facts = SourceFacts(program)
+    defect = Defect(defect_id="test-sink", point="ccp.sink", family="gcc",
+                    pass_name="tree-ccp",
+                    selector=lambda ctx: ctx.get("symbol") == "v")
+    compiler = Compiler("gcc", "trunk")
+    compiler.defects = [defect]
+    trace = GdbLike().trace(compiler.compile(program, "O1").exe)
+    violations = [v for v in check_all(facts, trace)
+                  if v.conjecture == C3 and v.variable == "v"]
+    assert violations
+
+
+# -- defect registry ---------------------------------------------------------------
+
+def test_catalog_has_38_issues():
+    assert len(ISSUES) == 38
+
+
+def test_catalog_table3_counts():
+    assert len(issues_for("clang")) == 16
+    assert len(issues_for("gcc")) == 19
+    assert len(issues_for("gdb")) == 2
+    assert len(issues_for("lldb")) == 1
+
+
+def test_catalog_conjectures_split():
+    by_conjecture = {}
+    for issue in ISSUES:
+        by_conjecture.setdefault(issue.conjecture, []).append(issue)
+    assert len(by_conjecture["C1"]) == 20
+    assert len(by_conjecture["C2"]) == 11
+    assert len(by_conjecture["C3"]) == 7
+
+
+def test_version_windows():
+    fixed = issue_by_tracker("105158").defect
+    assert fixed.active_in_version(GCC_VERSIONS.index("trunk"))
+    assert not fixed.active_in_version(GCC_VERSIONS.index("patched"))
+    lsr = issue_by_tracker("53855a").defect
+    assert lsr.active_in_version(CLANG_VERSIONS.index("trunk"))
+    assert not lsr.active_in_version(CLANG_VERSIONS.index("trunk-star"))
+    lsr_b = issue_by_tracker("53855b").defect
+    assert lsr_b.active_in_version(CLANG_VERSIONS.index("trunk-star"))
+
+
+def test_defect_hooks_filter_by_level():
+    defect = Defect(defect_id="d", point="p", family="gcc",
+                    pass_name="x", levels=("O2",))
+    hooks_o2 = DefectHooks([defect], "gcc", "O2", 4)
+    hooks_og = DefectHooks([defect], "gcc", "Og", 4)
+    assert hooks_o2.fires("p")
+    assert not hooks_og.defects
+
+
+def test_defect_hooks_record_firings():
+    defect = Defect(defect_id="d", point="p", family="gcc", pass_name="x")
+    hooks = DefectHooks([defect], "gcc", "O2", 4)
+    hooks.fires("p", function="main")
+    hooks.fires("other")
+    assert hooks.fired_defect_ids() == ["d"]
+
+
+def test_rate_selector_deterministic():
+    sel = rate_selector(("function",), 3, 0)
+    ctx = {"program": "t1", "function": "main"}
+    assert sel(ctx) == sel(dict(ctx))
+
+
+def test_historical_defects_only_in_old_versions():
+    old = Compiler("gcc", "4")
+    new = Compiler("gcc", "trunk")
+    old_ids = {d.defect_id for d in old.defects
+               if d.active_in_version(old.version_index)}
+    new_ids = {d.defect_id for d in new.defects
+               if d.active_in_version(new.version_index)}
+    assert "gcc-hist-dce" in old_ids
+    assert "gcc-hist-dce" not in new_ids
+
+
+# -- end-to-end defect findings -------------------------------------------------
+
+def test_trunk_compilers_produce_violations():
+    found = {C1: 0, C2: 0, C3: 0}
+    gcc = Compiler("gcc", "trunk")
+    gdb = GdbLike()
+    for seed in range(25):
+        program = generate_validated(seed)
+        per_level = check_program(program, gcc, gdb)
+        for violations in per_level.values():
+            for v in violations:
+                found[v.conjecture] += 1
+    assert all(found[c] > 0 for c in (C1, C2, C3)), found
+
+
+def test_defect_free_compilers_are_nearly_clean():
+    """The cornerstone property: without injected defects, the correct
+    pipeline produces (almost) no conjecture violations. A tiny residue
+    of 'likely'-conjecture noise is tolerated, as in the paper."""
+    dirty_programs = 0
+    total = 25
+    for family, dbg in (("gcc", GdbLike()), ("clang", LldbLike())):
+        compiler = Compiler(family, "trunk")
+        compiler.defects = []
+        for seed in range(total):
+            program = generate_validated(seed)
+            per_level = check_program(program, compiler, dbg)
+            if any(v for vs in per_level.values() for v in vs):
+                dirty_programs += 1
+    assert dirty_programs <= max(2, total // 10)
+
+
+def test_dwarf_category_of_violation():
+    program = prepared("""
+int b[10][2];
+int a;
+int main(void) {
+    int i = 0, j, k;
+    for (; i < 10; i++) {
+        j = k = 0;
+        for (; k < 1; k++)
+            a = b[i][j * k];
+    }
+    return a;
+}""")
+    facts = SourceFacts(program)
+    defect = Defect(defect_id="t", point="codegen.drop_die",
+                    family="gcc", pass_name="ipa-sra",
+                    selector=lambda ctx: ctx.get("symbol") == "j")
+    compiler = Compiler("gcc", "trunk")
+    compiler.defects = [defect]
+    compilation = compiler.compile(program, "O1")
+    trace = GdbLike().trace(compilation.exe)
+    violations = [v for v in check_all(facts, trace)
+                  if v.variable == "j"]
+    assert violations
+    category = dwarf_category(compilation, violations[0])
+    assert category in ("hollow", "incomplete", "missing")

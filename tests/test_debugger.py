@@ -1,0 +1,150 @@
+"""Debugger tests: stepping, frame reporting, and consumer quirks."""
+
+from repro.compilers import Compiler
+from repro.debugger import AVAILABLE, GdbLike, LldbLike
+from repro.lang import parse, print_program
+from repro.target import link
+from repro.ir import lower_program
+
+
+def line_of(program, text):
+    """1-based line of the first printed source line containing text."""
+    for i, line in enumerate(print_program(program).splitlines(), 1):
+        if text in line:
+            return i
+    raise AssertionError(f"{text!r} not found")
+
+
+def trace_src(source, compiler=None, level="O0", debugger=None):
+    program = parse(source)
+    print_program(program)
+    if compiler is None:
+        exe = link(lower_program(program))
+    else:
+        exe = compiler.compile(program, level).exe
+    return (debugger or GdbLike()).trace(exe), program
+
+
+SRC = """
+int g = 3;
+int main(void) {
+    int a = 1;
+    int b = a + g;
+    return b;
+}
+"""
+
+
+def test_o0_all_lines_stepped():
+    trace, program = trace_src(SRC)
+    expected = {line_of(program, "int a = 1"), line_of(program, "b = a + g"),
+                line_of(program, "return b")}
+    assert trace.stepped_lines() == expected
+
+
+def test_o0_all_locals_available_in_scope():
+    trace, program = trace_src(SRC)
+    decl = {"a": line_of(program, "int a = 1"),
+            "b": line_of(program, "int b = a + g")}
+    for visit in trace.visits:
+        for name, decl_line in decl.items():
+            if visit.line >= decl_line:
+                assert visit.status_of(name) == AVAILABLE
+
+
+def test_values_track_execution():
+    trace, program = trace_src(SRC)
+    l_a = line_of(program, "int a = 1")
+    assert trace.visit_for_line(l_a).value_of("a") == 0  # before init
+    assert trace.visit_for_line(l_a + 1).value_of("a") == 1
+    assert trace.visit_for_line(l_a + 2).value_of("b") == 4
+
+
+def test_globals_always_available():
+    trace, program = trace_src(SRC)
+    visit = trace.visit_for_line(line_of(program, "int a = 1"))
+    report = visit.variables["g"]
+    assert report.is_global and report.available and report.value == 3
+
+
+def test_scope_filtering():
+    trace = trace_src("""
+int main(void) {
+    int outer = 1;
+    {
+        int inner = 2;
+        outer = inner;
+    }
+    outer = 3;
+    return outer;
+}""")
+    # inner is not in scope on the last assignment line
+    trace, program = trace
+    last = trace.visit_for_line(line_of(program, "outer = 3"))
+    assert "inner" not in last.variables
+    inner_line = trace.visit_for_line(line_of(program, "outer = inner"))
+    assert "inner" in inner_line.variables
+
+
+def test_first_visit_only():
+    trace, _ = trace_src("""
+volatile int c;
+int main(void) {
+    int i;
+    for (i = 0; i < 3; i++)
+        c = i;
+    return 0;
+}""")
+    lines = [v.line for v in trace.visits]
+    assert len(lines) == len(set(lines))
+
+
+def test_exit_code_captured():
+    trace, _ = trace_src("int main(void) { return 9; }")
+    assert trace.exit_code == 9
+
+
+def test_inline_frame_presented():
+    src = """
+extern int opaque(int, ...);
+int helper(int x) {
+    opaque(x);
+    return x + 1;
+}
+int main(void) {
+    int v = 41;
+    return helper(v);
+}
+"""
+    compiler = Compiler("clang", "trunk")
+    compiler.defects = []
+    trace, program = trace_src(src, compiler, "O2", LldbLike())
+    visit = trace.visit_for_line(line_of(program, "opaque(x)"))
+    assert visit is not None
+    assert visit.function == "helper"
+    assert visit.status_of("x") == AVAILABLE
+    assert visit.value_of("x") == 41
+
+
+def test_gdb_chokes_on_empty_loclist_entries():
+    """gdb bug 28987: an empty range derails location-list processing."""
+    from repro.debuginfo.die import DIE, TAG_VARIABLE
+    from repro.debuginfo.location import LocationList, RegLoc
+
+    ll = LocationList()
+    ll.add(5, 5, RegLoc(0))   # empty
+    ll.add(0, 100, RegLoc(1))
+    gdb, lldb = GdbLike(), LldbLike()
+    assert gdb._lookup_loc(ll, 50) is None
+    assert lldb._lookup_loc(ll, 50) == RegLoc(1)
+
+
+def test_lldb_ignores_abstract_origin_location():
+    """lldb bug 50076: location only on the abstract origin is lost."""
+    from repro.debuginfo.die import DIE, TAG_VARIABLE
+    from repro.debuginfo.location import ConstLoc, LocationList
+
+    origin = DIE(TAG_VARIABLE, {"name": "x", "const_value": 7})
+    concrete = DIE(TAG_VARIABLE, {"name": "x", "abstract_origin": origin})
+    assert GdbLike()._effective_const(concrete) == 7
+    assert LldbLike()._effective_const(concrete) is None

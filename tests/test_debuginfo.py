@@ -1,0 +1,166 @@
+"""Location lists, DIE tree, line table, and category classifier tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.debuginfo.categories import (
+    COMPLETE, HOLLOW, INCOMPLETE, INCORRECT, MISSING, classify_variable,
+)
+from repro.debuginfo.die import DIE, DebugInfoUnit, TAG_SUBPROGRAM, TAG_VARIABLE
+from repro.debuginfo.linetable import LineTable
+from repro.debuginfo.location import (
+    ConstLoc, ExprLoc, FrameLoc, LocEntry, LocationList, RegLoc,
+)
+
+
+def loclist(*entries):
+    out = LocationList()
+    for lo, hi, loc in entries:
+        out.add(lo, hi, loc)
+    return out
+
+
+def test_lookup_first_match_wins():
+    ll = loclist((0, 10, RegLoc(1)), (5, 15, RegLoc(2)))
+    assert ll.lookup(7) == RegLoc(1)
+    assert ll.lookup(12) == RegLoc(2)
+    assert ll.lookup(20) is None
+
+
+def test_empty_entries_detected():
+    ll = loclist((5, 5, RegLoc(1)), (5, 9, RegLoc(2)))
+    assert ll.has_empty_entries()
+    assert not ll.is_empty()
+    assert ll.lookup(6) == RegLoc(2)
+
+
+def test_normalized_merges_adjacent_equal():
+    ll = loclist((0, 5, RegLoc(1)), (5, 10, RegLoc(1)), (10, 12, RegLoc(2)))
+    norm = ll.normalized()
+    assert len(norm) == 2
+    assert norm.entries[0] == LocEntry(0, 10, RegLoc(1))
+
+
+def test_normalized_drops_empty():
+    ll = loclist((3, 3, RegLoc(1)), (4, 6, RegLoc(1)))
+    assert len(ll.normalized()) == 1
+
+
+def test_truncated():
+    ll = loclist((0, 100, ConstLoc(5)))
+    assert ll.truncated(10).entries[0].hi == 10
+
+
+def test_expr_loc_evaluation():
+    loc = ExprLoc(reg=0, mul=1, add=0, div=4)
+    assert loc.evaluate(12) == 3
+    assert loc.evaluate(-12) == -3
+    scaled = ExprLoc(reg=0, mul=3, add=2, div=1)
+    assert scaled.evaluate(5) == 17
+
+
+@given(st.lists(st.tuples(
+    st.integers(0, 100), st.integers(0, 100)), max_size=8))
+def test_normalized_never_has_empty_entries(ranges):
+    ll = LocationList()
+    for a, b in ranges:
+        ll.add(min(a, b), max(a, b), RegLoc(0))
+    assert not ll.normalized().has_empty_entries()
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 50)),
+                max_size=6),
+       st.integers(0, 50))
+def test_normalization_preserves_lookup_coverage(ranges, pc):
+    ll = LocationList()
+    for a, b in ranges:
+        ll.add(min(a, b), max(a, b), RegLoc(0))
+    assert (ll.lookup(pc) is None) == (ll.normalized().lookup(pc) is None)
+
+
+# -- DIE tree ----------------------------------------------------------------
+
+def test_die_scope_chain():
+    unit = DebugInfoUnit()
+    sub = DIE(TAG_SUBPROGRAM, {"name": "main", "low_pc": 0,
+                               "high_pc": 100})
+    unit.add_subprogram(sub)
+    assert unit.subprogram_at(50) is sub
+    assert unit.subprogram_at(150) is None
+    assert unit.scope_chain_at(50) == [sub]
+
+
+def test_inlined_scope_chain():
+    from repro.debuginfo.die import TAG_INLINED_SUBROUTINE
+    unit = DebugInfoUnit()
+    sub = DIE(TAG_SUBPROGRAM, {"name": "main", "low_pc": 0,
+                               "high_pc": 100})
+    inl = sub.add_child(DIE(TAG_INLINED_SUBROUTINE,
+                            {"name": "callee", "ranges": [(10, 20)]}))
+    unit.add_subprogram(sub)
+    chain = unit.scope_chain_at(15)
+    assert chain[0] is inl and chain[1] is sub
+    assert unit.scope_chain_at(30) == [sub]
+
+
+def test_find_variable():
+    sub = DIE(TAG_SUBPROGRAM, {"name": "f"})
+    var = sub.add_child(DIE(TAG_VARIABLE, {"name": "x"}))
+    assert sub.find_variable("x") is var
+    assert sub.find_variable("y") is None
+
+
+# -- categories ------------------------------------------------------------------
+
+def test_classify_missing():
+    assert classify_variable(None, [5]) == MISSING
+
+
+def test_classify_hollow():
+    die = DIE(TAG_VARIABLE, {"name": "x"})
+    assert classify_variable(die, [5]) == HOLLOW
+
+
+def test_classify_complete_const():
+    die = DIE(TAG_VARIABLE, {"name": "x", "const_value": 3})
+    assert classify_variable(die, [5]) == COMPLETE
+
+
+def test_classify_incomplete():
+    die = DIE(TAG_VARIABLE, {"name": "x",
+                             "location": loclist((0, 4, RegLoc(0)))})
+    assert classify_variable(die, [5]) == INCOMPLETE
+    assert classify_variable(die, [2]) == COMPLETE
+
+
+def test_classify_incorrect_on_empty_entries():
+    die = DIE(TAG_VARIABLE, {"name": "x", "location": loclist(
+        (3, 3, RegLoc(0)), (0, 10, RegLoc(1)))})
+    assert classify_variable(die, [5]) == INCORRECT
+
+
+# -- line table -------------------------------------------------------------------
+
+def test_breakpoint_addrs_first_of_run():
+    table = LineTable()
+    for addr, line in [(0, 1), (1, 1), (2, 2), (3, 1), (4, 1)]:
+        table.add(addr, line)
+    bps = table.breakpoint_addrs()
+    assert bps[1] == [0, 3]
+    assert bps[2] == [2]
+
+
+def test_line_at():
+    table = LineTable()
+    table.add(10, 3)
+    table.add(12, 4)
+    assert table.line_at(10) == 3
+    assert table.line_at(11) == 3
+    assert table.line_at(13) == 4
+
+
+def test_lines_set():
+    table = LineTable()
+    table.add(0, 7)
+    table.add(1, 9)
+    table.add(2, 7)
+    assert table.lines() == {7, 9}

@@ -1,0 +1,159 @@
+"""Interpreter, VM, and observation-model tests."""
+
+import pytest
+
+from repro.ir import UBError, lower_program, run_module, verify_module
+from repro.ir.interp import external_call_result
+from repro.lang import parse, print_program
+from repro.target import link, run_executable
+
+
+def run_src(source, fuel=1_000_000):
+    program = parse(source)
+    print_program(program)
+    return run_module(lower_program(program), fuel=fuel)
+
+
+def both(source):
+    program = parse(source)
+    print_program(program)
+    module = lower_program(program)
+    interp = run_module(module)
+    exe = link(lower_program(program))
+    vm = run_executable(exe)
+    return interp, vm
+
+
+def test_exit_code():
+    assert run_src("int main(void) { return 42; }").exit_code == 42
+
+
+def test_exit_code_wraps_to_byte():
+    assert run_src("int main(void) { return 256; }").exit_code == 0
+
+
+def test_arithmetic_program():
+    assert run_src(
+        "int main(void) { int a = 6, b = 7; return a * b; }"
+    ).exit_code == 42
+
+
+def test_global_state_persists_across_calls():
+    src = """
+int g = 0;
+void bump(void) { g = g + 1; }
+int main(void) { bump(); bump(); bump(); return g; }
+"""
+    assert run_src(src).exit_code == 3
+
+
+def test_recursion():
+    src = """
+int fact(int n) {
+    if (n <= 1)
+        return 1;
+    return n * fact(n - 1);
+}
+int main(void) { return fact(5); }
+"""
+    assert run_src(src).exit_code == 120
+
+
+def test_volatile_store_observed_symbolically():
+    result = run_src("volatile int c;\n"
+                     "int main(void) { c = 7; return 0; }")
+    vstores = [o for o in result.observations if o.kind == "vstore"]
+    assert vstores == [type(vstores[0])("vstore", ("c", 0, 7))]
+
+
+def test_external_call_observed():
+    result = run_src("extern int opaque(int, ...);\n"
+                     "int main(void) { opaque(1, 2); return 0; }")
+    calls = [o for o in result.observations if o.kind == "call"]
+    assert calls[0].detail == ("opaque", (1, 2))
+
+
+def test_external_result_deterministic():
+    assert external_call_result("opaque", [1, 2]) == \
+        external_call_result("opaque", [1, 2])
+    assert external_call_result("opaque", [1, 2]) != \
+        external_call_result("opaque", [2, 1])
+
+
+def test_uninitialized_memory_reads_zero():
+    assert run_src("int main(void) { int x; return x; }").exit_code == 0
+
+
+def test_out_of_bounds_is_ub():
+    src = """
+int a[2];
+int main(void) {
+    int i = 5;
+    return a[i];
+}
+"""
+    with pytest.raises(UBError):
+        run_src(src)
+
+
+def test_division_by_zero_variable_is_ub():
+    src = "int main(void) { int z = 0; return 4 / z; }"
+    with pytest.raises(UBError):
+        run_src(src)
+
+
+def test_nontermination_detected():
+    src = "int main(void) { for (;;) ; return 0; }"
+    with pytest.raises(UBError):
+        run_src(src, fuel=10_000)
+
+
+def test_vm_matches_interpreter_simple():
+    interp, vm = both("int main(void) { int a = 3; return a + 4; }")
+    assert interp.key() == vm.key()
+    assert interp.exit_code == vm.exit_code == 7
+
+
+def test_vm_matches_interpreter_loops_and_calls():
+    interp, vm = both("""
+extern int opaque(int, ...);
+volatile int c;
+int sq(int x) { return x * x; }
+int main(void) {
+    int i, total = 0;
+    for (i = 0; i < 5; i++) {
+        total = total + sq(i);
+        c = total;
+    }
+    opaque(total);
+    return total;
+}""")
+    assert interp.key() == vm.key()
+    assert interp.exit_code == 30
+
+
+def test_vm_matches_interpreter_pointers():
+    interp, vm = both("""
+int g = 1;
+int main(void) {
+    int x = 5;
+    int *p = &x;
+    *p = 9;
+    p = &g;
+    *p = x;
+    return g;
+}""")
+    assert interp.key() == vm.key()
+    assert interp.exit_code == 9
+
+
+def test_vm_frames_isolated():
+    interp, vm = both("""
+int f(int a) { int local = a * 2; return local; }
+int main(void) {
+    int local = 1;
+    int r = f(10);
+    return local + r;
+}""")
+    assert vm.exit_code == 21
+    assert interp.key() == vm.key()

@@ -1,0 +1,161 @@
+"""Lowering and IR-structure tests."""
+
+import pytest
+
+from repro.ir import (
+    Call, DbgDeclare, Load, LoweringError, Ret, Store, lower_program,
+    run_module, verify_module,
+)
+from repro.lang import parse, print_program
+
+
+def lower(source):
+    program = parse(source)
+    print_program(program)
+    module = lower_program(program)
+    verify_module(module)
+    return module
+
+
+def test_globals_lowered():
+    module = lower("int g = 7; volatile int c; int a[3];\n"
+                   "int main(void) { return 0; }")
+    assert module.globals["g"].init == [7]
+    assert module.globals["c"].volatile
+    assert module.globals["a"].size == 3
+
+
+def test_global_array_initializer_flattened():
+    module = lower("int a[2][2] = {{1, 2}, {3, 4}};\n"
+                   "int main(void) { return 0; }")
+    assert module.globals["a"].initial_words() == [1, 2, 3, 4]
+
+
+def test_every_local_gets_slot_and_declare():
+    module = lower("int main(void) { int x = 1, y; return x; }")
+    fn = module.functions["main"]
+    assert len(fn.slots) == 2
+    declares = [i for i in fn.instructions() if isinstance(i, DbgDeclare)]
+    assert {d.symbol.name for d in declares} == {"x", "y"}
+
+
+def test_params_spilled_to_slots():
+    module = lower("int f(int a) { return a; }\n"
+                   "int main(void) { return f(1); }")
+    fn = module.functions["f"]
+    stores = [i for i in fn.entry.instrs if isinstance(i, Store)]
+    assert stores, "incoming parameter must be stored to its slot"
+
+
+def test_instructions_carry_lines():
+    module = lower("int g;\nint main(void) {\n    g = 1;\n    return g;\n}")
+    fn = module.functions["main"]
+    lines = {i.line for i in fn.instructions() if i.line is not None}
+    assert 3 in lines and 4 in lines
+
+
+def test_external_call_marked():
+    module = lower("extern int opaque(int, ...);\n"
+                   "int main(void) { opaque(1); return 0; }")
+    calls = [i for i in module.functions["main"].instructions()
+             if isinstance(i, Call)]
+    assert calls[0].external
+
+
+def test_internal_call_not_marked():
+    module = lower("int f(void) { return 1; }\n"
+                   "int main(void) { return f(); }")
+    calls = [i for i in module.functions["main"].instructions()
+             if isinstance(i, Call)]
+    assert not calls[0].external
+
+
+def test_volatile_access_flagged():
+    module = lower("volatile int c;\n"
+                   "int main(void) { c = 1; return c; }")
+    fn = module.functions["main"]
+    stores = [i for i in fn.instructions() if isinstance(i, Store)]
+    loads = [i for i in fn.instructions()
+             if isinstance(i, Load) and i.volatile]
+    assert any(s.volatile for s in stores)
+    assert loads
+
+
+def test_missing_return_synthesized():
+    module = lower("int main(void) { int x = 1; }")
+    terminators = [b.terminator for b in module.functions["main"].blocks]
+    assert any(isinstance(t, Ret) for t in terminators)
+
+
+def test_array_oob_constant_index_rejected_at_runtime():
+    module = lower("int a[2];\nint main(void) { int i = 5;\n"
+                   "    return a[0]; }")
+    # In-bounds program executes fine.
+    assert run_module(module).exit_code == 0
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(LoweringError):
+        lower("int main(void) { break; return 0; }")
+
+
+def test_address_taken_slot_flagged():
+    module = lower("int main(void) { int x = 1; int *p = &x;\n"
+                   "    return *p; }")
+    fn = module.functions["main"]
+    taken = [s for s in fn.slots.values() if s.address_taken]
+    assert len(taken) == 1 and taken[0].name == "x"
+
+
+def test_static_local_becomes_global():
+    module = lower("int f(void) { static int s = 3; return s; }\n"
+                   "int main(void) { return f(); }")
+    assert "f.s" in module.globals
+    assert module.globals["f.s"].init == [3]
+
+
+def test_short_circuit_and():
+    module = lower("""
+int g = 0;
+int side(void) { g = 1; return 1; }
+int main(void) {
+    int r = 0 && side();
+    return g;
+}""")
+    result = run_module(module)
+    assert result.exit_code == 0, "RHS of 0 && ... must not run"
+
+
+def test_short_circuit_or():
+    module = lower("""
+int g = 0;
+int side(void) { g = 1; return 1; }
+int main(void) {
+    int r = 1 || side();
+    return g;
+}""")
+    assert run_module(module).exit_code == 0
+
+
+def test_ternary_evaluates_one_branch():
+    module = lower("""
+int g = 0;
+int inc(void) { g = g + 1; return g; }
+int main(void) {
+    int r = 1 ? 5 : inc();
+    return g * 10 + r;
+}""")
+    assert run_module(module).exit_code == 5
+
+
+def test_goto_loop_executes():
+    module = lower("""
+int main(void) {
+    int i = 0;
+    top:
+    i = i + 1;
+    if (i < 3)
+        goto top;
+    return i;
+}""")
+    assert run_module(module).exit_code == 3

@@ -1,0 +1,118 @@
+"""Tests for the shared arithmetic semantics (ops.py)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.ops import (
+    COMMUTATIVE_OPS, PURE_BINOPS, UBError, eval_binop, eval_unop, wrap,
+    wrap_to,
+)
+
+i64 = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+
+
+def test_basic_arithmetic():
+    assert eval_binop("+", 2, 3) == 5
+    assert eval_binop("-", 2, 3) == -1
+    assert eval_binop("*", 7, 6) == 42
+
+
+def test_wraparound_addition():
+    assert eval_binop("+", 2 ** 63 - 1, 1) == -(2 ** 63)
+
+
+def test_wraparound_multiplication():
+    assert eval_binop("*", 2 ** 62, 4) == 0
+
+
+def test_truncating_division():
+    assert eval_binop("/", 7, 2) == 3
+    assert eval_binop("/", -7, 2) == -3
+    assert eval_binop("/", 7, -2) == -3
+    assert eval_binop("/", -7, -2) == 3
+
+
+def test_c_style_modulo():
+    assert eval_binop("%", 7, 3) == 1
+    assert eval_binop("%", -7, 3) == -1
+    assert eval_binop("%", 7, -3) == 1
+
+
+def test_division_by_zero_is_ub():
+    with pytest.raises(UBError):
+        eval_binop("/", 1, 0)
+    with pytest.raises(UBError):
+        eval_binop("%", 1, 0)
+
+
+def test_shifts_masked():
+    assert eval_binop("<<", 1, 64) == 1  # count mod 64
+    assert eval_binop("<<", 1, 3) == 8
+    assert eval_binop(">>", -8, 1) == -4  # arithmetic
+
+
+def test_comparisons_yield_bool_ints():
+    assert eval_binop("<", 1, 2) == 1
+    assert eval_binop(">=", 1, 2) == 0
+    assert eval_binop("==", 5, 5) == 1
+    assert eval_binop("!=", 5, 5) == 0
+
+
+def test_logical_operators():
+    assert eval_binop("&&", 2, 3) == 1
+    assert eval_binop("&&", 0, 3) == 0
+    assert eval_binop("||", 0, 0) == 0
+    assert eval_binop("||", 0, 9) == 1
+
+
+def test_unary_operators():
+    assert eval_unop("-", 5) == -5
+    assert eval_unop("~", 0) == -1
+    assert eval_unop("!", 0) == 1
+    assert eval_unop("!", 3) == 0
+
+
+def test_unknown_operator_raises():
+    with pytest.raises(ValueError):
+        eval_binop("**", 1, 2)
+    with pytest.raises(ValueError):
+        eval_unop("+", 1)
+
+
+def test_wrap_to_narrow_types():
+    assert wrap_to(256, 8, True) == 0
+    assert wrap_to(255, 8, True) == -1
+    assert wrap_to(255, 8, False) == 255
+    assert wrap_to(-1, 16, False) == 65535
+
+
+@given(i64, i64)
+def test_results_always_in_64bit_range(a, b):
+    for op in PURE_BINOPS:
+        result = eval_binop(op, a, b)
+        assert -(2 ** 63) <= result <= 2 ** 63 - 1
+
+
+@given(i64, i64)
+def test_commutativity(a, b):
+    for op in COMMUTATIVE_OPS:
+        assert eval_binop(op, a, b) == eval_binop(op, b, a)
+
+
+@given(i64)
+def test_wrap_idempotent(a):
+    assert wrap(wrap(a)) == wrap(a)
+
+
+@given(i64, st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1))
+def test_division_identity(a, b):
+    if b != 0:
+        q = eval_binop("/", a, b)
+        r = eval_binop("%", a, b)
+        assert wrap(q * b + r) == wrap(a)
+
+
+@given(i64, i64)
+def test_double_negation(a, b):
+    assert eval_unop("-", eval_unop("-", a)) == wrap(a)
+    assert eval_unop("~", eval_unop("~", a)) == wrap(a)

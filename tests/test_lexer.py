@@ -1,0 +1,148 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.tokens import TokenKind as T
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def test_empty_input_yields_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is T.EOF
+
+
+def test_identifiers_and_keywords():
+    assert kinds("int foo") == [T.KW_INT, T.IDENT]
+    assert kinds("while whilex") == [T.KW_WHILE, T.IDENT]
+    assert kinds("_a a1 a_b") == [T.IDENT, T.IDENT, T.IDENT]
+
+
+def test_all_keywords_recognized():
+    source = ("int short char long unsigned signed void volatile static "
+              "extern const if else for while do return goto break "
+              "continue")
+    expected = [
+        T.KW_INT, T.KW_SHORT, T.KW_CHAR, T.KW_LONG, T.KW_UNSIGNED,
+        T.KW_SIGNED, T.KW_VOID, T.KW_VOLATILE, T.KW_STATIC, T.KW_EXTERN,
+        T.KW_CONST, T.KW_IF, T.KW_ELSE, T.KW_FOR, T.KW_WHILE, T.KW_DO,
+        T.KW_RETURN, T.KW_GOTO, T.KW_BREAK, T.KW_CONTINUE,
+    ]
+    assert kinds(source) == expected
+
+
+def test_decimal_numbers():
+    tokens = tokenize("0 1 42 1234567890")
+    values = [t.text for t in tokens[:-1]]
+    assert values == ["0", "1", "42", "1234567890"]
+    assert all(t.kind is T.NUMBER for t in tokens[:-1])
+
+
+def test_hex_numbers():
+    tokens = tokenize("0x0 0xFF 0xdeadBEEF")
+    assert [t.text for t in tokens[:-1]] == ["0x0", "0xFF", "0xdeadBEEF"]
+
+
+def test_integer_suffixes_are_swallowed():
+    tokens = tokenize("1U 2L 3UL 4ull")
+    assert all(t.kind is T.NUMBER for t in tokens[:-1])
+
+
+def test_multichar_operators_maximal_munch():
+    assert kinds("<< >> <= >= == != && || ++ --") == [
+        T.SHL, T.SHR, T.LE, T.GE, T.EQ, T.NE, T.ANDAND, T.OROR,
+        T.PLUSPLUS, T.MINUSMINUS,
+    ]
+
+
+def test_compound_assignment_operators():
+    assert kinds("+= -= *= /= %= &= |= ^=") == [
+        T.PLUS_ASSIGN, T.MINUS_ASSIGN, T.STAR_ASSIGN, T.SLASH_ASSIGN,
+        T.PERCENT_ASSIGN, T.AMP_ASSIGN, T.PIPE_ASSIGN, T.CARET_ASSIGN,
+    ]
+
+
+def test_plus_plus_vs_plus():
+    assert kinds("a+++b") == [T.IDENT, T.PLUSPLUS, T.PLUS, T.IDENT]
+
+
+def test_punctuation():
+    assert kinds("( ) { } [ ] ; , : ?") == [
+        T.LPAREN, T.RPAREN, T.LBRACE, T.RBRACE, T.LBRACKET, T.RBRACKET,
+        T.SEMI, T.COMMA, T.COLON, T.QUESTION,
+    ]
+
+
+def test_line_numbers_tracked():
+    tokens = tokenize("a\nb\n\nc")
+    lines = [t.line for t in tokens[:-1]]
+    assert lines == [1, 2, 4]
+
+
+def test_column_numbers_tracked():
+    tokens = tokenize("ab cd")
+    assert tokens[0].col == 1
+    assert tokens[1].col == 4
+
+
+def test_line_comments_skipped():
+    assert kinds("a // comment here\nb") == [T.IDENT, T.IDENT]
+
+
+def test_block_comments_skipped():
+    assert kinds("a /* x\ny */ b") == [T.IDENT, T.IDENT]
+
+
+def test_block_comment_preserves_line_count():
+    tokens = tokenize("/* one\ntwo */ x")
+    assert tokens[0].line == 2
+
+
+def test_unterminated_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a $ b")
+
+
+def test_lex_error_carries_position():
+    with pytest.raises(LexError) as info:
+        tokenize("ok\n  $")
+    assert info.value.line == 2
+
+
+def test_string_literal():
+    tokens = tokenize('"hello world"')
+    assert tokens[0].kind is T.STRING
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"oops')
+
+
+def test_ellipsis():
+    assert kinds("(int, ...)") == [
+        T.LPAREN, T.KW_INT, T.COMMA, T.ELLIPSIS, T.RPAREN,
+    ]
+
+
+def test_whole_program_lexes():
+    source = """
+    extern int opaque(int, ...);
+    int main(void) {
+        int i = 0;
+        for (; i < 10; i++) { opaque(i); }
+        return 0;
+    }
+    """
+    tokens = tokenize(source)
+    assert tokens[-1].kind is T.EOF
+    assert len(tokens) > 30

@@ -1,0 +1,264 @@
+"""Parser tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as A
+from repro.lang.parser import ParseError, parse, parse_expr
+from repro.lang.types import ArrayType, IntType, PointerType
+
+
+def test_empty_program():
+    program = parse("")
+    assert program.globals == []
+    assert program.functions == []
+
+
+def test_global_scalar():
+    program = parse("int g = 5;")
+    decl = program.globals[0]
+    assert decl.name == "g"
+    assert isinstance(decl.type, IntType)
+    assert isinstance(decl.init, A.IntLit) and decl.init.value == 5
+
+
+def test_global_without_init():
+    program = parse("int g;")
+    assert program.globals[0].init is None
+
+
+def test_multiple_declarators():
+    program = parse("int a, b = 2, c;")
+    assert [g.name for g in program.globals] == ["a", "b", "c"]
+    assert program.globals[1].init.value == 2
+
+
+def test_volatile_global():
+    program = parse("volatile int c;")
+    assert program.globals[0].volatile
+
+
+def test_static_global():
+    program = parse("static int s = 1;")
+    assert program.globals[0].static
+
+
+def test_unsigned_and_short_types():
+    program = parse("unsigned int u; short s; unsigned short us;")
+    assert not program.globals[0].type.signed
+    assert program.globals[1].type.name == "short"
+    assert not program.globals[2].type.signed
+
+
+def test_array_global():
+    program = parse("int a[3][4];")
+    ty = program.globals[0].type
+    assert isinstance(ty, ArrayType)
+    assert ty.dims == (3, 4)
+
+
+def test_array_initializer():
+    program = parse("int a[2][2] = {{1, 2}, {3, 4}};")
+    init = program.globals[0].init
+    assert init[1][0].value == 3
+
+
+def test_array_initializer_trailing_comma():
+    program = parse("int a[2] = {1, 2,};")
+    assert len(program.globals[0].init) == 2
+
+
+def test_pointer_global():
+    program = parse("int *p;")
+    assert isinstance(program.globals[0].type, PointerType)
+
+
+def test_pointer_to_pointer():
+    program = parse("int **pp;")
+    ty = program.globals[0].type
+    assert isinstance(ty, PointerType) and ty.depth() == 2
+
+
+def test_extern_variadic():
+    program = parse("extern int opaque(int, ...);")
+    ext = program.externs[0]
+    assert ext.name == "opaque"
+    assert ext.variadic
+    assert ext.return_type is not None
+
+
+def test_extern_void():
+    program = parse("extern void foo(int);")
+    assert program.externs[0].return_type is None
+
+
+def test_function_definition():
+    program = parse("int f(int a, int b) { return a + b; }")
+    fn = program.function("f")
+    assert [p.name for p in fn.params] == ["a", "b"]
+    assert isinstance(fn.body.stmts[0], A.Return)
+
+
+def test_void_function():
+    program = parse("void f(void) { return; }")
+    assert program.function("f").return_type is None
+
+
+def test_static_function():
+    program = parse("static int f(void) { return 0; }")
+    assert program.function("f").static
+
+
+def test_local_declarations():
+    program = parse("int main(void) { int i = 0, j, k; return 0; }")
+    decl_stmt = program.function("main").body.stmts[0]
+    assert isinstance(decl_stmt, A.DeclStmt)
+    assert [d.name for d in decl_stmt.decls] == ["i", "j", "k"]
+
+
+def test_for_loop_with_decl():
+    program = parse(
+        "int main(void) { for (int i = 0; i < 3; i++) ; return 0; }")
+    loop = program.function("main").body.stmts[0]
+    assert isinstance(loop, A.For)
+    assert isinstance(loop.init, A.DeclStmt)
+    assert loop.cond.op == "<"
+    assert loop.step.op == "++"
+
+
+def test_for_loop_headless():
+    program = parse("int main(void) { for (;;) break; return 0; }")
+    loop = program.function("main").body.stmts[0]
+    assert loop.init is None and loop.cond is None and loop.step is None
+
+
+def test_while_and_do_while():
+    program = parse("""
+    int main(void) {
+        int i = 0;
+        while (i < 3) i = i + 1;
+        do i = i - 1; while (i > 0);
+        return 0;
+    }""")
+    stmts = program.function("main").body.stmts
+    assert isinstance(stmts[1], A.While)
+    assert isinstance(stmts[2], A.DoWhile)
+
+
+def test_if_else():
+    program = parse(
+        "int main(void) { if (1) return 1; else return 2; }")
+    stmt = program.function("main").body.stmts[0]
+    assert isinstance(stmt, A.If)
+    assert stmt.other is not None
+
+
+def test_goto_and_label():
+    program = parse("""
+    int main(void) {
+        goto end;
+        end:;
+        return 0;
+    }""")
+    stmts = program.function("main").body.stmts
+    assert isinstance(stmts[0], A.Goto)
+    assert isinstance(stmts[1], A.LabeledStmt)
+    assert stmts[1].label == "end"
+
+
+def test_break_continue():
+    program = parse("""
+    int main(void) {
+        for (;;) { break; }
+        for (;;) { continue; }
+        return 0;
+    }""")
+    assert isinstance(
+        program.function("main").body.stmts[0].body.stmts[0], A.Break)
+
+
+def test_precedence_mul_over_add():
+    expr = parse_expr("1 + 2 * 3")
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_precedence_comparison_over_logic():
+    expr = parse_expr("a < b && c > d")
+    assert expr.op == "&&"
+    assert expr.left.op == "<"
+
+
+def test_precedence_bitand_below_equality():
+    # The classic C gotcha the paper's 49975 example relies on:
+    # (v2 = a) == 0 & c parses as ((v2 = a) == 0) & c.
+    expr = parse_expr("(v2 = a) == 0 & c")
+    assert expr.op == "&"
+    assert expr.left.op == "=="
+    assert isinstance(expr.left.left, A.Assign)
+
+
+def test_assignment_right_associative():
+    expr = parse_expr("a = b = c")
+    assert isinstance(expr, A.Assign)
+    assert isinstance(expr.value, A.Assign)
+
+
+def test_compound_assignment():
+    expr = parse_expr("a += 2")
+    assert isinstance(expr, A.Assign) and expr.op == "+="
+
+
+def test_unary_operators():
+    for op in ("-", "!", "~", "&", "*"):
+        expr = parse_expr(f"{op}x")
+        assert isinstance(expr, A.Unary) and expr.op == op
+
+
+def test_prefix_and_postfix_incdec():
+    pre = parse_expr("++x")
+    post = parse_expr("x++")
+    assert pre.prefix and not post.prefix
+
+
+def test_ternary():
+    expr = parse_expr("a ? b : c")
+    assert isinstance(expr, A.Conditional)
+
+
+def test_call_with_args():
+    expr = parse_expr("f(1, x, g(2))")
+    assert isinstance(expr, A.Call)
+    assert len(expr.args) == 3
+    assert isinstance(expr.args[2], A.Call)
+
+
+def test_array_indexing_nested():
+    expr = parse_expr("a[i][j]")
+    assert isinstance(expr, A.ArrayIndex)
+    assert isinstance(expr.base, A.ArrayIndex)
+
+
+def test_invalid_assignment_target_rejected():
+    with pytest.raises(ParseError):
+        parse_expr("1 = x")
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(ParseError):
+        parse("int main(void) { return 0 }")
+
+
+def test_unterminated_block_rejected():
+    with pytest.raises(ParseError):
+        parse("int main(void) { return 0;")
+
+
+def test_void_variable_rejected():
+    with pytest.raises(ParseError):
+        parse("void x;")
+
+
+def test_error_carries_line():
+    with pytest.raises(ParseError) as info:
+        parse("int g;\nint main(void) { int ; }")
+    assert info.value.line == 2

@@ -1,0 +1,461 @@
+"""Per-pass unit tests: semantic preservation and debug maintenance."""
+
+import pytest
+
+from repro.ir import (
+    DbgValue, Load, Move, Store, lower_program, run_module, verify_module,
+)
+from repro.ir.instructions import BinOp, Call
+from repro.ir.values import Const, VReg, AffineExpr
+from repro.lang import parse, print_program
+from repro.passes import (
+    ConstantPropagation, CopyPropagation, DeadCodeElimination,
+    DeadStoreElimination, IPAPureConst, InstCombine, Inliner,
+    InstructionScheduler, LoopInvariantCodeMotion, LoopRotate,
+    LoopStrengthReduce, LoopUnroll, Mem2Reg, PassManager,
+    RedundancyElimination, SimplifyCFG, ValueRangePropagation,
+)
+from repro.passes.base import PassContext
+
+
+def prepared(source):
+    program = parse(source)
+    print_program(program)
+    return program
+
+
+def run_pipeline(source, passes):
+    program = prepared(source)
+    reference = run_module(lower_program(program))
+    module = lower_program(program)
+    manager = PassManager(passes, verify=True)
+    manager.run(module)
+    result = run_module(module)
+    assert result.key() == reference.key(), "semantics changed"
+    return module, result
+
+
+SIMPLE = """
+extern int opaque(int, ...);
+int g = 3;
+volatile int c;
+int main(void) {
+    int x = 5, y;
+    y = x + g;
+    c = y;
+    opaque(x, y);
+    return y;
+}
+"""
+
+LOOPY = """
+int a[4][4] = {{1, 2, 3, 4}, {5, 6, 7, 8}, {9, 1, 2, 3}, {4, 5, 6, 7}};
+volatile int c;
+int main(void) {
+    int i, j;
+    for (i = 0; i < 4; i++)
+        for (j = 0; j < 4; j++)
+            c = a[i][j];
+    return 0;
+}
+"""
+
+CALLS = """
+extern int opaque(int, ...);
+int g;
+int zero(void) { return 0; }
+int add(int a, int b) { return a + b; }
+int main(void) {
+    int r = add(2, 3) + zero();
+    g = r;
+    opaque(r);
+    return r;
+}
+"""
+
+
+# -- mem2reg ----------------------------------------------------------------
+
+def test_mem2reg_removes_scalar_slots():
+    module, _ = run_pipeline(SIMPLE, [Mem2Reg()])
+    fn = module.functions["main"]
+    assert not fn.slots, "all scalar slots should be promoted"
+
+
+def test_mem2reg_emits_dbg_values():
+    module, _ = run_pipeline(SIMPLE, [Mem2Reg()])
+    fn = module.functions["main"]
+    dbg = [i for i in fn.instructions() if isinstance(i, DbgValue)]
+    names = {d.symbol.name for d in dbg}
+    assert {"x", "y"} <= names
+
+
+def test_mem2reg_keeps_address_taken_slot():
+    module, _ = run_pipeline("""
+int main(void) {
+    int x = 1;
+    int *p = &x;
+    *p = 2;
+    return x;
+}""", [Mem2Reg()])
+    fn = module.functions["main"]
+    assert any(s.name == "x" for s in fn.slots.values())
+
+
+def test_mem2reg_keeps_volatile_local():
+    module, _ = run_pipeline("""
+int main(void) {
+    volatile int v = 1;
+    v = 2;
+    return v;
+}""", [Mem2Reg()])
+    fn = module.functions["main"]
+    assert any(s.name == "v" for s in fn.slots.values())
+
+
+# -- constant propagation ------------------------------------------------------
+
+def test_constprop_folds_constants():
+    module, result = run_pipeline("""
+int main(void) {
+    int a = 4;
+    int b = a + 3;
+    return b * 2;
+}""", [Mem2Reg(), ConstantPropagation()])
+    assert result.exit_code == 14
+    fn = module.functions["main"]
+    binops = [i for i in fn.instructions() if isinstance(i, BinOp)]
+    assert not binops, "all arithmetic should fold"
+
+
+def test_constprop_rewrites_dbg_to_const():
+    module, _ = run_pipeline("""
+int g;
+int main(void) {
+    int a = 4;
+    g = a + 1;
+    return 0;
+}""", [Mem2Reg(), ConstantPropagation()])
+    fn = module.functions["main"]
+    dbg = [i for i in fn.instructions()
+           if isinstance(i, DbgValue) and i.symbol.name == "a"]
+    assert any(isinstance(d.value, Const) and d.value.value == 4
+               for d in dbg)
+
+
+def test_constprop_folds_branches():
+    module, _ = run_pipeline("""
+int g;
+int main(void) {
+    if (1 < 2)
+        g = 1;
+    else
+        g = 2;
+    return g;
+}""", [Mem2Reg(), ConstantPropagation()])
+    fn = module.functions["main"]
+    from repro.ir.instructions import Branch
+    assert not any(isinstance(i, Branch) for i in fn.instructions())
+
+
+def test_constprop_does_not_fold_division_by_zero():
+    # Folding must never hide UB: 1/0 with a dead result stays put.
+    program = prepared("""
+int main(void) {
+    int z = 0;
+    if (0)
+        z = 1 / z;
+    return 7;
+}""")
+    module = lower_program(program)
+    PassManager([Mem2Reg(), ConstantPropagation()], verify=True).run(module)
+    assert run_module(module).exit_code == 7
+
+
+# -- DCE -----------------------------------------------------------------------
+
+def test_dce_removes_dead_code():
+    module, _ = run_pipeline("""
+int main(void) {
+    int dead = 3 + 4;
+    int alive = 2;
+    return alive;
+}""", [Mem2Reg(), DeadCodeElimination()])
+    fn = module.functions["main"]
+    real = [i for i in fn.instructions() if not i.is_dbg()]
+    assert len(real) <= 4
+
+
+def test_dce_salvages_constant_dbg():
+    module, _ = run_pipeline("""
+int main(void) {
+    int dead = 42;
+    return 0;
+}""", [Mem2Reg(), DeadCodeElimination()])
+    fn = module.functions["main"]
+    dbg = [i for i in fn.instructions()
+           if isinstance(i, DbgValue) and i.symbol.name == "dead"]
+    assert any(isinstance(d.value, Const) and d.value.value == 42
+               for d in dbg)
+
+
+def test_dce_salvages_affine():
+    module, _ = run_pipeline("""
+int g = 5;
+int main(void) {
+    int base = g;
+    int derived = base + 10;
+    g = base;
+    return g;
+}""", [Mem2Reg(), DeadCodeElimination()])
+    fn = module.functions["main"]
+    dbg = [i for i in fn.instructions()
+           if isinstance(i, DbgValue) and i.symbol.name == "derived"]
+    assert any(isinstance(d.value, AffineExpr) and d.value.add == 10
+               for d in dbg)
+
+
+def test_dce_keeps_side_effects():
+    module, result = run_pipeline(
+        "volatile int c;\nint main(void) { c = 1; return 0; }",
+        [Mem2Reg(), DeadCodeElimination()])
+    vstores = [o for o in result.observations if o.kind == "vstore"]
+    assert vstores
+
+
+def test_dce_removes_pure_calls_only_with_ipa():
+    module, result = run_pipeline(CALLS, [
+        Mem2Reg(), IPAPureConst(), DeadCodeElimination()])
+    # zero() is pure but its result feeds r; the call to opaque remains.
+    calls = [i for i in module.functions["main"].instructions()
+             if isinstance(i, Call) and i.external]
+    assert calls
+
+
+# -- copy propagation / CSE -------------------------------------------------------
+
+def test_copyprop_forwards_copies():
+    module, result = run_pipeline("""
+int g = 9;
+int main(void) {
+    int a = g;
+    int b = a;
+    return b;
+}""", [Mem2Reg(), CopyPropagation(), DeadCodeElimination()])
+    assert result.exit_code == 9
+
+
+def test_fre_eliminates_redundancy():
+    module, result = run_pipeline("""
+int g = 6;
+int main(void) {
+    int a = g * 2;
+    int b = g * 2;
+    return a + b;
+}""", [Mem2Reg(), RedundancyElimination(), DeadCodeElimination()])
+    assert result.exit_code == 24
+    fn = module.functions["main"]
+    muls = [i for i in fn.instructions()
+            if isinstance(i, BinOp) and i.op == "*"]
+    assert len(muls) <= 1
+
+
+def test_fre_respects_redefinition():
+    _, result = run_pipeline("""
+int g = 2;
+int main(void) {
+    int a = g + 1;
+    g = 10;
+    int b = g + 1;
+    return a * 100 + b;
+}""", [Mem2Reg(), RedundancyElimination()])
+    assert result.exit_code == (3 * 100 + 11) % 256
+
+
+# -- instcombine ------------------------------------------------------------------
+
+@pytest.mark.parametrize("expr,expected", [
+    ("x * 1", 7), ("x + 0", 7), ("x | 0", 7), ("x ^ 0", 7),
+    ("x * 0", 0), ("x & 0", 0), ("x - x", 0), ("x ^ x", 0),
+    ("x & x", 7), ("x | x", 7), ("x * 8", 56),
+])
+def test_instcombine_identities(expr, expected):
+    _, result = run_pipeline(f"""
+int g = 7;
+int main(void) {{
+    int x = g;
+    int r = {expr};
+    return r;
+}}""", [Mem2Reg(), InstCombine()])
+    assert result.exit_code == expected
+
+
+def test_instcombine_strength_reduction_to_shift():
+    module, _ = run_pipeline("""
+int g = 3;
+int main(void) {
+    int x = g;
+    return x * 4;
+}""", [Mem2Reg(), InstCombine()])
+    fn = module.functions["main"]
+    shifts = [i for i in fn.instructions()
+              if isinstance(i, BinOp) and i.op == "<<"]
+    assert shifts
+
+
+# -- loops ---------------------------------------------------------------------------
+
+def test_loop_rotate_preserves_semantics():
+    run_pipeline(LOOPY, [Mem2Reg(), LoopRotate()])
+
+
+def test_unroll_small_loop():
+    module, result = run_pipeline("""
+volatile int c;
+int main(void) {
+    int i, total = 0;
+    for (i = 0; i < 3; i++) {
+        total = total + i;
+        c = total;
+    }
+    return total;
+}""", [Mem2Reg(), ConstantPropagation(), LoopUnroll()])
+    assert result.exit_code == 3
+    from repro.ir.instructions import Branch
+    fn = module.functions["main"]
+    assert not any(isinstance(i, Branch) for i in fn.instructions())
+
+
+def test_unroll_respects_trip_limit():
+    module, _ = run_pipeline("""
+volatile int c;
+int main(void) {
+    int i;
+    for (i = 0; i < 100; i++)
+        c = i;
+    return 0;
+}""", [Mem2Reg(), ConstantPropagation(), LoopUnroll(max_trips=8)])
+    from repro.ir.instructions import Branch
+    fn = module.functions["main"]
+    assert any(isinstance(i, Branch) for i in fn.instructions())
+
+
+def test_lsr_strength_reduces():
+    module, result = run_pipeline(LOOPY, [
+        Mem2Reg(), ConstantPropagation(), LoopStrengthReduce()])
+    assert result.observations  # volatile loads/stores preserved
+
+
+def test_lsr_salvages_induction_dbg():
+    module, _ = run_pipeline(LOOPY, [
+        Mem2Reg(), ConstantPropagation(), LoopStrengthReduce(),
+        DeadCodeElimination()])
+    fn = module.functions["main"]
+    affine = [i for i in fn.instructions()
+              if isinstance(i, DbgValue) and
+              isinstance(i.value, AffineExpr) and i.value.div > 1]
+    # The i induction variable indexes a stride-4 array; if LSR
+    # eliminated it, the salvage is an exact-division expression.
+    all_dbg_i = [i for i in fn.instructions()
+                 if isinstance(i, DbgValue) and i.symbol.name == "i"]
+    assert all_dbg_i
+    assert all(d.value is not None for d in all_dbg_i)
+
+
+def test_licm_hoists_invariant_load():
+    module, _ = run_pipeline("""
+int g = 5;
+volatile int c;
+int main(void) {
+    int i;
+    for (i = 0; i < 3; i++)
+        c = g + 1;
+    return 0;
+}""", [Mem2Reg(), LoopInvariantCodeMotion()])
+
+
+# -- inlining ---------------------------------------------------------------------------
+
+def test_inliner_inlines_small_functions():
+    module, result = run_pipeline(CALLS, [Mem2Reg(), Inliner()])
+    fn = module.functions["main"]
+    internal_calls = [i for i in fn.instructions()
+                      if isinstance(i, Call) and not i.external]
+    assert not internal_calls
+
+
+def test_inliner_creates_inline_scopes():
+    module, _ = run_pipeline(CALLS, [Mem2Reg(), Inliner()])
+    fn = module.functions["main"]
+    scopes = {i.scope.callee for i in fn.instructions()
+              if i.scope is not None}
+    assert "add" in scopes
+
+
+def test_inliner_binds_param_dbg():
+    module, _ = run_pipeline(CALLS, [Mem2Reg(), Inliner()])
+    fn = module.functions["main"]
+    dbg = [i for i in fn.instructions()
+           if isinstance(i, DbgValue) and i.scope is not None]
+    names = {d.symbol.name for d in dbg}
+    assert {"a", "b"} <= names
+
+
+def test_inliner_respects_threshold():
+    module, _ = run_pipeline(CALLS, [Mem2Reg(), Inliner(threshold=0)])
+    fn = module.functions["main"]
+    internal_calls = [i for i in fn.instructions()
+                      if isinstance(i, Call) and not i.external]
+    assert internal_calls, "threshold 0 must inline nothing"
+
+
+# -- scheduler / simplifycfg / vrp / dse ----------------------------------------------
+
+def test_scheduler_preserves_semantics():
+    run_pipeline(SIMPLE, [Mem2Reg(), InstructionScheduler()])
+    run_pipeline(LOOPY, [Mem2Reg(), InstructionScheduler()])
+
+
+def test_simplifycfg_merges_blocks():
+    module, _ = run_pipeline(SIMPLE, [Mem2Reg(), SimplifyCFG()])
+    fn = module.functions["main"]
+    assert len(fn.blocks) <= 2
+
+
+def test_vrp_folds_implied_comparison():
+    _, result = run_pipeline("""
+int g = 7;
+int main(void) {
+    int x = g;
+    if (x == 5) {
+        if (x < 6)
+            return 1;
+        return 2;
+    }
+    return 3;
+}""", [Mem2Reg(), ValueRangePropagation(), ConstantPropagation()])
+    assert result.exit_code == 3
+
+
+def test_dse_removes_never_read_address_taken_store():
+    module, _ = run_pipeline("""
+int sink(int *p) { return 0; }
+int main(void) {
+    int x = 1;
+    x = 2;
+    int *q = &x;
+    return 0;
+}""", [Mem2Reg(), DeadStoreElimination()])
+
+
+def test_full_pipeline_many_rounds():
+    passes = [
+        Mem2Reg(), IPAPureConst(), Inliner(), InstCombine(),
+        ConstantPropagation(), ValueRangePropagation(),
+        CopyPropagation(), RedundancyElimination(),
+        LoopInvariantCodeMotion(), LoopRotate(), LoopUnroll(),
+        LoopStrengthReduce(), DeadStoreElimination(),
+        DeadCodeElimination(), InstructionScheduler(),
+    ]
+    for src in (SIMPLE, LOOPY, CALLS):
+        run_pipeline(src, passes)

@@ -1,0 +1,147 @@
+"""Printer tests: canonical output, line stamping, round-trip fixpoint."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fuzz import generate_program
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse
+from repro.lang.printer import format_expr, print_program
+from repro.lang.parser import parse_expr
+
+
+def roundtrip(source):
+    program = parse(source)
+    first = print_program(program)
+    second = print_program(parse(first))
+    return first, second
+
+
+def test_roundtrip_simple():
+    first, second = roundtrip("int g = 1;\nint main(void) { return g; }")
+    assert first == second
+
+
+def test_roundtrip_loops():
+    first, second = roundtrip("""
+    int a; int b[4][4];
+    int main(void) {
+        int i, j;
+        for (i = 0; i < 4; i++)
+            for (j = 0; j < 4; j++)
+                a = b[i][j];
+        return a;
+    }""")
+    assert first == second
+
+
+def test_roundtrip_control():
+    first, second = roundtrip("""
+    int g;
+    int main(void) {
+        int x = 1;
+        if (x > 0) { g = 1; } else g = 2;
+        while (x < 5) x++;
+        do x--; while (x > 0);
+        f: if (g) goto f;
+        return 0;
+    }""")
+    assert first == second
+
+
+def test_statements_get_distinct_lines():
+    program = parse("int main(void) { int a = 1; int b = 2; return a; }")
+    print_program(program)
+    stmts = program.function("main").body.stmts
+    lines = [s.line for s in stmts]
+    assert len(set(lines)) == len(lines)
+    assert lines == sorted(lines)
+
+
+def test_expression_lines_match_statement():
+    program = parse("int g;\nint main(void) { g = 1 + 2 * 3; return 0; }")
+    print_program(program)
+    stmt = program.function("main").body.stmts[0]
+    for expr in A.walk_expr(stmt.expr):
+        assert expr.line == stmt.line
+
+
+def test_for_header_parts_share_line():
+    program = parse(
+        "int main(void) { for (int i = 0; i < 3; i++) ; return 0; }")
+    print_program(program)
+    loop = program.function("main").body.stmts[0]
+    assert loop.init.line == loop.line
+    assert loop.cond.line == loop.line
+    assert loop.step.line == loop.line
+
+
+def test_precedence_parens_emitted():
+    assert format_expr(parse_expr("(1 + 2) * 3")) == "(1 + 2) * 3"
+    assert format_expr(parse_expr("1 + 2 * 3")) == "1 + 2 * 3"
+
+
+def test_nested_unary_formatting():
+    assert format_expr(parse_expr("-(-x)")) == "--x" or \
+        format_expr(parse_expr("-(-x)")) == "-(-x)"
+    # whichever form, it must re-parse to the same AST shape
+    text = format_expr(parse_expr("-(a + b)"))
+    assert text == "-(a + b)"
+
+
+def test_assignment_in_expression_parenthesized():
+    text = format_expr(parse_expr("(v2 = a) == 0 & c"))
+    assert text == "(v2 = a) == 0 & c"
+
+
+def test_pointer_declaration_format():
+    program = parse("int main(void) { int *p; int **q; return 0; }")
+    out = print_program(program)
+    assert "int *p" in out
+    assert "int **q" in out
+
+
+def test_array_initializer_format():
+    program = parse("int a[2][2] = {{1, 2}, {3, 4}};")
+    out = print_program(program)
+    assert "{{1, 2}, {3, 4}}" in out
+
+
+def test_volatile_and_static_printed():
+    out = print_program(parse("static volatile int c = 1;"))
+    assert "static volatile int c = 1;" in out
+
+
+def test_extern_printed():
+    out = print_program(parse("extern int opaque(int, ...);"))
+    assert "extern int opaque(int, ...);" in out
+
+
+def test_label_emitted_on_own_line():
+    out = print_program(parse(
+        "int main(void) { goto l; l:; return 0; }"))
+    assert "l:;" in out
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_fuzzer_programs_roundtrip(seed):
+    """print -> parse -> print is a fixed point for generated programs."""
+    program = generate_program(seed)
+    first = print_program(program)
+    second = print_program(parse(first))
+    assert first == second
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_fuzzer_line_stamps_consistent(seed):
+    """Every statement's recorded line holds its own text."""
+    program = generate_program(seed)
+    text = print_program(program)
+    lines = text.splitlines()
+    for fn in program.functions:
+        for stmt in A.walk_stmt(fn.body):
+            if isinstance(stmt, (A.Block, A.Empty)):
+                continue
+            assert 1 <= stmt.line <= len(lines)
