@@ -38,4 +38,5 @@ from .pipeline import (
     run_campaign_on_programs, test_program,
 )
 from .reduce import Reducer, ReductionResult
+from .target import VM, Executable, link, run_executable
 from .triage import TriageResult, find_culprit_bisect, find_culprit_flags, triage

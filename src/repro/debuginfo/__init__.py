@@ -1,0 +1,26 @@
+"""DWARF-analogue debug information model: DIEs, line table, locations,
+and the four-way defect taxonomy of Section 5.3."""
+
+from .categories import (
+    ALL_CATEGORIES, COMPLETE, HOLLOW, INCOMPLETE, INCORRECT, MISSING,
+    classify_variable,
+)
+from .die import (
+    DIE, DebugInfoUnit, TAG_COMPILE_UNIT, TAG_FORMAL_PARAMETER,
+    TAG_INLINED_SUBROUTINE, TAG_LEXICAL_BLOCK, TAG_SUBPROGRAM, TAG_VARIABLE,
+)
+from .linetable import LineEntry, LineTable
+from .location import (
+    AddrLoc, ConstLoc, ExprLoc, FrameAddrVal, FrameExprLoc, FrameLoc,
+    GlobalAddrVal, Loc, LocEntry, LocationList, RegLoc,
+)
+
+__all__ = [
+    "ALL_CATEGORIES", "AddrLoc", "COMPLETE", "ConstLoc", "DIE",
+    "DebugInfoUnit", "ExprLoc", "FrameAddrVal", "FrameExprLoc", "FrameLoc",
+    "GlobalAddrVal", "HOLLOW", "INCOMPLETE", "INCORRECT", "LineEntry",
+    "LineTable", "Loc", "LocEntry", "LocationList", "MISSING", "RegLoc",
+    "TAG_COMPILE_UNIT", "TAG_FORMAL_PARAMETER", "TAG_INLINED_SUBROUTINE",
+    "TAG_LEXICAL_BLOCK", "TAG_SUBPROGRAM", "TAG_VARIABLE",
+    "classify_variable",
+]

@@ -32,6 +32,12 @@ _GLOBAL_BASE = 0x10000
 _STACK_BASE = 0x1000000
 _FRAME_STRIDE = 0x1000
 
+#: Public names for the memory-layout contract shared with the target
+#: backend (repro.target.vm): both place globals, stack frames, and
+#: frame strides identically so observations stay comparable.
+STACK_BASE = _STACK_BASE
+FRAME_STRIDE = _FRAME_STRIDE
+
 
 def assign_global_addresses(module: Module) -> Dict[str, int]:
     """Deterministic global layout shared by the interpreter and the
@@ -120,6 +126,11 @@ class _Memory:
     def store(self, addr: int, value: int) -> None:
         self.check(addr)
         self.words[addr] = wrap(value)
+
+
+#: Public name for the shared bounds-checked memory model (see the
+#: layout contract note above).
+Memory = _Memory
 
 
 class Interpreter:

@@ -1,0 +1,16 @@
+"""Target backend: codegen/link, the executable format, and the VM."""
+
+from .codegen import LinkError, link
+from .isa import (
+    Executable, FrameSlotInfo, FuncInfo, GlobalLayout, MBin, MBranch, MCall,
+    MFrameAddr, MGlobalAddr, MImm, MInstr, MJump, MLoad, MMove, MReg, MRet,
+    MStore, MUn,
+)
+from .vm import VM, Frame, RegFile, run_executable
+
+__all__ = [
+    "Executable", "Frame", "FrameSlotInfo", "FuncInfo", "GlobalLayout",
+    "LinkError", "MBin", "MBranch", "MCall", "MFrameAddr", "MGlobalAddr",
+    "MImm", "MInstr", "MJump", "MLoad", "MMove", "MReg", "MRet", "MStore",
+    "MUn", "RegFile", "VM", "link", "run_executable",
+]

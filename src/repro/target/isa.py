@@ -1,0 +1,287 @@
+"""Target ISA: the linear register-machine executable format.
+
+The backend lowers an optimized IR :class:`~repro.ir.module.Module` into a
+flat instruction stream addressed by index — the moral equivalent of a
+text section.  An :class:`Executable` bundles that stream with everything
+a debugger consumes:
+
+* ``entry`` — the address of ``main``'s first instruction;
+* ``functions`` — per-function metadata (:class:`FuncInfo`): code range,
+  parameter registers, and the frame layout shared with the reference
+  interpreter so volatile-access observations stay symbolic-comparable;
+* ``global_layout`` — absolute addresses/initializers for globals,
+  assigned by :func:`repro.ir.interp.assign_global_addresses`;
+* ``line_table`` — the ``.debug_line`` analogue
+  (:class:`~repro.debuginfo.linetable.LineTable`);
+* ``debug`` — the compile-unit DIE tree
+  (:class:`~repro.debuginfo.die.DebugInfoUnit`).
+
+Machine operands mirror the IR's operand kinds after frame/global layout:
+a physical register (:class:`MReg`), an immediate (:class:`MImm`), a
+frame-relative address value (:class:`MFrameAddr`), or an absolute global
+address value (:class:`MGlobalAddr`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..debuginfo.die import DebugInfoUnit
+from ..debuginfo.linetable import LineTable
+
+
+# -- operands ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MReg:
+    """A physical register operand (read of register ``reg``)."""
+
+    reg: int = 0
+
+    def __repr__(self):
+        return f"r{self.reg}"
+
+
+@dataclass(frozen=True)
+class MImm:
+    """An immediate integer operand."""
+
+    value: int = 0
+
+    def __repr__(self):
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class MFrameAddr:
+    """The address ``frame_base + offset`` as a value (lea of a local)."""
+
+    offset: int = 0
+
+    def __repr__(self):
+        return f"fp+{self.offset}"
+
+
+@dataclass(frozen=True)
+class MGlobalAddr:
+    """An absolute address as a value (lea of a global)."""
+
+    addr: int = 0
+    name: str = ""
+
+    def __repr__(self):
+        return f"&{self.name or hex(self.addr)}"
+
+
+#: A machine operand.
+MOperand = object
+
+
+# -- instructions ------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class MInstr:
+    """Base class for machine instructions.
+
+    The address of an instruction is its index in the executable's
+    ``instrs`` list; ``line`` drives the line table.
+    """
+
+    line: Optional[int] = None
+
+
+@dataclass(eq=False)
+class MMove(MInstr):
+    """``rdst = src``."""
+
+    dst: int = 0
+    src: MOperand = None
+
+    def __repr__(self):
+        return f"mov r{self.dst}, {self.src!r}"
+
+
+@dataclass(eq=False)
+class MBin(MInstr):
+    """``rdst = a <op> b``."""
+
+    dst: int = 0
+    op: str = "+"
+    a: MOperand = None
+    b: MOperand = None
+
+    def __repr__(self):
+        return f"bin r{self.dst}, {self.a!r} {self.op} {self.b!r}"
+
+
+@dataclass(eq=False)
+class MUn(MInstr):
+    """``rdst = <op> a``."""
+
+    dst: int = 0
+    op: str = "-"
+    a: MOperand = None
+
+    def __repr__(self):
+        return f"un r{self.dst}, {self.op}{self.a!r}"
+
+
+@dataclass(eq=False)
+class MLoad(MInstr):
+    """``rdst = *(addr)``."""
+
+    dst: int = 0
+    addr: MOperand = None
+    volatile: bool = False
+
+    def __repr__(self):
+        v = "v" if self.volatile else ""
+        return f"{v}ld r{self.dst}, [{self.addr!r}]"
+
+
+@dataclass(eq=False)
+class MStore(MInstr):
+    """``*(addr) = src``."""
+
+    addr: MOperand = None
+    src: MOperand = None
+    volatile: bool = False
+
+    def __repr__(self):
+        v = "v" if self.volatile else ""
+        return f"{v}st [{self.addr!r}], {self.src!r}"
+
+
+@dataclass(eq=False)
+class MJump(MInstr):
+    """Unconditional jump to absolute address ``target``."""
+
+    target: int = 0
+
+    def __repr__(self):
+        return f"jmp {self.target}"
+
+
+@dataclass(eq=False)
+class MBranch(MInstr):
+    """Jump to ``if_true`` when ``cond != 0``, else ``if_false``."""
+
+    cond: MOperand = None
+    if_true: int = 0
+    if_false: int = 0
+
+    def __repr__(self):
+        return f"br {self.cond!r} ? {self.if_true} : {self.if_false}"
+
+
+@dataclass(eq=False)
+class MCall(MInstr):
+    """Call ``callee``; internal calls push a frame, external calls are
+    modeled environment events."""
+
+    dst: Optional[int] = None
+    callee: str = ""
+    args: List[MOperand] = field(default_factory=list)
+    external: bool = False
+
+    def __repr__(self):
+        head = f"r{self.dst} = " if self.dst is not None else ""
+        ext = "ext " if self.external else ""
+        return f"{head}call {ext}{self.callee}" \
+               f"({', '.join(map(repr, self.args))})"
+
+
+@dataclass(eq=False)
+class MRet(MInstr):
+    """Return to the caller (or exit, from the outermost frame)."""
+
+    src: Optional[MOperand] = None
+
+    def __repr__(self):
+        return f"ret {self.src!r}" if self.src is not None else "ret"
+
+
+# -- executable metadata ------------------------------------------------------
+
+
+@dataclass
+class FrameSlotInfo:
+    """One stack slot in a function's frame layout."""
+
+    offset: int
+    size: int
+    #: the interpreter-compatible object name (``fn.slotname``) used for
+    #: symbolic volatile-access observations and bounds checking
+    obj_name: str
+
+
+@dataclass
+class FuncInfo:
+    """Link-time metadata for one emitted function."""
+
+    name: str
+    entry: int
+    low_pc: int = 0
+    high_pc: int = 0
+    frame_size: int = 0
+    #: physical registers receiving the arguments, in parameter order
+    param_regs: List[int] = field(default_factory=list)
+    returns_value: bool = True
+    slots: List[FrameSlotInfo] = field(default_factory=list)
+
+    def covers(self, pc: int) -> bool:
+        return self.low_pc <= pc < self.high_pc
+
+
+@dataclass
+class GlobalLayout:
+    """One global variable's placed storage."""
+
+    name: str
+    addr: int
+    size: int
+    words: List[int] = field(default_factory=list)
+
+
+@dataclass
+class Executable:
+    """A fully linked program: code + layout + debug information."""
+
+    instrs: List[MInstr] = field(default_factory=list)
+    entry: int = 0
+    functions: Dict[str, FuncInfo] = field(default_factory=dict)
+    global_layout: List[GlobalLayout] = field(default_factory=list)
+    #: global name -> absolute address (shared with the interpreter)
+    global_addr: Dict[str, int] = field(default_factory=dict)
+    line_table: LineTable = field(default_factory=LineTable)
+    debug: DebugInfoUnit = field(default_factory=DebugInfoUnit)
+    name: str = "a.out"
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def function_at(self, pc: int) -> Optional[FuncInfo]:
+        """The function whose code range covers ``pc``."""
+        for info in self.functions.values():
+            if info.covers(pc):
+                return info
+        return None
+
+    def code_ranges(self) -> List[Tuple[int, int, str]]:
+        """(low_pc, high_pc, name) for every function, address order."""
+        return sorted((f.low_pc, f.high_pc, f.name)
+                      for f in self.functions.values())
+
+    def disassemble(self) -> str:
+        """Human-readable listing with line annotations."""
+        by_entry = {f.low_pc: f.name for f in self.functions.values()}
+        out = []
+        for addr, instr in enumerate(self.instrs):
+            if addr in by_entry:
+                out.append(f"{by_entry[addr]}:")
+            loc = f"  ; line {instr.line}" if instr.line else ""
+            out.append(f"  {addr:5d}  {instr!r}{loc}")
+        return "\n".join(out)

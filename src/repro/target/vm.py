@@ -1,0 +1,228 @@
+"""The target virtual machine.
+
+Executes a linked :class:`~repro.target.isa.Executable` and produces the
+same :class:`~repro.ir.interp.ExecResult` observation stream as the
+reference interpreter — opaque-call events, symbolic volatile accesses,
+and the exit code — so the two backends are differentially testable
+(``interp(O0 module) == vm(linked module)`` on UB-free programs).
+
+The VM is also the debuggee: :class:`~repro.debugger.base.Debugger`
+instances drive it with one-shot breakpoints and inspect the stopped
+machine through
+
+* ``vm.pc`` — the address about to execute;
+* ``vm.frame`` — the innermost :class:`Frame` (``regs``, ``frame_base``);
+* ``vm.memory`` — addressable memory (``load``/``store``).
+
+Memory layout is shared with the interpreter: globals at the addresses of
+:func:`~repro.ir.interp.assign_global_addresses`, one frame stride per
+call depth, and the same bounds-checked object registry, so out-of-bounds
+accesses and symbolic observation names agree across backends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Set
+
+from ..ir.interp import (
+    FRAME_STRIDE, STACK_BASE, ExecResult, Memory, Observation,
+    TimeoutError_, external_call_result,
+)
+from ..ir.ops import UBError, eval_binop, eval_unop, wrap
+from .isa import (
+    Executable, FuncInfo, MBin, MBranch, MCall, MFrameAddr, MGlobalAddr,
+    MImm, MJump, MLoad, MMove, MReg, MRet, MStore, MUn,
+)
+
+
+class RegFile(dict):
+    """Per-frame physical register file; reading an unwritten register is
+    undefined behaviour, exactly like the interpreter's virtual ones."""
+
+    def __missing__(self, reg: int) -> int:
+        raise UBError("use of undefined register", f"r{reg}")
+
+
+class Frame:
+    """One activation record."""
+
+    def __init__(self, func: FuncInfo, frame_base: int,
+                 ret_pc: Optional[int] = None,
+                 ret_dst: Optional[int] = None):
+        self.func = func
+        self.frame_base = frame_base
+        self.regs = RegFile()
+        #: where execution resumes in the caller (None for the outermost)
+        self.ret_pc = ret_pc
+        #: caller register receiving the return value
+        self.ret_dst = ret_dst
+
+    def __repr__(self) -> str:
+        return f"<frame {self.func.name} base={self.frame_base:#x}>"
+
+
+class VM:
+    """Executes a linked executable."""
+
+    def __init__(self, exe: Executable, fuel: int = 2_000_000,
+                 max_depth: int = 64):
+        self.exe = exe
+        self.fuel = fuel
+        self.max_depth = max_depth
+        self.memory = Memory()
+        self.result = ExecResult()
+        self.breakpoints: Set[int] = set()
+        self.halted = False
+        self.frames = []
+        for layout in exe.global_layout:
+            self.memory.add_object(layout.addr, layout.size, layout.name)
+            for offset, word in enumerate(layout.words):
+                self.memory.words[layout.addr + offset] = wrap(word)
+        main = exe.functions.get("main")
+        if main is None:
+            raise UBError("no entry point", exe.name)
+        self.pc = exe.entry
+        self._push_frame(main, [], ret_pc=None, ret_dst=None)
+
+    # -- frame management ---------------------------------------------------
+
+    @property
+    def frame(self) -> Frame:
+        return self.frames[-1]
+
+    def _push_frame(self, func: FuncInfo, args, ret_pc, ret_dst) -> Frame:
+        # The interpreter allows call depths 0..max_depth inclusive
+        # (main is depth 0); match it exactly or differential parity
+        # breaks on recursion that bottoms out at the limit.
+        if len(self.frames) > self.max_depth:
+            raise UBError("stack overflow", func.name)
+        frame_base = STACK_BASE + len(self.frames) * FRAME_STRIDE
+        frame = Frame(func, frame_base, ret_pc=ret_pc, ret_dst=ret_dst)
+        for slot in func.slots:
+            self.memory.add_object(frame_base + slot.offset, slot.size,
+                                   slot.obj_name)
+        for reg, value in zip(func.param_regs, args):
+            frame.regs[reg] = wrap(value)
+        self.frames.append(frame)
+        return frame
+
+    def _pop_frame(self) -> Frame:
+        frame = self.frames.pop()
+        self.memory.remove_objects_from(frame.frame_base)
+        return frame
+
+    # -- operand resolution ---------------------------------------------------
+
+    def resolve(self, op) -> int:
+        if isinstance(op, MImm):
+            return op.value
+        if isinstance(op, MReg):
+            return self.frame.regs[op.reg]
+        if isinstance(op, MFrameAddr):
+            return self.frame.frame_base + op.offset
+        if isinstance(op, MGlobalAddr):
+            return op.addr
+        raise TypeError(f"bad machine operand {op!r}")
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, breakpoints: Optional[Iterable[int]] = None,
+            on_break: Optional[Callable[["VM"], None]] = None
+            ) -> ExecResult:
+        """Run to completion (or fuel exhaustion).
+
+        ``breakpoints`` seeds ``self.breakpoints``; whenever the pc is a
+        member *before* executing that instruction, ``on_break(self)`` is
+        invoked — it may inspect the machine and mutate the breakpoint
+        set (the debugger makes them one-shot this way).
+        """
+        if breakpoints is not None:
+            self.breakpoints = set(breakpoints)
+        while not self.halted:
+            if on_break is not None and self.pc in self.breakpoints:
+                on_break(self)
+            self.step()
+        return self.result
+
+    def step(self) -> None:
+        """Execute exactly one machine instruction."""
+        if self.halted:
+            return
+        if not 0 <= self.pc < len(self.exe.instrs):
+            raise UBError("pc out of code range", hex(self.pc))
+        instr = self.exe.instrs[self.pc]
+        self.result.steps += 1
+        if self.result.steps > self.fuel:
+            raise TimeoutError_()
+
+        if isinstance(instr, MMove):
+            self.frame.regs[instr.dst] = wrap(self.resolve(instr.src))
+        elif isinstance(instr, MBin):
+            a = self.resolve(instr.a)
+            b = self.resolve(instr.b)
+            self.frame.regs[instr.dst] = eval_binop(instr.op, a, b)
+        elif isinstance(instr, MUn):
+            self.frame.regs[instr.dst] = eval_unop(
+                instr.op, self.resolve(instr.a))
+        elif isinstance(instr, MLoad):
+            addr = self.resolve(instr.addr)
+            value = self.memory.load(addr)
+            if instr.volatile:
+                name, off = self.memory.object_of(addr)
+                self.result.observations.append(
+                    Observation("vload", (name, off)))
+            self.frame.regs[instr.dst] = value
+        elif isinstance(instr, MStore):
+            addr = self.resolve(instr.addr)
+            value = self.resolve(instr.src)
+            self.memory.store(addr, value)
+            if instr.volatile:
+                name, off = self.memory.object_of(addr)
+                self.result.observations.append(
+                    Observation("vstore", (name, off, wrap(value))))
+        elif isinstance(instr, MCall):
+            values = [self.resolve(a) for a in instr.args]
+            if instr.external:
+                self.result.observations.append(
+                    Observation("call", (instr.callee, tuple(values))))
+                if instr.dst is not None:
+                    self.frame.regs[instr.dst] = wrap(
+                        external_call_result(instr.callee, values))
+            else:
+                callee = self.exe.functions.get(instr.callee)
+                if callee is None:
+                    raise UBError("call to unlinked function",
+                                  instr.callee)
+                self._push_frame(callee, values, ret_pc=self.pc + 1,
+                                 ret_dst=instr.dst)
+                self.pc = callee.entry
+                return
+        elif isinstance(instr, MJump):
+            self.pc = instr.target
+            return
+        elif isinstance(instr, MBranch):
+            cond = self.resolve(instr.cond)
+            self.pc = instr.if_true if cond != 0 else instr.if_false
+            return
+        elif isinstance(instr, MRet):
+            value = self.resolve(instr.src) \
+                if instr.src is not None else None
+            frame = self._pop_frame()
+            if not self.frames:
+                self.result.exit_code = wrap(value or 0) & 0xFF
+                self.result.observations.append(
+                    Observation("exit", (self.result.exit_code,)))
+                self.halted = True
+                return
+            if frame.ret_dst is not None:
+                self.frame.regs[frame.ret_dst] = wrap(value or 0)
+            self.pc = frame.ret_pc
+            return
+        else:
+            raise TypeError(f"cannot execute {instr!r}")
+        self.pc += 1
+
+
+def run_executable(exe: Executable, fuel: int = 2_000_000) -> ExecResult:
+    """Execute ``exe`` from its entry point and return the observations."""
+    return VM(exe, fuel=fuel).run()

@@ -1,0 +1,230 @@
+"""Target backend tests: codegen/link invariants, debug-info
+well-formedness, and interpreter-vs-VM differential parity."""
+
+import pytest
+
+from repro.compilers import Compiler
+from repro.debugger import AVAILABLE, OPTIMIZED_OUT, GdbLike
+from repro.debuginfo.die import (
+    TAG_INLINED_SUBROUTINE, TAG_SUBPROGRAM,
+)
+from repro.fuzz import generate_validated
+from repro.ir import lower_program, run_module
+from repro.lang import parse, print_program
+from repro.target import Executable, LinkError, VM, link, run_executable
+
+SRC = """
+extern int opaque(int, ...);
+volatile int out;
+int g = 5;
+int scale(int x) { return x * g; }
+int main(void) {
+    int a = 2, b = 7, t;
+    int i;
+    for (i = 0; i < 4; i++) {
+        t = scale(a) + b + i;
+        out = t;
+    }
+    opaque(t, i);
+    return t - 40;
+}
+"""
+
+
+def compile_src(source, level, family="gcc", clean=False):
+    compiler = Compiler(family, "trunk")
+    if clean:
+        compiler.defects = []
+    program = parse(source)
+    print_program(program)
+    return compiler.compile(program, level)
+
+
+# -- structural invariants ----------------------------------------------------
+
+
+@pytest.mark.parametrize("level", ["O0", "O2"])
+def test_line_table_monotone(level):
+    exe = compile_src(SRC, level).exe
+    addrs = [e.addr for e in exe.line_table.entries]
+    assert addrs == sorted(addrs)
+    assert all(0 <= a < len(exe.instrs) for a in addrs)
+
+
+@pytest.mark.parametrize("level", ["O0", "O2"])
+def test_function_ranges_disjoint_and_covering(level):
+    exe = compile_src(SRC, level).exe
+    ranges = exe.code_ranges()
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == len(exe.instrs)
+    for (lo1, hi1, _), (lo2, _hi2, _) in zip(ranges, ranges[1:]):
+        assert hi1 == lo2 > lo1
+    assert exe.entry == exe.functions["main"].entry
+
+
+@pytest.mark.parametrize("level", ["O0", "O2"])
+def test_variable_dies_within_subprogram_range(level):
+    """Every variable DIE's location ranges sit inside the pc range of
+    the concrete subprogram it belongs to."""
+    exe = compile_src(SRC, level).exe
+    checked = 0
+    for sub in exe.debug.root.children:
+        if sub.tag != TAG_SUBPROGRAM or sub.attrs.get("abstract"):
+            continue
+        lo, hi = sub.low_pc, sub.high_pc
+        assert 0 <= lo < hi <= len(exe.instrs)
+        for die in sub.walk():
+            if not die.is_variable() or die.location is None:
+                continue
+            for rlo, rhi in die.location.covered_ranges():
+                assert lo <= rlo < rhi <= hi
+                checked += 1
+    assert checked > 0
+
+
+def test_inlined_subroutine_ranges_nest():
+    exe = compile_src(SRC, "O2", family="clang").exe
+    inlines = [d for d in exe.debug.root.walk()
+               if d.tag == TAG_INLINED_SUBROUTINE]
+    assert inlines, "scale() should be inlined at O2"
+    for die in inlines:
+        sub = die.parent
+        while sub.tag != TAG_SUBPROGRAM:
+            sub = sub.parent
+        assert die.attrs.get("abstract_origin") is not None
+        for lo, hi in die.ranges:
+            assert sub.low_pc <= lo < hi <= sub.high_pc
+
+
+def test_link_requires_main():
+    module = lower_program(parse("int helper(int x) { return x; }"))
+    with pytest.raises(LinkError):
+        link(module)
+
+
+def test_executable_disassembles():
+    exe = compile_src(SRC, "O0").exe
+    listing = exe.disassemble()
+    assert "main:" in listing and "scale:" in listing
+    assert isinstance(exe, Executable)
+    assert len(listing.splitlines()) >= len(exe.instrs)
+
+
+# -- execution parity ---------------------------------------------------------
+
+
+def test_interp_vm_parity_handwritten():
+    program = parse(SRC)
+    interp = run_module(lower_program(program))
+    vm = run_executable(link(lower_program(program)))
+    assert interp.key() == vm.key()
+    assert interp.exit_code == vm.exit_code
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_interp_vm_parity_fuzz_corpus(seed):
+    """The VM's observation stream matches the reference interpreter's
+    on every UB-free corpus program (exit code included via key())."""
+    program = generate_validated(seed)
+    interp = run_module(lower_program(program))
+    vm = run_executable(link(lower_program(program)))
+    assert interp.key() == vm.key()
+    assert interp.exit_code == vm.exit_code
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("family,level", [("gcc", "O2"), ("clang", "O2"),
+                                          ("gcc", "Og")])
+def test_optimized_exe_preserves_behaviour(seed, family, level):
+    """Injected defects corrupt debug info, never semantics: the linked
+    optimized executable behaves like the unoptimized interpretation."""
+    program = generate_validated(seed)
+    reference = run_module(lower_program(program))
+    compiler = Compiler(family, "trunk")
+    optimized = run_executable(compiler.compile(program, level).exe)
+    assert reference.key() == optimized.key()
+
+
+def test_recursion_depth_limit_matches_interpreter():
+    """A recursion that bottoms out exactly at the interpreter's depth
+    limit must also complete in the VM (differential parity)."""
+    src = """
+int f(int n) {
+    if (n <= 0)
+        return 0;
+    return f(n - 1) + 1;
+}
+int main(void) { return f(63); }
+"""
+    program = parse(src)
+    interp = run_module(lower_program(program))
+    vm = run_executable(link(lower_program(program)))
+    assert interp.exit_code == vm.exit_code == 63
+    assert interp.key() == vm.key()
+
+
+def test_vm_step_and_breakpoint_api():
+    exe = compile_src(SRC, "O0").exe
+    vm = VM(exe)
+    seen = []
+
+    def on_break(state):
+        seen.append(state.pc)
+        state.breakpoints.discard(state.pc)
+        assert state.frame.func.name in exe.functions
+        assert state.frame.frame_base > 0
+
+    line = exe.line_table.entries[0].line
+    bp = exe.line_table.first_addr_of_line(line)
+    result = vm.run(breakpoints={bp}, on_break=on_break)
+    assert seen == [bp]
+    # t ends at scale(2)+7+3 == 20; main returns 20-40 == -20 -> 236.
+    assert result.exit_code == -20 & 0xFF
+    assert result.observations[-1].kind == "exit"
+
+
+# -- acceptance: mixed availability at O2 ------------------------------------
+
+
+MIXED_SRC = """
+extern int opaque(int, ...);
+volatile int out;
+int main(void) {
+    int a = 2, b = 7, t;
+    int i;
+    for (i = 0; i < 4; i++) {
+        t = a * b + i;
+        out = t;
+    }
+    opaque(t, i);
+    return 0;
+}
+"""
+
+
+def test_o2_trace_mixes_available_and_optimized_out():
+    """Stepping a defect-carrying O2 executable shows the paper's core
+    phenomenon: the same stop reports some variables and loses others."""
+    trace = GdbLike().trace(compile_src(MIXED_SRC, "O2").exe)
+    assert trace.visits
+    mixed = [
+        v for v in trace.visits
+        if {r.status for r in v.variables.values()} >=
+        {AVAILABLE, OPTIMIZED_OUT}
+    ]
+    assert mixed, "expected a visit with both available and lost variables"
+
+
+def test_o2_trace_mixes_across_fuzz_corpus():
+    found = 0
+    debugger = GdbLike()
+    compiler = Compiler("gcc", "trunk")
+    for seed in (0, 2, 4):
+        trace = debugger.trace(
+            compiler.compile(generate_validated(seed), "O2").exe)
+        for visit in trace.visits:
+            statuses = {r.status for r in visit.variables.values()}
+            if {AVAILABLE, OPTIMIZED_OUT} <= statuses:
+                found += 1
+                break
+    assert found >= 2
