@@ -6,11 +6,33 @@ values; set ``REPRO_BENCH_POOL`` to scale up toward the paper's 1000/5000
 program pools.
 """
 
+import json
 import os
 
 import pytest
 
 from repro.fuzz import generate_validated
+
+#: Where the campaign wall-clock benchmark lands (satellite of the
+#: sharded-campaign PR); override with REPRO_BENCH_CAMPAIGN_OUT.
+BENCH_CAMPAIGN_PATH = os.environ.get(
+    "REPRO_BENCH_CAMPAIGN_OUT",
+    os.path.join(os.path.dirname(__file__), "BENCH_campaign.json"))
+
+_campaign_bench = {}
+
+
+def record_campaign_bench(**fields):
+    """Collect serial-vs-parallel campaign timings; written to
+    ``BENCH_campaign.json`` at session end."""
+    _campaign_bench.update(fields)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _campaign_bench:
+        with open(BENCH_CAMPAIGN_PATH, "w", encoding="utf-8") as handle:
+            json.dump(_campaign_bench, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
 
 def pool_size(default):

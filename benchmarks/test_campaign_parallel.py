@@ -1,0 +1,73 @@
+"""BENCH_campaign — wall-clock of the Table 1 campaign, serial vs
+sharded (the ROADMAP's "fast as the hardware allows" trajectory).
+
+Runs the same gcc-trunk campaign twice — once through the serial driver,
+once sharded across worker processes — asserts the results are
+bit-identical, and records wall-clock plus programs/sec for both into
+``BENCH_campaign.json`` (via conftest's session-finish hook). The
+speedup floor is only enforced on machines with >= 4 cores; single-core
+containers still emit the data points.
+"""
+
+import os
+import time
+
+from repro.compilers import Compiler, CompilerSpec
+from repro.debugger import DebuggerSpec, GdbLike
+from repro.pipeline import run_campaign, run_campaign_parallel
+
+from conftest import banner, pool_size, record_campaign_bench
+
+CPUS = os.cpu_count() or 1
+
+
+def test_campaign_serial_vs_parallel(benchmark):
+    count = pool_size(100)
+    workers = min(4, max(2, CPUS))
+    timings = {}
+
+    def run():
+        started = time.perf_counter()
+        serial = run_campaign(Compiler("gcc", "trunk"), GdbLike(),
+                              pool_size=count)
+        timings["serial"] = time.perf_counter() - started
+        started = time.perf_counter()
+        parallel = run_campaign_parallel(
+            CompilerSpec("gcc", "trunk"), DebuggerSpec("gdb-like"),
+            pool_size=count, workers=workers)
+        timings["parallel"] = time.perf_counter() - started
+        return serial, parallel
+
+    serial, parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # The differential guarantee, at campaign scale.
+    assert parallel == serial
+    assert parallel.table1() == serial.table1()
+
+    speedup = timings["serial"] / timings["parallel"]
+    record_campaign_bench(
+        pool_size=count,
+        workers=workers,
+        cpus=CPUS,
+        serial_seconds=round(timings["serial"], 3),
+        parallel_seconds=round(timings["parallel"], 3),
+        serial_programs_per_sec=round(count / timings["serial"], 2),
+        parallel_programs_per_sec=round(count / timings["parallel"], 2),
+        speedup=round(speedup, 2),
+    )
+
+    print(banner(f"Campaign wall-clock ({count} programs, "
+                 f"{workers} workers, {CPUS} cpus)"))
+    print(f"  serial:   {timings['serial']:7.2f}s "
+          f"({count / timings['serial']:6.2f} programs/sec)")
+    print(f"  parallel: {timings['parallel']:7.2f}s "
+          f"({count / timings['parallel']:6.2f} programs/sec)")
+    print(f"  speedup:  {speedup:.2f}x")
+
+    # Enforce the speedup floor only where it is meaningful: enough
+    # cores, a pool large enough to amortize spawn cost, and not
+    # explicitly waived for noisy shared runners (REPRO_BENCH_STRICT=0).
+    strict = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+    if strict and CPUS >= 4 and count >= 50:
+        assert speedup >= 1.5, \
+            f"sharded campaign too slow on {CPUS} cores: {speedup:.2f}x"

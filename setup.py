@@ -6,4 +6,9 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro-campaign=repro.pipeline.cli:main",
+        ],
+    },
 )

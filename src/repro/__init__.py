@@ -24,18 +24,25 @@ Quickstart::
 __version__ = "1.0.0"
 
 from .analysis import SourceFacts, Symbol, SymbolTable, resolve
-from .compilers import Compilation, Compiler, default_compilers
+from .compilers import Compilation, Compiler, CompilerSpec, default_compilers
 from .conjectures import (
     C1, C2, C3, CONJECTURES, CallArgumentChecker, ConstituentChecker,
     DecayChecker, Violation, check_all,
 )
-from .debugger import AVAILABLE, OPTIMIZED_OUT, DebugTrace, Debugger, GdbLike, LldbLike
-from .fuzz import FuzzOptions, generate_program, generate_validated
+from .debugger import (
+    AVAILABLE, OPTIMIZED_OUT, DebugTrace, Debugger, DebuggerSpec, GdbLike,
+    LldbLike,
+)
+from .fuzz import FuzzOptions, SeedSpec, generate_program, generate_validated
 from .lang import parse, print_program
-from .metrics import compare_traces, measure_program, run_study
+from .metrics import (
+    StudyResult, compare_traces, measure_program, run_study,
+    run_study_seeds,
+)
 from .pipeline import (
-    CampaignResult, classify_violation, dwarf_category, run_campaign,
-    run_campaign_on_programs, test_program,
+    CampaignResult, classify_violation, dwarf_category, merge_results,
+    run_campaign, run_campaign_on_programs, run_campaign_parallel,
+    run_campaign_seeds, run_study_parallel, test_program,
 )
 from .reduce import Reducer, ReductionResult
 from .target import VM, Executable, link, run_executable

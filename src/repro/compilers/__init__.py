@@ -5,5 +5,6 @@ from .pipelines import (
     clang_pipeline, gcc_pipeline, pipeline_for,
 )
 from .compiler import (
-    Compilation, Compiler, UnknownVersionError, default_compilers,
+    Compilation, Compiler, CompilerSpec, UnknownVersionError,
+    default_compilers,
 )

@@ -39,6 +39,25 @@ class UnknownVersionError(ValueError):
     """Raised for a version name outside the family's release list."""
 
 
+@dataclass(frozen=True)
+class CompilerSpec:
+    """A picklable recipe for rebuilding a :class:`Compiler`.
+
+    Sharded campaign workers (``spawn`` start method) cannot receive live
+    ``Compiler`` objects — the defect catalog carries selector closures —
+    so they receive this spec and rebuild the compiler from the catalog.
+    Only catalog-configured compilers are representable; a compiler whose
+    ``defects`` list was hand-edited refuses to produce a spec.
+    """
+
+    family: str = "gcc"
+    version: str = "trunk"
+    verify: bool = False
+
+    def build(self) -> "Compiler":
+        return Compiler(self.family, self.version, verify=self.verify)
+
+
 def _program_token(program: Program) -> str:
     """A stable, structure-derived identity for selector sampling."""
     from ..lang.ast_nodes import walk_stmt
@@ -89,6 +108,15 @@ class Compiler:
             list(extra_defects)
 
     # -- introspection ------------------------------------------------------
+
+    def spec(self) -> CompilerSpec:
+        """The picklable construction spec, if one can reproduce us."""
+        if self.defects != list(defects_for_family(self.family)):
+            raise ValueError(
+                "compiler carries a customized defect list; only "
+                "catalog-configured compilers have a picklable spec")
+        return CompilerSpec(family=self.family, version=self.version,
+                            verify=self.verify)
 
     @property
     def levels(self) -> Sequence[str]:

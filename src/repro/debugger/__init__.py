@@ -6,6 +6,7 @@ from .trace import (
 from .base import Debugger
 from .gdb_like import GdbLike
 from .lldb_like import LldbLike
+from .specs import DEBUGGER_REGISTRY, DebuggerSpec, spec_for
 
 #: The reference debugger of each compiler family (Section 4.2).
 NATIVE_DEBUGGERS = {"gcc": GdbLike, "clang": LldbLike}

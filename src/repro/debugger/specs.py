@@ -1,0 +1,51 @@
+"""Picklable debugger construction specs.
+
+Debuggers are stateless objects distinguished only by their class (the
+DWARF-consumption knobs are class attributes), so a spec is just the
+registered name. Workers in spawned processes rebuild the debugger from
+the name instead of unpickling a live instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Type
+
+from .base import Debugger
+from .gdb_like import GdbLike
+from .lldb_like import LldbLike
+
+#: name -> class, for every shipped debugger (the base engine included,
+#: so defect-free tracing is also spec-able).
+DEBUGGER_REGISTRY: Dict[str, Type[Debugger]] = {
+    Debugger.name: Debugger,
+    GdbLike.name: GdbLike,
+    LldbLike.name: LldbLike,
+}
+
+
+@dataclass(frozen=True)
+class DebuggerSpec:
+    """A picklable recipe for rebuilding a :class:`Debugger`."""
+
+    name: str = GdbLike.name
+
+    def __post_init__(self) -> None:
+        if self.name not in DEBUGGER_REGISTRY:
+            raise ValueError(
+                f"unknown debugger {self.name!r}; "
+                f"known: {', '.join(sorted(DEBUGGER_REGISTRY))}")
+
+    def build(self) -> Debugger:
+        return DEBUGGER_REGISTRY[self.name]()
+
+
+def spec_for(debugger: Debugger) -> DebuggerSpec:
+    """The spec that rebuilds ``debugger`` (by registered name)."""
+    registered = DEBUGGER_REGISTRY.get(debugger.name)
+    if registered is not type(debugger):
+        raise ValueError(
+            f"debugger {type(debugger).__name__} is not registered under "
+            f"its name {debugger.name!r}; register it in "
+            "repro.debugger.specs.DEBUGGER_REGISTRY to shard with it")
+    return DebuggerSpec(name=debugger.name)

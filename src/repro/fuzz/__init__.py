@@ -2,3 +2,4 @@
 
 from .config import FuzzOptions
 from .generator import ProgramGenerator, generate_program, generate_validated
+from .seeds import SeedSpec, seed_fingerprint

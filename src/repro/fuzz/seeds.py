@@ -1,0 +1,62 @@
+"""Seed-range specifications for sharded campaigns.
+
+A :class:`SeedSpec` is the picklable unit of work the parallel campaign
+driver hands to workers: a contiguous seed range that each worker expands
+back into programs with :func:`~repro.fuzz.generator.generate_validated`.
+Because generation is a pure function of the seed (the generator seeds its
+own ``random.Random`` and never touches global RNG state), regenerating a
+shard in a spawned process yields byte-identical programs — the property
+the differential serial/parallel tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..lang.printer import print_program
+from .generator import generate_validated
+
+
+@dataclass(frozen=True)
+class SeedSpec:
+    """A contiguous seed range ``[base, base + count)``."""
+
+    base: int = 0
+    count: int = 100
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"negative seed count {self.count}")
+
+    def seeds(self) -> range:
+        return range(self.base, self.base + self.count)
+
+    def shard(self, shards: int) -> List["SeedSpec"]:
+        """Split into at most ``shards`` contiguous, non-empty specs
+        whose sizes differ by at most one (order preserved)."""
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        shards = min(shards, max(self.count, 1))
+        size, extra = divmod(self.count, shards)
+        out: List[SeedSpec] = []
+        base = self.base
+        for index in range(shards):
+            count = size + (1 if index < extra else 0)
+            out.append(SeedSpec(base=base, count=count))
+            base += count
+        return out
+
+    def generate(self) -> list:
+        """Expand the range into validated programs, in seed order."""
+        return [generate_validated(seed) for seed in self.seeds()]
+
+
+def seed_fingerprint(seed: int) -> str:
+    """Canonical printed source of the validated program for ``seed``.
+
+    Used by the determinism regression tests: the fingerprint computed in
+    a spawned worker must equal the parent's, or RNG state is leaking
+    across shard boundaries.
+    """
+    return print_program(generate_validated(seed))

@@ -1,5 +1,7 @@
 """Quantitative debug-information metrics (Figure 1 study)."""
 
 from .study import (
-    ProgramMetrics, StudyResult, compare_traces, measure_program, run_study,
+    STUDY_SCHEMA, ProgramMetrics, StudyResult, compare_traces,
+    measure_pool_cells, measure_program, reduce_cells, run_study,
+    run_study_seeds,
 )

@@ -18,13 +18,23 @@ plots.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..compilers.compiler import Compiler
 from ..debugger.base import Debugger
 from ..debugger.trace import DebugTrace
+from ..fuzz.seeds import SeedSpec
 from ..lang.ast_nodes import Program
+
+#: Artifact schema tag for stored study results.
+STUDY_SCHEMA = "repro-study/1"
+
+#: Per-cell, per-program metrics in pool order — the mergeable shard
+#: value: concatenating shard lists in seed order and reducing gives the
+#: exact floats of the serial run (same left-to-right summation).
+CellSamples = Dict[Tuple[str, str], List["ProgramMetrics"]]
 
 
 @dataclass
@@ -101,27 +111,92 @@ class StudyResult:
             rows.append(f"{version:>7}  " + "  ".join(vals))
         return "\n".join(rows)
 
+    # -- serialization -------------------------------------------------------
 
-def run_study(programs: Sequence[Program], family: str,
-              versions: Sequence[str], levels: Sequence[str],
-              debugger: Debugger) -> StudyResult:
-    """The Section 2 quantitative study over a program pool."""
-    result = StudyResult(pool_size=len(programs))
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": STUDY_SCHEMA,
+            "pool_size": self.pool_size,
+            "cells": [
+                {"version": version, "level": level,
+                 "line_coverage": metrics.line_coverage,
+                 "availability": metrics.availability}
+                for (version, level), metrics in sorted(self.cells.items())
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StudyResult":
+        schema = data.get("schema")
+        if schema != STUDY_SCHEMA:
+            raise ValueError(
+                f"not a study artifact: schema {schema!r} "
+                f"(expected {STUDY_SCHEMA!r})")
+        result = cls(pool_size=data["pool_size"])
+        for cell in data["cells"]:
+            result.cells[(cell["version"], cell["level"])] = \
+                ProgramMetrics(line_coverage=cell["line_coverage"],
+                               availability=cell["availability"])
+        return result
+
+    @classmethod
+    def from_json(cls, text: str) -> "StudyResult":
+        return cls.from_dict(json.loads(text))
+
+
+def measure_pool_cells(programs: Sequence[Program], family: str,
+                       versions: Sequence[str], levels: Sequence[str],
+                       debugger: Debugger) -> CellSamples:
+    """Per-program metrics for every (version, level) cell, in pool
+    order — the shard-level unit of the sharded study."""
+    cells: CellSamples = {}
     for version in versions:
         compiler = Compiler(family, version)
         baselines = [debugger.trace(compiler.compile(p, "O0").exe)
                      for p in programs]
         for level in levels:
-            coverage_sum = 0.0
-            avail_sum = 0.0
-            count = 0
-            for program, baseline in zip(programs, baselines):
-                metrics = measure_program(program, compiler, level,
-                                          debugger, baseline)
-                coverage_sum += metrics.line_coverage
-                avail_sum += metrics.availability
-                count += 1
-            result.cells[(version, level)] = ProgramMetrics(
-                line_coverage=coverage_sum / max(count, 1),
-                availability=avail_sum / max(count, 1))
+            cells[(version, level)] = [
+                measure_program(program, compiler, level, debugger,
+                                baseline)
+                for program, baseline in zip(programs, baselines)]
+    return cells
+
+
+def reduce_cells(cells: CellSamples, pool_size: int) -> StudyResult:
+    """Average per-program cell samples into the Figure 1 grid.
+
+    Sums strictly left to right so that a serial run and a sharded run
+    whose per-shard lists are concatenated in seed order produce
+    bit-identical averages.
+    """
+    result = StudyResult(pool_size=pool_size)
+    for key, samples in cells.items():
+        coverage_sum = 0.0
+        avail_sum = 0.0
+        for metrics in samples:
+            coverage_sum += metrics.line_coverage
+            avail_sum += metrics.availability
+        count = max(len(samples), 1)
+        result.cells[key] = ProgramMetrics(
+            line_coverage=coverage_sum / count,
+            availability=avail_sum / count)
     return result
+
+
+def run_study(programs: Sequence[Program], family: str,
+              versions: Sequence[str], levels: Sequence[str],
+              debugger: Debugger) -> StudyResult:
+    """The Section 2 quantitative study over a program pool."""
+    return reduce_cells(
+        measure_pool_cells(programs, family, versions, levels, debugger),
+        pool_size=len(programs))
+
+
+def run_study_seeds(seeds: SeedSpec, family: str,
+                    versions: Sequence[str], levels: Sequence[str],
+                    debugger: Debugger) -> StudyResult:
+    """Serial study over a seed range (the sharded driver's reference)."""
+    return run_study(seeds.generate(), family, versions, levels, debugger)

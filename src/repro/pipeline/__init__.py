@@ -1,7 +1,12 @@
 """End-to-end campaigns, classification, and reporting."""
 
 from .campaign import (
-    CampaignResult, ProgramResult, ViolationKey, run_campaign,
-    run_campaign_on_programs, test_program,
+    CAMPAIGN_SCHEMA, CampaignResult, ProgramResult, ViolationKey,
+    merge_results, run_campaign, run_campaign_on_programs,
+    run_campaign_seeds, test_program,
 )
 from .classify import ClassifiedViolation, classify_violation, dwarf_category
+from .parallel import (
+    CampaignShard, StudyShard, run_campaign_parallel, run_campaign_shard,
+    run_study_parallel, run_study_shard,
+)

@@ -9,22 +9,49 @@ the family's native debugger, check the three conjectures, and aggregate:
 * the level-set membership of each unique violation (Figures 2/3's Venn
   regions);
 * per-program violated-conjecture counts (Figure 4's grid rows).
+
+Results are **pure, mergeable values**: a shard's ``CampaignResult`` is a
+plain dataclass over frozen :class:`~repro.conjectures.base.Violation`
+records, :meth:`CampaignResult.merge` is associative and order-independent
+over disjoint seed ranges (it renormalizes program order by seed), and
+``to_json``/``from_json`` round-trip exactly. This is what lets the
+parallel driver (:mod:`repro.pipeline.parallel`) shard a campaign across
+processes and still reproduce the serial aggregates bit for bit.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple,
+)
 
 from ..analysis.source_facts import SourceFacts
 from ..compilers.compiler import Compiler
 from ..conjectures.base import CONJECTURES, Violation, check_all
 from ..debugger.base import Debugger
 from ..fuzz.generator import generate_validated
+from ..fuzz.seeds import SeedSpec
 from ..lang.ast_nodes import Program
 
 #: A unique violation identity: (conjecture, line, variable).
 ViolationKey = Tuple[str, int, str]
+
+#: Artifact schema tag; bump only with a migration path in ``from_dict``.
+CAMPAIGN_SCHEMA = "repro-campaign/1"
+
+_VIOLATION_FIELDS = (
+    "conjecture", "line", "variable", "function", "observed", "detail",
+)
+
+
+def _violation_to_dict(violation: Violation) -> Dict[str, object]:
+    return {name: getattr(violation, name) for name in _VIOLATION_FIELDS}
+
+
+def _violation_from_dict(data: Dict[str, object]) -> Violation:
+    return Violation(**{name: data[name] for name in _VIOLATION_FIELDS})
 
 
 @dataclass
@@ -44,6 +71,27 @@ class ProgramResult:
 
     def conjectures_violated(self) -> Set[str]:
         return {key[0] for key in self.unique_keys()}
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "violations": {
+                level: [_violation_to_dict(v) for v in violations]
+                for level, violations in self.violations.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ProgramResult":
+        return cls(
+            seed=data["seed"],
+            violations={
+                level: [_violation_from_dict(v) for v in violations]
+                for level, violations in data["violations"].items()
+            },
+        )
 
 
 @dataclass
@@ -116,6 +164,108 @@ class CampaignResult:
         """#conjectures violated per program, in seed order."""
         return [len(r.conjectures_violated()) for r in self.programs]
 
+    # -- merging ---------------------------------------------------------------
+
+    def merge(self, other: "CampaignResult") -> "CampaignResult":
+        """Combine two shard results into one campaign result.
+
+        Associative and commutative over shards with disjoint seed
+        ranges (overlapping ranges would double-count and are rejected):
+        program order is renormalized by seed, so any merge tree over
+        any shard ordering yields the same value — and the same
+        ``table1()``/``venn()``/``grid_row()`` aggregates — as the serial
+        run over the union of the ranges.
+        """
+        if (self.family, self.version) != (other.family, other.version):
+            raise ValueError(
+                f"cannot merge campaigns of different compilers: "
+                f"{self.family}-{self.version} vs "
+                f"{other.family}-{other.version}")
+        if self.levels != other.levels:
+            raise ValueError(
+                f"cannot merge campaigns over different level sets: "
+                f"{self.levels} vs {other.levels}")
+        overlap = {p.seed for p in self.programs} & \
+            {p.seed for p in other.programs}
+        if overlap:
+            raise ValueError(
+                f"cannot merge campaigns with overlapping seed ranges "
+                f"(would double-count): {sorted(overlap)[:5]}...")
+        programs = sorted(self.programs + other.programs,
+                          key=lambda result: result.seed)
+        return CampaignResult(
+            family=self.family, version=self.version,
+            levels=list(self.levels),
+            pool_size=self.pool_size + other.pool_size,
+            programs=programs)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": CAMPAIGN_SCHEMA,
+            "family": self.family,
+            "version": self.version,
+            "levels": list(self.levels),
+            "pool_size": self.pool_size,
+            "programs": [p.to_dict() for p in self.programs],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignResult":
+        schema = data.get("schema")
+        if schema != CAMPAIGN_SCHEMA:
+            raise ValueError(
+                f"not a campaign artifact: schema {schema!r} "
+                f"(expected {CAMPAIGN_SCHEMA!r})")
+        return cls(
+            family=data["family"], version=data["version"],
+            levels=list(data["levels"]), pool_size=data["pool_size"],
+            programs=[ProgramResult.from_dict(p)
+                      for p in data["programs"]])
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        return cls.from_dict(json.loads(text))
+
+    # -- reporting ---------------------------------------------------------------
+
+    def format_table1(self) -> str:
+        """Table 1 as fixed-width text (levels + the unique row)."""
+        rows = ["{:>8}  ".format("level") +
+                "  ".join(f"{c:>5}" for c in CONJECTURES)]
+        table = self.table1()
+        for level in list(self.levels) + ["unique"]:
+            row = table[level]
+            rows.append(f"{level:>8}  " +
+                        "  ".join(f"{row[c]:>5}" for c in CONJECTURES))
+        return "\n".join(rows)
+
+    def format_venn(self, exclude: Sequence[str] = ("Oz",)) -> str:
+        """Figure 2/3 Venn regions as text, largest region first."""
+        regions = self.venn(exclude=exclude)
+        if not regions:
+            return "(no unique violations)"
+        rows = []
+        for levels, count in sorted(
+                regions.items(),
+                key=lambda item: (-item[1], sorted(item[0]))):
+            rows.append(f"{'+'.join(sorted(levels)):>20}  {count:>5}")
+        return "\n".join(rows)
+
+
+def merge_results(results: Iterable[CampaignResult]) -> CampaignResult:
+    """Fold any number of shard results into one (at least one needed)."""
+    merged: Optional[CampaignResult] = None
+    for result in results:
+        merged = result if merged is None else merged.merge(result)
+    if merged is None:
+        raise ValueError("cannot merge an empty sequence of results")
+    return merged
+
 
 def test_program(program: Program, compiler: Compiler,
                  debugger: Debugger,
@@ -135,22 +285,31 @@ def test_program(program: Program, compiler: Compiler,
     return out
 
 
-def run_campaign(compiler: Compiler, debugger: Debugger,
-                 pool_size: int = 100, seed_base: int = 0,
-                 levels: Optional[Sequence[str]] = None) -> CampaignResult:
-    """Generate ``pool_size`` programs and test them all."""
+def run_campaign_seeds(compiler: Compiler, debugger: Debugger,
+                       seeds: SeedSpec,
+                       levels: Optional[Sequence[str]] = None
+                       ) -> CampaignResult:
+    """Campaign over an explicit seed range (one shard's worth)."""
     if levels is None:
         levels = [l for l in compiler.levels if l != "O0"]
     result = CampaignResult(family=compiler.family,
                             version=compiler.version,
-                            levels=list(levels), pool_size=pool_size)
-    for index in range(pool_size):
-        seed = seed_base + index
+                            levels=list(levels), pool_size=seeds.count)
+    for seed in seeds.seeds():
         program = generate_validated(seed)
         violations = test_program(program, compiler, debugger, levels)
         result.programs.append(
             ProgramResult(seed=seed, violations=violations))
     return result
+
+
+def run_campaign(compiler: Compiler, debugger: Debugger,
+                 pool_size: int = 100, seed_base: int = 0,
+                 levels: Optional[Sequence[str]] = None) -> CampaignResult:
+    """Generate ``pool_size`` programs and test them all."""
+    return run_campaign_seeds(
+        compiler, debugger, SeedSpec(base=seed_base, count=pool_size),
+        levels=levels)
 
 
 def run_campaign_on_programs(programs: Sequence[Program],

@@ -1,0 +1,119 @@
+"""``repro-campaign`` — run a testing campaign from the command line.
+
+Runs the Section 5.1 campaign (serial or sharded across worker
+processes), writes the result as a JSON artifact, and prints the Table 1
+and Venn-region summaries::
+
+    repro-campaign --family gcc --pool-size 100 --workers 4 \
+        --output campaign-gcc.json
+
+Artifacts are plain :meth:`CampaignResult.to_json` documents
+(``repro-campaign/1`` schema); reload them with
+``CampaignResult.from_json(path.read_text())`` to compare campaigns
+across runs or machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from ..compilers.compiler import CompilerSpec
+from ..debugger import NATIVE_DEBUGGERS
+from ..debugger.specs import DEBUGGER_REGISTRY, DebuggerSpec
+from .campaign import run_campaign
+from .parallel import default_workers, run_campaign_parallel
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Run a conjecture-violation campaign (Table 1 / "
+                    "Figures 2-4) and write a JSON artifact.")
+    parser.add_argument("--family", choices=("gcc", "clang"),
+                        default="gcc", help="compiler family")
+    parser.add_argument("--version", default="trunk",
+                        help="compiler version (default: trunk)")
+    parser.add_argument("--debugger", default="auto",
+                        choices=("auto",) + tuple(sorted(DEBUGGER_REGISTRY)),
+                        help="debugger; 'auto' picks the family's native "
+                             "one (gdb-like for gcc, lldb-like for clang)")
+    parser.add_argument("--pool-size", type=int, default=100,
+                        help="number of generated programs")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed of the campaign range")
+    parser.add_argument("--levels", nargs="+", metavar="LEVEL",
+                        help="optimization levels (default: every "
+                             "optimized level of the family)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: CPU count; "
+                             "1 = in-process)")
+    parser.add_argument("--serial", action="store_true",
+                        help="force the serial driver (ignores --workers)")
+    parser.add_argument("--start-method", default="spawn",
+                        choices=("spawn", "fork", "forkserver"),
+                        help="multiprocessing start method")
+    parser.add_argument("--output", metavar="PATH",
+                        help="write the campaign artifact JSON here")
+    parser.add_argument("--indent", type=int, default=2,
+                        help="artifact JSON indentation (default: 2)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary tables")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    compiler = CompilerSpec(family=args.family, version=args.version)
+    debugger_name = args.debugger
+    if debugger_name == "auto":
+        debugger_name = NATIVE_DEBUGGERS[args.family].name
+    debugger = DebuggerSpec(name=debugger_name)
+
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    workers = 1 if args.serial else (
+        args.workers if args.workers is not None else default_workers())
+    started = time.perf_counter()
+    if args.serial:
+        result = run_campaign(
+            compiler.build(), debugger.build(),
+            pool_size=args.pool_size, seed_base=args.seed_base,
+            levels=args.levels)
+    else:
+        result = run_campaign_parallel(
+            compiler, debugger, pool_size=args.pool_size,
+            seed_base=args.seed_base, levels=args.levels,
+            workers=workers, start_method=args.start_method)
+    elapsed = time.perf_counter() - started
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json(indent=args.indent))
+            handle.write("\n")
+
+    if not args.quiet:
+        mode = "serial" if args.serial or workers <= 1 else \
+            f"{workers} workers"
+        rate = result.pool_size / elapsed if elapsed > 0 else 0.0
+        print(f"campaign: {result.family}-{result.version}, "
+              f"{result.pool_size} programs, levels "
+              f"{'/'.join(result.levels)}, {debugger_name} ({mode})")
+        print(f"elapsed: {elapsed:.2f}s ({rate:.2f} programs/sec)")
+        print()
+        print("Table 1 — violations per optimization level")
+        print(result.format_table1())
+        print()
+        print("Venn regions — unique violations per exact level set")
+        print(result.format_venn())
+        if args.output:
+            print()
+            print(f"artifact written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,188 @@
+"""Parallel sharded campaign and study drivers.
+
+The paper's core experiment is embarrassingly parallel: every seed is an
+independent generate → compile-at-every-level → trace → check job. This
+module shards a seed range across ``multiprocessing`` workers and merges
+the per-shard :class:`~repro.pipeline.campaign.CampaignResult` values.
+
+Design invariants (pinned by ``tests/test_parallel_campaign.py``):
+
+* **Spawn safety** — workers never receive live ``Compiler``/``Debugger``
+  objects (the defect catalog holds selector closures); they receive
+  picklable specs (:class:`~repro.compilers.compiler.CompilerSpec`,
+  :class:`~repro.debugger.specs.DebuggerSpec`) and rebuild the toolchain
+  from the catalog. The default start method is ``spawn`` — the strictest
+  one — so the same code is safe under fork too.
+* **Determinism** — program generation is a pure function of the seed and
+  defect selectors hash stable per-program tokens, so a shard computes
+  the same ``ProgramResult`` values in any process. Merging renormalizes
+  by seed; serial and parallel campaigns are therefore *bit-identical*.
+* **Exact study reduction** — the sharded study concatenates per-shard,
+  per-program metric lists in seed order and averages left to right, the
+  same float operations in the same order as the serial run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..compilers.compiler import Compiler, CompilerSpec
+from ..debugger.base import Debugger
+from ..debugger.specs import DebuggerSpec, spec_for
+from ..fuzz.seeds import SeedSpec
+from ..metrics.study import (
+    CellSamples, StudyResult, measure_pool_cells, reduce_cells,
+)
+from .campaign import CampaignResult, merge_results, run_campaign_seeds
+
+#: Shards handed out per worker; >1 smooths load imbalance between seeds
+#: (validation retries make some programs costlier than others).
+SHARDS_PER_WORKER = 4
+
+CompilerLike = Union[Compiler, CompilerSpec]
+DebuggerLike = Union[Debugger, DebuggerSpec]
+
+
+def as_compiler_spec(compiler: CompilerLike) -> CompilerSpec:
+    if isinstance(compiler, CompilerSpec):
+        return compiler
+    return compiler.spec()
+
+
+def as_debugger_spec(debugger: DebuggerLike) -> DebuggerSpec:
+    if isinstance(debugger, DebuggerSpec):
+        return debugger
+    return spec_for(debugger)
+
+
+def default_workers() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def _resolve_levels(spec: CompilerSpec,
+                    levels: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    if levels is None:
+        return tuple(l for l in spec.build().levels if l != "O0")
+    return tuple(levels)
+
+
+def _map_shards(worker, shards: List, workers: int,
+                start_method: str) -> List:
+    """Run ``worker`` over every shard, in shard order.
+
+    ``workers <= 1`` (or a single shard) stays in-process — no pool, no
+    spawn cost for small jobs — while still going through the same
+    shard/merge path as the multi-process run.
+    """
+    if workers <= 1 or len(shards) == 1:
+        return [worker(shard) for shard in shards]
+    context = multiprocessing.get_context(start_method)
+    with context.Pool(processes=min(workers, len(shards))) as pool:
+        return pool.map(worker, shards)
+
+
+# -- campaign -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignShard:
+    """One worker's unit of campaign work (fully picklable)."""
+
+    compiler: CompilerSpec
+    debugger: DebuggerSpec
+    seeds: SeedSpec
+    levels: Tuple[str, ...]
+
+
+def run_campaign_shard(shard: CampaignShard) -> CampaignResult:
+    """Worker entry point: rebuild the toolchain, run one shard."""
+    return run_campaign_seeds(
+        shard.compiler.build(), shard.debugger.build(), shard.seeds,
+        levels=shard.levels)
+
+
+def run_campaign_parallel(compiler: CompilerLike, debugger: DebuggerLike,
+                          pool_size: int = 100, seed_base: int = 0,
+                          levels: Optional[Sequence[str]] = None,
+                          workers: Optional[int] = None,
+                          start_method: str = "spawn") -> CampaignResult:
+    """Sharded, multi-process equivalent of
+    :func:`~repro.pipeline.campaign.run_campaign`.
+
+    Produces a result bit-identical to the serial driver for the same
+    ``(pool_size, seed_base, levels)``. ``workers`` defaults to the CPU
+    count; ``workers <= 1`` runs the shards in-process (no pool), which
+    keeps small campaigns cheap while still exercising the merge path.
+    """
+    compiler_spec = as_compiler_spec(compiler)
+    debugger_spec = as_debugger_spec(debugger)
+    levels = _resolve_levels(compiler_spec, levels)
+    if workers is None:
+        workers = default_workers()
+    spec = SeedSpec(base=seed_base, count=pool_size)
+    if pool_size == 0:
+        return CampaignResult(family=compiler_spec.family,
+                              version=compiler_spec.version,
+                              levels=list(levels), pool_size=0)
+    shards = [
+        CampaignShard(compiler=compiler_spec, debugger=debugger_spec,
+                      seeds=seed_shard, levels=levels)
+        for seed_shard in spec.shard(max(1, workers) * SHARDS_PER_WORKER)
+    ]
+    return merge_results(
+        _map_shards(run_campaign_shard, shards, workers, start_method))
+
+
+# -- study --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StudyShard:
+    """One worker's unit of study work (fully picklable)."""
+
+    family: str
+    versions: Tuple[str, ...]
+    levels: Tuple[str, ...]
+    debugger: DebuggerSpec
+    seeds: SeedSpec
+
+
+def run_study_shard(shard: StudyShard) -> CellSamples:
+    """Worker entry point: per-program metrics for one seed shard."""
+    return measure_pool_cells(
+        shard.seeds.generate(), shard.family, shard.versions,
+        shard.levels, shard.debugger.build())
+
+
+def run_study_parallel(family: str, versions: Sequence[str],
+                       levels: Sequence[str], debugger: DebuggerLike,
+                       pool_size: int, seed_base: int = 0,
+                       workers: Optional[int] = None,
+                       start_method: str = "spawn") -> StudyResult:
+    """Sharded Figure 1 / Table 4 study over a generated seed range.
+
+    Bit-identical to :func:`~repro.metrics.study.run_study_seeds` on the
+    same range: shard sample lists are concatenated in seed order before
+    the same left-to-right reduction the serial driver uses.
+    """
+    debugger_spec = as_debugger_spec(debugger)
+    if workers is None:
+        workers = default_workers()
+    spec = SeedSpec(base=seed_base, count=pool_size)
+    if pool_size == 0:
+        return StudyResult(pool_size=0)
+    shards = [
+        StudyShard(family=family, versions=tuple(versions),
+                   levels=tuple(levels), debugger=debugger_spec,
+                   seeds=seed_shard)
+        for seed_shard in spec.shard(max(1, workers) * SHARDS_PER_WORKER)
+    ]
+    parts = _map_shards(run_study_shard, shards, workers, start_method)
+    cells: CellSamples = {}
+    for part in parts:  # shard order == seed order
+        for key, samples in part.items():
+            cells.setdefault(key, []).extend(samples)
+    return reduce_cells(cells, pool_size=pool_size)
