@@ -1,24 +1,45 @@
-"""BENCH_campaign — wall-clock of the Table 1 campaign, serial vs
-sharded (the ROADMAP's "fast as the hardware allows" trajectory).
+"""BENCH_campaign — wall-clock of the Table 1 campaign: serial vs
+sharded, and the compile-once matrix vs the per-cell baseline (the
+ROADMAP's "fast as the hardware allows" trajectory).
 
-Runs the same gcc-trunk campaign twice — once through the serial driver,
-once sharded across worker processes — asserts the results are
-bit-identical, and records wall-clock plus programs/sec for both into
-``BENCH_campaign.json`` (via conftest's session-finish hook). The
-speedup floor is only enforced on machines with >= 4 cores; single-core
-containers still emit the data points.
+Two measurements land in ``BENCH_campaign.json`` (via conftest's
+session-finish hook):
+
+* **serial vs sharded** — the same gcc-trunk campaign through the serial
+  driver and across worker processes; results must be bit-identical and
+  the sharded run must beat serial (``speedup > 1``) whenever there is
+  more than one core to shard across.
+* **matrix vs per-cell** — the full (gcc+clang) x all-levels x
+  (gdb-like+lldb-like) grid through :func:`run_matrix_campaign` versus
+  one :func:`run_campaign` per cell, measured in the same run on the
+  same seeds.  Every cell must be ``to_json()``-identical and the matrix
+  driver must be at least 2x faster (``matrix_speedup``), with a
+  checked-in throughput floor (``bench_floor.json``) guarding against
+  >30% serial-throughput regressions.
+
+``REPRO_BENCH_STRICT=0`` waives the assertions (noisy shared runners);
+the data points are always emitted.
 """
 
+import json
 import os
 import time
 
 from repro.compilers import Compiler, CompilerSpec
-from repro.debugger import DebuggerSpec, GdbLike
-from repro.pipeline import run_campaign, run_campaign_parallel
+from repro.debugger import DebuggerSpec, GdbLike, LldbLike
+from repro.fuzz import generate_validated
+from repro.pipeline import (
+    run_campaign, run_campaign_parallel, run_matrix_campaign,
+)
 
 from conftest import banner, pool_size, record_campaign_bench
 
 CPUS = os.cpu_count() or 1
+
+FLOOR_PATH = os.path.join(os.path.dirname(__file__), "bench_floor.json")
+
+#: Waivable on noisy shared runners; the JSON is still emitted.
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
 
 
 def test_campaign_serial_vs_parallel(benchmark):
@@ -64,10 +85,89 @@ def test_campaign_serial_vs_parallel(benchmark):
           f"({count / timings['parallel']:6.2f} programs/sec)")
     print(f"  speedup:  {speedup:.2f}x")
 
-    # Enforce the speedup floor only where it is meaningful: enough
-    # cores, a pool large enough to amortize spawn cost, and not
-    # explicitly waived for noisy shared runners (REPRO_BENCH_STRICT=0).
-    strict = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
-    if strict and CPUS >= 4 and count >= 50:
+    # Sharding must pay for its spawn overhead wherever there is any
+    # parallel hardware at all; batched dispatch plus the per-worker
+    # toolchain memo is what keeps this above water at 2 cores.
+    if STRICT and CPUS >= 2 and count >= 50:
+        assert speedup > 1.0, \
+            f"sharded campaign no faster on {CPUS} cores: {speedup:.2f}x"
+    if STRICT and CPUS >= 4 and count >= 50:
         assert speedup >= 1.5, \
             f"sharded campaign too slow on {CPUS} cores: {speedup:.2f}x"
+
+
+def test_matrix_vs_per_cell(benchmark):
+    count = pool_size(24)
+    families = ("gcc", "clang")
+    debugger_classes = (GdbLike, LldbLike)
+    timings = {}
+
+    def run():
+        # Each phase is priced as fresh processes would pay it: the
+        # per-cell baseline is four independent campaign runs (exactly
+        # what four `repro-campaign` invocations do), so every run
+        # regenerates the pool; the matrix pays the frontend once.
+        # Two rounds, best-of per phase, to shave scheduler noise.
+        per_cell = matrix = None
+        timings["per_cell"] = timings["matrix"] = float("inf")
+        for _round in range(2):
+            started = time.perf_counter()
+            results = {}
+            for family in families:
+                for cls in debugger_classes:
+                    generate_validated.cache_clear()
+                    results[(family, cls.name)] = run_campaign(
+                        Compiler(family, "trunk"), cls(),
+                        pool_size=count)
+            timings["per_cell"] = min(timings["per_cell"],
+                                      time.perf_counter() - started)
+            per_cell = results
+
+            generate_validated.cache_clear()
+            started = time.perf_counter()
+            matrix = run_matrix_campaign(pool_size=count,
+                                         families=families)
+            timings["matrix"] = min(timings["matrix"],
+                                    time.perf_counter() - started)
+        return per_cell, matrix
+
+    per_cell, matrix = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # The differential guarantee, at matrix scale: every cell byte-equal.
+    for (family, debugger_name), result in per_cell.items():
+        cell = matrix.cell(family, "trunk", debugger_name)
+        assert cell.to_json() == result.to_json(), (family, debugger_name)
+
+    matrix_rate = count / timings["matrix"]
+    percell_rate = count / timings["per_cell"]
+    matrix_speedup = timings["per_cell"] / timings["matrix"]
+    record_campaign_bench(
+        matrix_pool_size=count,
+        matrix_cells=len(matrix.cells),
+        matrix_seconds=round(timings["matrix"], 3),
+        percell_seconds=round(timings["per_cell"], 3),
+        matrix_programs_per_sec=round(matrix_rate, 2),
+        percell_programs_per_sec=round(percell_rate, 2),
+        matrix_speedup=round(matrix_speedup, 2),
+    )
+
+    print(banner(f"Matrix wall-clock ({count} programs, "
+                 f"{len(matrix.cells)} cells)"))
+    print(f"  per-cell: {timings['per_cell']:7.2f}s "
+          f"({percell_rate:6.2f} programs/sec)")
+    print(f"  matrix:   {timings['matrix']:7.2f}s "
+          f"({matrix_rate:6.2f} programs/sec)")
+    print(f"  speedup:  {matrix_speedup:.2f}x")
+
+    if STRICT and count >= 20:
+        # The compile-once acceptance bar: serial matrix throughput at
+        # least 2x the per-cell baseline measured in the same run.
+        assert matrix_speedup >= 2.0, \
+            f"matrix driver only {matrix_speedup:.2f}x over per-cell"
+        # Regression floor: more than 30% below the checked-in serial
+        # matrix throughput fails the bench.
+        with open(FLOOR_PATH, encoding="utf-8") as handle:
+            floor = json.load(handle)["min_matrix_programs_per_sec"]
+        assert matrix_rate >= 0.7 * floor, \
+            (f"serial matrix throughput regressed >30%: "
+             f"{matrix_rate:.2f}/s vs floor {floor:.2f}/s")

@@ -24,7 +24,10 @@ Quickstart::
 __version__ = "1.0.0"
 
 from .analysis import SourceFacts, Symbol, SymbolTable, resolve
-from .compilers import Compilation, Compiler, CompilerSpec, default_compilers
+from .compilers import (
+    Compilation, Compiler, CompilerSpec, FrontendSession,
+    default_compilers, frontend_pool,
+)
 from .conjectures import (
     C1, C2, C3, CONJECTURES, CallArgumentChecker, ConstituentChecker,
     DecayChecker, Violation, check_all,
@@ -40,9 +43,11 @@ from .metrics import (
     run_study_seeds,
 )
 from .pipeline import (
-    CampaignResult, classify_violation, dwarf_category, merge_results,
-    run_campaign, run_campaign_on_programs, run_campaign_parallel,
-    run_campaign_seeds, run_study_parallel, test_program,
+    CampaignResult, MatrixCampaignResult, classify_violation,
+    dwarf_category, merge_matrix_results, merge_results, run_campaign,
+    run_campaign_on_programs, run_campaign_parallel, run_campaign_seeds,
+    run_matrix_campaign, run_matrix_campaign_parallel, run_matrix_study,
+    run_study_parallel, test_program,
 )
 from .reduce import Reducer, ReductionResult
 from .target import VM, Executable, link, run_executable

@@ -8,3 +8,4 @@ from .compiler import (
     Compilation, Compiler, CompilerSpec, UnknownVersionError,
     default_compilers,
 )
+from .frontend import FrontendSession, frontend_pool

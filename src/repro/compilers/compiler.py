@@ -149,16 +149,38 @@ class Compiler:
                 bisect_limit: Optional[int] = None) -> Compilation:
         """Compile ``program`` at ``level`` and link an executable."""
         level = self.normalize_level(level)
-        if level not in self.levels:
+        if level not in self.levels:  # fail fast, before lowering
             raise ValueError(
                 f"{self.family} does not support -{level}")
         if symtab is None:
             symtab = resolve(program)
         module = lower_program(program, symtab)
+        return self.compile_ir(module, level,
+                               program_token=_program_token(program),
+                               disabled=disabled,
+                               bisect_limit=bisect_limit)
 
+    def compile_ir(self, module: Module, level: str = "O2",
+                   program_token: str = "",
+                   disabled: Sequence[str] = (),
+                   bisect_limit: Optional[int] = None) -> Compilation:
+        """Run the backend only: optimization pipeline + codegen/link.
+
+        ``module`` is a freshly lowered (or freshly cloned — see
+        :func:`~repro.ir.clone.clone_module`) ``-O0``-shaped IR module;
+        it is mutated in place.  ``program_token`` must be the source
+        program's :func:`_program_token` so defect selectors sample the
+        same way they would on the full :meth:`compile` path — the
+        compile-once matrix driver computes it once per program and
+        reuses it for every cell.
+        """
+        level = self.normalize_level(level)
+        if level not in self.levels:
+            raise ValueError(
+                f"{self.family} does not support -{level}")
         hooks = DefectHooks(self.defects, self.family, level,
                             self.version_index)
-        hooks.program_token = _program_token(program)
+        hooks.program_token = program_token
         report = PipelineReport()
         if level != "O0":
             pipeline = pipeline_for(self.family, level, self.version_index)

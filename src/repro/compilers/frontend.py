@@ -1,0 +1,103 @@
+"""The shared frontend: everything about a test program that is
+independent of the (family, version, level, debugger) cell.
+
+The paper's matrix experiment pushes every pool program through every
+compiler cell, but generation, validation, symbol resolution, source-fact
+extraction, and ``-O0`` lowering depend only on the *program*.  A
+:class:`FrontendSession` computes each of these exactly once; cells then
+take a private, mutable copy of the lowered module via
+:meth:`FrontendSession.ir_module` and run only the backend
+(:meth:`~repro.compilers.compiler.Compiler.compile_ir`).
+
+Sessions are also where the parallel matrix driver gets its determinism
+guard: :attr:`FrontendSession.fingerprint` digests the lowered module in
+a counter-normalized form, so a spawned worker can prove it lowered the
+same IR the serial driver would have.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..analysis.source_facts import SourceFacts
+from ..analysis.symbols import SymbolTable, resolve
+from ..fuzz.generator import generate_validated
+from ..ir.clone import clone_module, module_fingerprint
+from ..ir.lower import lower_program
+from ..ir.module import Module
+from ..lang.ast_nodes import Program
+from .compiler import _program_token
+
+
+class FrontendSession:
+    """One program's shared frontend products.
+
+    Everything is computed lazily and at most once:
+
+    * :attr:`program` — the validated source program;
+    * :attr:`symtab` — resolved symbols (shared by facts and lowering);
+    * :attr:`facts` — the conjecture checkers' source facts;
+    * :attr:`base_module` — the pristine ``-O0``-shaped IR lowering
+      (never mutated; cells receive clones);
+    * :attr:`program_token` — the defect selectors' sampling token;
+    * :attr:`fingerprint` — process-stable digest of the lowering.
+    """
+
+    def __init__(self, seed: int,
+                 program: Optional[Program] = None):
+        self.seed = seed
+        self._program = program
+        self._symtab: Optional[SymbolTable] = None
+        self._facts: Optional[SourceFacts] = None
+        self._base_module: Optional[Module] = None
+        self._token: Optional[str] = None
+        self._fingerprint: Optional[str] = None
+
+    @property
+    def program(self) -> Program:
+        if self._program is None:
+            self._program = generate_validated(self.seed)
+        return self._program
+
+    @property
+    def symtab(self) -> SymbolTable:
+        if self._symtab is None:
+            self._symtab = resolve(self.program)
+        return self._symtab
+
+    @property
+    def facts(self) -> SourceFacts:
+        if self._facts is None:
+            self._facts = SourceFacts(self.program, self.symtab)
+        return self._facts
+
+    @property
+    def base_module(self) -> Module:
+        if self._base_module is None:
+            self._base_module = lower_program(self.program, self.symtab)
+        return self._base_module
+
+    @property
+    def program_token(self) -> str:
+        if self._token is None:
+            self._token = _program_token(self.program)
+        return self._token
+
+    @property
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = module_fingerprint(self.base_module)
+        return self._fingerprint
+
+    def ir_module(self) -> Module:
+        """A private, mutable copy of the lowered module for one cell."""
+        return clone_module(self.base_module)
+
+    def __repr__(self) -> str:
+        return f"<FrontendSession seed={self.seed}>"
+
+
+def frontend_pool(seeds: Iterable[int]) -> List[FrontendSession]:
+    """Sessions for a seed range, in seed order (the shared pool the
+    matrix campaign and the metrics study both consume)."""
+    return [FrontendSession(seed) for seed in seeds]

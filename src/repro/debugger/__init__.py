@@ -3,7 +3,7 @@
 from .trace import (
     AVAILABLE, OPTIMIZED_OUT, DebugTrace, LineVisit, VarReport,
 )
-from .base import Debugger
+from .base import Debugger, trace_all
 from .gdb_like import GdbLike
 from .lldb_like import LldbLike
 from .specs import DEBUGGER_REGISTRY, DebuggerSpec, spec_for

@@ -14,7 +14,7 @@ three debugger bugs live.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..debuginfo.die import DIE, TAG_INLINED_SUBROUTINE, TAG_LEXICAL_BLOCK
 from ..debuginfo.location import (
@@ -46,92 +46,103 @@ class Debugger:
 
     def trace(self, exe: Executable, fuel: int = 2_000_000) -> DebugTrace:
         """Debug ``exe``: one-shot breakpoint per steppable line."""
-        trace = DebugTrace(debugger=self.name)
-        # A line can start several instruction runs (loop copies, the
-        # standalone body of an inlined function); like gdb, plant a
-        # breakpoint at each run start and keep the first *hit* per line.
-        line_addrs = {}
-        for line, addrs in exe.line_table.breakpoint_addrs().items():
-            for addr in addrs:
-                line_addrs[addr] = line
-        vm = VM(exe, fuel=fuel)
-        breakpoints = set(line_addrs)
-        seen_lines = set()
-
-        def on_break(vm_state: VM) -> None:
-            pc = vm_state.pc
-            line = line_addrs.get(pc)
-            vm_state.breakpoints.discard(pc)  # one-shot
-            if line is None or line in seen_lines:
-                return
-            seen_lines.add(line)
-            visit = self._observe(exe, vm_state, pc, line)
-            trace.visits.append(visit)
-
-        result = vm.run(breakpoints=breakpoints, on_break=on_break)
-        trace.exit_code = result.exit_code
-        return trace
+        return trace_all(exe, [self], fuel=fuel)[0]
 
     # -- frame inspection ---------------------------------------------------------
 
     def _observe(self, exe: Executable, vm: VM, pc: int,
                  line: int) -> LineVisit:
         unit = exe.debug
-        chain = unit.scope_chain_at(pc)
+        chain = self._scope_chain(unit, pc)
         function = chain[0].name if chain else "?"
         visit = LineVisit(line=line, pc=pc, function=function)
 
-        for die in self._frame_variable_dies(unit, pc):
-            name = die.name
-            if name is None or name in visit.variables:
-                continue
-            start = die.attrs.get("scope_start")
-            end = die.attrs.get("scope_end")
-            if start is not None and end is not None and \
-                    not (start <= line <= end):
-                continue
-            visit.variables[name] = self._report(die, vm, pc)
+        variables = visit.variables
+        if chain:
+            for die, name, start, end, guards in \
+                    self._scope_variable_entries(unit, chain[0]):
+                if name is None or name in variables:
+                    continue
+                if start is not None and end is not None and \
+                        not (start <= line <= end):
+                    continue
+                if guards and not all(
+                        any(lo <= pc < hi for lo, hi in ranges)
+                        for ranges in guards):
+                    continue
+                variables[name] = self._report(die, vm, pc, unit)
 
         # Globals are always in scope.
-        for die in unit.root.children:
-            if die.is_variable() and die.attrs.get("global"):
-                if die.name not in visit.variables:
-                    report = self._report(die, vm, pc)
-                    report.is_global = True
-                    visit.variables[die.name] = report
+        for die in unit.global_variable_dies():
+            if die.name not in variables:
+                report = self._report(die, vm, pc, unit)
+                report.is_global = True
+                variables[die.name] = report
         return visit
 
-    def _frame_variable_dies(self, unit, pc: int) -> List[DIE]:
-        """Variable DIEs of the innermost frame at ``pc``.
+    @staticmethod
+    def _scope_chain(unit, pc: int) -> List[DIE]:
+        """``unit.scope_chain_at`` memoized per pc on the unit.
 
-        When stopped inside an inlined subroutine, debuggers present the
-        inline frame: its variables come from the inlined_subroutine DIE.
-        Otherwise the subprogram's (and its lexical blocks') variables are
-        shown.
+        Breakpoint pcs repeat across stops and across debuggers tracing
+        the same executable (the matrix driver's compile-sharing), and
+        the chain is pure tree structure — quirk-independent.
         """
-        chain = unit.scope_chain_at(pc)
-        if not chain:
-            return []
-        frame_scope = chain[0]
-        out: List[DIE] = []
+        key = ("chain", pc)
+        chain = unit.consumer_cache.get(key)
+        if chain is None:
+            chain = unit.consumer_cache[key] = unit.scope_chain_at(pc)
+        return chain
 
-        def collect(scope: DIE, inside_inline: bool) -> None:
-            for child in scope.children:
-                if child.is_variable():
-                    out.append(child)
-                elif child.tag == TAG_LEXICAL_BLOCK:
-                    if child.attrs.get("synthetic") and inside_inline and \
-                            not self.tolerates_concrete_only_blocks:
-                        # gdb bug 29060: concrete structure diverges from
-                        # the abstract origin; variables inside are lost.
-                        continue
-                    if child.pc_in_scope(pc):
-                        collect(child, inside_inline)
-                # nested inlined subroutines are separate frames: skip
+    def _scope_variable_entries(self, unit, frame_scope: DIE):
+        """(die, name, scope_start, scope_end, guard ranges) tuples for
+        one frame scope.
 
-        collect(frame_scope,
-                frame_scope.tag == TAG_INLINED_SUBROUTINE)
-        return out
+        The debugger used to rebuild this list — a recursive walk over
+        the scope's DIE subtree plus attribute lookups per variable — at
+        *every* stop.  The walk's outcome depends on the stop pc only
+        through the pc ranges of intervening lexical blocks, so the walk
+        runs once per (scope, quirk); each entry carries the variable's
+        static attributes and the range guards to test against the pc.
+        The gdb bug 29060 skip (synthetic concrete-only blocks inside
+        inline frames) is pc-independent and is folded in at build time,
+        hence the quirk in the cache key.
+        """
+        key = ("vars", frame_scope.die_id,
+               self.tolerates_concrete_only_blocks)
+        entries = unit.consumer_cache.get(key)
+        if entries is None:
+            entries = []
+
+            def collect(scope: DIE, inside_inline: bool,
+                        guards: tuple) -> None:
+                for child in scope.children:
+                    if child.is_variable():
+                        attrs = child.attrs
+                        entries.append(
+                            (child, attrs.get("name"),
+                             attrs.get("scope_start"),
+                             attrs.get("scope_end"), guards))
+                    elif child.tag == TAG_LEXICAL_BLOCK:
+                        if child.attrs.get("synthetic") and \
+                                inside_inline and \
+                                not self.tolerates_concrete_only_blocks:
+                            # gdb bug 29060: concrete structure diverges
+                            # from the abstract origin; variables inside
+                            # are lost.
+                            continue
+                        ranges = child.ranges
+                        # A rangeless block covers its parent's extent:
+                        # no guard to test.
+                        collect(child, inside_inline,
+                                guards + (tuple(ranges),) if ranges
+                                else guards)
+                    # nested inlined subroutines are separate frames: skip
+
+            collect(frame_scope,
+                    frame_scope.tag == TAG_INLINED_SUBROUTINE, ())
+            unit.consumer_cache[key] = entries
+        return entries
 
     # -- value resolution --------------------------------------------------------
 
@@ -155,45 +166,132 @@ class Debugger:
         return None
 
     def _lookup_loc(self, loclist: LocationList, pc: int) -> Optional[Loc]:
-        for entry in loclist.entries:
-            if entry.empty and not self.tolerates_empty_loclist_entries:
-                # gdb bug 28987: an empty range derails list processing.
-                return None
-            if entry.covers(pc):
-                return entry.loc
-        return None
+        if self.tolerates_empty_loclist_entries:
+            return loclist.lookup(pc)
+        # gdb bug 28987: an empty range derails list processing — only
+        # the entries before the first empty one are consulted.
+        return loclist.lookup_before_empty(pc)
 
-    def _report(self, die: DIE, vm: VM, pc: int) -> VarReport:
-        loclist = self._effective_location(die)
+    def _effective_die_data(self, die: DIE, unit=None):
+        """(location list, const value) after abstract-origin merging.
+
+        Pure DIE structure plus the follow-origin quirk — pc-independent
+        — so it is resolved once per (die, quirk) when a unit cache is
+        available (every stop re-derived it before).
+        """
+        if unit is None:
+            return (self._effective_location(die),
+                    self._effective_const(die))
+        key = ("loc", die.die_id,
+               self.follows_abstract_origin_for_location)
+        data = unit.consumer_cache.get(key)
+        if data is None:
+            data = unit.consumer_cache[key] = (
+                self._effective_location(die),
+                self._effective_const(die))
+        return data
+
+    def _report(self, die: DIE, vm: VM, pc: int, unit=None) -> VarReport:
+        loclist, const = self._effective_die_data(die, unit)
         if loclist is not None:
             loc = self._lookup_loc(loclist, pc)
             if loc is not None:
                 try:
-                    value = self._evaluate(loc, vm)
+                    value = _EVALUATE[type(loc)](self, loc, vm)
                 except UBError:
                     return VarReport(die.name, OPTIMIZED_OUT)
+                except KeyError:
+                    raise TypeError(f"unknown location {loc!r}") from None
                 return VarReport(die.name, AVAILABLE, value)
-        const = self._effective_const(die)
         if const is not None:
             return VarReport(die.name, AVAILABLE, wrap(const))
         return VarReport(die.name, OPTIMIZED_OUT)
 
     def _evaluate(self, loc: Loc, vm: VM) -> int:
-        if isinstance(loc, RegLoc):
-            return vm.frame.regs[loc.reg]
-        if isinstance(loc, FrameLoc):
-            return vm.memory.load(vm.frame.frame_base + loc.offset)
-        if isinstance(loc, AddrLoc):
-            return vm.memory.load(loc.addr)
-        if isinstance(loc, ConstLoc):
-            return wrap(loc.value)
-        if isinstance(loc, FrameAddrVal):
-            return vm.frame.frame_base + loc.offset
-        if isinstance(loc, GlobalAddrVal):
-            return loc.addr
-        if isinstance(loc, ExprLoc):
-            return wrap(loc.evaluate(vm.frame.regs[loc.reg]))
-        if isinstance(loc, FrameExprLoc):
-            base = vm.memory.load(vm.frame.frame_base + loc.offset)
-            return wrap(loc.evaluate(base))
-        raise TypeError(f"unknown location {loc!r}")
+        """Evaluate one location description against the stopped VM."""
+        try:
+            return _EVALUATE[type(loc)](self, loc, vm)
+        except KeyError:
+            raise TypeError(f"unknown location {loc!r}") from None
+
+    def _eval_reg(self, loc: RegLoc, vm: VM) -> int:
+        return vm.frame.regs[loc.reg]
+
+    def _eval_frame(self, loc: FrameLoc, vm: VM) -> int:
+        return vm.memory.load(vm.frame.frame_base + loc.offset)
+
+    def _eval_addr(self, loc: AddrLoc, vm: VM) -> int:
+        return vm.memory.load(loc.addr)
+
+    def _eval_const(self, loc: ConstLoc, vm: VM) -> int:
+        return wrap(loc.value)
+
+    def _eval_frame_addr_val(self, loc: FrameAddrVal, vm: VM) -> int:
+        return vm.frame.frame_base + loc.offset
+
+    def _eval_global_addr_val(self, loc: GlobalAddrVal, vm: VM) -> int:
+        return loc.addr
+
+    def _eval_expr(self, loc: ExprLoc, vm: VM) -> int:
+        return wrap(loc.evaluate(vm.frame.regs[loc.reg]))
+
+    def _eval_frame_expr(self, loc: FrameExprLoc, vm: VM) -> int:
+        base = vm.memory.load(vm.frame.frame_base + loc.offset)
+        return wrap(loc.evaluate(base))
+
+
+#: location type -> unbound evaluator; built once at import time.
+_EVALUATE = {
+    RegLoc: Debugger._eval_reg,
+    FrameLoc: Debugger._eval_frame,
+    AddrLoc: Debugger._eval_addr,
+    ConstLoc: Debugger._eval_const,
+    FrameAddrVal: Debugger._eval_frame_addr_val,
+    GlobalAddrVal: Debugger._eval_global_addr_val,
+    ExprLoc: Debugger._eval_expr,
+    FrameExprLoc: Debugger._eval_frame_expr,
+}
+
+
+def trace_all(exe: Executable, debuggers: Sequence[Debugger],
+              fuel: int = 2_000_000) -> List[DebugTrace]:
+    """Trace one executable in several debuggers over **one** execution.
+
+    The stepping methodology (Section 4.2) is engine-level: every
+    debugger plants the same one-shot breakpoints — the first address of
+    each line-table run — so all consumers stop at exactly the same pcs
+    with exactly the same machine state.  Only the *DWARF consumption*
+    at a stop differs per debugger.  Running the debuggee once and
+    letting every consumer observe each stop is therefore bit-identical
+    to tracing it once per debugger (pinned by the differential tests),
+    and is what makes the matrix driver's compile-sharing pay twice:
+    one compile *and* one execution per (family, version, level) cell.
+    """
+    # A line can start several instruction runs (loop copies, the
+    # standalone body of an inlined function); like gdb, plant a
+    # breakpoint at each run start and keep the first *hit* per line.
+    line_addrs = {}
+    for line, addrs in exe.line_table.breakpoint_addrs().items():
+        for addr in addrs:
+            line_addrs[addr] = line
+    vm = VM(exe, fuel=fuel)
+    traces = [DebugTrace(debugger=d.name) for d in debuggers]
+    seen_lines = [set() for _ in debuggers]
+
+    def on_break(vm_state: VM) -> None:
+        pc = vm_state.pc
+        line = line_addrs.get(pc)
+        vm_state.breakpoints.discard(pc)  # one-shot
+        if line is None:
+            return
+        for debugger, trace, seen in zip(debuggers, traces, seen_lines):
+            if line in seen:
+                continue
+            seen.add(line)
+            trace.visits.append(
+                debugger._observe(exe, vm_state, pc, line))
+
+    result = vm.run(breakpoints=set(line_addrs), on_break=on_break)
+    for trace in traces:
+        trace.exit_code = result.exit_code
+    return traces

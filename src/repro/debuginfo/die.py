@@ -22,6 +22,7 @@ the consumer).
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
@@ -142,23 +143,97 @@ class DIE:
 
 
 class DebugInfoUnit:
-    """The compile-unit-level container the debuggers consume."""
+    """The compile-unit-level container the debuggers consume.
+
+    Units are write-once: the producer (codegen) builds the tree, then
+    consumers query it on every debugger stop.  The read side is served
+    by lazily built indexes — a sorted pc-range index for
+    :meth:`subprogram_at`, a memoized global-variable list, and a
+    ``consumer_cache`` dict the debugger engine uses for its
+    per-(scope, quirk) variable lists.  Mutating the tree after a query
+    requires :meth:`invalidate_caches` (``add_subprogram`` does it
+    automatically).
+    """
 
     def __init__(self, name: str = "unit"):
         self.root = DIE(TAG_COMPILE_UNIT, {"name": name})
         #: abstract subprogram DIEs by function name (inlining origins)
         self.abstract_subprograms: Dict[str, DIE] = {}
+        #: consumer-side memo (the debugger engine's scope caches)
+        self.consumer_cache: Dict[object, object] = {}
+        self._pc_index: Optional[tuple] = None
+        self._globals_cache: Optional[List[DIE]] = None
+
+    def invalidate_caches(self) -> None:
+        """Drop every lazily built index (call after tree mutation)."""
+        self._pc_index = None
+        self._globals_cache = None
+        self.consumer_cache.clear()
 
     def add_subprogram(self, die: DIE) -> DIE:
+        self.invalidate_caches()
         return self.root.add_child(die)
+
+    def _concrete_subprograms(self) -> List[DIE]:
+        return [child for child in self.root.children
+                if child.tag == TAG_SUBPROGRAM
+                and child.attrs.get("abstract") is not True]
+
+    def _ensure_pc_index(self) -> Optional[tuple]:
+        """(starts, ends, dies) of elementary pc segments, first-in-order
+        winners precomputed; ``None`` when a rangeless subprogram forces
+        the linear path (it covers *every* pc)."""
+        index = self._pc_index
+        if index is None:
+            subs = self._concrete_subprograms()
+            if any(not sub.ranges for sub in subs):
+                index = self._pc_index = (None,)
+            else:
+                covering = [(lo, hi, sub) for sub in subs
+                            for lo, hi in sub.ranges]
+                bounds = sorted({b for lo, hi, _s in covering
+                                 for b in (lo, hi)})
+                starts: List[int] = []
+                ends: List[int] = []
+                dies: List[DIE] = []
+                for lo, hi in zip(bounds, bounds[1:]):
+                    winner = next(
+                        (sub for sub in subs
+                         if any(rlo <= lo and hi <= rhi
+                                for rlo, rhi in sub.ranges)), None)
+                    if winner is None:
+                        continue
+                    if dies and dies[-1] is winner and ends[-1] == lo:
+                        ends[-1] = hi
+                        continue
+                    starts.append(lo)
+                    ends.append(hi)
+                    dies.append(winner)
+                index = self._pc_index = (starts, ends, dies)
+        return None if index == (None,) else index
 
     def subprogram_at(self, pc: int) -> Optional[DIE]:
         """The concrete subprogram DIE whose PC range covers ``pc``."""
-        for child in self.root.children:
-            if child.tag == TAG_SUBPROGRAM and child.pc_in_scope(pc):
-                if child.attrs.get("abstract") is not True:
-                    return child
+        index = self._ensure_pc_index()
+        if index is None:  # rangeless subprogram: preserve list order
+            for child in self.root.children:
+                if child.tag == TAG_SUBPROGRAM and child.pc_in_scope(pc):
+                    if child.attrs.get("abstract") is not True:
+                        return child
+            return None
+        starts, ends, dies = index
+        i = bisect_right(starts, pc) - 1
+        if i >= 0 and pc < ends[i]:
+            return dies[i]
         return None
+
+    def global_variable_dies(self) -> List[DIE]:
+        """Top-level global variable DIEs (memoized; do not mutate)."""
+        if self._globals_cache is None:
+            self._globals_cache = [
+                child for child in self.root.children
+                if child.is_variable() and child.attrs.get("global")]
+        return self._globals_cache
 
     def subprogram_by_name(self, name: str) -> Optional[DIE]:
         for child in self.root.children:

@@ -3,10 +3,18 @@
 The debugger's stepping engine consumes this to place one-shot
 breakpoints: for every distinct source line it picks the *first* address
 of each contiguous run of that line (the paper's criterion of checking a
-line the first time it is met, footnote 3)."""
+line the first time it is met, footnote 3).
+
+Consumption is read-heavy: the table is built once at link time and then
+queried for every trace (and, by the triage classifier, for every
+violation).  All queries are served from lazily built sorted indexes —
+one ``bisect`` per :meth:`LineTable.line_at` instead of a scan over the
+whole table — invalidated whenever a row is added.  The linear reference
+implementation is kept for the differential tests."""
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -26,15 +34,47 @@ class LineTable:
 
     entries: List[LineEntry] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        #: distinct addresses, sorted, paired with the first-in-list-order
+        #: entry's line per address (floor lookups bisect over this)
+        self._addr_index: Optional[Tuple[List[int], List[int]]] = None
+        self._bp_cache: Optional[Dict[int, List[int]]] = None
+        self._ranges_cache: Dict[int, List[Tuple[int, int]]] = {}
+
     def add(self, addr: int, line: int, is_stmt: bool = True) -> None:
         self.entries.append(LineEntry(addr, line, is_stmt))
+        self._invalidate()
 
     def lines(self) -> Set[int]:
         """All source lines with at least one mapped instruction."""
         return {e.line for e in self.entries}
 
+    def _ensure_addr_index(self) -> Tuple[List[int], List[int]]:
+        index = self._addr_index
+        if index is None:
+            first_line: Dict[int, int] = {}
+            for entry in self.entries:
+                # First entry in list order wins for duplicate addresses,
+                # matching the linear reference's strict `>` comparison.
+                first_line.setdefault(entry.addr, entry.line)
+            addrs = sorted(first_line)
+            index = self._addr_index = (
+                addrs, [first_line[a] for a in addrs])
+        return index
+
     def line_at(self, addr: int) -> Optional[int]:
-        """The source line of the instruction at ``addr`` (exact match)."""
+        """The source line of the instruction at ``addr`` (floor match,
+        served by a bisect over the sorted address index)."""
+        addrs, lines = self._ensure_addr_index()
+        i = bisect_right(addrs, addr) - 1
+        return lines[i] if i >= 0 else None
+
+    def line_at_linear(self, addr: int) -> Optional[int]:
+        """The pre-index linear scan, kept as the executable
+        specification for ``tests/test_matrix_fastpaths.py``."""
         best = None
         for entry in self.entries:
             if entry.addr <= addr and (best is None or
@@ -44,22 +84,31 @@ class LineTable:
 
     def breakpoint_addrs(self) -> Dict[int, List[int]]:
         """line -> list of addresses that start a contiguous run of that
-        line, in address order. These are the stepping anchors."""
-        ordered = sorted(self.entries, key=lambda e: e.addr)
-        out: Dict[int, List[int]] = {}
-        prev_line: Optional[int] = None
-        for entry in ordered:
-            if entry.line != prev_line:
-                out.setdefault(entry.line, []).append(entry.addr)
-            prev_line = entry.line
-        return out
+        line, in address order. These are the stepping anchors.
+
+        Computed once and cached; callers must not mutate the result.
+        """
+        if self._bp_cache is None:
+            ordered = sorted(self.entries, key=lambda e: e.addr)
+            out: Dict[int, List[int]] = {}
+            prev_line: Optional[int] = None
+            for entry in ordered:
+                if entry.line != prev_line:
+                    out.setdefault(entry.line, []).append(entry.addr)
+                prev_line = entry.line
+            self._bp_cache = out
+        return self._bp_cache
 
     def first_addr_of_line(self, line: int) -> Optional[int]:
         addrs = self.breakpoint_addrs().get(line)
         return addrs[0] if addrs else None
 
     def addr_ranges_of_line(self, line: int) -> List[Tuple[int, int]]:
-        """Contiguous [lo, hi) address runs mapped to ``line``."""
+        """Contiguous [lo, hi) address runs mapped to ``line``
+        (memoized per line; callers must not mutate the result)."""
+        cached = self._ranges_cache.get(line)
+        if cached is not None:
+            return cached
         ordered = sorted(self.entries, key=lambda e: e.addr)
         ranges: List[Tuple[int, int]] = []
         run_start: Optional[int] = None
@@ -76,4 +125,5 @@ class LineTable:
                     run_start = None
         if run_start is not None:
             ranges.append((run_start, run_end))
+        self._ranges_cache[line] = ranges
         return ranges

@@ -23,6 +23,7 @@ not always correct, way, exactly as the paper found.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -153,17 +154,89 @@ class LocEntry:
         return f"[{self.lo:#x},{self.hi:#x}) {self.loc!r}"
 
 
+class _RangeIndex:
+    """A sorted, first-entry-wins interval index over loc entries.
+
+    Buggy producers emit overlapping and unordered entries, and DWARF
+    consumers take the *first* entry (in list order) covering the pc.
+    The index splits the address space at every entry boundary; within
+    one elementary segment the winning entry cannot change, so it is
+    resolved once at build time and lookups become a single ``bisect``
+    instead of a linear scan per debugger stop.
+    """
+
+    __slots__ = ("starts", "ends", "locs")
+
+    def __init__(self, entries: List[LocEntry]):
+        live = [e for e in entries if not e.empty]
+        bounds = sorted({e.lo for e in live} | {e.hi for e in live})
+        self.starts: List[int] = []
+        self.ends: List[int] = []
+        self.locs: List[Loc] = []
+        for lo, hi in zip(bounds, bounds[1:]):
+            # Segments never straddle an entry boundary, so covering the
+            # segment start means covering the whole segment.
+            winner = next(
+                (e.loc for e in live if e.lo <= lo and hi <= e.hi), None)
+            if winner is None:
+                continue
+            if self.locs and self.locs[-1] is winner and \
+                    self.ends[-1] == lo:
+                self.ends[-1] = hi
+                continue
+            self.starts.append(lo)
+            self.ends.append(hi)
+            self.locs.append(winner)
+
+    def lookup(self, pc: int) -> Optional[Loc]:
+        i = bisect_right(self.starts, pc) - 1
+        if i >= 0 and pc < self.ends[i]:
+            return self.locs[i]
+        return None
+
+
 @dataclass
 class LocationList:
     """An ordered list of location entries for one variable."""
 
     entries: List[LocEntry] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._index: Optional[_RangeIndex] = None
+        self._prefix_index: Optional[_RangeIndex] = None
+
     def add(self, lo: int, hi: int, loc: Loc) -> None:
         self.entries.append(LocEntry(lo, hi, loc))
+        self._index = self._prefix_index = None
 
     def lookup(self, pc: int) -> Optional[Loc]:
-        """First entry covering ``pc`` (DWARF consumers use the first)."""
+        """First entry covering ``pc`` (DWARF consumers use the first).
+
+        Served from a lazily built bisect index; the linear reference
+        (:meth:`lookup_linear`) is kept for the differential tests.
+        """
+        index = self._index
+        if index is None:
+            index = self._index = _RangeIndex(self.entries)
+        return index.lookup(pc)
+
+    def lookup_before_empty(self, pc: int) -> Optional[Loc]:
+        """Like :meth:`lookup`, but scanning stops at the first empty
+        (``lo == hi``) entry — gdb bug 28987's consumption behaviour.
+        Indexed over the prefix before the first empty entry."""
+        index = self._prefix_index
+        if index is None:
+            prefix: List[LocEntry] = []
+            for entry in self.entries:
+                if entry.empty:
+                    break
+                prefix.append(entry)
+            index = self._prefix_index = _RangeIndex(prefix)
+        return index.lookup(pc)
+
+    def lookup_linear(self, pc: int) -> Optional[Loc]:
+        """The pre-index linear scan, kept as the executable
+        specification for ``tests/test_matrix_fastpaths.py``."""
         for entry in self.entries:
             if entry.covers(pc):
                 return entry.loc

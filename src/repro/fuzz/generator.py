@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 from ..lang import ast_nodes as A
@@ -501,11 +502,10 @@ def generate_program(seed: int,
     return ProgramGenerator(seed, options).generate()
 
 
-def generate_validated(seed: int, options: Optional[FuzzOptions] = None,
-                       fuel: int = 500_000,
-                       max_attempts: int = 10) -> A.Program:
-    """Generate a program and validate it UB-free at -O0, retrying with
-    derived seeds on failure (the paper's UB screening step)."""
+def _generate_validated_uncached(seed: int,
+                                 options: Optional[FuzzOptions] = None,
+                                 fuel: int = 500_000,
+                                 max_attempts: int = 10) -> A.Program:
     from ..ir.interp import run_module
     from ..ir.lower import lower_program
     from ..ir.ops import UBError
@@ -521,3 +521,37 @@ def generate_validated(seed: int, options: Optional[FuzzOptions] = None,
             continue
     raise RuntimeError(
         f"could not generate a UB-free program from seed {seed}")
+
+
+@lru_cache(maxsize=512)
+def _generate_validated_default(seed: int, fuel: int,
+                                max_attempts: int) -> A.Program:
+    return _generate_validated_uncached(seed, None, fuel, max_attempts)
+
+
+def generate_validated(seed: int, options: Optional[FuzzOptions] = None,
+                       fuel: int = 500_000,
+                       max_attempts: int = 10) -> A.Program:
+    """Generate a program and validate it UB-free at -O0, retrying with
+    derived seeds on failure (the paper's UB screening step).
+
+    Default-options results are memoized in a bounded LRU: a campaign,
+    the metrics study, and the examples all regenerate the same seeds,
+    and validation replays the whole program in the interpreter, so the
+    second consumer of a seed used to pay the full frontend again.
+    Callers treat generated programs as immutable (the printer has
+    already canonicalized them), which is what makes sharing the cached
+    AST safe.  ``generate_validated.cache_info()`` /
+    ``generate_validated.cache_clear()`` expose the LRU for tests and
+    benchmarks.
+    """
+    if options is not None:
+        # FuzzOptions carries no stable hash; only the common
+        # default-options path is memoized.
+        return _generate_validated_uncached(seed, options, fuel,
+                                            max_attempts)
+    return _generate_validated_default(seed, fuel, max_attempts)
+
+
+generate_validated.cache_info = _generate_validated_default.cache_info
+generate_validated.cache_clear = _generate_validated_default.cache_clear

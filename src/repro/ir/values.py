@@ -27,7 +27,10 @@ class VReg:
         return f"%{self.name or 'v'}{self.vid}"
 
     def __hash__(self) -> int:
-        return hash(self.vid)
+        # The hottest function in the whole pipeline (dataflow sets hash
+        # every operand); small non-negative ints hash to themselves, so
+        # skip the extra hash() call.
+        return self.vid
 
 
 @dataclass(frozen=True)

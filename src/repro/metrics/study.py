@@ -147,16 +147,40 @@ class StudyResult:
         return cls.from_dict(json.loads(text))
 
 
+def baseline_traces(programs: Sequence[Program], debugger: Debugger,
+                    family: str = "gcc",
+                    version: str = "trunk") -> List[DebugTrace]:
+    """One ``-O0`` trace per program, shared across every study cell.
+
+    Sharing across versions is legitimate because the ``-O0``
+    executable is version-independent: no pass pipeline runs and no
+    defect hooks are consulted below the first optimized level (the
+    compiler links with ``hooks=None`` at ``O0``).  ``family``/
+    ``version`` name the compiler actually invoked so the study under
+    measurement builds its own baseline rather than leaning on that
+    invariant across families too.
+    """
+    compiler = Compiler(family, version)
+    return [debugger.trace(compiler.compile(p, "O0").exe)
+            for p in programs]
+
+
 def measure_pool_cells(programs: Sequence[Program], family: str,
                        versions: Sequence[str], levels: Sequence[str],
-                       debugger: Debugger) -> CellSamples:
+                       debugger: Debugger,
+                       baselines: Optional[Sequence[DebugTrace]] = None
+                       ) -> CellSamples:
     """Per-program metrics for every (version, level) cell, in pool
-    order — the shard-level unit of the sharded study."""
+    order — the shard-level unit of the sharded study.  The ``-O0``
+    baseline is traced once per program and reused across every
+    (version, level) cell."""
     cells: CellSamples = {}
+    if baselines is None:
+        baselines = baseline_traces(
+            programs, debugger, family,
+            versions[0] if versions else "trunk")
     for version in versions:
         compiler = Compiler(family, version)
-        baselines = [debugger.trace(compiler.compile(p, "O0").exe)
-                     for p in programs]
         for level in levels:
             cells[(version, level)] = [
                 measure_program(program, compiler, level, debugger,

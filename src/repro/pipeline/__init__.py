@@ -6,7 +6,12 @@ from .campaign import (
     run_campaign_seeds, test_program,
 )
 from .classify import ClassifiedViolation, classify_violation, dwarf_category
+from .matrix import (
+    MATRIX_SCHEMA, MatrixCampaignResult, merge_matrix_results,
+    run_matrix_campaign, run_matrix_campaign_seeds, run_matrix_study,
+)
 from .parallel import (
-    CampaignShard, StudyShard, run_campaign_parallel, run_campaign_shard,
+    CampaignShard, MatrixShard, StudyShard, run_campaign_parallel,
+    run_campaign_shard, run_matrix_campaign_parallel, run_matrix_shard,
     run_study_parallel, run_study_shard,
 )

@@ -24,7 +24,26 @@ from ..compilers.compiler import CompilerSpec
 from ..debugger import NATIVE_DEBUGGERS
 from ..debugger.specs import DEBUGGER_REGISTRY, DebuggerSpec
 from .campaign import run_campaign
-from .parallel import default_workers, run_campaign_parallel
+from .matrix import run_matrix_campaign
+from .parallel import (
+    default_workers, run_campaign_parallel, run_matrix_campaign_parallel,
+)
+
+
+def _parse_families(text: str):
+    families = []
+    for part in text.split(","):
+        family = part.strip()
+        if not family:
+            continue
+        if family not in ("gcc", "clang"):
+            raise argparse.ArgumentTypeError(
+                f"unknown compiler family {family!r}")
+        if family not in families:  # "gcc,gcc" would double-count cells
+            families.append(family)
+    if not families:
+        raise argparse.ArgumentTypeError("no families given")
+    return tuple(families)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,6 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
                     "Figures 2-4) and write a JSON artifact.")
     parser.add_argument("--family", choices=("gcc", "clang"),
                         default="gcc", help="compiler family")
+    parser.add_argument("--families", type=_parse_families,
+                        metavar="FAM[,FAM]",
+                        help="run the compile-once evaluation matrix "
+                             "over these families (e.g. gcc,clang) x "
+                             "every level x both debuggers; overrides "
+                             "--family/--debugger")
     parser.add_argument("--version", default="trunk",
                         help="compiler version (default: trunk)")
     parser.add_argument("--debugger", default="auto",
@@ -67,6 +92,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.families:
+        return _run_matrix(parser, args)
     compiler = CompilerSpec(family=args.family, version=args.version)
     debugger_name = args.debugger
     if debugger_name == "auto":
@@ -109,6 +136,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print()
         print("Venn regions — unique violations per exact level set")
         print(result.format_venn())
+        if args.output:
+            print()
+            print(f"artifact written to {args.output}")
+    return 0
+
+
+def _run_matrix(parser: argparse.ArgumentParser, args) -> int:
+    """The compile-once matrix path (``--families gcc,clang``)."""
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    workers = 1 if args.serial else (
+        args.workers if args.workers is not None else default_workers())
+    started = time.perf_counter()
+    if args.serial or workers <= 1:
+        result = run_matrix_campaign(
+            families=args.families, version=args.version,
+            pool_size=args.pool_size, seed_base=args.seed_base,
+            levels=args.levels)
+    else:
+        result = run_matrix_campaign_parallel(
+            families=args.families, version=args.version,
+            pool_size=args.pool_size, seed_base=args.seed_base,
+            levels=args.levels, workers=workers,
+            start_method=args.start_method)
+    elapsed = time.perf_counter() - started
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json(indent=args.indent))
+            handle.write("\n")
+
+    if not args.quiet:
+        mode = "serial" if args.serial or workers <= 1 else \
+            f"{workers} workers"
+        rate = result.pool_size / elapsed if elapsed > 0 else 0.0
+        cells = len(result.cells)
+        print(f"matrix campaign: {'/'.join(args.families)}-"
+              f"{args.version}, {result.pool_size} programs, "
+              f"{cells} cells ({mode})")
+        print(f"elapsed: {elapsed:.2f}s ({rate:.2f} programs/sec)")
+        print()
+        print(result.format_summary())
         if args.output:
             print()
             print(f"artifact written to {args.output}")

@@ -1,0 +1,306 @@
+"""Compile-once evaluation matrix (the paper's full experiment grid).
+
+The core experiment (Table 1, Figures 1-4) pushes every pool program
+through every (compiler family x version x opt level x debugger) cell.
+The per-cell drivers (:func:`~repro.pipeline.campaign.run_campaign`) redo
+the whole frontend — generate, validate, resolve, lower — for *every*
+cell, and recompile at every level for every debugger.  The matrix driver
+restructures the loop around shared state:
+
+* each seed program is generated/validated **once**
+  (:class:`~repro.compilers.frontend.FrontendSession`);
+* ``SourceFacts`` and the defect-selector program token are computed
+  **once** per program;
+* the program is resolved and lowered to IR **once**; every
+  (family, version, level) cell mutates a cheap private clone
+  (:func:`~repro.ir.clone.clone_module`);
+* each cell's *compilation* is shared across all debugger cells — the
+  debuggers re-trace the same executable instead of forcing a recompile.
+
+Results are **bit-identical** to the per-cell path: every cell of a
+:class:`MatrixCampaignResult` has exactly the ``to_json()`` artifact the
+corresponding ``run_campaign`` call would produce (pinned by
+``tests/test_matrix_fastpaths.py``).  Per-seed lowered-module
+fingerprints ride along so the sharded driver
+(:func:`~repro.pipeline.parallel.run_matrix_campaign_parallel`) can prove
+its workers lowered the same IR the serial driver would have.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..compilers.compiler import Compiler, CompilerSpec
+from ..compilers.frontend import FrontendSession
+from ..conjectures.base import Violation, check_all
+from ..debugger.base import Debugger, trace_all
+from ..debugger.specs import DEBUGGER_REGISTRY, DebuggerSpec
+from ..fuzz.seeds import SeedSpec
+from ..metrics.study import (
+    CellSamples, StudyResult, compare_traces, reduce_cells,
+)
+from ..target.codegen import link
+from .campaign import CampaignResult, ProgramResult
+
+#: Artifact schema tag for stored matrix results.
+MATRIX_SCHEMA = "repro-matrix/1"
+
+#: One campaign cell: (family, version, debugger name).
+MatrixCellKey = Tuple[str, str, str]
+
+CompilerLike = Union[Compiler, CompilerSpec]
+DebuggerLike = Union[Debugger, DebuggerSpec, str]
+
+#: The paper's consumer set: every executable is traced in both
+#: debuggers, which is exactly what makes compile sharing pay off.
+DEFAULT_DEBUGGERS = ("gdb-like", "lldb-like")
+
+
+def _build_compiler(compiler: CompilerLike) -> Compiler:
+    if isinstance(compiler, CompilerSpec):
+        return compiler.build()
+    return compiler
+
+
+def _build_debugger(debugger: DebuggerLike) -> Debugger:
+    if isinstance(debugger, str):
+        return DEBUGGER_REGISTRY[debugger]()
+    if isinstance(debugger, DebuggerSpec):
+        return debugger.build()
+    return debugger
+
+
+def _campaign_levels(compiler: Compiler,
+                     levels: Optional[Sequence[str]]) -> List[str]:
+    if levels is None:
+        return [l for l in compiler.levels if l != "O0"]
+    return list(levels)
+
+
+@dataclass
+class MatrixCampaignResult:
+    """Every (family, version, debugger) cell's campaign, plus the
+    determinism fingerprints of the shared frontend pool."""
+
+    pool_size: int = 0
+    cells: Dict[MatrixCellKey, CampaignResult] = field(
+        default_factory=dict)
+    #: seed -> counter-normalized lowered-module digest
+    fingerprints: Dict[int, str] = field(default_factory=dict)
+
+    def cell(self, family: str, version: str = "trunk",
+             debugger: str = "gdb-like") -> CampaignResult:
+        return self.cells[(family, version, debugger)]
+
+    def cell_keys(self) -> List[MatrixCellKey]:
+        return sorted(self.cells)
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other: "MatrixCampaignResult"
+              ) -> "MatrixCampaignResult":
+        """Combine two shard results (disjoint seed ranges).
+
+        Associative and order-independent like
+        :meth:`~repro.pipeline.campaign.CampaignResult.merge`; cells are
+        merged pairwise and fingerprints are unioned (a seed appearing in
+        both shards with different fingerprints means the workers lowered
+        divergent IR and is an error).
+        """
+        if set(self.cells) != set(other.cells):
+            raise ValueError(
+                f"cannot merge matrix results over different cell sets: "
+                f"{sorted(self.cells)} vs {sorted(other.cells)}")
+        merged = MatrixCampaignResult(
+            pool_size=self.pool_size + other.pool_size)
+        for key in self.cells:
+            merged.cells[key] = self.cells[key].merge(other.cells[key])
+        merged.fingerprints = dict(self.fingerprints)
+        for seed, fingerprint in other.fingerprints.items():
+            existing = merged.fingerprints.get(seed)
+            if existing is not None and existing != fingerprint:
+                raise ValueError(
+                    f"shards disagree on the lowered module of seed "
+                    f"{seed}: {existing[:12]} vs {fingerprint[:12]}")
+            merged.fingerprints[seed] = fingerprint
+        return merged
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": MATRIX_SCHEMA,
+            "pool_size": self.pool_size,
+            "fingerprints": {str(seed): fp for seed, fp
+                             in self.fingerprints.items()},
+            "cells": [
+                {"family": family, "version": version,
+                 "debugger": debugger,
+                 "campaign": self.cells[(family, version,
+                                         debugger)].to_dict()}
+                for family, version, debugger in self.cell_keys()
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]
+                  ) -> "MatrixCampaignResult":
+        schema = data.get("schema")
+        if schema != MATRIX_SCHEMA:
+            raise ValueError(
+                f"not a matrix artifact: schema {schema!r} "
+                f"(expected {MATRIX_SCHEMA!r})")
+        result = cls(pool_size=data["pool_size"])
+        result.fingerprints = {int(seed): fp for seed, fp
+                               in data["fingerprints"].items()}
+        for cell in data["cells"]:
+            key = (cell["family"], cell["version"], cell["debugger"])
+            result.cells[key] = CampaignResult.from_dict(
+                cell["campaign"])
+        return result
+
+    @classmethod
+    def from_json(cls, text: str) -> "MatrixCampaignResult":
+        return cls.from_dict(json.loads(text))
+
+    # -- reporting ------------------------------------------------------------
+
+    def format_summary(self) -> str:
+        rows = []
+        for family, version, debugger in self.cell_keys():
+            campaign = self.cells[(family, version, debugger)]
+            rows.append(f"== {family}-{version} x {debugger} ==")
+            rows.append(campaign.format_table1())
+            rows.append("")
+        return "\n".join(rows).rstrip()
+
+
+def merge_matrix_results(results: Iterable[MatrixCampaignResult]
+                         ) -> MatrixCampaignResult:
+    """Fold any number of shard results into one (at least one needed)."""
+    merged: Optional[MatrixCampaignResult] = None
+    for result in results:
+        merged = result if merged is None else merged.merge(result)
+    if merged is None:
+        raise ValueError("cannot merge an empty sequence of results")
+    return merged
+
+
+def run_matrix_campaign_seeds(
+        compilers: Sequence[CompilerLike],
+        debuggers: Sequence[DebuggerLike],
+        seeds: SeedSpec,
+        levels: Optional[Sequence[str]] = None
+) -> MatrixCampaignResult:
+    """Compile-once campaign over an explicit seed range (one shard).
+
+    For each seed: one frontend session; per compiler, one backend run
+    per level over a private clone of the shared lowering; per debugger,
+    one trace of each already-linked executable.
+    """
+    built_compilers = [_build_compiler(c) for c in compilers]
+    built_debuggers = [_build_debugger(d) for d in debuggers]
+    compiler_levels = [_campaign_levels(compiler, levels)
+                       for compiler in built_compilers]
+    result = MatrixCampaignResult(pool_size=seeds.count)
+    for compiler, run_levels in zip(built_compilers, compiler_levels):
+        for debugger in built_debuggers:
+            key = (compiler.family, compiler.version, debugger.name)
+            if key in result.cells:
+                raise ValueError(
+                    f"duplicate matrix cell {key}: compilers and "
+                    f"debuggers must be unique per (family, version, "
+                    f"debugger)")
+            result.cells[key] = CampaignResult(
+                family=compiler.family, version=compiler.version,
+                levels=list(run_levels), pool_size=seeds.count)
+
+    for seed in seeds.seeds():
+        session = FrontendSession(seed)
+        facts = session.facts
+        token = session.program_token
+        result.fingerprints[seed] = session.fingerprint
+        for compiler, run_levels in zip(built_compilers,
+                                        compiler_levels):
+            per_debugger: List[Dict[str, List[Violation]]] = [
+                {} for _ in built_debuggers]
+            for level in run_levels:
+                # Compile once per level and execute once; every
+                # debugger cell observes the same stops.
+                compilation = compiler.compile_ir(
+                    session.ir_module(), level, program_token=token)
+                traces = trace_all(compilation.exe, built_debuggers)
+                for violations, trace in zip(per_debugger, traces):
+                    violations[level] = check_all(facts, trace)
+            for debugger, violations in zip(built_debuggers,
+                                            per_debugger):
+                key = (compiler.family, compiler.version, debugger.name)
+                result.cells[key].programs.append(
+                    ProgramResult(seed=seed, violations=violations))
+    return result
+
+
+def run_matrix_campaign(
+        compilers: Optional[Sequence[CompilerLike]] = None,
+        debuggers: Optional[Sequence[DebuggerLike]] = None,
+        pool_size: int = 100, seed_base: int = 0,
+        levels: Optional[Sequence[str]] = None,
+        families: Optional[Sequence[str]] = None,
+        version: str = "trunk") -> MatrixCampaignResult:
+    """The full evaluation matrix over a generated seed range.
+
+    ``compilers`` defaults to the trunk compiler of every family in
+    ``families`` (default: gcc and clang); ``debuggers`` defaults to
+    both consumers.  Every cell is bit-identical to the corresponding
+    per-cell :func:`~repro.pipeline.campaign.run_campaign` run.
+    """
+    if compilers is None:
+        families = tuple(families) if families else ("gcc", "clang")
+        compilers = [Compiler(family, version) for family in families]
+    if debuggers is None:
+        debuggers = DEFAULT_DEBUGGERS
+    return run_matrix_campaign_seeds(
+        compilers, debuggers,
+        SeedSpec(base=seed_base, count=pool_size), levels=levels)
+
+
+# -- the metrics study over the shared pool -----------------------------------
+
+
+def run_matrix_study(family: str, versions: Sequence[str],
+                     levels: Sequence[str], debugger: DebuggerLike,
+                     pool_size: int, seed_base: int = 0) -> StudyResult:
+    """The Figure 1 study over the compile-once pool.
+
+    The per-cell driver (:func:`~repro.metrics.study.run_study_seeds`)
+    recompiles and re-traces the ``-O0`` baseline for every compiler
+    version; here one baseline trace per program is shared across all
+    (version, level) cells — legitimately, because no pass pipeline runs
+    and no defect hooks are consulted at ``-O0``.  Floats come out
+    bit-identical: the same traces reach the same left-to-right
+    reduction.
+    """
+    built_debugger = _build_debugger(debugger)
+    sessions = [FrontendSession(seed)
+                for seed in SeedSpec(seed_base, pool_size).seeds()]
+    baselines = [built_debugger.trace(link(session.ir_module()))
+                 for session in sessions]
+    cells: CellSamples = {}
+    for version in versions:
+        compiler = Compiler(family, version)
+        for level in levels:
+            cells[(version, level)] = [
+                compare_traces(
+                    baseline,
+                    built_debugger.trace(
+                        compiler.compile_ir(
+                            session.ir_module(), level,
+                            program_token=session.program_token).exe))
+                for session, baseline in zip(sessions, baselines)
+            ]
+    return reduce_cells(cells, pool_size=pool_size)

@@ -37,10 +37,31 @@ from ..metrics.study import (
     CellSamples, StudyResult, measure_pool_cells, reduce_cells,
 )
 from .campaign import CampaignResult, merge_results, run_campaign_seeds
+from .matrix import (
+    MatrixCampaignResult, merge_matrix_results, run_matrix_campaign_seeds,
+)
 
 #: Shards handed out per worker; >1 smooths load imbalance between seeds
-#: (validation retries make some programs costlier than others).
+#: (validation retries make some programs costlier than others).  Shards
+#: are dispatched to the pool in small batches (see ``_map_shards``) so
+#: a worker picks up several per round trip instead of paying IPC per
+#: tiny shard.
 SHARDS_PER_WORKER = 4
+
+#: Process-level toolchain memo: workers rebuild a compiler/debugger from
+#: its picklable spec **once per process**, not once per shard.  Specs
+#: are frozen dataclasses, and the rebuilt objects carry no cross-shard
+#: state (pinned by the spawn-determinism tests), so sharing them across
+#: every shard a worker executes is safe.
+_TOOLCHAIN_CACHE: dict = {}
+
+
+def build_cached(spec) -> object:
+    """The built toolchain object for ``spec``, memoized per process."""
+    built = _TOOLCHAIN_CACHE.get(spec)
+    if built is None:
+        built = _TOOLCHAIN_CACHE[spec] = spec.build()
+    return built
 
 CompilerLike = Union[Compiler, CompilerSpec]
 DebuggerLike = Union[Debugger, DebuggerSpec]
@@ -75,13 +96,19 @@ def _map_shards(worker, shards: List, workers: int,
 
     ``workers <= 1`` (or a single shard) stays in-process — no pool, no
     spawn cost for small jobs — while still going through the same
-    shard/merge path as the multi-process run.
+    shard/merge path as the multi-process run.  Shards are dispatched in
+    chunks of :data:`SHARDS_PER_WORKER` so each pool round trip carries a
+    worker's whole batch (one IPC exchange, one toolchain-cache warmup)
+    instead of a single tiny shard.
     """
     if workers <= 1 or len(shards) == 1:
         return [worker(shard) for shard in shards]
     context = multiprocessing.get_context(start_method)
     with context.Pool(processes=min(workers, len(shards))) as pool:
-        return pool.map(worker, shards)
+        # chunksize=2 batches dispatch (half the IPC round trips) while
+        # keeping two waves per worker, so a shard whose seeds validate
+        # slowly does not pin a statically assigned straggler.
+        return pool.map(worker, shards, chunksize=2)
 
 
 # -- campaign -----------------------------------------------------------------
@@ -98,10 +125,10 @@ class CampaignShard:
 
 
 def run_campaign_shard(shard: CampaignShard) -> CampaignResult:
-    """Worker entry point: rebuild the toolchain, run one shard."""
+    """Worker entry point: one shard on the memoized toolchain."""
     return run_campaign_seeds(
-        shard.compiler.build(), shard.debugger.build(), shard.seeds,
-        levels=shard.levels)
+        build_cached(shard.compiler), build_cached(shard.debugger),
+        shard.seeds, levels=shard.levels)
 
 
 def run_campaign_parallel(compiler: CompilerLike, debugger: DebuggerLike,
@@ -154,7 +181,7 @@ def run_study_shard(shard: StudyShard) -> CellSamples:
     """Worker entry point: per-program metrics for one seed shard."""
     return measure_pool_cells(
         shard.seeds.generate(), shard.family, shard.versions,
-        shard.levels, shard.debugger.build())
+        shard.levels, build_cached(shard.debugger))
 
 
 def run_study_parallel(family: str, versions: Sequence[str],
@@ -186,3 +213,72 @@ def run_study_parallel(family: str, versions: Sequence[str],
         for key, samples in part.items():
             cells.setdefault(key, []).extend(samples)
     return reduce_cells(cells, pool_size=pool_size)
+
+
+# -- compile-once matrix ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MatrixShard:
+    """One worker's unit of matrix work (fully picklable)."""
+
+    compilers: Tuple[CompilerSpec, ...]
+    debuggers: Tuple[DebuggerSpec, ...]
+    seeds: SeedSpec
+    levels: Optional[Tuple[str, ...]] = None
+
+
+def run_matrix_shard(shard: MatrixShard) -> MatrixCampaignResult:
+    """Worker entry point: the compile-once matrix over one seed shard.
+
+    The returned result carries per-seed lowered-module fingerprints;
+    the merge rejects shards that disagree, so a worker whose frontend
+    diverged from the serial driver's cannot silently corrupt the
+    campaign.
+    """
+    return run_matrix_campaign_seeds(
+        [build_cached(spec) for spec in shard.compilers],
+        [build_cached(spec) for spec in shard.debuggers],
+        shard.seeds, levels=shard.levels)
+
+
+def run_matrix_campaign_parallel(
+        compilers: Optional[Sequence[CompilerLike]] = None,
+        debuggers: Optional[Sequence[DebuggerLike]] = None,
+        pool_size: int = 100, seed_base: int = 0,
+        levels: Optional[Sequence[str]] = None,
+        workers: Optional[int] = None,
+        start_method: str = "spawn",
+        families: Optional[Sequence[str]] = None,
+        version: str = "trunk") -> MatrixCampaignResult:
+    """Sharded, multi-process compile-once matrix campaign.
+
+    Bit-identical to :func:`~repro.pipeline.matrix.run_matrix_campaign`
+    for the same arguments: shards are seed ranges, workers regenerate
+    and lower each program once, and the merged result's fingerprints
+    prove the lowered modules match the serial run's.
+    """
+    if compilers is None:
+        chosen = tuple(families) if families else ("gcc", "clang")
+        compilers = [CompilerSpec(family=family, version=version)
+                     for family in chosen]
+    if debuggers is None:
+        debuggers = ("gdb-like", "lldb-like")
+    compiler_specs = tuple(as_compiler_spec(c) for c in compilers)
+    debugger_specs = tuple(
+        DebuggerSpec(name=d) if isinstance(d, str) else as_debugger_spec(d)
+        for d in debuggers)
+    if workers is None:
+        workers = default_workers()
+    spec = SeedSpec(base=seed_base, count=pool_size)
+    if pool_size == 0:
+        return run_matrix_campaign_seeds(
+            compiler_specs, debugger_specs, spec, levels=levels)
+    shards = [
+        MatrixShard(compilers=compiler_specs, debuggers=debugger_specs,
+                    seeds=seed_shard,
+                    levels=tuple(levels) if levels is not None else None)
+        for seed_shard in spec.shard(max(1, workers) * SHARDS_PER_WORKER)
+    ]
+    return merge_matrix_results(
+        _map_shards(run_matrix_shard, shards, workers, start_method))

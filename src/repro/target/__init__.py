@@ -6,11 +6,11 @@ from .isa import (
     MFrameAddr, MGlobalAddr, MImm, MInstr, MJump, MLoad, MMove, MReg, MRet,
     MStore, MUn,
 )
-from .vm import VM, Frame, RegFile, run_executable
+from .vm import VM, Frame, ReferenceVM, RegFile, run_executable
 
 __all__ = [
     "Executable", "Frame", "FrameSlotInfo", "FuncInfo", "GlobalLayout",
     "LinkError", "MBin", "MBranch", "MCall", "MFrameAddr", "MGlobalAddr",
     "MImm", "MInstr", "MJump", "MLoad", "MMove", "MReg", "MRet", "MStore",
-    "MUn", "RegFile", "VM", "link", "run_executable",
+    "MUn", "ReferenceVM", "RegFile", "VM", "link", "run_executable",
 ]

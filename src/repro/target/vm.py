@@ -114,15 +114,11 @@ class VM:
     # -- operand resolution ---------------------------------------------------
 
     def resolve(self, op) -> int:
-        if isinstance(op, MImm):
-            return op.value
-        if isinstance(op, MReg):
-            return self.frame.regs[op.reg]
-        if isinstance(op, MFrameAddr):
-            return self.frame.frame_base + op.offset
-        if isinstance(op, MGlobalAddr):
-            return op.addr
-        raise TypeError(f"bad machine operand {op!r}")
+        """Value of one machine operand (per-type dispatch, see below)."""
+        try:
+            return _RESOLVE[type(op)](self, op)
+        except KeyError:
+            raise TypeError(f"bad machine operand {op!r}") from None
 
     # -- execution ---------------------------------------------------------------
 
@@ -138,14 +134,161 @@ class VM:
         """
         if breakpoints is not None:
             self.breakpoints = set(breakpoints)
-        while not self.halted:
-            if on_break is not None and self.pc in self.breakpoints:
-                on_break(self)
-            self.step()
+        step = self.step
+        if on_break is None:
+            while not self.halted:
+                step()
+        else:
+            while not self.halted:
+                if self.pc in self.breakpoints:
+                    on_break(self)
+                step()
         return self.result
 
     def step(self) -> None:
-        """Execute exactly one machine instruction."""
+        """Execute exactly one machine instruction.
+
+        The per-opcode work lives in ``_exec_*`` handlers reached
+        through a per-type dispatch table — the previous ``isinstance``
+        chain paid up to eight type checks per step on the trace path's
+        hottest loop.  :class:`ReferenceVM` keeps the chain as the
+        executable specification; the differential tests drive both over
+        the fuzz corpus and demand identical results.
+        """
+        if self.halted:
+            return
+        if not 0 <= self.pc < len(self.exe.instrs):
+            raise UBError("pc out of code range", hex(self.pc))
+        instr = self.exe.instrs[self.pc]
+        self.result.steps += 1
+        if self.result.steps > self.fuel:
+            raise TimeoutError_()
+        handler = _DISPATCH.get(type(instr))
+        if handler is None:
+            raise TypeError(f"cannot execute {instr!r}")
+        handler(self, instr)
+
+    # -- per-opcode handlers ------------------------------------------------------
+    # Every handler is responsible for advancing (or redirecting) the pc.
+
+    def _exec_move(self, instr: MMove) -> None:
+        self.frame.regs[instr.dst] = wrap(self.resolve(instr.src))
+        self.pc += 1
+
+    def _exec_bin(self, instr: MBin) -> None:
+        a = self.resolve(instr.a)
+        b = self.resolve(instr.b)
+        self.frame.regs[instr.dst] = eval_binop(instr.op, a, b)
+        self.pc += 1
+
+    def _exec_un(self, instr: MUn) -> None:
+        self.frame.regs[instr.dst] = eval_unop(
+            instr.op, self.resolve(instr.a))
+        self.pc += 1
+
+    def _exec_load(self, instr: MLoad) -> None:
+        addr = self.resolve(instr.addr)
+        value = self.memory.load(addr)
+        if instr.volatile:
+            name, off = self.memory.object_of(addr)
+            self.result.observations.append(
+                Observation("vload", (name, off)))
+        self.frame.regs[instr.dst] = value
+        self.pc += 1
+
+    def _exec_store(self, instr: MStore) -> None:
+        addr = self.resolve(instr.addr)
+        value = self.resolve(instr.src)
+        self.memory.store(addr, value)
+        if instr.volatile:
+            name, off = self.memory.object_of(addr)
+            self.result.observations.append(
+                Observation("vstore", (name, off, wrap(value))))
+        self.pc += 1
+
+    def _exec_call(self, instr: MCall) -> None:
+        values = [self.resolve(a) for a in instr.args]
+        if instr.external:
+            self.result.observations.append(
+                Observation("call", (instr.callee, tuple(values))))
+            if instr.dst is not None:
+                self.frame.regs[instr.dst] = wrap(
+                    external_call_result(instr.callee, values))
+            self.pc += 1
+            return
+        callee = self.exe.functions.get(instr.callee)
+        if callee is None:
+            raise UBError("call to unlinked function", instr.callee)
+        self._push_frame(callee, values, ret_pc=self.pc + 1,
+                         ret_dst=instr.dst)
+        self.pc = callee.entry
+
+    def _exec_jump(self, instr: MJump) -> None:
+        self.pc = instr.target
+
+    def _exec_branch(self, instr: MBranch) -> None:
+        cond = self.resolve(instr.cond)
+        self.pc = instr.if_true if cond != 0 else instr.if_false
+
+    def _exec_ret(self, instr: MRet) -> None:
+        value = self.resolve(instr.src) \
+            if instr.src is not None else None
+        frame = self._pop_frame()
+        if not self.frames:
+            self.result.exit_code = wrap(value or 0) & 0xFF
+            self.result.observations.append(
+                Observation("exit", (self.result.exit_code,)))
+            self.halted = True
+            return
+        if frame.ret_dst is not None:
+            self.frame.regs[frame.ret_dst] = wrap(value or 0)
+        self.pc = frame.ret_pc
+
+
+#: instruction type -> unbound handler; built once at import time.
+_DISPATCH = {
+    MMove: VM._exec_move,
+    MBin: VM._exec_bin,
+    MUn: VM._exec_un,
+    MLoad: VM._exec_load,
+    MStore: VM._exec_store,
+    MCall: VM._exec_call,
+    MJump: VM._exec_jump,
+    MBranch: VM._exec_branch,
+    MRet: VM._exec_ret,
+}
+
+#: operand type -> unbound resolver; built once at import time.
+_RESOLVE = {
+    MImm: lambda vm, op: op.value,
+    MReg: lambda vm, op: vm.frame.regs[op.reg],
+    MFrameAddr: lambda vm, op: vm.frame.frame_base + op.offset,
+    MGlobalAddr: lambda vm, op: op.addr,
+}
+
+
+class ReferenceVM(VM):
+    """The pre-dispatch-table VM, kept verbatim as the executable
+    specification of :meth:`VM.step`.
+
+    The differential tests run both machines over the fuzz corpus and
+    require identical :class:`~repro.ir.interp.ExecResult` streams; any
+    behavioural drift in the dispatch-table fast path shows up there.
+    """
+
+    def resolve(self, op) -> int:
+        if isinstance(op, MImm):
+            return op.value
+        if isinstance(op, MReg):
+            return self.frame.regs[op.reg]
+        if isinstance(op, MFrameAddr):
+            return self.frame.frame_base + op.offset
+        if isinstance(op, MGlobalAddr):
+            return op.addr
+        raise TypeError(f"bad machine operand {op!r}")
+
+    def step(self) -> None:
+        """Execute exactly one machine instruction (isinstance chain)."""
         if self.halted:
             return
         if not 0 <= self.pc < len(self.exe.instrs):
