@@ -12,6 +12,7 @@ level, averaged over a program pool. Checks the headline trends:
 
 from repro.debugger import GdbLike, LldbLike
 from repro.metrics import run_study
+from repro.report import fig1_tables, render
 
 from conftest import banner, pool_size, program_pool
 
@@ -33,19 +34,27 @@ def test_fig1(benchmark):
 
     benchmark.pedantic(run, rounds=1, iterations=1)
 
+    # Render the nine panels through the repro.report builders (the
+    # code path behind ``repro-report fig1``).
+    panels = {}
     for family in ("clang", "gcc"):
         study = studies[family]
-        for metric in ("line_coverage", "availability", "product"):
-            print(banner(f"Figure 1: {metric} ({family})"))
-            print(study.format_table(metric))
+        for table in fig1_tables(study):
+            print(banner(f"{table.title} ({family})"))
+            print(render(table, "text"))
+            panels[(family, table.kind)] = table
 
     gcc = studies["gcc"]
     clang = studies["clang"]
 
-    # -Og preserves significantly more lines than -O3 for gcc.
+    # -Og preserves significantly more lines than -O3 for gcc,
+    # asserted through the rendered panel cells.
+    coverage = panels[("gcc", "fig1_line_coverage")]
     for version in GCC_VERSIONS:
-        assert gcc.cell(version, "Og").line_coverage >= \
-            gcc.cell(version, "O3").line_coverage
+        assert coverage.lookup(version, "Og") >= \
+            coverage.lookup(version, "O3")
+        assert coverage.lookup(version, "Og") == \
+            gcc.cell(version, "Og").line_coverage
 
     # Availability improves from the oldest release to trunk.
     assert gcc.cell("trunk", "O2").availability > \

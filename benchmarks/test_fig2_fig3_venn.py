@@ -4,19 +4,26 @@ Regenerates the level-combination counts the paper's Venn diagrams plot
 (-Oz left out, violations cumulated over conjectures) and checks the
 anti-symmetric trends: clang concentrates violations at all levels and at
 -Og(-only / with -Os), while gcc's biggest regions *exclude* -Og/-O1.
+
+Region counts are read back out of the ``repro.report`` Venn builder
+(the code path behind ``repro-report venn``), not the raw campaign.
 """
 
 from repro.compilers import Compiler
 from repro.debugger import GdbLike, LldbLike
 from repro.pipeline import run_campaign_on_programs
+from repro.report import render, venn_regions, venn_table
 
 from conftest import banner, pool_size, program_pool
 
 
-def _print_regions(title, regions):
-    print(banner(title))
-    for combo, count in sorted(regions.items(), key=lambda kv: -kv[1]):
-        print(f"  {'+'.join(sorted(combo)):>20}: {count}")
+def _regions_of(result):
+    """{'+'.joined level combo -> count} via the report builder."""
+    return dict(venn_regions(result, exclude=("Oz",)))
+
+
+def _combo(levels):
+    return "+".join(sorted(levels))
 
 
 def test_fig2_venn_clang(benchmark):
@@ -29,13 +36,12 @@ def test_fig2_venn_clang(benchmark):
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     result = holder["result"]
-    regions = result.venn(exclude=("Oz",))
-    _print_regions("Figure 2 (clang) unique violations per level set",
-                   regions)
-    all_levels = frozenset(l for l in result.levels if l != "Oz")
-    og_only = frozenset(["Og"])
+    print(banner("Figure 2 (clang) unique violations per level set"))
+    print(render(venn_table(result), "text"))
+    regions = _regions_of(result)
+    all_levels = _combo(l for l in result.levels if l != "Oz")
     assert regions, "no violations at all"
-    assert regions.get(og_only, 0) > 0, "clang must have Og-only region"
+    assert regions.get("Og", 0) > 0, "clang must have Og-only region"
     assert regions.get(all_levels, 0) > 0, \
         "clang must have an all-levels region"
 
@@ -50,14 +56,15 @@ def test_fig3_venn_gcc(benchmark):
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     result = holder["result"]
-    regions = result.venn(exclude=("Oz",))
-    _print_regions("Figure 3 (gcc) unique violations per level set",
-                   regions)
-    all_levels = frozenset(l for l in result.levels if l != "Oz")
-    all_but_og_o1 = all_levels - {"Og", "O1"}
+    print(banner("Figure 3 (gcc) unique violations per level set"))
+    print(render(venn_table(result), "text"))
+    regions = _regions_of(result)
+    all_levels = _combo(l for l in result.levels if l != "Oz")
+    all_but_og_o1 = _combo(l for l in result.levels
+                           if l not in ("Oz", "Og", "O1"))
     # The paper's anti-symmetric trend: the "all levels except -Og/-O1"
     # region dominates the "all levels" region for gcc.
     assert regions.get(all_but_og_o1, 0) > regions.get(all_levels, 0), \
         f"expected {all_but_og_o1} to dominate: {regions}"
-    og_only = regions.get(frozenset(["Og"]), 0)
-    assert og_only > 0, "gcc must retain an Og-only region (C3 bugs)"
+    assert regions.get("Og", 0) > 0, \
+        "gcc must retain an Og-only region (C3 bugs)"

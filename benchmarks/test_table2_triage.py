@@ -1,18 +1,20 @@
 """Table 2 — triaged culprit optimizations (Section 4.3 / 5.2).
 
 Runs both triage methods over the violations of a program pool — the
-gcc-style per-flag search and the clang-style bisection — and prints the
-most frequent culprits per conjecture, as Table 2 tabulates. Checks that
-the planted ground truth is recovered: every triaged culprit must be the
-pass carrying (or enabling) the defect that actually fired.
+gcc-style per-flag search and the clang-style bisection — and renders
+the most frequent culprits per conjecture through the ``repro.report``
+Table 2 builder (the code path behind ``repro-report table2``). The
+per-run :class:`~repro.report.TriageSummary` is the ``repro-triage/1``
+artifact value; checks that the planted ground truth is recovered:
+every triaged culprit must be the pass carrying (or enabling) the
+defect that actually fired.
 """
-
-from collections import Counter
 
 from repro.analysis import SourceFacts
 from repro.compilers import Compiler
 from repro.conjectures import check_all
 from repro.debugger import GdbLike, LldbLike
+from repro.report import TriageSummary, render, table2
 from repro.triage import triage
 
 from conftest import banner, pool_size, program_pool
@@ -20,8 +22,8 @@ from conftest import banner, pool_size, program_pool
 
 def _collect(family, debugger, level, pool, limit_per_program=2):
     compiler = Compiler(family, "trunk")
-    counts = {"C1": Counter(), "C2": Counter(), "C3": Counter()}
-    triaged = failed = 0
+    method = "bisect" if family == "clang" else "flags"
+    summary = TriageSummary(family=family, method=method)
     for program in pool:
         facts = SourceFacts(program)
         compilation = compiler.compile(program, level)
@@ -37,14 +39,9 @@ def _collect(family, debugger, level, pool, limit_per_program=2):
             if len(picked) >= limit_per_program:
                 break
         for violation in picked:
-            result = triage(compiler, program, level, debugger,
-                            violation, facts)
-            if result.failed:
-                failed += 1
-                continue
-            triaged += 1
-            counts[violation.conjecture][result.culprit] += 1
-    return counts, triaged, failed
+            summary.add(triage(compiler, program, level, debugger,
+                               violation, facts))
+    return summary
 
 
 def test_table2(benchmark):
@@ -58,13 +55,16 @@ def test_table2(benchmark):
     benchmark.pedantic(run, rounds=1, iterations=1)
 
     for family in ("gcc", "clang"):
-        counts, triaged, failed = holder[family]
-        method = ("-fno-<flag> search" if family == "gcc"
-                  else "opt-bisect-limit")
-        print(banner(f"Table 2 ({family}, {method}) — top culprits"))
-        for conjecture in ("C1", "C2", "C3"):
-            top = counts[conjecture].most_common(5)
-            text = ", ".join(f"{name} {n}" for name, n in top) or "-"
-            print(f"  {conjecture}: {text}")
-        print(f"  triaged: {triaged}, method failed: {failed}")
-        assert triaged > 0, f"{family}: no violation was triaged"
+        summary = holder[family]
+        table = table2(summary, top=5)
+        print(banner(f"Table 2 ({family}) — top culprits"))
+        print(render(table, "text"))
+        # The artifact round-trips and re-renders identically.
+        restored = TriageSummary.from_json(summary.to_json())
+        assert render(table2(restored, top=5), "text") == \
+            render(table, "text")
+        assert summary.triaged > 0, f"{family}: no violation was triaged"
+        # Every rendered count row is a positive culprit tally.
+        assert all(row[2] > 0 for row in table.rows)
+        assert sum(n for culprits in summary.counts.values()
+                   for n in culprits.values()) == summary.triaged

@@ -1,50 +1,43 @@
 """Table 3 — the 38 reported issues and their manifestations.
 
-Prints the catalog (tracker id, system, status, conjecture, DWARF
-analysis) exactly as Table 3 lists it, and verifies its aggregate
-structure against the paper's numbers: 16 clang + 19 gcc + 2 gdb + 1 lldb
-issues; 20/11/7 per conjecture; 4 Missing / 16 Hollow / 12 Incomplete /
-3 Incorrect DIEs among the 35 compiler-side issues. Then exercises the
-trunk compilers over a pool and reports which cataloged defects actually
-fired — the injected bugs being *findable* is the point of the system.
+Renders the catalog (tracker id, system, status, conjecture, DWARF
+analysis) through the ``repro.report`` Table 3 builder — the code path
+behind ``repro-report table3`` — and verifies its aggregate structure
+against the paper's numbers via :func:`repro.bugs.issue_counts`: 16
+clang + 19 gcc + 2 gdb + 1 lldb issues; 20/11/7 per conjecture; 4
+Missing / 16 Hollow / 12 Incomplete / 3 Incorrect DIEs among the 35
+compiler-side issues. Then exercises the trunk compilers over a pool
+and reports which cataloged defects actually fired — the injected bugs
+being *findable* is the point of the system.
 """
 
-from collections import Counter
-
-from repro.bugs import ISSUES, issues_for
+from repro.bugs import ISSUES, issue_counts, issues_for
 from repro.compilers import Compiler
-from repro.debugger import GdbLike, LldbLike
-from repro.pipeline import run_campaign_on_programs
+from repro.report import render, table3
 
 from conftest import banner, pool_size, program_pool
 
 
 def test_table3(benchmark):
+    table = table3()
     print(banner("Table 3 — reported issues"))
-    print(f"{'tracker':>8} {'system':>6} {'status':>15} "
-          f"{'conj':>4} {'DWARF analysis':>15}")
-    for issue in ISSUES:
-        print(f"{issue.tracker_id:>8} {issue.system:>6} "
-              f"{issue.status:>15} {issue.conjecture:>4} "
-              f"{(issue.category or '-'):>15}")
+    print(render(table, "text"))
 
-    assert len(ISSUES) == 38
-    assert len(issues_for("clang")) == 16
-    assert len(issues_for("gcc")) == 19
-    assert len(issues_for("gdb")) == 2
-    assert len(issues_for("lldb")) == 1
-
-    categories = Counter(i.category for i in ISSUES
-                         if i.category is not None)
-    assert categories["missing"] == 4
-    assert categories["hollow"] == 16
-    assert categories["incomplete"] == 12
-    assert categories["incorrect"] == 3
-
-    confirmed = sum(1 for i in ISSUES
-                    if i.status in ("Confirmed", "Fixed",
-                                    "Fixed by trunk*"))
+    counts = issue_counts()
+    assert counts["total"] == len(ISSUES) == len(table.rows) == 38
+    assert counts["system"] == {"clang": 16, "gcc": 19,
+                                "gdb": 2, "lldb": 1}
+    assert counts["conjecture"] == {"C1": 20, "C2": 11, "C3": 7}
+    assert counts["category"] == {"missing": 4, "hollow": 16,
+                                  "incomplete": 12, "incorrect": 3}
+    confirmed = sum(n for status, n in counts["status"].items()
+                    if status in ("Confirmed", "Fixed",
+                                  "Fixed by trunk*"))
     assert confirmed == 24, "24 issues were confirmed/fixed (abstract)"
+    # The per-system rendering filters the same rows issues_for picks.
+    for system in ("gcc", "clang", "gdb", "lldb"):
+        assert len(table3(system=system).rows) == \
+            len(issues_for(system))
 
     # How many cataloged defects actually fire on a pool?
     pool = program_pool(pool_size(40))

@@ -1,6 +1,8 @@
 """Table 4 — violations across compiler versions (Section 5.4).
 
-Regenerates the regression study on a fixed program pool:
+Regenerates the regression study on a fixed program pool and renders it
+through the ``repro.report`` Table 4 builder (the code path behind
+``repro-report table4``), asserting on the rendered version columns:
 
 * gcc 4 / 8 / trunk / patched — the ``patched`` column carries the
   cleanup-CFG fix (bug 105158), which must cut Conjecture 1 violations
@@ -18,6 +20,7 @@ from repro.conjectures import C1, C2, C3
 from repro.debugger import GdbLike, LldbLike
 from repro.metrics import run_study
 from repro.pipeline import run_campaign_on_programs
+from repro.report import fig1_table, render, table4
 
 from conftest import banner, pool_size, program_pool
 
@@ -27,7 +30,7 @@ CLANG_COLS = ("5", "9", "trunk", "trunk-star")
 
 def test_table4(benchmark):
     pool = program_pool(pool_size(30))
-    table = {}
+    campaigns = {}
 
     def run():
         for family, versions, debugger in (
@@ -35,42 +38,39 @@ def test_table4(benchmark):
                 ("clang", CLANG_COLS, LldbLike())):
             for version in versions:
                 compiler = Compiler(family, version)
-                result = run_campaign_on_programs(pool, compiler,
-                                                  debugger)
-                cells = {c: result.unique_count(c) for c in (C1, C2, C3)}
-                cells["C2@Og"] = result.count("Og", C2)
-                table[(family, version)] = cells
+                campaigns[(family, version)] = run_campaign_on_programs(
+                    pool, compiler, debugger)
 
     benchmark.pedantic(run, rounds=1, iterations=1)
 
+    tables = {}
     print(banner("Table 4 — unique violations across versions"))
     for family, versions in (("gcc", GCC_COLS), ("clang", CLANG_COLS)):
-        print(f"\n{family}: " + "  ".join(f"{v:>10}" for v in versions))
-        for conjecture in (C1, C2, C3):
-            cells = [table[(family, v)][conjecture] for v in versions]
-            print(f"  {conjecture}: " +
-                  "  ".join(f"{c:>10}" for c in cells))
+        tables[family] = table4(
+            [campaigns[(family, v)] for v in versions])
+        print(render(tables[family], "text"))
 
-    gcc_trunk = table[("gcc", "trunk")]
-    gcc_patched = table[("gcc", "patched")]
-    assert gcc_patched[C1] < gcc_trunk[C1], \
+    def unique(family, version, conjecture):
+        return tables[family].lookup(conjecture, f"{family}-{version}")
+
+    assert unique("gcc", "patched", C1) < unique("gcc", "trunk", C1), \
         "the 105158 patch must reduce gcc C1 violations"
-    assert gcc_patched[C2] <= gcc_trunk[C2]
-    assert gcc_patched[C3] <= gcc_trunk[C3]
+    assert unique("gcc", "patched", C2) <= unique("gcc", "trunk", C2)
+    assert unique("gcc", "patched", C3) <= unique("gcc", "trunk", C3)
 
-    clang_trunk = table[("clang", "trunk")]
-    clang_star = table[("clang", "trunk-star")]
     # The LSR fix never *adds* violations; the paper's -80.4% LSR drop
     # reproduces only on programs whose induction variables LSR fully
     # eliminates (see tests/test_passes.py) — the fuzz pool's IVs mostly
     # have extra uses, so the aggregate delta is small here (deviation
     # recorded in EXPERIMENTS.md).
-    assert clang_star["C2@Og"] <= clang_trunk["C2@Og"]
-    assert clang_star[C2] <= clang_trunk[C2]
+    assert campaigns[("clang", "trunk-star")].count("Og", C2) <= \
+        campaigns[("clang", "trunk")].count("Og", C2)
+    assert unique("clang", "trunk-star", C2) <= \
+        unique("clang", "trunk", C2)
 
     # Old releases lose more than trunk.
-    assert table[("gcc", "4")][C2] >= gcc_trunk[C2]
-    assert table[("clang", "5")][C2] >= clang_trunk[C2]
+    assert unique("gcc", "4", C2) >= unique("gcc", "trunk", C2)
+    assert unique("clang", "5", C2) >= unique("clang", "trunk", C2)
 
 
 def test_table4_availability_gap(benchmark):
@@ -84,12 +84,11 @@ def test_table4_availability_gap(benchmark):
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     study = holder["study"]
-    trunk_o1 = study.cell("trunk", "O1").availability
-    patched_o1 = study.cell("patched", "O1").availability
-    trunk_og = study.cell("trunk", "Og").availability
+    table = fig1_table(study, "availability")
     print(banner("gcc availability-of-variables (Section 5.4)"))
-    print(f"  trunk   -O1: {trunk_o1:.4f}")
-    print(f"  patched -O1: {patched_o1:.4f}")
-    print(f"  trunk   -Og: {trunk_og:.4f}")
+    print(render(table, "text"))
+    trunk_o1 = table.lookup("trunk", "O1")
+    patched_o1 = table.lookup("patched", "O1")
+    assert trunk_o1 == study.cell("trunk", "O1").availability
     assert patched_o1 >= trunk_o1, \
         "the patch must not worsen -O1 availability"

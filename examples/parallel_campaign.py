@@ -23,6 +23,7 @@ from repro import (
     CampaignResult, Compiler, CompilerSpec, DebuggerSpec, GdbLike,
     run_campaign, run_campaign_parallel,
 )
+from repro.report import format_table1_text, format_venn_text
 
 POOL = int(os.environ.get("POOL", "24"))
 WORKERS = int(os.environ.get("WORKERS", str(min(4, os.cpu_count() or 1))))
@@ -38,9 +39,9 @@ def main():
     elapsed = time.perf_counter() - started
     print(f"sharded campaign: {POOL} programs, {WORKERS} workers, "
           f"{elapsed:.2f}s ({POOL / elapsed:.2f} programs/sec)\n")
-    print(result.format_table1())
+    print(format_table1_text(result))
     print("\nVenn regions (unique violations per exact level set):")
-    print(result.format_venn())
+    print(format_venn_text(result))
 
     # The parallel result is bit-identical to the serial driver's.
     serial = run_campaign(Compiler("gcc", "trunk"), GdbLike(),

@@ -50,5 +50,8 @@ from .pipeline import (
     run_study_parallel, test_program,
 )
 from .reduce import Reducer, ReductionResult
+from .report import (
+    TriageSummary, load_artifact, load_artifact_file, render, render_all,
+)
 from .target import VM, Executable, link, run_executable
 from .triage import TriageResult, find_culprit_bisect, find_culprit_flags, triage

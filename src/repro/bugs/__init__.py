@@ -6,5 +6,5 @@ from .defects import (
 )
 from .catalog import (
     CLANG_VERSIONS, GCC_VERSIONS, HISTORICAL_DEFECTS, ISSUES, CatalogIssue,
-    defects_for_family, issue_by_tracker, issues_for,
+    defects_for_family, issue_by_tracker, issue_counts, issues_for,
 )

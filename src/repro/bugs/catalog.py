@@ -21,8 +21,9 @@ which is what gives Figure 1 its shape.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..debuginfo.categories import HOLLOW, INCOMPLETE, INCORRECT, MISSING
 from .defects import (
@@ -344,6 +345,28 @@ HISTORICAL_DEFECTS: List[Defect] = [
 def issues_for(system: str) -> List[CatalogIssue]:
     """Catalog issues filed against one system (gcc/clang/gdb/lldb)."""
     return [i for i in ISSUES if i.system == system]
+
+
+def issue_counts(issues: Optional[Sequence[CatalogIssue]] = None
+                 ) -> Dict[str, object]:
+    """Aggregate counts over the catalog (Table 3's margins).
+
+    Returns ``total`` plus per-``system``, per-``status``,
+    per-``conjecture``, and per-``category`` count dicts (debugger-side
+    issues carry no DWARF category and are left out of ``category``).
+    The Table 3 renderer (:func:`repro.report.tables.table3`) and the
+    benchmark assertions both read the catalog through this one view.
+    """
+    if issues is None:
+        issues = ISSUES
+    return {
+        "total": len(issues),
+        "system": dict(Counter(i.system for i in issues)),
+        "status": dict(Counter(i.status for i in issues)),
+        "conjecture": dict(Counter(i.conjecture for i in issues)),
+        "category": dict(Counter(i.category for i in issues
+                                 if i.category is not None)),
+    }
 
 
 def defects_for_family(family: str) -> List[Defect]:

@@ -100,16 +100,12 @@ class StudyResult:
         return self.cells[(version, level)]
 
     def format_table(self, metric: str = "availability") -> str:
-        versions = sorted({v for v, _l in self.cells})
-        levels = sorted({l for _v, l in self.cells})
-        rows = ["version  " + "  ".join(f"{l:>6}" for l in levels)]
-        for version in versions:
-            vals = []
-            for level in levels:
-                m = self.cells.get((version, level))
-                vals.append(f"{getattr(m, metric):6.3f}" if m else "     -")
-            rows.append(f"{version:>7}  " + "  ".join(vals))
-        return "\n".join(rows)
+        """One Figure 1 panel as fixed-width text (rendered through
+        :func:`repro.report.fig1_table`, the same code path as
+        ``repro-report fig1``)."""
+        from ..report.renderers import render
+        from ..report.tables import fig1_table
+        return render(fig1_table(self, metric), "text")
 
     # -- serialization -------------------------------------------------------
 
@@ -126,6 +122,8 @@ class StudyResult:
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
+        """The ``repro-study/1`` artifact document (field-by-field spec
+        in ``docs/ARTIFACTS.md``); ``repro-report fig1`` renders it."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
@@ -144,6 +142,8 @@ class StudyResult:
 
     @classmethod
     def from_json(cls, text: str) -> "StudyResult":
+        """Load a stored ``repro-study/1`` artifact (see
+        ``docs/ARTIFACTS.md``)."""
         return cls.from_dict(json.loads(text))
 
 

@@ -12,6 +12,26 @@ changed anything. The :class:`PassManager` runs a pipeline honoring:
   salvage debug information; an active defect answering True makes the
   pass skip (or corrupt) that provision, exactly the "lack of internal
   design provisions" failure mode the paper describes.
+
+Usage — run a custom pipeline over a lowered module::
+
+    from repro.analysis import resolve
+    from repro.compilers.pipelines import pipeline_for
+    from repro.fuzz import generate_validated
+    from repro.ir.lower import lower_program
+    from repro.passes.base import PassManager
+
+    program = generate_validated(seed=7)
+    module = lower_program(program, resolve(program))
+    pipeline = pipeline_for("gcc", "O2", version_index=4)  # trunk
+    manager = PassManager(pipeline, disabled=("tree-ccp",))  # -fno-...
+    report = manager.run(module, level="O2", family="gcc")
+    print(report.applied, report.skipped_disabled)
+
+A new pass subclasses :class:`Pass`, overrides ``run`` (or the
+per-function hook it calls), asks ``ctx.fires`` before dropping any
+debug provision, and is added to the family's pipeline in
+:mod:`repro.compilers.pipelines`.
 """
 
 from __future__ import annotations

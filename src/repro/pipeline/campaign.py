@@ -212,6 +212,9 @@ class CampaignResult:
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
+        """The ``repro-campaign/1`` artifact document (every field is
+        specified in ``docs/ARTIFACTS.md``); render it with
+        ``repro-report`` or :mod:`repro.report`."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
@@ -229,32 +232,40 @@ class CampaignResult:
 
     @classmethod
     def from_json(cls, text: str) -> "CampaignResult":
+        """Load a stored ``repro-campaign/1`` artifact (see
+        ``docs/ARTIFACTS.md``; :func:`repro.report.load_artifact`
+        dispatches over every schema)."""
         return cls.from_dict(json.loads(text))
 
     # -- reporting ---------------------------------------------------------------
+    # The rendering logic lives in repro.report; these shims survive one
+    # deprecation cycle for callers of the original methods.
 
     def format_table1(self) -> str:
-        """Table 1 as fixed-width text (levels + the unique row)."""
-        rows = ["{:>8}  ".format("level") +
-                "  ".join(f"{c:>5}" for c in CONJECTURES)]
-        table = self.table1()
-        for level in list(self.levels) + ["unique"]:
-            row = table[level]
-            rows.append(f"{level:>8}  " +
-                        "  ".join(f"{row[c]:>5}" for c in CONJECTURES))
-        return "\n".join(rows)
+        """Deprecated: use :func:`repro.report.format_table1_text` (or
+        any renderer over :func:`repro.report.table1`)."""
+        import warnings
+
+        from ..report.tables import format_table1_text
+        warnings.warn(
+            "CampaignResult.format_table1 is deprecated; use "
+            "repro.report.format_table1_text (or render "
+            "repro.report.table1 with any renderer)",
+            DeprecationWarning, stacklevel=2)
+        return format_table1_text(self)
 
     def format_venn(self, exclude: Sequence[str] = ("Oz",)) -> str:
-        """Figure 2/3 Venn regions as text, largest region first."""
-        regions = self.venn(exclude=exclude)
-        if not regions:
-            return "(no unique violations)"
-        rows = []
-        for levels, count in sorted(
-                regions.items(),
-                key=lambda item: (-item[1], sorted(item[0]))):
-            rows.append(f"{'+'.join(sorted(levels)):>20}  {count:>5}")
-        return "\n".join(rows)
+        """Deprecated: use :func:`repro.report.format_venn_text` (or
+        any renderer over :func:`repro.report.venn_table`)."""
+        import warnings
+
+        from ..report.figures import format_venn_text
+        warnings.warn(
+            "CampaignResult.format_venn is deprecated; use "
+            "repro.report.format_venn_text (or render "
+            "repro.report.venn_table with any renderer)",
+            DeprecationWarning, stacklevel=2)
+        return format_venn_text(self, exclude=exclude)
 
 
 def merge_results(results: Iterable[CampaignResult]) -> CampaignResult:

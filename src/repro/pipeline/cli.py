@@ -8,9 +8,12 @@ and Venn-region summaries::
         --output campaign-gcc.json
 
 Artifacts are plain :meth:`CampaignResult.to_json` documents
-(``repro-campaign/1`` schema); reload them with
-``CampaignResult.from_json(path.read_text())`` to compare campaigns
-across runs or machines.
+(``repro-campaign/1`` schema, specified in ``docs/ARTIFACTS.md``);
+reload them with ``CampaignResult.from_json(path.read_text())`` to
+compare campaigns across runs or machines, render them later with
+``repro-report``, or pass ``--report DIR`` to materialize the
+Markdown/HTML/CSV paper deliverables (plus a ``repro-report/1``
+manifest) in the same run.
 """
 
 from __future__ import annotations
@@ -84,9 +87,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the campaign artifact JSON here")
     parser.add_argument("--indent", type=int, default=2,
                         help="artifact JSON indentation (default: 2)")
+    parser.add_argument("--report", metavar="DIR",
+                        help="render the paper deliverables (Table 1/4, "
+                             "Venn, Figure 4) plus a manifest.json into "
+                             "this directory")
+    parser.add_argument("--report-formats", type=_parse_formats_csv,
+                        default=None, metavar="FMT[,FMT]",
+                        help="formats for --report "
+                             "(default: md,html,csv)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the summary tables")
     return parser
+
+
+def _parse_formats_csv(text: str):
+    from ..report.cli import _parse_formats
+    return _parse_formats(text)
+
+
+def _write_report(result, args) -> None:
+    """Materialize the deliverables of a finished run (--report DIR)."""
+    from ..report.manifest import render_all
+    from ..report.renderers import DEFAULT_FORMATS
+    render_all([result], args.report,
+               formats=args.report_formats or DEFAULT_FORMATS)
+    if not args.quiet:
+        print(f"report written to {args.report}/manifest.json")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -123,6 +149,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             handle.write("\n")
 
     if not args.quiet:
+        from ..report import format_table1_text, format_venn_text
         mode = "serial" if args.serial or workers <= 1 else \
             f"{workers} workers"
         rate = result.pool_size / elapsed if elapsed > 0 else 0.0
@@ -132,13 +159,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"elapsed: {elapsed:.2f}s ({rate:.2f} programs/sec)")
         print()
         print("Table 1 — violations per optimization level")
-        print(result.format_table1())
+        print(format_table1_text(result))
         print()
         print("Venn regions — unique violations per exact level set")
-        print(result.format_venn())
+        print(format_venn_text(result))
         if args.output:
             print()
             print(f"artifact written to {args.output}")
+    if args.report:
+        _write_report(result, args)
     return 0
 
 
@@ -181,6 +210,8 @@ def _run_matrix(parser: argparse.ArgumentParser, args) -> int:
         if args.output:
             print()
             print(f"artifact written to {args.output}")
+    if args.report:
+        _write_report(result, args)
     return 0
 
 

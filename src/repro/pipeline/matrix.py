@@ -145,6 +145,8 @@ class MatrixCampaignResult:
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
+        """The ``repro-matrix/1`` artifact document (field-by-field
+        spec in ``docs/ARTIFACTS.md``)."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
@@ -166,16 +168,20 @@ class MatrixCampaignResult:
 
     @classmethod
     def from_json(cls, text: str) -> "MatrixCampaignResult":
+        """Load a stored ``repro-matrix/1`` artifact (see
+        ``docs/ARTIFACTS.md``)."""
         return cls.from_dict(json.loads(text))
 
     # -- reporting ------------------------------------------------------------
 
     def format_summary(self) -> str:
+        """Per-cell Table 1 summaries as fixed-width console text."""
+        from ..report.tables import format_table1_text
         rows = []
         for family, version, debugger in self.cell_keys():
             campaign = self.cells[(family, version, debugger)]
             rows.append(f"== {family}-{version} x {debugger} ==")
-            rows.append(campaign.format_table1())
+            rows.append(format_table1_text(campaign))
             rows.append("")
         return "\n".join(rows).rstrip()
 

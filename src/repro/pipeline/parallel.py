@@ -20,6 +20,11 @@ Design invariants (pinned by ``tests/test_parallel_campaign.py``):
 * **Exact study reduction** — the sharded study concatenates per-shard,
   per-program metric lists in seed order and averages left to right, the
   same float operations in the same order as the serial run.
+
+Merged results serialize to the same ``repro-campaign/1`` /
+``repro-matrix/1`` / ``repro-study/1`` artifacts as the serial drivers
+(``docs/ARTIFACTS.md``), so anything a worker fleet produces renders
+through :mod:`repro.report` unchanged.
 """
 
 from __future__ import annotations

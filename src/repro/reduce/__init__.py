@@ -1,3 +1,33 @@
-"""Violation-preserving test-case reduction (C-Reduce analogue)."""
+"""Violation-preserving test-case reduction (C-Reduce analogue, §4.4).
+
+Given a program whose compilation violates a conjecture, the
+:class:`Reducer` greedily shrinks it while an oracle guarantees the
+reduced witness still reproduces the *same* loss through the *same*
+culprit optimization — see :mod:`repro.reduce.reducer` for the three
+oracle conditions and the transformation list.
+
+Usage::
+
+    from repro import Compiler, GdbLike, SourceFacts, check_all
+    from repro.fuzz import generate_validated
+    from repro.reduce import Reducer
+    from repro.triage import triage
+
+    program = generate_validated(seed=7)
+    compiler, debugger, level = Compiler("gcc", "trunk"), GdbLike(), "O2"
+    facts = SourceFacts(program)
+    trace = debugger.trace(compiler.compile(program, level).exe)
+    violation = check_all(facts, trace)[0]
+    culprit = triage(compiler, program, level, debugger, violation).culprit
+
+    reducer = Reducer(compiler, level, debugger, violation,
+                      culprit_flag=culprit)
+    result = reducer.reduce(program)
+    # result.program is the minimized witness AST;
+    # result.reduction_ratio how much of the program went away.
+
+``examples/find_and_triage_bugs.py`` runs the full fuzz → check →
+triage → reduce loop end to end.
+"""
 
 from .reducer import ReductionResult, Reducer

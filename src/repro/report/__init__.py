@@ -1,0 +1,46 @@
+"""Paper-artifact reporting: render stored results as the paper's
+tables and figure data.
+
+The campaign/matrix/study drivers produce JSON artifacts (schemas
+``repro-campaign/1``, ``repro-matrix/1``, ``repro-study/1``,
+``repro-triage/1`` — see ``docs/ARTIFACTS.md``); this package turns
+them into the deliverables the paper reports:
+
+* Table 1 (violations per compiler x level), Table 2 (triage culprits),
+  Table 3 (the issue catalog), Table 4 (version regressions);
+* Figure 1 study grids, Figure 2/3 Venn region counts, Figure 4's
+  per-program grid rows;
+
+each as Markdown, self-contained HTML, CSV, or fixed-width text through
+one :class:`~repro.report.renderers.Renderer` protocol. The
+``repro-report`` console script (:mod:`repro.report.cli`) and
+``repro-campaign --report`` are thin shells over these functions.
+
+>>> from repro.report import load_artifact_file, render, table1
+>>> campaign = load_artifact_file("tests/data/campaign_artifact_v1.json")
+>>> render(table1(campaign), "md").splitlines()[0]
+'## Table 1 — conjecture violations (gcc-trunk, 5 programs)'
+"""
+
+from .figures import (
+    DEFAULT_VENN_EXCLUDE, fig4_table, format_venn_text, venn_regions,
+    venn_table,
+)
+from .manifest import (
+    DELIVERABLE_TITLES, REPORT_SCHEMA, deliverables_for,
+    describe_artifact, matrix_cell_tables, render_all,
+)
+from .model import (
+    TRIAGE_SCHEMA, Artifact, TriageSummary, load_artifact,
+    load_artifact_file,
+)
+from .renderers import (
+    DEFAULT_FORMATS, RENDERERS, CsvRenderer, HtmlRenderer,
+    MarkdownRenderer, Renderer, TextRenderer, get_renderer, render,
+    render_many,
+)
+from .table import Table, format_cell
+from .tables import (
+    STUDY_METRICS, fig1_table, fig1_tables, format_table1_text, table1,
+    table2, table3, table4,
+)

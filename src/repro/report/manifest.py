@@ -1,0 +1,171 @@
+"""Materialize every renderable deliverable plus a ``repro-report/1``
+manifest.
+
+:func:`render_all` is the engine behind ``repro-report all`` and
+``repro-campaign --report``: given any mix of loaded artifacts it works
+out which paper deliverables the inputs can feed (see
+:func:`deliverables_for`), renders each one in every requested format,
+writes the files into an output directory, and records them in a
+``manifest.json`` with schema tag ``repro-report/1`` (documented field
+by field in ``docs/ARTIFACTS.md``).
+
+The manifest is deterministic — file digests but no timestamps — so two
+runs over the same artifact produce identical trees, and a stored
+manifest can be re-verified against its files later.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..metrics.study import StudyResult
+from ..pipeline.campaign import CampaignResult
+from ..pipeline.matrix import MatrixCampaignResult
+from .figures import fig4_table, venn_table
+from .model import Artifact, TriageSummary
+from .renderers import DEFAULT_FORMATS, get_renderer
+from .table import Table
+from .tables import fig1_tables, table1, table2, table3, table4
+
+#: Manifest schema tag; bump only with a migration path for readers.
+REPORT_SCHEMA = "repro-report/1"
+
+#: deliverable id -> document title used for multi-table renderings.
+DELIVERABLE_TITLES = {
+    "table1": "Table 1 — conjecture violations per level",
+    "table2": "Table 2 — culprit optimizations",
+    "table3": "Table 3 — reported issues",
+    "table4": "Table 4 — violations across versions",
+    "fig1": "Figure 1 — quantitative study",
+    "venn": "Figures 2/3 — Venn regions",
+    "fig4": "Figure 4 — violations per program",
+}
+
+#: Rendering order of deliverables in ``manifest.json``.
+DELIVERABLE_ORDER = tuple(DELIVERABLE_TITLES)
+
+
+def matrix_cell_tables(matrix: MatrixCampaignResult, builder,
+                       **kwargs) -> List[Table]:
+    """Per-cell tables with the (family, version, debugger) cell named
+    in the title, since the per-campaign builders cannot know the
+    debugger dimension. Shared by ``render_all`` and the CLI so both
+    label cells identically."""
+    tables = []
+    for family, version, debugger in matrix.cell_keys():
+        table = builder(matrix.cells[(family, version, debugger)],
+                        **kwargs)
+        table.title += f" [{family}-{version} x {debugger}]"
+        tables.append(table)
+    return tables
+
+
+def deliverables_for(artifact: Artifact
+                     ) -> List[Tuple[str, List[Table]]]:
+    """Which deliverables one artifact can feed, as (id, tables) pairs."""
+    if isinstance(artifact, CampaignResult):
+        return [
+            ("table1", [table1(artifact)]),
+            ("table4", [table4([artifact])]),
+            ("venn", [venn_table(artifact)]),
+            ("fig4", [fig4_table(artifact)]),
+        ]
+    if isinstance(artifact, MatrixCampaignResult):
+        return [
+            ("table1", matrix_cell_tables(artifact, table1)),
+            ("table4", [table4(artifact)]),
+            ("venn", matrix_cell_tables(artifact, venn_table)),
+            ("fig4", matrix_cell_tables(artifact, fig4_table)),
+        ]
+    if isinstance(artifact, StudyResult):
+        return [("fig1", fig1_tables(artifact))]
+    if isinstance(artifact, TriageSummary):
+        return [("table2", [table2(artifact)])]
+    raise TypeError(f"not a renderable artifact: "
+                    f"{type(artifact).__name__}")
+
+
+def describe_artifact(artifact: Artifact) -> Dict[str, object]:
+    """The manifest's source descriptor for one input artifact."""
+    if isinstance(artifact, CampaignResult):
+        return {"schema": "repro-campaign/1",
+                "family": artifact.family, "version": artifact.version,
+                "pool_size": artifact.pool_size}
+    if isinstance(artifact, MatrixCampaignResult):
+        return {"schema": "repro-matrix/1",
+                "pool_size": artifact.pool_size,
+                "cells": ["{}-{} x {}".format(*key)
+                          for key in artifact.cell_keys()]}
+    if isinstance(artifact, StudyResult):
+        return {"schema": "repro-study/1",
+                "pool_size": artifact.pool_size,
+                "cells": ["{}/{}".format(*key)
+                          for key in sorted(artifact.cells)]}
+    if isinstance(artifact, TriageSummary):
+        return {"schema": "repro-triage/1", "family": artifact.family,
+                "method": artifact.method}
+    raise TypeError(f"not a renderable artifact: "
+                    f"{type(artifact).__name__}")
+
+
+def render_all(artifacts: Sequence[Artifact], out_dir: str,
+               formats: Sequence[str] = DEFAULT_FORMATS,
+               include_catalog: bool = True,
+               manifest_name: Optional[str] = "manifest.json"
+               ) -> Dict[str, object]:
+    """Render every deliverable the artifacts feed; return the manifest.
+
+    Writes ``<deliverable>.<ext>`` per format into ``out_dir`` (created
+    if missing) plus ``manifest.json``; Table 3 is always renderable
+    because the issue catalog ships with the package
+    (``include_catalog=False`` drops it).
+    """
+    grouped: Dict[str, List[Table]] = {}
+    for artifact in artifacts:
+        for deliverable, tables in deliverables_for(artifact):
+            grouped.setdefault(deliverable, []).extend(tables)
+    if include_catalog:
+        grouped.setdefault("table3", []).extend([table3()])
+
+    os.makedirs(out_dir, exist_ok=True)
+    reports: List[Dict[str, object]] = []
+    for deliverable in DELIVERABLE_ORDER:
+        tables = grouped.get(deliverable)
+        if not tables:
+            continue
+        for fmt in formats:
+            renderer = get_renderer(fmt)
+            title = (DELIVERABLE_TITLES[deliverable]
+                     if len(tables) > 1 else None)
+            text = renderer.render_many(tables, title=title)
+            if not text.endswith("\n"):
+                text += "\n"
+            name = f"{deliverable}.{renderer.extension}"
+            path = os.path.join(out_dir, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            payload = text.encode("utf-8")
+            reports.append({
+                "deliverable": deliverable,
+                "format": renderer.format,
+                "path": name,
+                "bytes": len(payload),
+                "sha256": hashlib.sha256(payload).hexdigest(),
+                "tables": [t.title for t in tables],
+            })
+
+    manifest: Dict[str, object] = {
+        "schema": REPORT_SCHEMA,
+        "formats": [get_renderer(fmt).format for fmt in formats],
+        "sources": [describe_artifact(a) for a in artifacts],
+        "reports": reports,
+    }
+    if manifest_name:
+        manifest_path = os.path.join(out_dir, manifest_name)
+        with open(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return manifest

@@ -1,0 +1,149 @@
+"""Artifact loading and the triage-summary artifact.
+
+:func:`load_artifact` is the single entry point that turns any stored
+repro JSON document back into its typed result — it sniffs the
+``schema`` tag and dispatches to the owning class:
+
+========================  =============================================
+``repro-campaign/1``      :class:`~repro.pipeline.campaign.CampaignResult`
+``repro-matrix/1``        :class:`~repro.pipeline.matrix.MatrixCampaignResult`
+``repro-study/1``         :class:`~repro.metrics.study.StudyResult`
+``repro-triage/1``        :class:`TriageSummary` (defined here)
+========================  =============================================
+
+Every schema is documented field by field in ``docs/ARTIFACTS.md``.
+
+:class:`TriageSummary` is the aggregate Table 2 renders: culprit
+optimization counts per conjecture, plus how many violations the method
+triaged or failed on. It accumulates
+:class:`~repro.triage.triage.TriageResult` values (``add``), merges
+across shards like the campaign results (``merge``), and round-trips
+through JSON (schema ``repro-triage/1``) so a triage run can be stored
+next to its campaign artifact and re-rendered later.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Union
+
+from ..metrics.study import STUDY_SCHEMA, StudyResult
+from ..pipeline.campaign import CAMPAIGN_SCHEMA, CampaignResult
+from ..pipeline.matrix import MATRIX_SCHEMA, MatrixCampaignResult
+from ..triage.triage import TriageResult
+
+#: Artifact schema tag; bump only with a migration path in ``from_dict``.
+TRIAGE_SCHEMA = "repro-triage/1"
+
+
+@dataclass
+class TriageSummary:
+    """Culprit counts per conjecture — the value behind Table 2."""
+
+    family: str
+    method: str                       # "flags" | "bisect"
+    #: conjecture -> culprit pass/flag -> count
+    counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    triaged: int = 0
+    failed: int = 0
+
+    def add(self, result: TriageResult) -> None:
+        """Fold one :class:`TriageResult` into the summary."""
+        if result.failed:
+            self.failed += 1
+            return
+        self.triaged += 1
+        per_conjecture = self.counts.setdefault(
+            result.violation.conjecture, {})
+        per_conjecture[result.culprit] = \
+            per_conjecture.get(result.culprit, 0) + 1
+
+    def merge(self, other: "TriageSummary") -> "TriageSummary":
+        """Combine two shard summaries (same family and method)."""
+        if (self.family, self.method) != (other.family, other.method):
+            raise ValueError(
+                f"cannot merge triage summaries of different runs: "
+                f"{self.family}/{self.method} vs "
+                f"{other.family}/{other.method}")
+        merged = TriageSummary(
+            family=self.family, method=self.method,
+            triaged=self.triaged + other.triaged,
+            failed=self.failed + other.failed)
+        for source in (self.counts, other.counts):
+            for conjecture, culprits in source.items():
+                out = merged.counts.setdefault(conjecture, {})
+                for culprit, count in culprits.items():
+                    out[culprit] = out.get(culprit, 0) + count
+        return merged
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": TRIAGE_SCHEMA,
+            "family": self.family,
+            "method": self.method,
+            "triaged": self.triaged,
+            "failed": self.failed,
+            "counts": {conjecture: dict(sorted(culprits.items()))
+                       for conjecture, culprits
+                       in sorted(self.counts.items())},
+        }
+
+    def to_json(self, indent=None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TriageSummary":
+        schema = data.get("schema")
+        if schema != TRIAGE_SCHEMA:
+            raise ValueError(
+                f"not a triage artifact: schema {schema!r} "
+                f"(expected {TRIAGE_SCHEMA!r})")
+        return cls(
+            family=data["family"], method=data["method"],
+            triaged=data["triaged"], failed=data["failed"],
+            counts={conjecture: dict(culprits)
+                    for conjecture, culprits in data["counts"].items()})
+
+    @classmethod
+    def from_json(cls, text: str) -> "TriageSummary":
+        return cls.from_dict(json.loads(text))
+
+
+#: Anything :func:`load_artifact` can give back.
+Artifact = Union[CampaignResult, MatrixCampaignResult, StudyResult,
+                 TriageSummary]
+
+_LOADERS = {
+    CAMPAIGN_SCHEMA: CampaignResult.from_dict,
+    MATRIX_SCHEMA: MatrixCampaignResult.from_dict,
+    STUDY_SCHEMA: StudyResult.from_dict,
+    TRIAGE_SCHEMA: TriageSummary.from_dict,
+}
+
+
+def load_artifact(text: Union[str, Dict[str, object]]) -> Artifact:
+    """Parse any repro artifact by its ``schema`` tag.
+
+    Accepts the JSON text (or an already-parsed dict) of any schema in
+    ``docs/ARTIFACTS.md`` and returns the matching typed result.
+    """
+    data = json.loads(text) if isinstance(text, str) else text
+    if not isinstance(data, dict):
+        raise ValueError(f"not a repro artifact: {type(data).__name__} "
+                         f"instead of a JSON object")
+    schema = data.get("schema")
+    loader = _LOADERS.get(schema)
+    if loader is None:
+        raise ValueError(
+            f"unknown artifact schema {schema!r} "
+            f"(known: {', '.join(sorted(_LOADERS))})")
+    return loader(data)
+
+
+def load_artifact_file(path: str) -> Artifact:
+    """:func:`load_artifact` over a file path."""
+    with open(path, encoding="utf-8") as handle:
+        return load_artifact(handle.read())

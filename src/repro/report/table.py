@@ -1,0 +1,80 @@
+"""The renderer-independent table value every deliverable reduces to.
+
+A :class:`Table` is a plain value — a title, a header row, and a list of
+body rows — produced by the builders in :mod:`repro.report.tables` and
+:mod:`repro.report.figures` and consumed by every renderer in
+:mod:`repro.report.renderers`. Keeping the intermediate value dumb is
+what guarantees the paper deliverables look the same whether they come
+out of the ``repro-report`` CLI, the ``--report`` flag of
+``repro-campaign``, or a benchmark printing its results: they all pass
+through the same ``Table``.
+
+Cells may be strings, ints, or floats; :func:`format_cell` is the single
+place numeric formatting happens (ints verbatim, floats to four
+decimals), so Markdown, HTML, and CSV output agree digit for digit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+#: A table cell before formatting.
+Cell = object  # str | int | float
+
+
+def format_cell(cell: Cell) -> str:
+    """Canonical text of one cell (shared by every renderer)."""
+    if isinstance(cell, bool):  # bool is an int subclass; be explicit
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+@dataclass
+class Table:
+    """One paper deliverable (or one panel of it) as plain data."""
+
+    #: Human-readable title, e.g. ``"Table 1 — gcc-trunk"``.
+    title: str
+    #: Header labels, one per column.
+    columns: List[str]
+    #: Body rows; each row has ``len(columns)`` cells.
+    rows: List[List[Cell]] = field(default_factory=list)
+    #: Optional caption (provenance, methodology note).
+    note: str = ""
+    #: Stable machine id (``table1``, ``venn``, ...) used for file names.
+    kind: str = ""
+    #: Fixed column widths for the legacy text renderer (optional).
+    text_widths: Optional[Sequence[int]] = None
+    #: The legacy text format of Venn regions has no header row.
+    text_header: bool = True
+    #: Text to emit when there are no body rows (text renderer only).
+    empty_text: str = ""
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"table {self.title!r}: row {row!r} has {len(row)} "
+                    f"cells, expected {len(self.columns)}")
+
+    def formatted_rows(self) -> List[List[str]]:
+        """Body rows with every cell through :func:`format_cell`."""
+        return [[format_cell(cell) for cell in row] for row in self.rows]
+
+    def column_index(self, label: str) -> int:
+        return self.columns.index(label)
+
+    def lookup(self, row_key: str, column: str,
+               key_column: int = 0) -> Cell:
+        """The cell at (first row whose ``key_column`` equals
+        ``row_key``, ``column``) — how tests and benchmarks assert
+        *through* the report layer instead of around it."""
+        col = self.column_index(column)
+        for row in self.rows:
+            if format_cell(row[key_column]) == row_key:
+                return row[col]
+        raise KeyError(f"no row keyed {row_key!r} in table "
+                       f"{self.title!r}")

@@ -1,0 +1,210 @@
+"""Builders for the paper's tables (Table 1-4) as report values.
+
+Each builder consumes a typed artifact (or the in-repo issue catalog)
+and produces a :class:`~repro.report.table.Table`; pair it with any
+renderer from :mod:`repro.report.renderers`::
+
+    from repro.report import load_artifact_file, render, table1
+
+    campaign = load_artifact_file("campaign-gcc.json")
+    print(render(table1(campaign), "md"))
+
+``format_table1_text``/``format_venn_text`` reproduce the exact
+fixed-width strings the deprecated ``CampaignResult.format_table1`` /
+``format_venn`` methods emitted — those methods now delegate here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..bugs.catalog import ISSUES, CatalogIssue, issue_counts
+from ..conjectures.base import CONJECTURES
+from ..metrics.study import StudyResult
+from ..pipeline.campaign import CampaignResult
+from ..pipeline.matrix import MatrixCampaignResult
+from .model import TriageSummary
+from .renderers import render
+from .table import Table
+
+# -- Table 1 ------------------------------------------------------------------
+
+
+def table1(campaign: CampaignResult) -> Table:
+    """Violations per optimization level, plus the deduplicated row."""
+    counts = campaign.table1()
+    rows: List[List[object]] = []
+    for level in list(campaign.levels) + ["unique"]:
+        rows.append([level] + [counts[level][c] for c in CONJECTURES])
+    return Table(
+        title=(f"Table 1 — conjecture violations "
+               f"({campaign.family}-{campaign.version}, "
+               f"{campaign.pool_size} programs)"),
+        columns=["level"] + list(CONJECTURES),
+        rows=rows,
+        note=("Violations per optimization level; the 'unique' row "
+              "deduplicates by (conjecture, line, variable) across "
+              "levels."),
+        kind="table1",
+        text_widths=(8,) + (5,) * len(CONJECTURES),
+    )
+
+
+def format_table1_text(campaign: CampaignResult) -> str:
+    """The legacy fixed-width Table 1 text, byte for byte."""
+    return render(table1(campaign), "text")
+
+
+# -- Table 2 ------------------------------------------------------------------
+
+
+def table2(summary: TriageSummary, top: Optional[int] = None) -> Table:
+    """Triaged culprit optimizations per conjecture (Section 5.2)."""
+    rows: List[List[object]] = []
+    for conjecture in CONJECTURES:
+        culprits = summary.counts.get(conjecture, {})
+        ranked = sorted(culprits.items(),
+                        key=lambda item: (-item[1], item[0]))
+        if top is not None:
+            ranked = ranked[:top]
+        for culprit, count in ranked:
+            rows.append([conjecture, culprit, count])
+    method = ("-fno-<flag> search" if summary.method == "flags"
+              else "opt-bisect-limit")
+    return Table(
+        title=f"Table 2 — culprit optimizations "
+              f"({summary.family}, {method})",
+        columns=["conjecture", "culprit", "count"],
+        rows=rows,
+        note=(f"{summary.triaged} violations triaged, "
+              f"{summary.failed} method failures."),
+        kind="table2",
+    )
+
+
+# -- Table 3 ------------------------------------------------------------------
+
+
+def table3(issues: Optional[Sequence[CatalogIssue]] = None,
+           system: Optional[str] = None) -> Table:
+    """The reported-issue catalog, in Table 3 order."""
+    if issues is None:
+        issues = ISSUES
+    if system is not None:
+        issues = [i for i in issues if i.system == system]
+    rows: List[List[object]] = [
+        [issue.tracker_id, issue.system, issue.status, issue.conjecture,
+         issue.category or "-", issue.defect.pass_name,
+         "/".join(issue.defect.levels) if issue.defect.levels else "any"]
+        for issue in issues
+    ]
+    counts = issue_counts(issues)
+    per_system = ", ".join(f"{n} {name}" for name, n
+                           in sorted(counts["system"].items()))
+    title = "Table 3 — reported issues"
+    if system is not None:
+        title += f" ({system})"
+    return Table(
+        title=title,
+        columns=["tracker", "system", "status", "conjecture",
+                 "DWARF analysis", "pass", "levels"],
+        rows=rows,
+        note=f"{counts['total']} issues: {per_system}.",
+        kind="table3",
+    )
+
+
+# -- Table 4 ------------------------------------------------------------------
+
+CampaignSet = Union[MatrixCampaignResult, Sequence[CampaignResult]]
+
+
+def _campaign_columns(campaigns: CampaignSet
+                      ) -> List[Tuple[str, CampaignResult]]:
+    """(column label, campaign) pairs for a version-comparison table."""
+    if isinstance(campaigns, MatrixCampaignResult):
+        pairs = []
+        debuggers = {key[2] for key in campaigns.cells}
+        for family, version, debugger in campaigns.cell_keys():
+            label = f"{family}-{version}"
+            if len(debuggers) > 1:
+                label += f" ({debugger})"
+            pairs.append((label,
+                          campaigns.cells[(family, version, debugger)]))
+        return pairs
+    pairs = [(f"{c.family}-{c.version}", c) for c in campaigns]
+    # Two campaigns may legitimately share family-version (e.g. the
+    # same compiler traced under different debuggers); number the
+    # duplicates so Table.lookup never silently answers for the wrong
+    # column.
+    seen: dict = {}
+    labeled = []
+    for label, campaign in pairs:
+        seen[label] = seen.get(label, 0) + 1
+        if seen[label] > 1:
+            label = f"{label} ({seen[label]})"
+        labeled.append((label, campaign))
+    return labeled
+
+
+def table4(campaigns: CampaignSet) -> Table:
+    """Unique violations per conjecture across compiler versions.
+
+    Accepts either a :class:`MatrixCampaignResult` (one column per cell)
+    or any sequence of :class:`CampaignResult` values — e.g. the same
+    fixed pool run through ``gcc-trunk`` and ``gcc-patched`` (the
+    Section 5.4 regression study).
+    """
+    pairs = _campaign_columns(campaigns)
+    if not pairs:
+        raise ValueError("table4 needs at least one campaign")
+    rows: List[List[object]] = []
+    for conjecture in CONJECTURES:
+        rows.append([conjecture] + [campaign.unique_count(conjecture)
+                                    for _label, campaign in pairs])
+    rows.append(["total programs"] + [campaign.pool_size
+                                      for _label, campaign in pairs])
+    return Table(
+        title="Table 4 — unique violations across versions",
+        columns=["conjecture"] + [label for label, _c in pairs],
+        rows=rows,
+        note=("Unique (conjecture, line, variable) violations per "
+              "compiler; columns share the campaign's program pool."),
+        kind="table4",
+    )
+
+
+# -- Figure 1 (study grid) ----------------------------------------------------
+
+STUDY_METRICS = ("line_coverage", "availability", "product")
+
+
+def fig1_table(study: StudyResult, metric: str = "availability") -> Table:
+    """One Figure 1 panel: a (version x level) grid of one metric."""
+    if metric not in STUDY_METRICS:
+        raise ValueError(f"unknown study metric {metric!r} "
+                         f"(known: {', '.join(STUDY_METRICS)})")
+    versions = sorted({v for v, _l in study.cells})
+    levels = sorted({l for _v, l in study.cells})
+    rows: List[List[object]] = []
+    for version in versions:
+        row: List[object] = [version]
+        for level in levels:
+            cell = study.cells.get((version, level))
+            row.append(getattr(cell, metric) if cell else "-")
+        rows.append(row)
+    return Table(
+        title=f"Figure 1 — {metric.replace('_', ' ')} "
+              f"({study.pool_size} programs)",
+        columns=["version"] + levels,
+        rows=rows,
+        note=("Averages over the program pool against each program's "
+              "-O0 baseline trace."),
+        kind=f"fig1_{metric}",
+    )
+
+
+def fig1_tables(study: StudyResult,
+                metrics: Sequence[str] = STUDY_METRICS) -> List[Table]:
+    """All requested Figure 1 panels."""
+    return [fig1_table(study, metric) for metric in metrics]

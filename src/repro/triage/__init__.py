@@ -1,4 +1,33 @@
-"""Culprit-optimization identification (flag search + pass bisection)."""
+"""Culprit-optimization identification (§4.3).
+
+Maps a conjecture violation back to the optimization that caused it,
+with the family's native mechanism: the gcc-style per-flag search
+(:func:`find_culprit_flags`, recompile with each ``-fno-<pass>``) or
+the clang-style bisection (:func:`find_culprit_bisect`, binary-search
+the smallest ``-opt-bisect-limit``). :func:`triage` picks the method by
+compiler family; both return a :class:`TriageResult` whose ``culprit``
+must match the planted defect (``benchmarks/test_table2_triage.py``
+checks exactly that).
+
+Usage::
+
+    from repro import Compiler, GdbLike, SourceFacts, check_all
+    from repro.fuzz import generate_validated
+    from repro.triage import triage
+
+    program = generate_validated(seed=7)
+    compiler, debugger, level = Compiler("gcc", "trunk"), GdbLike(), "O2"
+    facts = SourceFacts(program)
+    trace = debugger.trace(compiler.compile(program, level).exe)
+    for violation in check_all(facts, trace):
+        result = triage(compiler, program, level, debugger, violation,
+                        facts)
+        print(violation, "->", result.culprit or "method failed")
+
+Aggregate many results into a
+:class:`~repro.report.TriageSummary` (schema ``repro-triage/1``) to
+render Table 2 via ``repro-report table2``.
+"""
 
 from .triage import (
     LOW_PRIORITY_FLAGS, TriageResult, find_culprit_bisect,

@@ -1,0 +1,61 @@
+"""The docs gate, in-suite: fenced doctests run and intra-doc links
+resolve (the same checks as the CI ``docs-check`` job, via
+``tools/check_docs.py``)."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CHECKER = os.path.join(REPO_ROOT, "tools", "check_docs.py")
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location("check_docs", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_examples_and_links(check_docs, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    monkeypatch.syspath_prepend(os.path.join(REPO_ROOT, "src"))
+    errors = check_docs.check_all()
+    assert not errors, "\n".join(errors)
+
+
+def test_slug_rules(check_docs):
+    assert check_docs.github_slug("repro.report") == "reproreport"
+    assert check_docs.github_slug("The core loop") == "the-core-loop"
+    assert check_docs.github_slug("Install & test") == "install--test"
+
+
+def test_doctest_blocks_are_found(check_docs):
+    text = "x\n```pycon\n>>> 1 + 1\n2\n```\n```sh\nls\n```\n"
+    blocks = check_docs.doctest_blocks(text)
+    assert len(blocks) == 1 and ">>> 1 + 1" in blocks[0][1]
+
+
+def test_report_module_doctests(monkeypatch):
+    """The ``>>>`` examples in repro.report docstrings stay live (they
+    open the fixture artifact relative to the repo root)."""
+    import doctest
+
+    import repro.report
+    import repro.report.renderers
+
+    monkeypatch.chdir(REPO_ROOT)
+    for module in (repro.report, repro.report.renderers):
+        failures, _tried = doctest.testmod(module, verbose=False)
+        assert failures == 0, f"doctest failures in {module.__name__}"
+
+
+def test_broken_link_detected(check_docs, tmp_path, monkeypatch):
+    # Point the checker at a temp repo with one bad link.
+    monkeypatch.setattr(check_docs, "REPO_ROOT", str(tmp_path))
+    (tmp_path / "README.md").write_text("[x](missing.md)\n")
+    errors = check_docs.check_all()
+    assert errors and "missing.md" in errors[0]

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Documentation checker: executable examples + intra-doc links.
+
+Two gates over ``README.md`` and ``docs/*.md`` (the CI ``docs-check``
+job and ``tests/test_docs.py`` both run them):
+
+* **Doctests** — every fenced code block containing ``>>>`` prompts is
+  executed with :mod:`doctest`; blocks within one file share a
+  namespace, so a later block may use names a former one bound.
+  Examples run from the repository root with ``src`` on ``sys.path``.
+* **Links** — every relative Markdown link must resolve to an existing
+  file, and every ``#anchor`` must match a heading in the target
+  document (GitHub slug rules: lowercase, punctuation stripped, spaces
+  to hyphens).
+
+Exits non-zero with one line per failure.
+"""
+
+from __future__ import annotations
+
+import doctest
+import os
+import re
+import sys
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_FENCE = re.compile(r"^```")
+_LINK = re.compile(r"\[([^\]]*)\]\(([^()\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> List[str]:
+    """README plus every Markdown file under docs/, repo-relative."""
+    files = ["README.md"]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs_dir):
+        files.extend(sorted(
+            os.path.join("docs", name)
+            for name in os.listdir(docs_dir) if name.endswith(".md")))
+    return files
+
+
+def _read(rel_path: str) -> str:
+    with open(os.path.join(REPO_ROOT, rel_path),
+              encoding="utf-8") as handle:
+        return handle.read()
+
+
+# -- doctest extraction -------------------------------------------------------
+
+
+def doctest_blocks(text: str) -> List[Tuple[int, str]]:
+    """(start line, code) of fenced blocks holding ``>>>`` examples."""
+    blocks = []
+    inside = False
+    start = 0
+    buffer: List[str] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if _FENCE.match(line.strip()):
+            if inside:
+                code = "\n".join(buffer)
+                if ">>>" in code:
+                    blocks.append((start, code))
+                inside = False
+            else:
+                inside = True
+                start = number + 1
+                buffer = []
+        elif inside:
+            buffer.append(line)
+    return blocks
+
+
+def run_doctests(rel_path: str) -> List[str]:
+    """Failures from executing one file's example blocks."""
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(verbose=False,
+                                   optionflags=doctest.ELLIPSIS)
+    errors: List[str] = []
+    globs: Dict[str, object] = {}
+    for start, code in doctest_blocks(_read(rel_path)):
+        test = parser.get_doctest(code, globs, f"{rel_path}:{start}",
+                                  rel_path, start)
+        output: List[str] = []
+        runner.run(test, out=output.append, clear_globs=False)
+        if runner.failures:
+            errors.append(
+                f"{rel_path}:{start}: doctest block failed\n"
+                + "".join(output).rstrip())
+            runner = doctest.DocTestRunner(
+                verbose=False, optionflags=doctest.ELLIPSIS)
+        globs = test.globs  # later blocks see earlier bindings
+    return errors
+
+
+# -- link checking ------------------------------------------------------------
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor for a Markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    return slug
+
+
+def anchors_of(text: str) -> Set[str]:
+    anchors = set()
+    inside_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            inside_fence = not inside_fence
+            continue
+        if inside_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(github_slug(match.group(2)))
+    return anchors
+
+
+def _prose_lines(text: str) -> List[str]:
+    """The document's lines with fenced code blocks blanked out (link
+    syntax inside an example is not a rendered link)."""
+    lines = []
+    inside_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            inside_fence = not inside_fence
+            continue
+        lines.append("" if inside_fence else line)
+    return lines
+
+
+def check_links(rel_path: str, text: str) -> List[str]:
+    errors = []
+    base_dir = os.path.dirname(os.path.join(REPO_ROOT, rel_path))
+    for match in _LINK.finditer("\n".join(_prose_lines(text))):
+        target = match.group(2)
+        if target.startswith(_EXTERNAL):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            full = os.path.normpath(os.path.join(base_dir, path_part))
+            if not os.path.exists(full):
+                errors.append(f"{rel_path}: broken link {target!r} "
+                              f"(no such file)")
+                continue
+        else:
+            full = os.path.join(REPO_ROOT, rel_path)
+        if anchor and full.endswith(".md"):
+            rel_target = os.path.relpath(full, REPO_ROOT)
+            if anchor not in anchors_of(_read(rel_target)):
+                errors.append(f"{rel_path}: broken link {target!r} "
+                              f"(no heading for #{anchor})")
+    return errors
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def check_all() -> List[str]:
+    errors: List[str] = []
+    for rel_path in doc_files():
+        errors.extend(run_doctests(rel_path))
+        errors.extend(check_links(rel_path, _read(rel_path)))
+    return errors
+
+
+def main() -> int:
+    # Examples open fixture files relative to the repository root.
+    os.chdir(REPO_ROOT)
+    src = os.path.join(REPO_ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    errors = check_all()
+    for error in errors:
+        print(error)
+    checked = doc_files()
+    if errors:
+        print(f"docs-check: {len(errors)} problem(s) in "
+              f"{len(checked)} file(s)")
+        return 1
+    print(f"docs-check: {len(checked)} file(s) OK "
+          f"({', '.join(checked)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
