@@ -19,7 +19,14 @@ BENCH_CAMPAIGN_PATH = os.environ.get(
     "REPRO_BENCH_CAMPAIGN_OUT",
     os.path.join(os.path.dirname(__file__), "BENCH_campaign.json"))
 
+#: Where the reduction throughput benchmark lands; override with
+#: REPRO_BENCH_REDUCE_OUT.
+BENCH_REDUCE_PATH = os.environ.get(
+    "REPRO_BENCH_REDUCE_OUT",
+    os.path.join(os.path.dirname(__file__), "BENCH_reduce.json"))
+
 _campaign_bench = {}
+_reduce_bench = {}
 
 
 def record_campaign_bench(**fields):
@@ -28,11 +35,19 @@ def record_campaign_bench(**fields):
     _campaign_bench.update(fields)
 
 
+def record_reduce_bench(**fields):
+    """Collect fast-vs-reference reduction timings; written to
+    ``BENCH_reduce.json`` at session end."""
+    _reduce_bench.update(fields)
+
+
 def pytest_sessionfinish(session, exitstatus):
-    if _campaign_bench:
-        with open(BENCH_CAMPAIGN_PATH, "w", encoding="utf-8") as handle:
-            json.dump(_campaign_bench, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+    for data, path in ((_campaign_bench, BENCH_CAMPAIGN_PATH),
+                       (_reduce_bench, BENCH_REDUCE_PATH)):
+        if data:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(data, handle, indent=2, sort_keys=True)
+                handle.write("\n")
 
 
 def pool_size(default):

@@ -1,0 +1,159 @@
+"""BENCH_reduce — candidate throughput of the fast reduction engine vs
+the seed-faithful :class:`~repro.reduce.reference.ReferenceReducer`.
+
+Both engines reduce the same deterministic witness corpus (the first
+violations found scanning seeds from 0, culprit triaged first) over the
+*same* candidate schedule, so the measured difference is pure
+per-candidate machinery: edit/undo instead of per-candidate deep
+copies, one frontend pass instead of three, backend-only compiles over
+module clones, calibrated interpreter fuel instead of burning the full
+500k-step budget on every infinite-loop candidate, and source/
+fingerprint verdict memoization.
+
+Recorded in ``BENCH_reduce.json`` (via conftest's session-finish hook):
+per-engine candidates/sec, the headline ``reduce_speedup`` (fast rate /
+reference rate), the end-to-end ``wall_speedup``, the parallel
+speculation rate, and the oracle-memo hit count.  The floor —
+``min_reduce_speedup`` in ``bench_floor.json``, the tentpole's >= 3x
+acceptance bar — is enforced whenever ``REPRO_BENCH_STRICT`` is not 0.
+The bit-identity of fast / parallel / reference outputs is asserted
+unconditionally: it is the differential guarantee, not a perf number.
+"""
+
+import json
+import os
+import time
+
+from repro import Compiler, GdbLike
+from repro.pipeline import test_program as check_program
+from repro.fuzz import generate_validated
+from repro.reduce import Reducer, ReferenceReducer
+from repro.triage import triage
+
+from conftest import banner, record_reduce_bench
+
+CPUS = os.cpu_count() or 1
+
+FLOOR_PATH = os.path.join(os.path.dirname(__file__), "bench_floor.json")
+
+#: Waivable on noisy shared runners; the JSON is still emitted.
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+
+#: Witnesses reduced per engine (first found scanning seeds from 0).
+WITNESSES = int(os.environ.get("REPRO_BENCH_REDUCE_WITNESSES", "4"))
+
+
+def _witness_corpus(count):
+    """The first ``count`` (seed, level, violation, culprit) witnesses,
+    culprits triaged with the family's native method."""
+    compiler = Compiler("gcc", "trunk")
+    debugger = GdbLike()
+    corpus = []
+    for seed in range(200):
+        program = generate_validated(seed)
+        per_level = check_program(program, compiler, debugger)
+        for level, violations in per_level.items():
+            if violations:
+                violation = violations[0]
+                culprit = triage(compiler, program, level, debugger,
+                                 violation).culprit
+                corpus.append((seed, level, violation, culprit))
+                break
+        if len(corpus) >= count:
+            break
+    assert len(corpus) == count, f"only {len(corpus)} witnesses found"
+    return compiler, debugger, corpus
+
+
+def test_reduce_fast_vs_reference(benchmark):
+    compiler, debugger, corpus = _witness_corpus(WITNESSES)
+    workers = min(4, max(2, CPUS))
+    totals = {"reference": [0, 0.0], "fast": [0, 0.0],
+              "parallel": [0, 0.0]}
+    memo_hits = 0
+
+    def run():
+        nonlocal memo_hits
+        memo_hits = 0
+        for engine in totals:
+            totals[engine] = [0, 0.0]
+        outputs = []
+        for seed, level, violation, culprit in corpus:
+            program = generate_validated(seed)
+
+            reference = ReferenceReducer(compiler, level, debugger,
+                                         violation, culprit_flag=culprit)
+            started = time.perf_counter()
+            ref_result = reference.reduce(program)
+            totals["reference"][0] += ref_result.steps_tried
+            totals["reference"][1] += time.perf_counter() - started
+
+            fast = Reducer(compiler, level, debugger, violation,
+                           culprit_flag=culprit)
+            started = time.perf_counter()
+            fast_result = fast.reduce(program)
+            totals["fast"][0] += fast_result.steps_tried
+            totals["fast"][1] += time.perf_counter() - started
+            memo_hits += fast_result.stats.memo_hits
+
+            speculative = Reducer(compiler, level, debugger, violation,
+                                  culprit_flag=culprit)
+            started = time.perf_counter()
+            par_result = speculative.reduce_parallel(program,
+                                                     workers=workers)
+            totals["parallel"][0] += par_result.steps_tried
+            totals["parallel"][1] += time.perf_counter() - started
+
+            outputs.append((seed, ref_result, fast_result, par_result))
+        return outputs
+
+    outputs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # The differential guarantee: fast, parallel, and reference land on
+    # the same reduced program via the same accepted edits.
+    for seed, ref_result, fast_result, par_result in outputs:
+        assert fast_result.source == ref_result.source, seed
+        assert fast_result.accepted == ref_result.accepted, seed
+        assert fast_result.steps_tried == ref_result.steps_tried, seed
+        assert par_result.source == ref_result.source, seed
+        assert par_result.accepted == ref_result.accepted, seed
+
+    rates = {engine: count / seconds if seconds else 0.0
+             for engine, (count, seconds) in totals.items()}
+    reduce_speedup = rates["fast"] / rates["reference"]
+    wall_speedup = totals["reference"][1] / totals["fast"][1]
+    record_reduce_bench(
+        witnesses=WITNESSES,
+        cpus=CPUS,
+        parallel_workers=workers,
+        candidates=totals["fast"][0],
+        reference_candidates=totals["reference"][0],
+        reference_seconds=round(totals["reference"][1], 3),
+        fast_seconds=round(totals["fast"][1], 3),
+        parallel_seconds=round(totals["parallel"][1], 3),
+        reference_candidates_per_sec=round(rates["reference"], 1),
+        fast_candidates_per_sec=round(rates["fast"], 1),
+        parallel_candidates_per_sec=round(rates["parallel"], 1),
+        reduce_speedup=round(reduce_speedup, 2),
+        wall_speedup=round(wall_speedup, 2),
+        memo_hits=memo_hits,
+    )
+
+    print(banner(f"Reduction throughput ({WITNESSES} witnesses, "
+                 f"{CPUS} cpus)"))
+    for engine in ("reference", "fast", "parallel"):
+        count, seconds = totals[engine]
+        print(f"  {engine:10s} {count:5d} candidates {seconds:7.2f}s "
+              f"({rates[engine]:7.1f} candidates/sec)")
+    print(f"  speedup: {reduce_speedup:.2f}x candidates/sec "
+          f"({wall_speedup:.2f}x wall-clock), {memo_hits} memo hits")
+
+    if STRICT:
+        with open(FLOOR_PATH, encoding="utf-8") as handle:
+            floor = json.load(handle)["min_reduce_speedup"]
+        # The tentpole acceptance bar: the fast engine must evaluate
+        # candidates at >= 3x the seed reducer's rate on this corpus.
+        assert reduce_speedup >= floor, \
+            (f"fast reducer only {reduce_speedup:.2f}x over the "
+             f"reference (floor {floor:.1f}x)")
+        assert memo_hits > 0, "oracle memo never hit on the corpus"

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""End-to-end reduction demo: fuzz -> check -> triage -> fast reduce.
+
+Finds the first conjecture violation in the fuzz stream, identifies the
+culprit optimization, and shrinks the witness with the fast reduction
+engine — printing the oracle's per-stage accounting so the compile-once
+batching and verdict memo are visible.  Finally reduces every witness
+of a small campaign through :func:`repro.pipeline.run_reduction_campaign`
+and renders the ``repro-reduce/1`` summary table (what the
+``repro-reduce`` console script does from a stored artifact).
+"""
+
+from repro import (
+    Compiler, GdbLike, Reducer, print_program, run_campaign,
+    run_reduction_campaign, test_program, triage,
+)
+from repro.fuzz import generate_validated
+from repro.report import reduce_table, render
+
+
+def main():
+    compiler = Compiler("gcc", "trunk")
+    debugger = GdbLike()
+
+    print("searching for a conjecture violation...")
+    found = None
+    for seed in range(200):
+        program = generate_validated(seed)
+        for level, violations in test_program(program, compiler,
+                                              debugger).items():
+            if violations:
+                found = (seed, program, level, violations[0])
+                break
+        if found:
+            break
+    assert found is not None, "no violations in 200 programs?"
+    seed, program, level, violation = found
+    print(f"seed {seed}, -{level}: {violation}")
+
+    print("\ntriaging the culprit optimization...")
+    culprit = triage(compiler, program, level, debugger,
+                     violation).culprit
+    print(f"culprit: {culprit!r}")
+
+    print("\nreducing with the fast engine "
+          f"(preserving culprit {culprit!r})...")
+    reducer = Reducer(compiler, level, debugger, violation,
+                      culprit_flag=culprit)
+    result = reducer.reduce(program)
+    print(f"statements: {result.original_size} -> {result.reduced_size} "
+          f"({result.reduction_ratio:.0%} smaller, "
+          f"{result.steps_tried} candidates, "
+          f"{result.steps_accepted} accepted)")
+    stats = reducer.oracle.stats
+    print(f"oracle: {stats.compiles} compiles for {stats.queries} "
+          f"candidates — {stats.frontend_rejects} frontend rejects, "
+          f"{stats.ub_rejects} UB rejects, {stats.memo_hits} memo hits")
+    print("\nreduced reproducer:\n")
+    print(print_program(result.program))
+
+    print("reducing every witness of a 10-program campaign...")
+    campaign = run_campaign(compiler, debugger, pool_size=10)
+    summary = run_reduction_campaign(campaign, limit=3)
+    print(render(reduce_table(summary), "text"))
+
+
+if __name__ == "__main__":
+    main()

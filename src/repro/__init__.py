@@ -43,13 +43,17 @@ from .metrics import (
     run_study_seeds,
 )
 from .pipeline import (
-    CampaignResult, MatrixCampaignResult, classify_violation,
-    dwarf_category, merge_matrix_results, merge_results, run_campaign,
-    run_campaign_on_programs, run_campaign_parallel, run_campaign_seeds,
-    run_matrix_campaign, run_matrix_campaign_parallel, run_matrix_study,
+    CampaignResult, MatrixCampaignResult, ReductionCampaignResult,
+    classify_violation, dwarf_category, merge_matrix_results,
+    merge_results, run_campaign, run_campaign_on_programs,
+    run_campaign_parallel, run_campaign_seeds, run_matrix_campaign,
+    run_matrix_campaign_parallel, run_matrix_study, run_reduction_campaign,
     run_study_parallel, test_program,
 )
-from .reduce import Reducer, ReductionResult
+from .reduce import (
+    OracleStats, Reducer, ReductionOracle, ReductionResult,
+    ReferenceReducer,
+)
 from .report import (
     TriageSummary, load_artifact, load_artifact_file, render, render_all,
 )

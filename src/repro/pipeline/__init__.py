@@ -1,9 +1,9 @@
-"""End-to-end campaigns, classification, and reporting."""
+"""End-to-end campaigns, classification, reduction, and reporting."""
 
 from .campaign import (
     CAMPAIGN_SCHEMA, CampaignResult, ProgramResult, ViolationKey,
     merge_results, run_campaign, run_campaign_on_programs,
-    run_campaign_seeds, test_program,
+    run_campaign_seeds, test_program, test_program_full,
 )
 from .classify import ClassifiedViolation, classify_violation, dwarf_category
 from .matrix import (
@@ -14,4 +14,8 @@ from .parallel import (
     CampaignShard, MatrixShard, StudyShard, run_campaign_parallel,
     run_campaign_shard, run_matrix_campaign_parallel, run_matrix_shard,
     run_study_parallel, run_study_shard,
+)
+from .reduction import (
+    REDUCE_SCHEMA, ReductionCampaignResult, ReductionRecord,
+    iter_witnesses, run_reduction_campaign,
 )

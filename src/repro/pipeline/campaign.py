@@ -60,6 +60,11 @@ class ProgramResult:
 
     seed: int
     violations: Dict[str, List[Violation]] = field(default_factory=dict)
+    #: level -> ids of injected defects that fired during that compile
+    #: (first-fire order) — the compile-time ground truth that lets
+    #: ``repro-triage/1`` summaries be built from a stored campaign
+    #: without recompiling anything.
+    fired: Dict[str, List[str]] = field(default_factory=dict)
 
     def unique_keys(self) -> Dict[ViolationKey, Set[str]]:
         """Map each unique violation to the levels it reproduces at."""
@@ -72,16 +77,30 @@ class ProgramResult:
     def conjectures_violated(self) -> Set[str]:
         return {key[0] for key in self.unique_keys()}
 
+    def fired_defects(self, level: Optional[str] = None) -> List[str]:
+        """Defect ids that fired — for one level, or all levels merged
+        (sorted, deduplicated) when ``level`` is None."""
+        if level is not None:
+            return list(self.fired.get(level, []))
+        merged: Set[str] = set()
+        for ids in self.fired.values():
+            merged.update(ids)
+        return sorted(merged)
+
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "seed": self.seed,
             "violations": {
                 level: [_violation_to_dict(v) for v in violations]
                 for level, violations in self.violations.items()
             },
         }
+        if self.fired:
+            data["fired"] = {level: list(ids)
+                             for level, ids in self.fired.items()}
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ProgramResult":
@@ -91,6 +110,8 @@ class ProgramResult:
                 level: [_violation_from_dict(v) for v in violations]
                 for level, violations in data["violations"].items()
             },
+            fired={level: list(ids)
+                   for level, ids in data.get("fired", {}).items()},
         )
 
 
@@ -278,22 +299,43 @@ def merge_results(results: Iterable[CampaignResult]) -> CampaignResult:
     return merged
 
 
+def test_program_full(program: Program, compiler: Compiler,
+                      debugger: Debugger,
+                      levels: Optional[Sequence[str]] = None,
+                      facts: Optional[SourceFacts] = None
+                      ) -> Tuple[Dict[str, List[Violation]],
+                                 Dict[str, List[str]]]:
+    """Check one program at each level.
+
+    Returns ``(violations per level, fired defect ids per level)`` —
+    the second mapping is the compile-time ground truth recorded on
+    :class:`ProgramResult` (levels whose compile fired nothing are
+    omitted).
+    """
+    if facts is None:
+        facts = SourceFacts(program)
+    if levels is None:
+        levels = [l for l in compiler.levels if l != "O0"]
+    out: Dict[str, List[Violation]] = {}
+    fired: Dict[str, List[str]] = {}
+    for level in levels:
+        compilation = compiler.compile(program, level)
+        trace = debugger.trace(compilation.exe)
+        out[level] = check_all(facts, trace)
+        fired_ids = compilation.fired_defects()
+        if fired_ids:
+            fired[level] = fired_ids
+    return out, fired
+
+
 def test_program(program: Program, compiler: Compiler,
                  debugger: Debugger,
                  levels: Optional[Sequence[str]] = None,
                  facts: Optional[SourceFacts] = None
                  ) -> Dict[str, List[Violation]]:
     """Check one program at each level; returns violations per level."""
-    if facts is None:
-        facts = SourceFacts(program)
-    if levels is None:
-        levels = [l for l in compiler.levels if l != "O0"]
-    out: Dict[str, List[Violation]] = {}
-    for level in levels:
-        compilation = compiler.compile(program, level)
-        trace = debugger.trace(compilation.exe)
-        out[level] = check_all(facts, trace)
-    return out
+    return test_program_full(program, compiler, debugger, levels,
+                             facts)[0]
 
 
 def run_campaign_seeds(compiler: Compiler, debugger: Debugger,
@@ -308,9 +350,10 @@ def run_campaign_seeds(compiler: Compiler, debugger: Debugger,
                             levels=list(levels), pool_size=seeds.count)
     for seed in seeds.seeds():
         program = generate_validated(seed)
-        violations = test_program(program, compiler, debugger, levels)
+        violations, fired = test_program_full(program, compiler,
+                                              debugger, levels)
         result.programs.append(
-            ProgramResult(seed=seed, violations=violations))
+            ProgramResult(seed=seed, violations=violations, fired=fired))
     return result
 
 
@@ -336,7 +379,8 @@ def run_campaign_on_programs(programs: Sequence[Program],
                             levels=list(levels),
                             pool_size=len(programs))
     for index, program in enumerate(programs):
-        violations = test_program(program, compiler, debugger, levels)
+        violations, fired = test_program_full(program, compiler,
+                                              debugger, levels)
         result.programs.append(
-            ProgramResult(seed=index, violations=violations))
+            ProgramResult(seed=index, violations=violations, fired=fired))
     return result

@@ -235,11 +235,15 @@ def run_matrix_campaign_seeds(
                                         compiler_levels):
             per_debugger: List[Dict[str, List[Violation]]] = [
                 {} for _ in built_debuggers]
+            fired: Dict[str, List[str]] = {}
             for level in run_levels:
                 # Compile once per level and execute once; every
                 # debugger cell observes the same stops.
                 compilation = compiler.compile_ir(
                     session.ir_module(), level, program_token=token)
+                fired_ids = compilation.fired_defects()
+                if fired_ids:
+                    fired[level] = fired_ids
                 traces = trace_all(compilation.exe, built_debuggers)
                 for violations, trace in zip(per_debugger, traces):
                     violations[level] = check_all(facts, trace)
@@ -247,7 +251,9 @@ def run_matrix_campaign_seeds(
                                             per_debugger):
                 key = (compiler.family, compiler.version, debugger.name)
                 result.cells[key].programs.append(
-                    ProgramResult(seed=seed, violations=violations))
+                    ProgramResult(seed=seed, violations=violations,
+                                  fired={level: list(ids)
+                                         for level, ids in fired.items()}))
     return result
 
 

@@ -1,0 +1,245 @@
+"""Campaign-scale reduction: shrink every violation of a stored campaign.
+
+The paper's reporting workflow ends with a minimized reproducer per
+bug report; :func:`run_reduction_campaign` industrializes that step: it
+takes a stored ``repro-campaign/1`` artifact (or a live
+:class:`~repro.pipeline.campaign.CampaignResult`), regenerates each
+violating program from its seed, optionally triages the culprit
+optimization, runs the fast reduction engine on every distinct
+``(conjecture, variable)`` witness, and collects the outcomes in a
+:class:`ReductionCampaignResult` — the ``repro-reduce/1`` artifact,
+renderable by ``repro-report`` and the ``repro-reduce`` console script
+(:mod:`repro.reduce.cli`).
+
+Witness selection (:func:`iter_witnesses`) is deterministic: programs
+in seed order; within a program the campaign's level order; within a
+level the checker's violation order; one witness per distinct
+``(conjecture, variable)`` — the reduction oracle's violation identity,
+since line numbers shift while shrinking.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..compilers.compiler import Compiler
+from ..conjectures.base import Violation
+from ..debugger import NATIVE_DEBUGGERS
+from ..debugger.base import Debugger
+from ..fuzz.generator import generate_validated
+from ..reduce import Reducer, ReductionResult, ReferenceReducer
+from ..triage.triage import triage
+from .campaign import CampaignResult
+
+#: Artifact schema tag; bump only with a migration path in ``from_dict``.
+REDUCE_SCHEMA = "repro-reduce/1"
+
+#: Reduction engines ``run_reduction_campaign`` can drive.
+ENGINES = ("fast", "parallel", "reference")
+
+
+@dataclass
+class ReductionRecord:
+    """One reduced witness."""
+
+    seed: int
+    level: str
+    conjecture: str
+    variable: str
+    function: str
+    line: int
+    culprit: Optional[str]
+    method: str                    # "flags" | "bisect" | "none"
+    original_size: int
+    reduced_size: int
+    steps_tried: int
+    steps_accepted: int
+    reduced_source: str
+
+    @property
+    def reduction_ratio(self) -> float:
+        if self.original_size == 0:
+            return 0.0
+        return 1.0 - self.reduced_size / self.original_size
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "level": self.level,
+            "conjecture": self.conjecture,
+            "variable": self.variable,
+            "function": self.function,
+            "line": self.line,
+            "culprit": self.culprit,
+            "method": self.method,
+            "original_size": self.original_size,
+            "reduced_size": self.reduced_size,
+            "steps_tried": self.steps_tried,
+            "steps_accepted": self.steps_accepted,
+            "reduced_source": self.reduced_source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ReductionRecord":
+        return cls(**{name: data[name] for name in (
+            "seed", "level", "conjecture", "variable", "function", "line",
+            "culprit", "method", "original_size", "reduced_size",
+            "steps_tried", "steps_accepted", "reduced_source")})
+
+
+@dataclass
+class ReductionCampaignResult:
+    """Every reduced witness of one campaign (``repro-reduce/1``)."""
+
+    family: str
+    version: str
+    debugger: str
+    engine: str = "fast"
+    pool_size: int = 0
+    records: List[ReductionRecord] = field(default_factory=list)
+    #: aggregate oracle accounting (summed over witnesses)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def witnesses(self) -> int:
+        return len(self.records)
+
+    def total(self, attr: str) -> int:
+        return sum(getattr(record, attr) for record in self.records)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": REDUCE_SCHEMA,
+            "family": self.family,
+            "version": self.version,
+            "debugger": self.debugger,
+            "engine": self.engine,
+            "pool_size": self.pool_size,
+            "records": [record.to_dict() for record in self.records],
+            "stats": dict(sorted(self.stats.items())),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The ``repro-reduce/1`` artifact document (field-by-field
+        spec in ``docs/ARTIFACTS.md``); render it with ``repro-report``
+        or :func:`repro.report.reduce_table`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]
+                  ) -> "ReductionCampaignResult":
+        schema = data.get("schema")
+        if schema != REDUCE_SCHEMA:
+            raise ValueError(
+                f"not a reduction artifact: schema {schema!r} "
+                f"(expected {REDUCE_SCHEMA!r})")
+        return cls(
+            family=data["family"], version=data["version"],
+            debugger=data["debugger"], engine=data["engine"],
+            pool_size=data["pool_size"],
+            records=[ReductionRecord.from_dict(r)
+                     for r in data["records"]],
+            stats=dict(data["stats"]))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReductionCampaignResult":
+        """Load a stored ``repro-reduce/1`` artifact (see
+        ``docs/ARTIFACTS.md``)."""
+        return cls.from_dict(json.loads(text))
+
+
+def iter_witnesses(campaign: CampaignResult
+                   ) -> Iterator[Tuple[int, str, Violation]]:
+    """Deterministic ``(seed, level, violation)`` witnesses: one per
+    distinct ``(conjecture, variable)`` per program, at the first level
+    (campaign order) the pair appears."""
+    for program_result in campaign.programs:
+        seen = set()
+        for level in campaign.levels:
+            for violation in program_result.violations.get(level, ()):
+                identity = (violation.conjecture, violation.variable)
+                if identity in seen:
+                    continue
+                seen.add(identity)
+                yield program_result.seed, level, violation
+
+
+def run_reduction_campaign(campaign: CampaignResult,
+                           engine: str = "fast",
+                           debugger: Optional[Debugger] = None,
+                           max_steps: int = 2000,
+                           with_triage: bool = True,
+                           workers: Optional[int] = None,
+                           limit: Optional[int] = None
+                           ) -> ReductionCampaignResult:
+    """Reduce every witness of ``campaign`` and aggregate the outcomes.
+
+    ``engine`` selects ``fast`` (serial engine), ``parallel``
+    (speculative workers — ``workers`` defaults to the CPU count), or
+    ``reference`` (the seed-faithful baseline; for differential runs).
+    ``with_triage=False`` skips culprit identification (reductions then
+    preserve only the violation, not the responsible optimization).
+    ``limit`` bounds how many witnesses are reduced.
+
+    The campaign must have been produced over generator seeds (as
+    ``run_campaign``/``repro-campaign`` do) — programs are regenerated
+    with :func:`~repro.fuzz.generator.generate_validated`.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown reduction engine {engine!r}; "
+                         f"known: {', '.join(ENGINES)}")
+    compiler = Compiler(campaign.family, campaign.version)
+    if debugger is None:
+        debugger = NATIVE_DEBUGGERS[campaign.family]()
+    result = ReductionCampaignResult(
+        family=campaign.family, version=campaign.version,
+        debugger=debugger.name, engine=engine,
+        pool_size=campaign.pool_size)
+    totals: Dict[str, int] = {}
+    for count, (seed, level, violation) in enumerate(
+            iter_witnesses(campaign)):
+        if limit is not None and count >= limit:
+            break
+        program = generate_validated(seed)
+        culprit = None
+        method = "none"
+        if with_triage:
+            triaged = triage(compiler, program, level, debugger,
+                             violation)
+            culprit = triaged.culprit
+            method = triaged.method
+        reduction = _reduce_one(compiler, level, debugger, violation,
+                                culprit, engine, max_steps, workers,
+                                program)
+        result.records.append(ReductionRecord(
+            seed=seed, level=level, conjecture=violation.conjecture,
+            variable=violation.variable, function=violation.function,
+            line=violation.line, culprit=culprit, method=method,
+            original_size=reduction.original_size,
+            reduced_size=reduction.reduced_size,
+            steps_tried=reduction.steps_tried,
+            steps_accepted=reduction.steps_accepted,
+            reduced_source=reduction.source))
+        if reduction.stats is not None:
+            for key, value in reduction.stats.as_dict().items():
+                totals[key] = totals.get(key, 0) + value
+    result.stats = totals
+    return result
+
+
+def _reduce_one(compiler, level, debugger, violation, culprit, engine,
+                max_steps, workers, program) -> ReductionResult:
+    if engine == "reference":
+        reducer = ReferenceReducer(compiler, level, debugger, violation,
+                                   culprit_flag=culprit,
+                                   max_steps=max_steps)
+        return reducer.reduce(program)
+    reducer = Reducer(compiler, level, debugger, violation,
+                      culprit_flag=culprit, max_steps=max_steps)
+    if engine == "parallel":
+        return reducer.reduce_parallel(program, workers=workers)
+    return reducer.reduce(program)

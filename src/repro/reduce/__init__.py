@@ -1,10 +1,29 @@
 """Violation-preserving test-case reduction (C-Reduce analogue, §4.4).
 
-Given a program whose compilation violates a conjecture, the
+Given a program whose compilation violates a conjecture, the fast
 :class:`Reducer` greedily shrinks it while an oracle guarantees the
 reduced witness still reproduces the *same* loss through the *same*
-culprit optimization — see :mod:`repro.reduce.reducer` for the three
-oracle conditions and the transformation list.
+culprit optimization.  The package is built as a fast reduction engine:
+
+* :mod:`repro.reduce.candidates` — candidate transformations as
+  reversible in-place edits: ddmin-style chunked deletion, single
+  deletion, control flattening, expression simplification
+  (operand selection and literal-to-zero), unused-toplevel removal;
+* :mod:`repro.reduce.oracle` — the staged, compile-once oracle
+  (:class:`ReductionOracle`): one frontend pass per candidate, adaptive
+  interpreter fuel, backend-only compiles over module clones, verdicts
+  memoized by printed source and module fingerprint
+  (:class:`OracleStats` accounts for every stage);
+* :mod:`repro.reduce.engine` — the greedy loop (:class:`Reducer`,
+  :class:`ReductionResult`);
+* :mod:`repro.reduce.parallel` — :func:`reduce_parallel` speculates K
+  candidate oracles across spawn workers and accepts the first success
+  in generation order (bit-identical to serial);
+* :mod:`repro.reduce.reference` — :class:`ReferenceReducer`, the
+  seed-faithful recompile-everything baseline the differential suite
+  pins the fast engine against;
+* :mod:`repro.reduce.cli` — the ``repro-reduce`` console script over
+  stored campaign artifacts.
 
 Usage::
 
@@ -22,12 +41,17 @@ Usage::
 
     reducer = Reducer(compiler, level, debugger, violation,
                       culprit_flag=culprit)
-    result = reducer.reduce(program)
+    result = reducer.reduce(program)      # or reducer.reduce_parallel(...)
     # result.program is the minimized witness AST;
-    # result.reduction_ratio how much of the program went away.
+    # result.reduction_ratio how much of the program went away;
+    # reducer.oracle.stats the per-stage oracle accounting.
 
-``examples/find_and_triage_bugs.py`` runs the full fuzz → check →
-triage → reduce loop end to end.
+``examples/reduce_violation.py`` runs the full fuzz → check → triage →
+reduce loop end to end; ``repro.pipeline.run_reduction_campaign``
+reduces every violation of a stored campaign artifact.
 """
 
-from .reducer import ReductionResult, Reducer
+from .engine import Reducer, ReductionResult, program_size
+from .oracle import OracleStats, ReductionOracle
+from .parallel import reduce_parallel
+from .reference import ReferenceReducer

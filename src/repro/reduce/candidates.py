@@ -1,0 +1,492 @@
+"""Candidate transformations as reversible edits.
+
+Both reducers — the fast engine (:mod:`repro.reduce.engine`) and the
+seed-faithful :class:`~repro.reduce.reference.ReferenceReducer` — draw
+their candidates from the generators in this module, so the *set* of
+transformations is defined exactly once:
+
+* **chunked deletion** (:func:`chunk_deletions`) — C-Reduce/ddmin-style
+  removal of contiguous statement runs with halving chunk sizes, the
+  fast engine's accelerator phase;
+* **the greedy schedule** (:func:`greedy_schedule`) — the seed reducer's
+  candidate order: single-statement deletion (largest subtrees first),
+  control flattening, expression simplification (operand selection and
+  literal-to-zero replacement), unused-toplevel removal.
+
+A candidate is an :class:`Edit`: a reversible in-place mutation of the
+program it was generated from.  The fast engine applies an edit
+directly to its working program and calls :meth:`Edit.undo` on
+rejection (no per-candidate ``copy.deepcopy``, no ``_find_matching_list``
+re-walk); the reference reducer instead materializes each candidate the
+way the seed did — deep copy first, then :meth:`Edit.apply_to_copy`
+re-locates the edit targets in the copy via the seed's identity-zip
+list matching and uid walks.
+
+Deleting a statement that declares a ``goto`` target someone still
+jumps to is suppressed at generation time (as in the seed); the scan is
+linear per pass — one program-wide goto tally
+(:func:`goto_label_counts`) plus one walk of the deleted subtree —
+instead of the seed's full-program re-walk per candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..lang import ast_nodes as A
+
+#: A stable address for a statement list: the function index followed by
+#: the statement indices of the blocks on the way down (purely
+#: informational — edits hold direct references).
+ListPath = Tuple[int, ...]
+
+
+def child_lists(stmt: A.Stmt) -> List[List[A.Stmt]]:
+    """The statement lists directly owned by ``stmt``."""
+    if isinstance(stmt, A.Block):
+        return [stmt.stmts]
+    out = []
+    for attr in ("then", "other", "body", "stmt"):
+        child = getattr(stmt, attr, None)
+        if isinstance(child, A.Block):
+            out.append(child.stmts)
+    return out
+
+
+def each_stmt_list(program: A.Program
+                   ) -> Iterator[Tuple[List[A.Stmt], ListPath]]:
+    """Yield every ``(stmts, path)`` pair, in the seed reducer's
+    stack (LIFO) order — the order both candidate schedules share."""
+    for f_idx, fn in enumerate(program.functions):
+        stack: List[Tuple[List[A.Stmt], ListPath]] = [
+            (fn.body.stmts, (f_idx,))]
+        while stack:
+            stmts, path = stack.pop()
+            yield stmts, path
+            for s_idx, stmt in enumerate(stmts):
+                for child in child_lists(stmt):
+                    stack.append((child, path + (s_idx,)))
+
+
+def find_matching_list(candidate: A.Program, original: A.Program,
+                       stmts: List[A.Stmt]) -> Optional[List[A.Stmt]]:
+    """Locate in a deep copy the list matching ``stmts`` (the seed
+    reducer's per-candidate re-walk; the fast engine never needs it)."""
+    orig_lists = (lst for lst, _p in each_stmt_list(original))
+    cand_lists = (lst for lst, _p in each_stmt_list(candidate))
+    for orig, cand in zip(orig_lists, cand_lists):
+        if orig is stmts:
+            return cand
+    return None
+
+
+def goto_label_counts(program: A.Program) -> Dict[str, int]:
+    """How many ``goto`` statements target each label, program-wide."""
+    counts: Dict[str, int] = {}
+    for fn in program.functions:
+        for stmt in A.walk_stmt(fn.body):
+            if isinstance(stmt, A.Goto):
+                counts[stmt.label] = counts.get(stmt.label, 0) + 1
+    return counts
+
+
+def deletion_blocked_by_label(chunk: List[A.Stmt],
+                              label_counts: Dict[str, int]) -> bool:
+    """True if the chunk declares a label some goto outside it targets."""
+    labels = set()
+    inside: Dict[str, int] = {}
+    for stmt in chunk:
+        for node in A.walk_stmt(stmt):
+            if isinstance(node, A.LabeledStmt):
+                labels.add(node.label)
+            elif isinstance(node, A.Goto):
+                inside[node.label] = inside.get(node.label, 0) + 1
+    return any(label_counts.get(label, 0) - inside.get(label, 0) > 0
+               for label in labels)
+
+
+def flatten_replacement(stmt: A.Stmt) -> Optional[A.Stmt]:
+    """The body a control statement is replaced with when flattened.
+
+    The single source of truth for *both* the generation side and the
+    apply side: the seed re-derived the replacement on the copy with an
+    ``If``-or-``.body`` conditional, which silently diverged from the
+    generation logic for new statement kinds.
+    """
+    if isinstance(stmt, A.If):
+        return stmt.then
+    if isinstance(stmt, (A.For, A.While, A.DoWhile)):
+        return stmt.body
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Edits
+# ---------------------------------------------------------------------------
+
+
+class Edit:
+    """One reversible candidate transformation."""
+
+    def apply(self) -> None:
+        """Mutate the live program in place."""
+        raise NotImplementedError
+
+    def undo(self) -> None:
+        """Exactly revert :meth:`apply` (same objects, same positions)."""
+        raise NotImplementedError
+
+    def apply_to_copy(self, candidate: A.Program,
+                      original: A.Program) -> bool:
+        """Apply to a deep copy of ``original`` (seed-style matching)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class DeleteStmts(Edit):
+    """Delete ``count`` consecutive statements (1 = the seed's move)."""
+
+    def __init__(self, stmts: List[A.Stmt], index: int, count: int,
+                 path: ListPath = ()):
+        self.stmts = stmts
+        self.index = index
+        self.count = count
+        self.path = path
+        self._removed: List[A.Stmt] = []
+
+    def apply(self) -> None:
+        self._removed = self.stmts[self.index:self.index + self.count]
+        del self.stmts[self.index:self.index + self.count]
+
+    def undo(self) -> None:
+        self.stmts[self.index:self.index] = self._removed
+        self._removed = []
+
+    def apply_to_copy(self, candidate: A.Program,
+                      original: A.Program) -> bool:
+        target = find_matching_list(candidate, original, self.stmts)
+        if target is None or self.index + self.count > len(target):
+            return False
+        del target[self.index:self.index + self.count]
+        return True
+
+    def describe(self) -> str:
+        span = (f"#{self.index}" if self.count == 1
+                else f"#{self.index}..{self.index + self.count - 1}")
+        return f"delete {span} at {self.path}"
+
+
+class FlattenControl(Edit):
+    """Replace an if/loop statement with its body.
+
+    The only edit that *moves* a statement node: the body block leaves
+    an unstamped position (the printer assigns no line to an if/loop
+    body block) for a stamped one (a standalone block statement).
+    Printing the candidate therefore writes a line onto the moved
+    block, and since defect selectors hash statement lines
+    (``_program_token``), :meth:`undo` must restore the block's line
+    stamp along with the structure or the in-place engine's state
+    drifts from the copy-based reference engine's.
+    """
+
+    def __init__(self, stmts: List[A.Stmt], index: int,
+                 path: ListPath = ()):
+        self.stmts = stmts
+        self.index = index
+        self.path = path
+        self._old: Optional[A.Stmt] = None
+        self._body_line: Optional[int] = None
+
+    @staticmethod
+    def _replacement(stmt: A.Stmt) -> A.Stmt:
+        body = flatten_replacement(stmt)
+        return body if body is not None else A.Empty()
+
+    def apply(self) -> None:
+        self._old = self.stmts[self.index]
+        replacement = self._replacement(self._old)
+        self._body_line = replacement.line
+        self.stmts[self.index] = replacement
+
+    def undo(self) -> None:
+        self.stmts[self.index].line = self._body_line
+        self.stmts[self.index] = self._old
+        self._old = None
+        self._body_line = None
+
+    def apply_to_copy(self, candidate: A.Program,
+                      original: A.Program) -> bool:
+        target = find_matching_list(candidate, original, self.stmts)
+        if target is None or self.index >= len(target):
+            return False
+        target[self.index] = self._replacement(target[self.index])
+        return True
+
+    def describe(self) -> str:
+        return f"flatten #{self.index} at {self.path}"
+
+
+class _AssignEdit(Edit):
+    """Shared machinery for edits inside one assignment statement.
+
+    The copy side re-locates the statement the seed way: walk the
+    function body for the ``ExprStmt`` with the matching ``uid`` (node
+    uids survive ``copy.deepcopy`` — the counter only runs at
+    construction).  ``stmt_ordinal`` (the statement's walk index within
+    its function) keys :meth:`describe`, because uids and line stamps
+    are not stable across independent reduction runs.
+    """
+
+    def __init__(self, fn_index: int, stmt: A.ExprStmt, stmt_ordinal: int):
+        self.fn_index = fn_index
+        self.stmt = stmt
+        self.stmt_ordinal = stmt_ordinal
+
+    def _matching_assign(self, candidate: A.Program) -> Optional[A.Assign]:
+        fn = candidate.functions[self.fn_index]
+        for cand_stmt in A.walk_stmt(fn.body):
+            if isinstance(cand_stmt, A.ExprStmt) and \
+                    cand_stmt.uid == self.stmt.uid and \
+                    isinstance(cand_stmt.expr, A.Assign):
+                return cand_stmt.expr
+        return None
+
+
+class KeepOperand(_AssignEdit):
+    """Replace a binary assignment value with one of its operands."""
+
+    def __init__(self, fn_index: int, stmt: A.ExprStmt, stmt_ordinal: int,
+                 side: str):
+        super().__init__(fn_index, stmt, stmt_ordinal)
+        self.side = side
+        self._old: Optional[A.Expr] = None
+
+    def apply(self) -> None:
+        assign = self.stmt.expr
+        self._old = assign.value
+        assign.value = getattr(assign.value, self.side)
+
+    def undo(self) -> None:
+        self.stmt.expr.value = self._old
+        self._old = None
+
+    def apply_to_copy(self, candidate: A.Program,
+                      original: A.Program) -> bool:
+        assign = self._matching_assign(candidate)
+        if assign is None or not isinstance(assign.value, A.Binary):
+            return False
+        assign.value = getattr(assign.value, self.side)
+        return True
+
+    def describe(self) -> str:
+        return (f"keep {self.side} operand of stmt #{self.stmt_ordinal} "
+                f"in fn#{self.fn_index}")
+
+
+class LiteralZero(_AssignEdit):
+    """Replace the n-th non-zero integer literal of an assignment value
+    with ``0`` (the documented-but-missing seed transformation)."""
+
+    def __init__(self, fn_index: int, stmt: A.ExprStmt, stmt_ordinal: int,
+                 ordinal: int, literal: A.IntLit):
+        super().__init__(fn_index, stmt, stmt_ordinal)
+        self.ordinal = ordinal
+        self.literal = literal
+        self._old: Optional[int] = None
+
+    def apply(self) -> None:
+        self._old = self.literal.value
+        self.literal.value = 0
+
+    def undo(self) -> None:
+        self.literal.value = self._old
+        self._old = None
+
+    def apply_to_copy(self, candidate: A.Program,
+                      original: A.Program) -> bool:
+        assign = self._matching_assign(candidate)
+        if assign is None:
+            return False
+        seen = 0
+        for expr in A.walk_expr(assign.value):
+            if isinstance(expr, A.IntLit) and expr.value != 0:
+                if seen == self.ordinal:
+                    expr.value = 0
+                    return True
+                seen += 1
+        return False
+
+    def describe(self) -> str:
+        return (f"literal #{self.ordinal}->0 in stmt "
+                f"#{self.stmt_ordinal} in fn#{self.fn_index}")
+
+
+class DropFunction(Edit):
+    """Remove an unreferenced function definition."""
+
+    def __init__(self, index: int, name: str):
+        self.index = index
+        self.name = name
+        self._old: Optional[A.FuncDef] = None
+        self._program: Optional[A.Program] = None
+
+    def bind(self, program: A.Program) -> "DropFunction":
+        self._program = program
+        return self
+
+    def apply(self) -> None:
+        self._old = self._program.functions.pop(self.index)
+
+    def undo(self) -> None:
+        self._program.functions.insert(self.index, self._old)
+        self._old = None
+
+    def apply_to_copy(self, candidate: A.Program,
+                      original: A.Program) -> bool:
+        if self.index >= len(candidate.functions):
+            return False
+        del candidate.functions[self.index]
+        return True
+
+    def describe(self) -> str:
+        return f"drop function {self.name}"
+
+
+class DropGlobal(Edit):
+    """Remove an unreferenced global declaration."""
+
+    def __init__(self, index: int, name: str):
+        self.index = index
+        self.name = name
+        self._old = None
+        self._program: Optional[A.Program] = None
+
+    def bind(self, program: A.Program) -> "DropGlobal":
+        self._program = program
+        return self
+
+    def apply(self) -> None:
+        self._old = self._program.globals.pop(self.index)
+
+    def undo(self) -> None:
+        self._program.globals.insert(self.index, self._old)
+        self._old = None
+
+    def apply_to_copy(self, candidate: A.Program,
+                      original: A.Program) -> bool:
+        if self.index >= len(candidate.globals):
+            return False
+        del candidate.globals[self.index]
+        return True
+
+    def describe(self) -> str:
+        return f"drop global {self.name}"
+
+
+# ---------------------------------------------------------------------------
+# Schedules
+# ---------------------------------------------------------------------------
+
+
+def chunk_deletions(program: A.Program) -> Iterator[Edit]:
+    """ddmin-style chunked deletion: contiguous runs of statements,
+    chunk sizes halving from ``len(list) // 2`` down to 2 (single
+    statements belong to the greedy schedule).  One accepted chunk
+    removes what would take many single-statement oracle calls; a
+    rejected chunk usually dies in the oracle's cheap frontend stage."""
+    label_counts = goto_label_counts(program)
+    for stmts, path in each_stmt_list(program):
+        size = len(stmts) // 2
+        while size >= 2:
+            for index in range(0, len(stmts) - size + 1, size):
+                chunk = stmts[index:index + size]
+                if deletion_blocked_by_label(chunk, label_counts):
+                    continue
+                yield DeleteStmts(stmts, index, size, path)
+            size //= 2
+
+
+def single_deletions(program: A.Program) -> Iterator[Edit]:
+    """The seed's deletion move: one statement at a time, largest
+    subtrees first (stable on ties, as the seed's sort was)."""
+    label_counts = goto_label_counts(program)
+    sites = []
+    for stmts, path in each_stmt_list(program):
+        for index, stmt in enumerate(stmts):
+            size = sum(1 for _ in A.walk_stmt(stmt))
+            sites.append((size, index, stmts, path))
+    sites.sort(key=lambda site: (-site[0], site[1]))
+    for _size, index, stmts, path in sites:
+        if deletion_blocked_by_label(stmts[index:index + 1], label_counts):
+            continue
+        yield DeleteStmts(stmts, index, 1, path)
+
+
+def control_flattenings(program: A.Program) -> Iterator[Edit]:
+    """Replace each if/loop with its body (consistently via
+    :func:`flatten_replacement` — the seed dropped ``DoWhile`` bodies on
+    the apply side by re-deriving the replacement with an ``If`` check)."""
+    for stmts, path in each_stmt_list(program):
+        for index, stmt in enumerate(stmts):
+            if flatten_replacement(stmt) is not None:
+                yield FlattenControl(stmts, index, path)
+
+
+def expr_simplifications(program: A.Program) -> Iterator[Edit]:
+    """Replace binary assignment values with one operand, and non-zero
+    integer literals inside assignment values with 0."""
+    for f_idx, fn in enumerate(program.functions):
+        for stmt_ordinal, stmt in enumerate(A.walk_stmt(fn.body)):
+            if not isinstance(stmt, A.ExprStmt) or \
+                    not isinstance(stmt.expr, A.Assign):
+                continue
+            if isinstance(stmt.expr.value, A.Binary):
+                for side in ("left", "right"):
+                    yield KeepOperand(f_idx, stmt, stmt_ordinal, side)
+            ordinal = 0
+            for expr in A.walk_expr(stmt.expr.value):
+                if isinstance(expr, A.IntLit) and expr.value != 0:
+                    yield LiteralZero(f_idx, stmt, stmt_ordinal,
+                                      ordinal, expr)
+                    ordinal += 1
+
+
+def toplevel_drops(program: A.Program) -> Iterator[Edit]:
+    """Remove functions and globals with no remaining references."""
+    used_names = set()
+    for fn in program.functions:
+        for stmt in A.walk_stmt(fn.body):
+            for expr in A.stmt_exprs(stmt):
+                if isinstance(expr, A.Ident):
+                    used_names.add(expr.name)
+                elif isinstance(expr, A.Call):
+                    used_names.add(expr.name)
+    for index, fn in enumerate(program.functions):
+        if fn.name != "main" and fn.name not in used_names:
+            yield DropFunction(index, fn.name).bind(program)
+    for index, decl in enumerate(program.globals):
+        if decl.name not in used_names:
+            yield DropGlobal(index, decl.name).bind(program)
+
+
+def greedy_schedule(program: A.Program) -> Iterator[Edit]:
+    """The seed reducer's candidate order (with the satellite fixes):
+    single deletions, flattenings, simplifications, toplevel drops."""
+    yield from single_deletions(program)
+    yield from control_flattenings(program)
+    yield from expr_simplifications(program)
+    yield from toplevel_drops(program)
+
+
+def fast_schedule(program: A.Program) -> Iterator[Edit]:
+    """The fast engine's candidate order: chunked deletions first (big
+    wins, cheap rejections), then the full greedy schedule, so a state
+    on which :func:`fast_schedule` yields no accepted edit is also a
+    fixed point of the reference schedule."""
+    yield from chunk_deletions(program)
+    yield from greedy_schedule(program)

@@ -1,0 +1,246 @@
+"""The batched, compile-once reduction oracle.
+
+The seed reducer's ``holds()`` re-ran the whole toolchain from scratch
+for every candidate: ``SourceFacts`` (one symbol resolution),
+``lower_program`` (a second), ``Compiler.compile`` (a third, plus a
+fresh lowering), and up to a second full compile for the
+culprit-preservation check.  :class:`ReductionOracle` produces *exactly
+the same verdicts* while paying for each stage at most once per
+candidate, cheapest first:
+
+1. **frontend** — one :class:`~repro.compilers.frontend.FrontendSession`
+   per candidate: resolve, lower, and extract source facts once; a
+   structurally invalid candidate (dangling reference after a deletion)
+   is rejected in well under a millisecond;
+2. **interpreter UB check** with *adaptive fuel*: the oracle calibrates
+   a fuel bound from the witness program's own execution length
+   (:meth:`ReductionOracle.calibrate`) instead of always burning the
+   full 500k budget, so a candidate whose deletion produced an infinite
+   loop — by far the most expensive rejection in the seed oracle — is
+   dismissed in a few thousand steps instead of half a million;
+3. **culprit-level compile + trace** via
+   :meth:`~repro.compilers.compiler.Compiler.compile_ir` over a cheap
+   :func:`~repro.ir.clone.clone_module` of the shared lowering (no
+   re-resolve, no re-lower);
+4. **culprit-disabled recompile** — only when stage 3 still shows the
+   violation.
+
+Verdicts are memoized twice over: by the candidate's printed source
+(free — the engine already prints to restamp lines) and by the lowered
+module's counter-normalized
+:func:`~repro.ir.clone.module_fingerprint`, so transformations that
+re-generate an already-seen program never re-run the toolchain.
+:class:`OracleStats` accounts for every stage (the differential tests
+assert the memo actually hits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..compilers.compiler import Compiler
+from ..compilers.frontend import FrontendSession
+from ..conjectures.base import Violation, check_all
+from ..debugger.base import Debugger
+from ..ir.interp import run_module
+from ..lang.ast_nodes import Program
+from ..lang.printer import print_program
+
+#: The seed oracle's interpreter fuel bound (candidates that need more
+#: are undefined/non-terminating by definition of the reduction oracle).
+FULL_FUEL = 500_000
+
+#: Calibrated bound: this many times the witness program's own steps...
+FUEL_MARGIN = 16
+
+#: ...but never below this floor (tiny witnesses need headroom for
+#: candidates whose literal rewrites lengthen a loop).
+FUEL_FLOOR = 8_192
+
+
+@dataclass
+class OracleStats:
+    """Per-stage accounting of one oracle's lifetime."""
+
+    queries: int = 0
+    source_memo_hits: int = 0
+    fingerprint_memo_hits: int = 0
+    frontend_rejects: int = 0
+    ub_rejects: int = 0
+    violation_rejects: int = 0
+    culprit_rejects: int = 0
+    accepts: int = 0
+    compiles: int = 0
+    traces: int = 0
+
+    @property
+    def memo_hits(self) -> int:
+        return self.source_memo_hits + self.fingerprint_memo_hits
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "queries": self.queries,
+            "memo_hits": self.memo_hits,
+            "frontend_rejects": self.frontend_rejects,
+            "ub_rejects": self.ub_rejects,
+            "violation_rejects": self.violation_rejects,
+            "culprit_rejects": self.culprit_rejects,
+            "accepts": self.accepts,
+            "compiles": self.compiles,
+            "traces": self.traces,
+        }
+
+
+class ReductionOracle:
+    """Violation-preserving acceptance test over candidate programs.
+
+    A candidate passes iff it is frontend-valid and UB-free, still
+    shows the violation (same conjecture + variable) at the culprit
+    level, and loses it when the culprit optimization is disabled —
+    the same conditions as the reference reducer's ``holds()``, with
+    one deliberate deviation: after :meth:`calibrate`, "UB-free" is
+    judged under the calibrated fuel bound (:data:`FUEL_MARGIN` times
+    the witness's own step count, floor :data:`FUEL_FLOOR`) instead of
+    the reference's fixed :data:`FULL_FUEL` budget.  A candidate that
+    terminates only *beyond* the calibrated bound but within 500k
+    steps would therefore be rejected where the reference accepts it;
+    the margin makes that window empirically empty — the differential
+    suite and the throughput benchmark assert bit-identical reduced
+    programs on their corpora, so a candidate ever landing in the
+    window fails loudly rather than silently.
+    """
+
+    def __init__(self, compiler: Compiler, level: str, debugger: Debugger,
+                 violation: Violation,
+                 culprit_flag: Optional[str] = None,
+                 fuel_bound: Optional[int] = None):
+        self.compiler = compiler
+        self.level = level
+        self.debugger = debugger
+        self.violation = violation
+        self.culprit_flag = culprit_flag
+        #: Interpreter fuel for the UB stage; ``None`` means the full
+        #: seed budget until :meth:`calibrate` tightens it.
+        self.fuel_bound = fuel_bound
+        self.stats = OracleStats()
+        self._source_memo: Dict[str, bool] = {}
+        self._fingerprint_memo: Dict[str, bool] = {}
+
+    def calibrate(self, program: Program) -> int:
+        """Fix the UB-stage fuel bound from the witness program itself.
+
+        Candidates are shrunken variants of the witness; anything that
+        runs :data:`FUEL_MARGIN` times longer than the witness did is
+        treated as non-terminating without burning the full 500k-step
+        budget — the dominant cost of the seed oracle, which paid the
+        whole budget every time a deletion produced an infinite loop.
+        The engines call this once per reduction with the input
+        program; a witness the frontend or interpreter rejects leaves
+        the full budget in place.
+        """
+        if self.fuel_bound is None:
+            try:
+                session = FrontendSession(-1, program=program)
+                executed = run_module(session.base_module, fuel=FULL_FUEL)
+            except Exception:
+                self.fuel_bound = FULL_FUEL
+            else:
+                self.fuel_bound = min(
+                    FULL_FUEL,
+                    max(FUEL_FLOOR, FUEL_MARGIN * executed.steps))
+        return self.fuel_bound
+
+    # -- violation identity ---------------------------------------------------
+
+    def matches(self, violation: Violation) -> bool:
+        """Same conjecture and variable (lines shift during reduction)."""
+        return (violation.conjecture == self.violation.conjecture and
+                violation.variable == self.violation.variable)
+
+    # -- the staged check -----------------------------------------------------
+
+    def check(self, program: Program, source: Optional[str] = None) -> bool:
+        """The full oracle over one candidate.
+
+        ``source`` is the candidate's canonical printed text if the
+        caller already has it (the engine prints to restamp lines);
+        passing it makes the first memo level free.  The program's line
+        numbers must match ``source`` (i.e. it was just printed).
+        """
+        self.stats.queries += 1
+        if source is None:
+            source = print_program(program)
+        verdict = self._source_memo.get(source)
+        if verdict is not None:
+            self.stats.source_memo_hits += 1
+            return verdict
+        verdict = self._check_fresh(program)
+        self._source_memo[source] = verdict
+        return verdict
+
+    def _check_fresh(self, program: Program) -> bool:
+        session = FrontendSession(-1, program=program)
+        try:
+            module = session.base_module
+        except Exception:
+            self.stats.frontend_rejects += 1
+            return False
+        fingerprint = session.fingerprint
+        verdict = self._fingerprint_memo.get(fingerprint)
+        if verdict is not None:
+            self.stats.fingerprint_memo_hits += 1
+            return verdict
+        verdict = self._toolchain_verdict(session, module)
+        self._fingerprint_memo[fingerprint] = verdict
+        return verdict
+
+    def _toolchain_verdict(self, session: FrontendSession, module) -> bool:
+        # Stage 2: the candidate must be UB-free and terminating at -O0
+        # (within the calibrated fuel bound).
+        try:
+            run_module(module, fuel=self.fuel_bound or FULL_FUEL)
+        except Exception:
+            self.stats.ub_rejects += 1
+            return False
+
+        # Source facts are only needed from here on; any extraction
+        # failure rejects the candidate exactly as the reference's
+        # frontend try-block does.
+        try:
+            facts = session.facts
+        except Exception:
+            self.stats.frontend_rejects += 1
+            return False
+
+        # Stage 3: the violation must still be present at the culprit
+        # level.  Backend-only compile; the base lowering itself is
+        # consumed when no second compile can follow, otherwise a cheap
+        # clone keeps it pristine for stage 4.
+        stage3_module = (session.ir_module()
+                         if self.culprit_flag is not None else module)
+        compilation = self.compiler.compile_ir(
+            stage3_module, self.level,
+            program_token=session.program_token)
+        self.stats.compiles += 1
+        trace = self.debugger.trace(compilation.exe)
+        self.stats.traces += 1
+        if not any(self.matches(v) for v in check_all(facts, trace)):
+            self.stats.violation_rejects += 1
+            return False
+
+        # Stage 4: disabling the culprit must make it disappear.
+        if self.culprit_flag is not None:
+            fixed = self.compiler.compile_ir(
+                module, self.level,
+                program_token=session.program_token,
+                disabled=(self.culprit_flag,))
+            self.stats.compiles += 1
+            fixed_trace = self.debugger.trace(fixed.exe)
+            self.stats.traces += 1
+            if any(self.matches(v)
+                   for v in check_all(facts, fixed_trace)):
+                self.stats.culprit_rejects += 1
+                return False
+        self.stats.accepts += 1
+        return True

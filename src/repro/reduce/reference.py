@@ -1,0 +1,124 @@
+"""The seed-faithful reference reducer (the differential baseline).
+
+Preserves the original reducer's execution strategy candidate for
+candidate so the fast engine has an independent implementation to be
+checked against:
+
+* every candidate is materialized as a ``copy.deepcopy`` of the current
+  program, and the edit targets are re-located in the copy with the
+  seed's identity-zip list matching / uid walks
+  (:meth:`~repro.reduce.candidates.Edit.apply_to_copy`);
+* the oracle (:meth:`ReferenceReducer.holds`) re-runs the whole
+  toolchain from scratch per candidate — ``SourceFacts``,
+  ``lower_program``, a 500k-fuel interpreter run, one full
+  ``Compiler.compile`` + trace, and a second full compile + trace for
+  the culprit-preservation check — with no caching of any kind;
+* the greedy loop restarts the candidate schedule after every
+  acceptance, exactly like the seed.
+
+The candidate *schedule* is shared with the fast engine
+(:func:`~repro.reduce.candidates.fast_schedule`): chunked deletions
+followed by the seed's greedy order with the two satellite fixes
+(literal-to-zero candidates, consistent control flattening).  Greedy
+reduction is path-dependent — two engines drawing *different* candidate
+sequences routinely settle in different local minima — so sharing the
+schedule is what lets the differential suite pin both engines to
+bit-identical reduced programs while still exercising two independent
+candidate-application mechanisms and two independent oracles.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from ..analysis.source_facts import SourceFacts
+from ..compilers.compiler import Compiler
+from ..conjectures.base import Violation, check_all
+from ..debugger.base import Debugger
+from ..ir.interp import run_module
+from ..ir.lower import lower_program
+from ..lang import ast_nodes as A
+from ..lang.printer import print_program
+from .candidates import fast_schedule
+from .engine import ReductionResult, program_size
+
+
+class ReferenceReducer:
+    """Greedy structural reducer with the seed's per-candidate costs."""
+
+    def __init__(self, compiler: Compiler, level: str, debugger: Debugger,
+                 violation: Violation,
+                 culprit_flag: Optional[str] = None,
+                 max_steps: int = 2000):
+        self.compiler = compiler
+        self.level = level
+        self.debugger = debugger
+        self.violation = violation
+        self.culprit_flag = culprit_flag
+        self.max_steps = max_steps
+
+    # -- oracle ---------------------------------------------------------------
+
+    def _matches(self, violation: Violation) -> bool:
+        return (violation.conjecture == self.violation.conjecture and
+                violation.variable == self.violation.variable)
+
+    def holds(self, program: A.Program) -> bool:
+        """The full reduction oracle, recompiling everything (§4.4):
+        UB-free at ``-O0``, violation still present at the culprit
+        level, violation gone with the culprit disabled."""
+        try:
+            facts = SourceFacts(program)
+            module = lower_program(program)
+            run_module(module, fuel=500_000)
+        except Exception:
+            # UB, non-termination, or a construct the frontend rejects:
+            # the candidate is not a valid test case.
+            return False
+
+        compilation = self.compiler.compile(program, self.level)
+        trace = self.debugger.trace(compilation.exe)
+        if not any(self._matches(v) for v in check_all(facts, trace)):
+            return False
+
+        if self.culprit_flag is not None:
+            fixed = self.compiler.compile(program, self.level,
+                                          disabled=(self.culprit_flag,))
+            fixed_trace = self.debugger.trace(fixed.exe)
+            if any(self._matches(v)
+                   for v in check_all(facts, fixed_trace)):
+                return False  # a different optimization took over
+        return True
+
+    # -- reduction loop ----------------------------------------------------------
+
+    def reduce(self, program: A.Program) -> ReductionResult:
+        """Reduce ``program`` to a (local) fixed point."""
+        original_size = program_size(program)
+        current = copy.deepcopy(program)
+        print_program(current)
+        result = ReductionResult(program=current,
+                                 original_size=original_size,
+                                 reduced_size=original_size)
+        progress = True
+        while progress and result.steps_tried < self.max_steps:
+            progress = False
+            for edit in fast_schedule(current):
+                result.steps_tried += 1
+                if result.steps_tried >= self.max_steps:
+                    break
+                candidate = copy.deepcopy(current)
+                if not edit.apply_to_copy(candidate, current):
+                    continue
+                print_program(candidate)  # restamp lines
+                if self.holds(candidate):
+                    current = candidate
+                    result.steps_accepted += 1
+                    result.accepted.append(edit.describe())
+                    progress = True
+                    break
+        result.source = print_program(current)
+        result.program = current
+        result.reduced_size = program_size(current)
+        return result

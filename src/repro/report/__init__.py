@@ -41,6 +41,6 @@ from .renderers import (
 )
 from .table import Table, format_cell
 from .tables import (
-    STUDY_METRICS, fig1_table, fig1_tables, format_table1_text, table1,
-    table2, table3, table4,
+    STUDY_METRICS, fig1_table, fig1_tables, format_table1_text,
+    reduce_table, table1, table2, table3, table4,
 )

@@ -29,13 +29,15 @@ from typing import List, Optional, Sequence
 from ..metrics.study import StudyResult
 from ..pipeline.campaign import CampaignResult
 from ..pipeline.matrix import MatrixCampaignResult
+from ..pipeline.reduction import ReductionCampaignResult
 from .figures import DEFAULT_VENN_EXCLUDE, fig4_table, venn_table
 from .manifest import DELIVERABLE_TITLES, matrix_cell_tables, render_all
 from .model import Artifact, TriageSummary, load_artifact_file
 from .renderers import DEFAULT_FORMATS, RENDERERS, render_many
 from .table import Table
 from .tables import (
-    STUDY_METRICS, fig1_tables, table1, table2, table3, table4,
+    STUDY_METRICS, fig1_tables, reduce_table, table1, table2, table3,
+    table4,
 )
 
 _FORMAT_CHOICES = tuple(sorted(set(RENDERERS)))
@@ -81,7 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     add("table1", "violations per optimization level "
                   "(campaign or matrix artifact)")
-    sub = add("table2", "culprit optimizations (triage artifact)")
+    sub = add("table2", "culprit optimizations (triage artifact, or a "
+                        "campaign artifact via its recorded fired "
+                        "defects)")
     sub.add_argument("--top", type=int, default=None,
                      help="keep only the N most frequent culprits "
                           "per conjecture")
@@ -104,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="which panel (default: all three)")
     add("fig4", "violated-conjecture count per program (campaign or "
                 "matrix artifact)")
+    add("reduce", "minimized witnesses (reduction artifact)")
 
     sub = commands.add_parser(
         "all", help="render every deliverable the artifacts feed, "
@@ -183,9 +188,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _emit(args, [table3(system=args.system)], "table3")
 
     if command == "table2":
-        summary = _expect(parser, _load(parser, args.artifact),
-                          (TriageSummary,), command)
-        return _emit(args, [table2(summary, top=args.top)], "table2")
+        artifact = _expect(parser, _load(parser, args.artifact),
+                           (TriageSummary, CampaignResult), command)
+        if isinstance(artifact, CampaignResult):
+            # Triage at campaign scale: the stored fired-defect record
+            # stands in for a recompile-everything triage run.
+            if not any(p.fired for p in artifact.programs):
+                parser.error(
+                    f"{args.artifact}: campaign artifact carries no "
+                    f"fired-defect records (stored before the 'fired' "
+                    f"field existed?); re-run the campaign or pass a "
+                    f"repro-triage/1 artifact")
+            artifact = TriageSummary.from_campaign(artifact)
+        return _emit(args, [table2(artifact, top=args.top)], "table2")
+
+    if command == "reduce":
+        reduction = _expect(parser, _load(parser, args.artifact),
+                            (ReductionCampaignResult,), command)
+        return _emit(args, [reduce_table(reduction)], "reduce")
 
     if command == "fig1":
         study = _expect(parser, _load(parser, args.artifact),

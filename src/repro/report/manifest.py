@@ -24,11 +24,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..metrics.study import StudyResult
 from ..pipeline.campaign import CampaignResult
 from ..pipeline.matrix import MatrixCampaignResult
+from ..pipeline.reduction import ReductionCampaignResult
 from .figures import fig4_table, venn_table
 from .model import Artifact, TriageSummary
 from .renderers import DEFAULT_FORMATS, get_renderer
 from .table import Table
-from .tables import fig1_tables, table1, table2, table3, table4
+from .tables import (
+    fig1_tables, reduce_table, table1, table2, table3, table4,
+)
 
 #: Manifest schema tag; bump only with a migration path for readers.
 REPORT_SCHEMA = "repro-report/1"
@@ -42,6 +45,7 @@ DELIVERABLE_TITLES = {
     "fig1": "Figure 1 — quantitative study",
     "venn": "Figures 2/3 — Venn regions",
     "fig4": "Figure 4 — violations per program",
+    "reduce": "Reduction — minimized witnesses",
 }
 
 #: Rendering order of deliverables in ``manifest.json``.
@@ -67,12 +71,19 @@ def deliverables_for(artifact: Artifact
                      ) -> List[Tuple[str, List[Table]]]:
     """Which deliverables one artifact can feed, as (id, tables) pairs."""
     if isinstance(artifact, CampaignResult):
-        return [
+        deliverables = [
             ("table1", [table1(artifact)]),
             ("table4", [table4([artifact])]),
             ("venn", [venn_table(artifact)]),
             ("fig4", [fig4_table(artifact)]),
         ]
+        if any(program.fired for program in artifact.programs):
+            # Campaigns that recorded fired defects feed Table 2 with
+            # no recompilation; older artifacts (no fired data) would
+            # only render an all-failures table, so they skip it.
+            deliverables.insert(1, ("table2", [
+                table2(TriageSummary.from_campaign(artifact))]))
+        return deliverables
     if isinstance(artifact, MatrixCampaignResult):
         return [
             ("table1", matrix_cell_tables(artifact, table1)),
@@ -84,6 +95,8 @@ def deliverables_for(artifact: Artifact
         return [("fig1", fig1_tables(artifact))]
     if isinstance(artifact, TriageSummary):
         return [("table2", [table2(artifact)])]
+    if isinstance(artifact, ReductionCampaignResult):
+        return [("reduce", [reduce_table(artifact)])]
     raise TypeError(f"not a renderable artifact: "
                     f"{type(artifact).__name__}")
 
@@ -107,6 +120,10 @@ def describe_artifact(artifact: Artifact) -> Dict[str, object]:
     if isinstance(artifact, TriageSummary):
         return {"schema": "repro-triage/1", "family": artifact.family,
                 "method": artifact.method}
+    if isinstance(artifact, ReductionCampaignResult):
+        return {"schema": "repro-reduce/1", "family": artifact.family,
+                "version": artifact.version, "engine": artifact.engine,
+                "witnesses": artifact.witnesses}
     raise TypeError(f"not a renderable artifact: "
                     f"{type(artifact).__name__}")
 

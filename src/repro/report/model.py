@@ -9,6 +9,7 @@ repro JSON document back into its typed result — it sniffs the
 ``repro-matrix/1``        :class:`~repro.pipeline.matrix.MatrixCampaignResult`
 ``repro-study/1``         :class:`~repro.metrics.study.StudyResult`
 ``repro-triage/1``        :class:`TriageSummary` (defined here)
+``repro-reduce/1``        :class:`~repro.pipeline.reduction.ReductionCampaignResult`
 ========================  =============================================
 
 Every schema is documented field by field in ``docs/ARTIFACTS.md``.
@@ -19,7 +20,10 @@ triaged or failed on. It accumulates
 :class:`~repro.triage.triage.TriageResult` values (``add``), merges
 across shards like the campaign results (``merge``), and round-trips
 through JSON (schema ``repro-triage/1``) so a triage run can be stored
-next to its campaign artifact and re-rendered later.
+next to its campaign artifact and re-rendered later.  Campaigns now
+record the fired injected defects per compile, so a summary can also be
+built from a stored campaign artifact without recompiling anything:
+:meth:`TriageSummary.from_campaign`.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ from typing import Dict, Union
 from ..metrics.study import STUDY_SCHEMA, StudyResult
 from ..pipeline.campaign import CAMPAIGN_SCHEMA, CampaignResult
 from ..pipeline.matrix import MATRIX_SCHEMA, MatrixCampaignResult
+from ..pipeline.reduction import REDUCE_SCHEMA, ReductionCampaignResult
 from ..triage.triage import TriageResult
 
 #: Artifact schema tag; bump only with a migration path in ``from_dict``.
@@ -58,6 +63,37 @@ class TriageSummary:
             result.violation.conjecture, {})
         per_conjecture[result.culprit] = \
             per_conjecture.get(result.culprit, 0) + 1
+
+    @classmethod
+    def from_campaign(cls, campaign: CampaignResult) -> "TriageSummary":
+        """Triage-at-campaign-scale without recompiling: attribute each
+        unique violation to the injected defects recorded as fired at
+        the first level (campaign order) it reproduced at.
+
+        The campaign must carry per-level fired-defect ids
+        (``ProgramResult.fired`` — recorded by every driver since the
+        field was added; artifacts stored before then load with the
+        field empty and every violation counts as a failure).  A level
+        where several defects fired is attributed as one compound
+        ``a+b`` culprit, keeping ``triaged`` equal to the violation
+        count.  ``method`` is ``"defects"``.
+        """
+        summary = cls(family=campaign.family, method="defects")
+        for program in campaign.programs:
+            for key, levels in sorted(program.unique_keys().items()):
+                conjecture = key[0]
+                first_level = next(level for level in campaign.levels
+                                   if level in levels)
+                fired = program.fired_defects(first_level)
+                if not fired:
+                    summary.failed += 1
+                    continue
+                summary.triaged += 1
+                culprit = "+".join(fired)
+                per_conjecture = summary.counts.setdefault(conjecture, {})
+                per_conjecture[culprit] = \
+                    per_conjecture.get(culprit, 0) + 1
+        return summary
 
     def merge(self, other: "TriageSummary") -> "TriageSummary":
         """Combine two shard summaries (same family and method)."""
@@ -114,13 +150,14 @@ class TriageSummary:
 
 #: Anything :func:`load_artifact` can give back.
 Artifact = Union[CampaignResult, MatrixCampaignResult, StudyResult,
-                 TriageSummary]
+                 TriageSummary, ReductionCampaignResult]
 
 _LOADERS = {
     CAMPAIGN_SCHEMA: CampaignResult.from_dict,
     MATRIX_SCHEMA: MatrixCampaignResult.from_dict,
     STUDY_SCHEMA: StudyResult.from_dict,
     TRIAGE_SCHEMA: TriageSummary.from_dict,
+    REDUCE_SCHEMA: ReductionCampaignResult.from_dict,
 }
 
 

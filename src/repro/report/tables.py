@@ -69,8 +69,10 @@ def table2(summary: TriageSummary, top: Optional[int] = None) -> Table:
             ranked = ranked[:top]
         for culprit, count in ranked:
             rows.append([conjecture, culprit, count])
-    method = ("-fno-<flag> search" if summary.method == "flags"
-              else "opt-bisect-limit")
+    method = {"flags": "-fno-<flag> search",
+              "bisect": "opt-bisect-limit",
+              "defects": "recorded fired defects"}.get(
+                  summary.method, summary.method)
     return Table(
         title=f"Table 2 — culprit optimizations "
               f"({summary.family}, {method})",
@@ -208,3 +210,38 @@ def fig1_tables(study: StudyResult,
                 metrics: Sequence[str] = STUDY_METRICS) -> List[Table]:
     """All requested Figure 1 panels."""
     return [fig1_table(study, metric) for metric in metrics]
+
+
+# -- Reduction (repro-reduce/1) ----------------------------------------------
+
+
+def reduce_table(reduction: "ReductionCampaignResult") -> Table:
+    """Minimized witnesses of one reduction campaign.
+
+    One row per reduced violation: where it came from, the preserved
+    culprit, and how far the reducer shrank it.
+    """
+    rows: List[List[object]] = [
+        [record.seed, record.level, record.conjecture, record.variable,
+         record.culprit or "-", record.original_size,
+         record.reduced_size, record.reduction_ratio,
+         record.steps_tried]
+        for record in reduction.records
+    ]
+    stats = reduction.stats
+    note = (f"{reduction.witnesses} witnesses reduced with the "
+            f"{reduction.engine} engine in {reduction.debugger}; "
+            f"{reduction.total('steps_tried')} candidates, "
+            f"{reduction.total('steps_accepted')} accepted")
+    if stats.get("memo_hits"):
+        note += f", {stats['memo_hits']} oracle-memo hits"
+    return Table(
+        title=(f"Reduction — minimized witnesses "
+               f"({reduction.family}-{reduction.version}, "
+               f"{reduction.pool_size}-program campaign)"),
+        columns=["seed", "level", "conjecture", "variable", "culprit",
+                 "original", "reduced", "ratio", "candidates"],
+        rows=rows,
+        note=note + ".",
+        kind="reduce",
+    )

@@ -1,0 +1,540 @@
+"""Differential tests for the fast reduction engine.
+
+The contract mirrors the matrix PR's: **the fast path is bit-identical
+to the reference path**.
+
+* :class:`~repro.reduce.engine.Reducer` (in-place edits, staged
+  memoized oracle) vs :class:`~repro.reduce.reference.ReferenceReducer`
+  (per-candidate deep copies, recompile-everything oracle) over a
+  30-witness corpus — identical reduced source, accepted-edit sequence,
+  and candidate counts;
+* :func:`~repro.reduce.parallel.reduce_parallel` vs the serial engine —
+  identical acceptance order under speculation;
+* :class:`~repro.reduce.oracle.ReductionOracle` verdicts vs
+  ``ReferenceReducer.holds`` candidate by candidate, plus the
+  source/fingerprint memo accounting;
+* the satellite fixes: ``DoWhile`` flattening consistency and
+  literal-to-zero candidates;
+* ``fired_defects`` plumbing through ``ProgramResult`` and
+  ``TriageSummary.from_campaign``;
+* the ``repro-reduce/1`` artifact round trip, ``repro-reduce`` CLI,
+  and ``repro-report reduce`` / ``table2``-from-campaign rendering.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro import Compiler, GdbLike, print_program, run_campaign
+from repro.pipeline import test_program as check_program
+from repro.conjectures.base import Violation
+from repro.fuzz import generate_validated
+from repro.lang import ast_nodes as A
+from repro.pipeline.campaign import CampaignResult, ProgramResult
+from repro.pipeline.reduction import (
+    ReductionCampaignResult, iter_witnesses, run_reduction_campaign,
+)
+from repro.reduce import Reducer, ReductionOracle, ReferenceReducer
+from repro.reduce.candidates import (
+    DeleteStmts, FlattenControl, KeepOperand, LiteralZero, chunk_deletions,
+    control_flattenings, expr_simplifications, fast_schedule,
+    flatten_replacement,
+)
+from repro.reduce.cli import main as reduce_cli
+from repro.report import TriageSummary, load_artifact, reduce_table, render
+from repro.report.cli import main as report_cli
+
+#: Scanning budget for the witness corpus (plenty for 30 witnesses).
+SCAN_SEEDS = 120
+
+#: Differential corpus size (the acceptance bar's 30 seeds).
+CORPUS = 30
+
+#: Candidate budget for the corpus runs — capped identically in both
+#: engines, so bit-identity of capped runs is part of the contract.
+CORPUS_STEPS = 80
+
+
+def _find_witnesses(count, levels=None):
+    compiler = Compiler("gcc", "trunk")
+    debugger = GdbLike()
+    witnesses = []
+    for seed in range(SCAN_SEEDS):
+        program = generate_validated(seed)
+        per_level = check_program(program, compiler, debugger,
+                                 levels=levels)
+        for level, violations in per_level.items():
+            if violations:
+                witnesses.append((seed, level, violations[0]))
+                break
+        if len(witnesses) >= count:
+            break
+    assert len(witnesses) >= count, \
+        f"only {len(witnesses)} witnesses in {SCAN_SEEDS} seeds"
+    return witnesses
+
+
+@pytest.fixture(scope="module")
+def witnesses_30():
+    return _find_witnesses(CORPUS, levels=["O1", "O2"])
+
+
+@pytest.fixture(scope="module")
+def toolchain():
+    return Compiler("gcc", "trunk"), GdbLike()
+
+
+# -- 30-witness differential suite -------------------------------------------
+
+
+def test_fast_reducer_bit_identical_to_reference(witnesses_30, toolchain):
+    """Same schedule + verdict-equivalent oracle => identical output."""
+    compiler, debugger = toolchain
+    for seed, level, violation in witnesses_30:
+        program = generate_validated(seed)
+        reference = ReferenceReducer(compiler, level, debugger, violation,
+                                     max_steps=CORPUS_STEPS)
+        fast = Reducer(compiler, level, debugger, violation,
+                       max_steps=CORPUS_STEPS)
+        expected = reference.reduce(program)
+        actual = fast.reduce(program)
+        context = (seed, level)
+        assert actual.source == expected.source, context
+        assert print_program(actual.program) == expected.source, context
+        assert actual.accepted == expected.accepted, context
+        assert actual.steps_tried == expected.steps_tried, context
+        assert actual.steps_accepted == expected.steps_accepted, context
+        assert actual.reduced_size == expected.reduced_size, context
+
+
+def test_fast_reducer_fixed_point_matches_reference(toolchain):
+    """Uncapped runs (with a culprit to preserve) converge identically."""
+    compiler, debugger = toolchain
+    for seed, level, culprit in ((8, "O1", "tree-ccp"),
+                                 (6, "O2", "tree-ccp")):
+        program = generate_validated(seed)
+        violation = check_program(program, compiler, debugger,
+                                 levels=[level])[level][0]
+        expected = ReferenceReducer(compiler, level, debugger, violation,
+                                    culprit_flag=culprit).reduce(program)
+        actual = Reducer(compiler, level, debugger, violation,
+                         culprit_flag=culprit).reduce(program)
+        assert actual.source == expected.source, (seed, level)
+        assert actual.accepted == expected.accepted, (seed, level)
+        # Both engines must stop only at a fixed point: a fresh pass
+        # over the result accepts nothing.
+        assert expected.steps_accepted > 0, "corpus witness too easy"
+
+
+def test_oracle_verdicts_match_reference_holds(toolchain):
+    """Stage-by-stage oracle == the recompile-everything oracle."""
+    compiler, debugger = toolchain
+    seed, level = 8, "O1"
+    program = generate_validated(seed)
+    violation = check_program(program, compiler, debugger,
+                             levels=[level])[level][0]
+    reference = ReferenceReducer(compiler, level, debugger, violation,
+                                 culprit_flag="tree-ccp")
+    oracle = ReductionOracle(compiler, level, debugger, violation,
+                             culprit_flag="tree-ccp")
+    current = copy.deepcopy(program)
+    print_program(current)
+    oracle.calibrate(current)
+    checked = 0
+    for edit in fast_schedule(current):
+        candidate = copy.deepcopy(current)
+        assert edit.apply_to_copy(candidate, current)
+        source = print_program(candidate)
+        assert oracle.check(candidate, source=source) == \
+            reference.holds(candidate), edit.describe()
+        checked += 1
+        if checked >= 40:
+            break
+    assert checked == 40
+
+
+# -- oracle memo accounting ---------------------------------------------------
+
+
+def test_oracle_source_memo_counts_hits(toolchain):
+    compiler, debugger = toolchain
+    program = generate_validated(8)
+    violation = check_program(program, compiler, debugger,
+                             levels=["O1"])["O1"][0]
+    oracle = ReductionOracle(compiler, "O1", debugger, violation)
+    source = print_program(program)
+    first = oracle.check(program, source=source)
+    compiles = oracle.stats.compiles
+    assert oracle.check(program, source=source) == first
+    assert oracle.stats.source_memo_hits == 1
+    assert oracle.stats.compiles == compiles  # nothing re-ran
+    assert oracle.stats.queries == 2
+
+
+def test_oracle_fingerprint_memo_behind_source_memo(toolchain):
+    """A candidate whose *text* is new but whose lowering was already
+    judged never re-runs the toolchain (second memo level)."""
+    compiler, debugger = toolchain
+    program = generate_validated(8)
+    violation = check_program(program, compiler, debugger,
+                             levels=["O1"])["O1"][0]
+    oracle = ReductionOracle(compiler, "O1", debugger, violation)
+    source = print_program(program)
+    verdict = oracle.check(program, source=source)
+    compiles = oracle.stats.compiles
+    assert oracle.check(program, source=source + " ") == verdict
+    assert oracle.stats.fingerprint_memo_hits == 1
+    assert oracle.stats.compiles == compiles
+
+
+def test_reduction_session_records_memo_hits(toolchain):
+    """Real sessions revisit programs (chunk vs single deletions), so
+    the memo must actually fire during a reduction."""
+    compiler, debugger = toolchain
+    program = generate_validated(2)
+    violation = check_program(program, compiler, debugger,
+                             levels=["Og"])["Og"][0]
+    reducer = Reducer(compiler, "Og", debugger, violation)
+    result = reducer.reduce(program)
+    assert result.stats is reducer.oracle.stats
+    assert result.stats.memo_hits > 0
+    assert result.stats.queries == result.steps_tried
+    # Memoized queries never reach the toolchain: compiles are bounded
+    # by the fresh, frontend-valid, UB-free candidates.
+    fresh = (result.stats.queries - result.stats.memo_hits -
+             result.stats.frontend_rejects - result.stats.ub_rejects)
+    assert result.stats.compiles >= fresh  # stage-4 recompiles allowed
+    assert result.stats.compiles <= 2 * fresh
+
+
+# -- parallel speculation -----------------------------------------------------
+
+
+def test_parallel_reduction_matches_serial(toolchain):
+    compiler, debugger = toolchain
+    program = generate_validated(8)
+    violation = check_program(program, compiler, debugger,
+                             levels=["O1"])["O1"][0]
+    serial = Reducer(compiler, "O1", debugger, violation,
+                     culprit_flag="tree-ccp").reduce(program)
+    parallel = Reducer(compiler, "O1", debugger, violation,
+                       culprit_flag="tree-ccp").reduce_parallel(
+                           program, workers=2)
+    assert parallel.source == serial.source
+    assert parallel.accepted == serial.accepted
+    assert parallel.steps_tried == serial.steps_tried
+    assert parallel.steps_accepted == serial.steps_accepted
+    # worker oracle accounting travels back to the parent; speculation
+    # may evaluate more candidates than the serial-equivalent count
+    assert parallel.stats.compiles > 0
+    assert parallel.stats.accepts >= parallel.steps_accepted
+    assert parallel.stats.queries + 1 >= parallel.steps_tried
+
+
+def test_parallel_single_worker_falls_back_to_serial(toolchain):
+    compiler, debugger = toolchain
+    program = generate_validated(8)
+    violation = check_program(program, compiler, debugger,
+                             levels=["O1"])["O1"][0]
+    serial = Reducer(compiler, "O1", debugger, violation,
+                     max_steps=60).reduce(program)
+    fallback = Reducer(compiler, "O1", debugger, violation,
+                       max_steps=60).reduce_parallel(program, workers=1)
+    assert fallback.source == serial.source
+    assert fallback.steps_tried == serial.steps_tried
+
+
+# -- satellite fixes: candidate generation ------------------------------------
+
+
+def _program_with_dowhile():
+    body = A.Block(stmts=[
+        A.ExprStmt(expr=A.Assign(target=A.Ident(name="x"),
+                                 value=A.IntLit(value=5))),
+    ])
+    loop = A.DoWhile(body=body, cond=A.IntLit(value=0))
+    decl = A.DeclStmt(decls=[A.VarDecl(name="x", init=A.IntLit(value=1))])
+    main = A.FuncDef(name="main", body=A.Block(stmts=[
+        decl, loop, A.Return(value=A.Ident(name="x"))]))
+    program = A.Program(functions=[main])
+    print_program(program)
+    return program, loop, body
+
+
+def test_flatten_replacement_handles_every_loop_kind():
+    block = A.Block(stmts=[])
+    assert flatten_replacement(A.If(cond=A.IntLit(value=1),
+                                    then=block)) is block
+    assert flatten_replacement(A.For(body=block)) is block
+    assert flatten_replacement(A.While(cond=A.IntLit(value=1),
+                                       body=block)) is block
+    assert flatten_replacement(A.DoWhile(body=block,
+                                         cond=A.IntLit(value=0))) is block
+    assert flatten_replacement(A.Empty()) is None
+
+
+def test_dowhile_flattening_consistent_between_apply_paths():
+    """The seed re-derived the replacement on the copy with an If-or-
+    ``.body`` conditional; a DoWhile must flatten to its body on both
+    the in-place and the copy path, identically."""
+    program, loop, body = _program_with_dowhile()
+    edits = [e for e in control_flattenings(program)
+             if isinstance(e, FlattenControl)]
+    assert len(edits) == 1
+    edit = edits[0]
+
+    candidate = copy.deepcopy(program)
+    assert edit.apply_to_copy(candidate, program)
+    copy_text = print_program(candidate)
+
+    edit.apply()
+    in_place_text = print_program(program)
+    assert program.functions[0].body.stmts[1] is body
+    assert in_place_text == copy_text
+    edit.undo()
+    assert program.functions[0].body.stmts[1] is loop
+
+
+def test_literal_to_zero_candidates_generated_and_reversible():
+    """'Literals with 0' is documented — and now generated."""
+    assign = A.ExprStmt(expr=A.Assign(
+        target=A.Ident(name="x"),
+        value=A.Binary(op="+", left=A.IntLit(value=7),
+                       right=A.Ident(name="x"))))
+    decl = A.DeclStmt(decls=[A.VarDecl(name="x", init=A.IntLit(value=1))])
+    main = A.FuncDef(name="main", body=A.Block(stmts=[
+        decl, assign, A.Return(value=A.Ident(name="x"))]))
+    program = A.Program(functions=[main])
+    print_program(program)
+
+    edits = list(expr_simplifications(program))
+    literal_edits = [e for e in edits if isinstance(e, LiteralZero)]
+    assert len(literal_edits) == 1
+    operand_edits = [e for e in edits if isinstance(e, KeepOperand)]
+    assert [e.side for e in operand_edits] == ["left", "right"]
+
+    edit = literal_edits[0]
+    candidate = copy.deepcopy(program)
+    assert edit.apply_to_copy(candidate, program)
+    edit.apply()
+    assert "x = 0 + x;" in print_program(program)
+    assert print_program(candidate) == print_program(program)
+    edit.undo()
+    assert "x = 7 + x;" in print_program(program)
+
+
+def test_chunk_deletions_halve_and_respect_labels():
+    stmts = [A.ExprStmt(expr=A.Assign(target=A.Ident(name="x"),
+                                      value=A.IntLit(value=n)))
+             for n in range(8)]
+    stmts.append(A.LabeledStmt(label="l", stmt=A.Empty()))
+    stmts.append(A.Goto(label="l"))
+    main = A.FuncDef(name="main", body=A.Block(
+        stmts=stmts + [A.Return(value=A.IntLit(value=0))]))
+    program = A.Program(functions=[main])
+    print_program(program)
+    chunks = [e for e in chunk_deletions(program)
+              if isinstance(e, DeleteStmts)]
+    sizes = sorted({e.count for e in chunks}, reverse=True)
+    assert sizes[0] == len(main.body.stmts) // 2
+    assert sizes[-1] == 2
+    for edit in chunks:
+        chunk = main.body.stmts[edit.index:edit.index + edit.count]
+        labels = {s.label for stmt in chunk for s in A.walk_stmt(stmt)
+                  if isinstance(s, A.LabeledStmt)}
+        gotos = {s.label for stmt in chunk for s in A.walk_stmt(stmt)
+                 if isinstance(s, A.Goto)}
+        # the goto-targeted label may only go when its goto goes too
+        assert "l" not in labels or "l" in gotos
+
+
+def test_edit_undo_restores_exact_structure():
+    program = generate_validated(3)
+    print_program(program)
+    before = print_program(program)
+    count = 0
+    for edit in fast_schedule(program):
+        edit.apply()
+        assert print_program(program) != before or True  # may differ
+        edit.undo()
+        assert print_program(program) == before
+        count += 1
+    assert count > 10
+
+
+# -- fired-defects plumbing ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def campaign_10(toolchain):
+    compiler, debugger = toolchain
+    return run_campaign(compiler, debugger, pool_size=10)
+
+
+def test_campaign_records_fired_defects(campaign_10):
+    fired_any = [p for p in campaign_10.programs if p.fired]
+    assert fired_any, "no program fired a defect in 10 seeds?"
+    program = fired_any[0]
+    level = next(iter(program.fired))
+    assert program.fired_defects(level) == program.fired[level]
+    merged = program.fired_defects()
+    assert merged == sorted(merged)
+    # every violation has a compile-time culprit on record
+    for result in campaign_10.programs:
+        for level, violations in result.violations.items():
+            if violations:
+                assert result.fired.get(level), (result.seed, level)
+
+
+def test_campaign_fired_round_trips_and_old_artifacts_load(campaign_10):
+    back = CampaignResult.from_json(campaign_10.to_json())
+    assert back == campaign_10
+    # pre-fired artifacts (no "fired" key) still load
+    data = json.loads(campaign_10.to_json())
+    for program in data["programs"]:
+        program.pop("fired", None)
+    old = CampaignResult.from_dict(data)
+    assert all(p.fired == {} for p in old.programs)
+    assert old.table1() == campaign_10.table1()
+
+
+def test_triage_summary_from_campaign(campaign_10):
+    summary = TriageSummary.from_campaign(campaign_10)
+    assert summary.method == "defects"
+    assert summary.family == campaign_10.family
+    unique = sum(len(p.unique_keys()) for p in campaign_10.programs)
+    assert summary.triaged + summary.failed == unique
+    assert summary.triaged > 0
+    # renders through the standard Table 2 builder
+    from repro.report import table2
+    text = render(table2(summary), "md")
+    assert "recorded fired defects" in text
+    # and merges like any triage summary
+    merged = summary.merge(TriageSummary(family=summary.family,
+                                         method="defects"))
+    assert merged.triaged == summary.triaged
+
+
+def test_matrix_cells_carry_fired_defects():
+    from repro.pipeline import run_matrix_campaign
+    matrix = run_matrix_campaign(pool_size=3, families=("gcc",))
+    cell = matrix.cell("gcc", "trunk", "gdb-like")
+    assert any(p.fired for p in cell.programs)
+    # both debugger cells observed the same compiles
+    other = matrix.cell("gcc", "trunk", "lldb-like")
+    assert [p.fired for p in cell.programs] == \
+        [p.fired for p in other.programs]
+
+
+# -- reduction campaigns and the repro-reduce/1 artifact ----------------------
+
+
+def test_iter_witnesses_deduplicates_and_orders(campaign_10):
+    seen = set()
+    previous_seed = -1
+    count = 0
+    for seed, level, violation in iter_witnesses(campaign_10):
+        assert seed >= previous_seed
+        previous_seed = seed
+        key = (seed, violation.conjecture, violation.variable)
+        assert key not in seen
+        seen.add(key)
+        assert level in campaign_10.levels
+        count += 1
+    assert count > 0
+
+
+def test_run_reduction_campaign_artifact_round_trip(campaign_10):
+    result = run_reduction_campaign(campaign_10, with_triage=False,
+                                    max_steps=60, limit=2)
+    assert result.witnesses == 2
+    assert result.engine == "fast"
+    assert result.debugger == "gdb-like"
+    for record in result.records:
+        assert record.reduced_size <= record.original_size
+        assert record.culprit is None and record.method == "none"
+        assert record.reduced_source.endswith("\n")
+    # the step that hits the budget is counted but never queried
+    assert 0 < result.stats["queries"] <= result.total("steps_tried")
+
+    back = load_artifact(result.to_json())
+    assert isinstance(back, ReductionCampaignResult)
+    assert back.to_json() == result.to_json()
+    table = reduce_table(back)
+    assert table.kind == "reduce"
+    assert len(table.rows) == 2
+    for fmt in ("md", "html", "csv", "text"):
+        assert render(table, fmt)
+
+
+def test_run_reduction_campaign_rejects_unknown_engine(campaign_10):
+    with pytest.raises(ValueError, match="unknown reduction engine"):
+        run_reduction_campaign(campaign_10, engine="warp")
+
+
+# -- CLIs ---------------------------------------------------------------------
+
+
+def test_repro_reduce_cli_end_to_end(tmp_path, campaign_10, capsys):
+    campaign_path = tmp_path / "campaign.json"
+    campaign_path.write_text(campaign_10.to_json(indent=2) + "\n",
+                             encoding="utf-8")
+    out_path = tmp_path / "reduce.json"
+    code = reduce_cli([str(campaign_path), "--no-triage", "--limit", "1",
+                       "--max-steps", "60", "--output", str(out_path)])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "candidates/sec" in printed
+    stored = load_artifact(out_path.read_text(encoding="utf-8"))
+    assert isinstance(stored, ReductionCampaignResult)
+    assert stored.witnesses == 1
+
+    # library rendering == CLI rendering, byte for byte
+    code = report_cli(["reduce", str(out_path), "--format", "md"])
+    assert code == 0
+    cli_text = capsys.readouterr().out
+    assert cli_text.rstrip("\n") == \
+        render(reduce_table(stored), "md").rstrip("\n")
+
+
+def test_repro_report_table2_accepts_campaign(tmp_path, campaign_10,
+                                              capsys):
+    campaign_path = tmp_path / "campaign.json"
+    campaign_path.write_text(campaign_10.to_json(indent=2) + "\n",
+                             encoding="utf-8")
+    code = report_cli(["table2", str(campaign_path), "--format", "md"])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "recorded fired defects" in printed
+
+
+def test_render_all_emits_table2_from_fired_campaign(tmp_path,
+                                                     campaign_10):
+    from repro.report.manifest import render_all
+    manifest = render_all([campaign_10], str(tmp_path), formats=("md",),
+                          include_catalog=False)
+    deliverables = [r["deliverable"] for r in manifest["reports"]]
+    assert "table2" in deliverables
+    assert "recorded fired defects" in \
+        (tmp_path / "table2.md").read_text(encoding="utf-8")
+    # artifacts without fired data skip the deliverable (all-failure
+    # tables would be noise)
+    data = json.loads(campaign_10.to_json())
+    for program in data["programs"]:
+        program.pop("fired", None)
+    old = CampaignResult.from_dict(data)
+    manifest = render_all([old], str(tmp_path / "old"), formats=("md",),
+                          include_catalog=False)
+    assert "table2" not in [r["deliverable"] for r in manifest["reports"]]
+
+
+def test_render_all_includes_reduce_deliverable(tmp_path, campaign_10):
+    from repro.report.manifest import render_all
+    result = run_reduction_campaign(campaign_10, with_triage=False,
+                                    max_steps=40, limit=1)
+    manifest = render_all([result], str(tmp_path), formats=("md",),
+                          include_catalog=False)
+    assert [r["deliverable"] for r in manifest["reports"]] == ["reduce"]
+    assert manifest["sources"][0]["schema"] == "repro-reduce/1"
+    assert (tmp_path / "reduce.md").exists()
