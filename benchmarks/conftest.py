@@ -25,8 +25,15 @@ BENCH_REDUCE_PATH = os.environ.get(
     "REPRO_BENCH_REDUCE_OUT",
     os.path.join(os.path.dirname(__file__), "BENCH_reduce.json"))
 
+#: Where the static-verification throughput benchmark lands; override
+#: with REPRO_BENCH_VERIFY_OUT.
+BENCH_VERIFY_PATH = os.environ.get(
+    "REPRO_BENCH_VERIFY_OUT",
+    os.path.join(os.path.dirname(__file__), "BENCH_verify.json"))
+
 _campaign_bench = {}
 _reduce_bench = {}
+_verify_bench = {}
 
 
 def record_campaign_bench(**fields):
@@ -41,9 +48,16 @@ def record_reduce_bench(**fields):
     _reduce_bench.update(fields)
 
 
+def record_verify_bench(**fields):
+    """Collect static-verify vs dynamic-evaluation timings; written to
+    ``BENCH_verify.json`` at session end."""
+    _verify_bench.update(fields)
+
+
 def pytest_sessionfinish(session, exitstatus):
     for data, path in ((_campaign_bench, BENCH_CAMPAIGN_PATH),
-                       (_reduce_bench, BENCH_REDUCE_PATH)):
+                       (_reduce_bench, BENCH_REDUCE_PATH),
+                       (_verify_bench, BENCH_VERIFY_PATH)):
         if data:
             with open(path, "w", encoding="utf-8") as handle:
                 json.dump(data, handle, indent=2, sort_keys=True)

@@ -1,0 +1,108 @@
+"""BENCH_verify — static verification throughput vs the dynamic
+evaluation loop it front-runs.
+
+The static verifier (``repro.staticcheck``) and the dynamic campaign
+(``repro.pipeline.run_campaign``) consume the same seed pool; both pay
+for frontend + compile, which dominates either pipeline, so the two
+rates land close together — the verifier buys its findings (including
+``O0`` coverage, which the dynamic loop cannot check without a
+baseline) at roughly the cost of the compile it needs anyway. What the
+benchmark pins is the absolute verified-programs/sec floor
+(``min_verify_programs_per_sec`` in ``bench_floor.json``, enforced
+whenever ``REPRO_BENCH_STRICT`` is not 0, with the same 30% tolerance
+as the matrix floor) plus the side-by-side record: per-loop seconds,
+programs/sec, the static/dynamic rate ratio, and which defect ids the
+static pass flagged without a single debugger step.
+"""
+
+import json
+import os
+import time
+
+from repro import Compiler, GdbLike
+from repro.pipeline import run_campaign
+from repro.staticcheck import run_verify_campaign
+
+from conftest import banner, pool_size, record_verify_bench
+
+CPUS = os.cpu_count() or 1
+
+FLOOR_PATH = os.path.join(os.path.dirname(__file__), "bench_floor.json")
+
+#: Waivable on noisy shared runners; the JSON is still emitted.
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+
+POOL = pool_size(12)
+
+
+def _static_detections(verify, compiler):
+    """Defect ids whose hook point a finding hit in the compile where
+    the defect fired (what ``repro-report verify`` tabulates)."""
+    points = {d.defect_id: d.point for d in compiler.defects}
+    detected = set()
+    for program in verify.programs:
+        for level, fired in program.fired.items():
+            hit = {f.point() for f in program.findings[level]} - {""}
+            detected.update(d for d in fired if points.get(d) in hit)
+    return detected
+
+
+def test_verify_vs_dynamic(benchmark):
+    compiler = Compiler("gcc", "trunk")
+    timings = {}
+
+    def run():
+        started = time.perf_counter()
+        verify = run_verify_campaign(Compiler("gcc", "trunk"),
+                                     pool_size=POOL)
+        timings["verify"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        campaign = run_campaign(Compiler("gcc", "trunk"), GdbLike(),
+                                pool_size=POOL)
+        timings["dynamic"] = time.perf_counter() - started
+        return verify, campaign
+
+    verify, campaign = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    verify_rate = POOL / timings["verify"]
+    dynamic_rate = POOL / timings["dynamic"]
+    verify_ratio = verify_rate / dynamic_rate
+    static_ids = _static_detections(verify, compiler)
+
+    record_verify_bench(
+        pool=POOL,
+        cpus=CPUS,
+        verify_levels=len(verify.levels),
+        dynamic_levels=len(campaign.levels),
+        verify_seconds=round(timings["verify"], 3),
+        dynamic_seconds=round(timings["dynamic"], 3),
+        verify_programs_per_sec=round(verify_rate, 2),
+        dynamic_programs_per_sec=round(dynamic_rate, 2),
+        verify_ratio=round(verify_ratio, 2),
+        findings=verify.finding_count(),
+        static_defect_ids=sorted(static_ids),
+    )
+
+    print(banner(f"Static verification throughput ({POOL} programs, "
+                 f"{CPUS} cpus)"))
+    print(f"  static   {timings['verify']:7.2f}s "
+          f"({verify_rate:6.2f} programs/sec, "
+          f"{len(verify.levels)} levels incl. O0)")
+    print(f"  dynamic  {timings['dynamic']:7.2f}s "
+          f"({dynamic_rate:6.2f} programs/sec, "
+          f"{len(campaign.levels)} levels)")
+    print(f"  ratio: {verify_ratio:.2f}x; static flagged "
+          f"{sorted(static_ids)} without running the debugger")
+
+    # The static pass must catch real catalog defects on this pool —
+    # the throughput number is meaningless if it verifies nothing.
+    assert static_ids, "static verifier flagged no fired defect"
+
+    if STRICT:
+        with open(FLOOR_PATH, encoding="utf-8") as handle:
+            floor = json.load(handle)["min_verify_programs_per_sec"]
+        # Same 30% tolerance as the matrix throughput floor.
+        assert verify_rate >= floor * 0.7, \
+            (f"static verification at {verify_rate:.2f} programs/sec "
+             f"(floor {floor:.1f}, 30% tolerance)")

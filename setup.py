@@ -11,6 +11,7 @@ setup(
             "repro-campaign=repro.pipeline.cli:main",
             "repro-reduce=repro.reduce.cli:main",
             "repro-report=repro.report.cli:main",
+            "repro-verify=repro.staticcheck.cli:main",
         ],
     },
 )

@@ -6,13 +6,14 @@ pass-pipeline tests lean on this to catch malformed rewrites early.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
+from .dominators import dominates, dominators
 from .instructions import (
     BinOp, Branch, Call, DbgDeclare, DbgValue, Jump, Load, Move, Ret, Store,
     UnOp,
 )
-from .module import Function, Module
+from .module import BasicBlock, Function, Module
 from .values import AffineExpr, Const, GlobalRef, SlotRef, VReg
 
 
@@ -111,9 +112,72 @@ def verify_function(fn: Function, module: Module) -> List[str]:
                 elif instr.value is not None:
                     _check_operand(instr.value, fn, module, at, errors)
             elif isinstance(instr, DbgDeclare):
+                if instr.symbol is None:
+                    errors.append(f"{at}: dbg.declare without symbol")
                 if instr.slot_id not in fn.slots:
                     errors.append(f"{at}: dbg.declare of dangling slot")
+    _check_def_use(fn, errors)
     return errors
+
+
+def _check_def_use(fn: Function, errors: List[str]) -> None:
+    """Definition/use discipline over the reachable CFG.
+
+    Every VReg a real instruction or a debug intrinsic reads must have
+    a definition (or be an incoming parameter) — a dangling reference
+    lowers to a register no instruction writes.  Single-definition
+    registers additionally satisfy SSA dominance: the definition must
+    dominate every real use (multi-definition registers are legal in
+    this IR and skip the dominance check, which is undecidable without
+    per-path reasoning).  Unreachable blocks are skipped — dominators
+    are undefined there and codegen never emits them as live paths.
+    """
+    params = {vreg for _sym, vreg in fn.params}
+    defs: Dict[VReg, List[Tuple[BasicBlock, int]]] = {}
+    for block in fn.blocks:
+        for index, instr in enumerate(block.instrs):
+            if instr.is_dbg():
+                continue
+            target = instr.defs()
+            if target is not None:
+                defs.setdefault(target, []).append((block, index))
+    dom = dominators(fn)
+    reachable = set(dom)
+    for block in fn.blocks:
+        if block not in reachable:
+            continue
+        where = f"{fn.name}/{block.name}"
+        for index, instr in enumerate(block.instrs):
+            at = f"{where}[{index}]"
+            if isinstance(instr, DbgValue):
+                vreg = instr.dbg_vreg()
+                if vreg is not None and vreg not in params and \
+                        vreg not in defs:
+                    errors.append(f"{at}: dbg.value references "
+                                  f"undefined vreg {vreg}")
+                continue
+            if instr.is_dbg():
+                continue
+            for vreg in instr.uses():
+                if vreg in params:
+                    continue
+                sites = defs.get(vreg)
+                if not sites:
+                    errors.append(f"{at}: use of undefined vreg {vreg}")
+                    continue
+                if len(sites) != 1:
+                    continue
+                dblock, dindex = sites[0]
+                if dblock is block:
+                    if dindex >= index:
+                        errors.append(
+                            f"{at}: {vreg} used before its definition "
+                            f"in the same block")
+                elif dblock in reachable and \
+                        not dominates(dom, dblock, block):
+                    errors.append(
+                        f"{at}: use of {vreg} not dominated by its "
+                        f"definition in {dblock.name}")
 
 
 def verify_module(module: Module) -> None:

@@ -126,6 +126,43 @@ def salvage_dbg_uses(fn: Function, block: BasicBlock, index: int,
                 continue
         instr.value = None  # honest kill: value not recoverable
 
+    # The in-block scan cannot see dbg values in *other* blocks (a
+    # loop-exit dbg.value referencing a deleted induction variable).
+    # Once no definition of the target survives anywhere, every
+    # remaining reference dangles: codegen would hand it a register no
+    # instruction ever writes — the debugger reads garbage (the
+    # "Incorrect DIE" class).  Salvage them the same way, or kill.
+    for other in fn.blocks:
+        for instr in other.instrs:
+            if instr is not dying and not instr.is_dbg() and \
+                    instr.defs() is target:
+                return  # another definition keeps the register live
+    base_defs = 0
+    if affine is not None:
+        base_defs = sum(
+            1 for other in fn.blocks for instr in other.instrs
+            if not instr.is_dbg() and instr.defs() is affine.vreg)
+    for other in fn.blocks:
+        for instr in other.instrs:
+            if not isinstance(instr, DbgValue):
+                continue
+            current = instr.value
+            if not (current is target or
+                    (isinstance(current, AffineExpr) and
+                     current.vreg is target)):
+                continue
+            if defective:
+                instr.value = None
+            elif replacement is not None:
+                instr.value = replacement
+            elif affine is not None and base_defs == 1:
+                if isinstance(current, AffineExpr):
+                    instr.value = _compose(current, affine)
+                else:
+                    instr.value = affine
+            else:
+                instr.value = None
+
 
 def kill_dbg_for_vreg(fn: Function, vreg: VReg) -> None:
     """Explicitly kill every dbg value referencing ``vreg`` (used when a

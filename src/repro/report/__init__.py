@@ -3,8 +3,8 @@ tables and figure data.
 
 The campaign/matrix/study drivers produce JSON artifacts (schemas
 ``repro-campaign/1``, ``repro-matrix/1``, ``repro-study/1``,
-``repro-triage/1`` — see ``docs/ARTIFACTS.md``); this package turns
-them into the deliverables the paper reports:
+``repro-triage/1``, ``repro-verify/1`` — see ``docs/ARTIFACTS.md``);
+this package turns them into the deliverables the paper reports:
 
 * Table 1 (violations per compiler x level), Table 2 (triage culprits),
   Table 3 (the issue catalog), Table 4 (version regressions);
@@ -42,5 +42,6 @@ from .renderers import (
 from .table import Table, format_cell
 from .tables import (
     STUDY_METRICS, fig1_table, fig1_tables, format_table1_text,
-    reduce_table, table1, table2, table3, table4,
+    format_verify_findings_text, reduce_table, table1, table2, table3,
+    table4, verify_findings_table, verify_table,
 )

@@ -30,6 +30,7 @@ from ..metrics.study import StudyResult
 from ..pipeline.campaign import CampaignResult
 from ..pipeline.matrix import MatrixCampaignResult
 from ..pipeline.reduction import ReductionCampaignResult
+from ..staticcheck.campaign import VerifyCampaignResult
 from .figures import DEFAULT_VENN_EXCLUDE, fig4_table, venn_table
 from .manifest import DELIVERABLE_TITLES, matrix_cell_tables, render_all
 from .model import Artifact, TriageSummary, load_artifact_file
@@ -37,7 +38,7 @@ from .renderers import DEFAULT_FORMATS, RENDERERS, render_many
 from .table import Table
 from .tables import (
     STUDY_METRICS, fig1_tables, reduce_table, table1, table2, table3,
-    table4,
+    table4, verify_findings_table, verify_table,
 )
 
 _FORMAT_CHOICES = tuple(sorted(set(RENDERERS)))
@@ -109,6 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
     add("fig4", "violated-conjecture count per program (campaign or "
                 "matrix artifact)")
     add("reduce", "minimized witnesses (reduction artifact)")
+    add("verify", "static findings vs fired defects (verify artifact, "
+                  "optionally followed by the same toolchain's "
+                  "campaign artifact for the dynamic column)",
+        artifacts="many")
 
     sub = commands.add_parser(
         "all", help="render every deliverable the artifacts feed, "
@@ -206,6 +211,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         reduction = _expect(parser, _load(parser, args.artifact),
                             (ReductionCampaignResult,), command)
         return _emit(args, [reduce_table(reduction)], "reduce")
+
+    if command == "verify":
+        if len(args.artifacts) > 2:
+            parser.error("verify takes a repro-verify/1 artifact plus "
+                         "at most one repro-campaign/1 artifact")
+        verify = _expect(parser, _load(parser, args.artifacts[0]),
+                         (VerifyCampaignResult,), command)
+        paired = None
+        if len(args.artifacts) == 2:
+            paired = _expect(parser, _load(parser, args.artifacts[1]),
+                             (CampaignResult,), command)
+        try:
+            tables = [verify_table(verify, paired),
+                      verify_findings_table(verify)]
+        except ValueError as error:
+            parser.error(str(error))
+        return _emit(args, tables, "verify")
 
     if command == "fig1":
         study = _expect(parser, _load(parser, args.artifact),

@@ -25,12 +25,14 @@ from ..metrics.study import StudyResult
 from ..pipeline.campaign import CampaignResult
 from ..pipeline.matrix import MatrixCampaignResult
 from ..pipeline.reduction import ReductionCampaignResult
+from ..staticcheck.campaign import VerifyCampaignResult
 from .figures import fig4_table, venn_table
 from .model import Artifact, TriageSummary
 from .renderers import DEFAULT_FORMATS, get_renderer
 from .table import Table
 from .tables import (
     fig1_tables, reduce_table, table1, table2, table3, table4,
+    verify_findings_table, verify_table,
 )
 
 #: Manifest schema tag; bump only with a migration path for readers.
@@ -46,6 +48,7 @@ DELIVERABLE_TITLES = {
     "venn": "Figures 2/3 — Venn regions",
     "fig4": "Figure 4 — violations per program",
     "reduce": "Reduction — minimized witnesses",
+    "verify": "Static verification — findings vs fired defects",
 }
 
 #: Rendering order of deliverables in ``manifest.json``.
@@ -97,6 +100,9 @@ def deliverables_for(artifact: Artifact
         return [("table2", [table2(artifact)])]
     if isinstance(artifact, ReductionCampaignResult):
         return [("reduce", [reduce_table(artifact)])]
+    if isinstance(artifact, VerifyCampaignResult):
+        return [("verify", [verify_table(artifact),
+                            verify_findings_table(artifact)])]
     raise TypeError(f"not a renderable artifact: "
                     f"{type(artifact).__name__}")
 
@@ -124,6 +130,11 @@ def describe_artifact(artifact: Artifact) -> Dict[str, object]:
         return {"schema": "repro-reduce/1", "family": artifact.family,
                 "version": artifact.version, "engine": artifact.engine,
                 "witnesses": artifact.witnesses}
+    if isinstance(artifact, VerifyCampaignResult):
+        return {"schema": "repro-verify/1", "family": artifact.family,
+                "version": artifact.version,
+                "pool_size": artifact.pool_size,
+                "findings": artifact.finding_count()}
     raise TypeError(f"not a renderable artifact: "
                     f"{type(artifact).__name__}")
 
@@ -140,8 +151,21 @@ def render_all(artifacts: Sequence[Artifact], out_dir: str,
     because the issue catalog ships with the package
     (``include_catalog=False`` drops it).
     """
+    campaigns = [a for a in artifacts if isinstance(a, CampaignResult)]
     grouped: Dict[str, List[Table]] = {}
     for artifact in artifacts:
+        if isinstance(artifact, VerifyCampaignResult):
+            # Pair the verify artifact with a same-toolchain dynamic
+            # campaign when one is among the inputs, so the comparison
+            # table gets its dynamic column filled.
+            paired = next(
+                (c for c in campaigns
+                 if (c.family, c.version) ==
+                 (artifact.family, artifact.version)), None)
+            grouped.setdefault("verify", []).extend(
+                [verify_table(artifact, paired),
+                 verify_findings_table(artifact)])
+            continue
         for deliverable, tables in deliverables_for(artifact):
             grouped.setdefault(deliverable, []).extend(tables)
     if include_catalog:

@@ -10,6 +10,7 @@ repro JSON document back into its typed result — it sniffs the
 ``repro-study/1``         :class:`~repro.metrics.study.StudyResult`
 ``repro-triage/1``        :class:`TriageSummary` (defined here)
 ``repro-reduce/1``        :class:`~repro.pipeline.reduction.ReductionCampaignResult`
+``repro-verify/1``        :class:`~repro.staticcheck.campaign.VerifyCampaignResult`
 ========================  =============================================
 
 Every schema is documented field by field in ``docs/ARTIFACTS.md``.
@@ -36,6 +37,7 @@ from ..metrics.study import STUDY_SCHEMA, StudyResult
 from ..pipeline.campaign import CAMPAIGN_SCHEMA, CampaignResult
 from ..pipeline.matrix import MATRIX_SCHEMA, MatrixCampaignResult
 from ..pipeline.reduction import REDUCE_SCHEMA, ReductionCampaignResult
+from ..staticcheck.campaign import VERIFY_SCHEMA, VerifyCampaignResult
 from ..triage.triage import TriageResult
 
 #: Artifact schema tag; bump only with a migration path in ``from_dict``.
@@ -150,7 +152,8 @@ class TriageSummary:
 
 #: Anything :func:`load_artifact` can give back.
 Artifact = Union[CampaignResult, MatrixCampaignResult, StudyResult,
-                 TriageSummary, ReductionCampaignResult]
+                 TriageSummary, ReductionCampaignResult,
+                 VerifyCampaignResult]
 
 _LOADERS = {
     CAMPAIGN_SCHEMA: CampaignResult.from_dict,
@@ -158,6 +161,7 @@ _LOADERS = {
     STUDY_SCHEMA: StudyResult.from_dict,
     TRIAGE_SCHEMA: TriageSummary.from_dict,
     REDUCE_SCHEMA: ReductionCampaignResult.from_dict,
+    VERIFY_SCHEMA: VerifyCampaignResult.from_dict,
 }
 
 

@@ -18,11 +18,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple, Union
 
-from ..bugs.catalog import ISSUES, CatalogIssue, issue_counts
+from ..bugs.catalog import ISSUES, CatalogIssue, defects_for_family, issue_counts
 from ..conjectures.base import CONJECTURES
 from ..metrics.study import StudyResult
 from ..pipeline.campaign import CampaignResult
 from ..pipeline.matrix import MatrixCampaignResult
+from ..staticcheck.campaign import VerifyCampaignResult
 from .model import TriageSummary
 from .renderers import render
 from .table import Table
@@ -210,6 +211,138 @@ def fig1_tables(study: StudyResult,
                 metrics: Sequence[str] = STUDY_METRICS) -> List[Table]:
     """All requested Figure 1 panels."""
     return [fig1_table(study, metric) for metric in metrics]
+
+
+# -- Static verification (repro-verify/1) -------------------------------------
+
+
+def _fired_compile_stats(verify: VerifyCampaignResult):
+    """Per defect id: compiles it fired in, and compiles where a
+    finding indicts that defect's hook point (static detection)."""
+    fired: dict = {}
+    static: dict = {}
+    for program in verify.programs:
+        for level, ids in program.fired.items():
+            points = program.points(level)
+            for defect_id in set(ids):
+                fired[defect_id] = fired.get(defect_id, 0) + 1
+                if _defect_points().get(defect_id, "") in points:
+                    static[defect_id] = static.get(defect_id, 0) + 1
+    return fired, static
+
+
+_POINT_CACHE: dict = {}
+
+
+def _defect_points() -> dict:
+    """defect id -> producer hook point, over the whole catalog."""
+    if not _POINT_CACHE:
+        for family in ("gcc", "clang"):
+            for defect in defects_for_family(family):
+                _POINT_CACHE[defect.defect_id] = defect.point
+    return _POINT_CACHE
+
+
+def _dynamic_compile_counts(campaign: CampaignResult) -> dict:
+    """Per defect id: compiles where it fired *and* the dynamic checks
+    reported at least one conjecture violation at that level."""
+    out: dict = {}
+    for program in campaign.programs:
+        for level, ids in program.fired.items():
+            if not program.violations.get(level):
+                continue
+            for defect_id in set(ids):
+                out[defect_id] = out.get(defect_id, 0) + 1
+    return out
+
+
+def verify_table(verify: VerifyCampaignResult,
+                 campaign: Optional[CampaignResult] = None) -> Table:
+    """Static findings vs. dynamically fired defects, per defect id.
+
+    One row per injected defect that fired anywhere: how many compiles
+    it fired in, how many of those the static verifier indicted (a
+    finding whose check maps to the defect's hook point), how many the
+    dynamic campaign caught (a conjecture violation in the same
+    compile), and the resulting class — ``both`` / ``static-only`` /
+    ``dynamic-only`` / ``undetected``.  Pass the dynamic campaign for
+    the same toolchain to fill the dynamic column; without one it
+    renders ``-`` and the class collapses to static/undetected.
+    """
+    if campaign is not None and \
+            (campaign.family, campaign.version) != \
+            (verify.family, verify.version):
+        raise ValueError(
+            f"verify and campaign artifacts describe different "
+            f"toolchains: {verify.family}-{verify.version} vs "
+            f"{campaign.family}-{campaign.version}")
+    fired, static = _fired_compile_stats(verify)
+    dynamic = _dynamic_compile_counts(campaign) if campaign else {}
+    defect_ids = sorted(set(fired) | set(dynamic))
+    points = _defect_points()
+    rows: List[List[object]] = []
+    for defect_id in defect_ids:
+        static_hits = static.get(defect_id, 0)
+        dynamic_hits = dynamic.get(defect_id, 0)
+        if campaign is None:
+            klass = "static" if static_hits else "undetected"
+            dynamic_cell: object = "-"
+        else:
+            klass = {(True, True): "both",
+                     (True, False): "static-only",
+                     (False, True): "dynamic-only",
+                     (False, False): "undetected"}[
+                (static_hits > 0, dynamic_hits > 0)]
+            dynamic_cell = dynamic_hits
+        rows.append([defect_id, points.get(defect_id, "?"),
+                     fired.get(defect_id, 0), static_hits,
+                     dynamic_cell, klass])
+    note = (f"Fired/static counts over {verify.pool_size} programs x "
+            f"levels {'/'.join(verify.levels)}; 'static' counts "
+            f"compiles where a finding indicts the defect's hook "
+            f"point.")
+    if campaign is not None:
+        note += (f" Dynamic counts compiles with a conjecture "
+                 f"violation at the fired level "
+                 f"({campaign.pool_size}-program campaign).")
+    else:
+        note += " No dynamic campaign supplied."
+    return Table(
+        title=(f"Static verification — findings vs fired defects "
+               f"({verify.family}-{verify.version}, "
+               f"{verify.pool_size} programs)"),
+        columns=["defect", "hook point", "fired", "static",
+                 "dynamic", "class"],
+        rows=rows,
+        note=note,
+        kind="verify",
+    )
+
+
+def verify_findings_table(verify: VerifyCampaignResult) -> Table:
+    """Finding counts per check id and optimization level."""
+    counts = verify.check_counts()
+    rows: List[List[object]] = []
+    for check in sorted(counts):
+        per_level = counts[check]
+        rows.append([check] +
+                    [per_level.get(level, 0) for level in verify.levels] +
+                    [sum(per_level.values())])
+    return Table(
+        title=(f"Static verification — findings per check "
+               f"({verify.family}-{verify.version}, "
+               f"{verify.pool_size} programs)"),
+        columns=["check"] + list(verify.levels) + ["total"],
+        rows=rows,
+        note=("Raw finding counts; a defect-free toolchain renders an "
+              "empty table (the zero-false-positive bar)."),
+        kind="verify_findings",
+    )
+
+
+def format_verify_findings_text(verify: VerifyCampaignResult) -> str:
+    """Fixed-width findings-per-check summary (``repro-verify`` CLI)."""
+    return render(verify_findings_table(verify), "text")
 
 
 # -- Reduction (repro-reduce/1) ----------------------------------------------

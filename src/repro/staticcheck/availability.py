@@ -1,0 +1,463 @@
+"""Availability consistency: location lists vs. the lowered IR.
+
+The deepest verifier layer cross-checks each variable's emitted
+location list against what the *IR itself* says about the variable.  It
+replays codegen's deterministic emission walk over the lowered module
+(:class:`_Replay` mirrors ``_FunctionEmitter``: same frame layout, same
+first-use register numbering, same debug-event anchoring) to recover,
+per symbol, the exact pc intervals over which the debug intrinsic
+stream establishes a location — without trusting the emitted DIEs at
+all.  Code and line emission are defect-hook-free in our backend, so
+the replay is exact; only the debug-info emission can diverge, and any
+divergence is a producer defect:
+
+* a symbol with debug events (or declared in the source) but no
+  variable DIE — **Missing DIE** (``codegen.drop_die``);
+* an established interval the DIE's list does not cover — an
+  **Incomplete DIE** / C2-C3-shaped ``availability-gap``, annotated
+  with :mod:`repro.ir.liveness` facts when the underlying register is
+  provably live across the gap (``codegen.abstract_only_location``
+  produces exactly this: the concrete DIE goes bare);
+* a list entry no debug event backs — a wrong-value candidate,
+  classified via :func:`repro.ir.liveness.dead_definitions` and the
+  replay's register-write map: an entry naming a register that is
+  never written (or whose every defining instruction is dead) is a
+  ``dead-register-location``, otherwise a ``phantom-location``.
+
+Structural mismatches between the module and the executable (they must
+come from the same compilation) raise :class:`StaticCheckError` rather
+than producing findings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.symbols import Symbol
+from ..debuginfo.die import DIE, TAG_INLINED_SUBROUTINE, TAG_SUBPROGRAM
+from ..debuginfo.location import (
+    ConstLoc, ExprLoc, FrameAddrVal, FrameLoc, GlobalAddrVal, Loc,
+    LocationList, RegLoc,
+)
+from ..ir.instructions import (
+    BinOp, Branch, Call, DbgDeclare, DbgValue, Instr, Jump, Load, Move,
+    Ret, Store, UnOp,
+)
+from ..ir.liveness import dead_definitions, liveness
+from ..ir.module import Function, Module
+from ..ir.ops import wrap
+from ..ir.values import AffineExpr, Const, GlobalRef, SlotRef, VReg
+from ..target.isa import Executable, FuncInfo
+from .findings import Finding
+
+Range = Tuple[int, int]
+
+
+class StaticCheckError(Exception):
+    """The module and executable do not describe the same compilation."""
+
+
+# -- codegen replay -----------------------------------------------------------
+
+
+class _Replay:
+    """Re-run ``_FunctionEmitter``'s walk over one function, recording
+    the debug-event stream and register facts instead of emitting code.
+
+    Must mirror the emitter exactly: slot offsets in ``fn.slots`` order,
+    parameter registers first, registers assigned at first use in
+    operand order, pending debug intrinsics flushed at the *next* real
+    instruction's address (before that instruction's operands are
+    numbered), and open locations closed at ``high_pc``.
+    """
+
+    def __init__(self, fn: Function, info: FuncInfo,
+                 global_addr: Dict[str, int]):
+        self.fn = fn
+        self.info = info
+        self.global_addr = global_addr
+        self.reg_map: Dict[VReg, int] = {}
+        self.slot_offsets: Dict[int, int] = {}
+        #: symbol -> finalized (lo, hi, Loc) debug intervals
+        self.events: Dict[Symbol, List[Tuple[int, int, Loc]]] = {}
+        self.open_loc: Dict[Symbol, Optional[Tuple[int, Loc]]] = {}
+        self.symbol_order: List[Symbol] = []
+        #: physical register -> (addr, defining instr) writes
+        self.reg_writes: Dict[int, List[Tuple[int, Instr]]] = {}
+        #: machine address -> (block, index) of the IR instruction
+        self.addr_instr: Dict[int, Tuple[object, int]] = {}
+        self.scope_addrs: Dict[int, Set[int]] = {}
+        self._replay()
+
+    # mapping helpers, mirroring _FunctionEmitter.reg / dbg_loc
+
+    def _reg(self, vreg: VReg) -> int:
+        phys = self.reg_map.get(vreg)
+        if phys is None:
+            phys = len(self.reg_map)
+            self.reg_map[vreg] = phys
+        return phys
+
+    def _touch(self, op) -> None:
+        if isinstance(op, VReg):
+            self._reg(op)
+
+    def _dbg_loc(self, value) -> Optional[Loc]:
+        if isinstance(value, VReg):
+            return RegLoc(self._reg(value))
+        if isinstance(value, Const):
+            return ConstLoc(wrap(value.value))
+        if isinstance(value, SlotRef):
+            return FrameAddrVal(
+                self.slot_offsets[value.slot_id] + value.offset)
+        if isinstance(value, GlobalRef):
+            return GlobalAddrVal(
+                self.global_addr[value.name] + value.offset)
+        if isinstance(value, AffineExpr):
+            return ExprLoc(reg=self._reg(value.vreg), mul=value.mul,
+                           add=value.add, div=value.div)
+        return None
+
+    def _close(self, sym: Symbol, addr: int) -> None:
+        open_entry = self.open_loc.get(sym)
+        if open_entry is not None:
+            lo, loc = open_entry
+            self.events[sym].append((lo, addr, loc))
+            self.open_loc[sym] = None
+
+    def _flush(self, pending: List[Instr], addr: int) -> None:
+        for instr in pending:
+            sym = instr.symbol
+            if sym not in self.open_loc:
+                self.open_loc[sym] = None
+                self.events[sym] = []
+                self.symbol_order.append(sym)
+            self._close(sym, addr)
+            if isinstance(instr, DbgDeclare):
+                offset = self.slot_offsets.get(instr.slot_id)
+                if offset is not None:
+                    self.open_loc[sym] = (addr, FrameLoc(offset))
+            else:
+                loc = self._dbg_loc(instr.value)
+                if loc is not None:
+                    self.open_loc[sym] = (addr, loc)
+
+    def _number_operands(self, instr: Instr, addr: int) -> None:
+        """Assign registers in the emitter's ``_lower`` operand order
+        and record physical-register writes."""
+
+        def write(dst: VReg) -> None:
+            phys = self._reg(dst)
+            self.reg_writes.setdefault(phys, []).append((addr, instr))
+
+        if isinstance(instr, Move):
+            write(instr.dst)
+            self._touch(instr.src)
+        elif isinstance(instr, BinOp):
+            write(instr.dst)
+            self._touch(instr.a)
+            self._touch(instr.b)
+        elif isinstance(instr, UnOp):
+            write(instr.dst)
+            self._touch(instr.a)
+        elif isinstance(instr, Load):
+            write(instr.dst)
+            self._touch(instr.addr)
+        elif isinstance(instr, Store):
+            self._touch(instr.addr)
+            self._touch(instr.value)
+        elif isinstance(instr, Call):
+            if instr.dst is not None:
+                write(instr.dst)
+            for arg in instr.args:
+                self._touch(arg)
+        elif isinstance(instr, Branch):
+            self._touch(instr.cond)
+        elif isinstance(instr, Ret):
+            if instr.value is not None:
+                self._touch(instr.value)
+        elif not isinstance(instr, Jump):
+            raise StaticCheckError(f"cannot replay {instr!r}")
+
+    def _replay(self) -> None:
+        fn, info = self.fn, self.info
+        offset = 0
+        for slot in fn.slots.values():
+            self.slot_offsets[slot.slot_id] = offset
+            offset += slot.size
+        param_phys = [self._reg(vreg) for _sym, vreg in fn.params]
+
+        addr = info.low_pc
+        pending: List[Instr] = []
+        for block in fn.blocks:
+            for index, instr in enumerate(block.instrs):
+                if instr.is_dbg():
+                    pending.append(instr)
+                    continue
+                self._flush(pending, addr)
+                pending = []
+                self._number_operands(instr, addr)
+                self.addr_instr[addr] = (block, index)
+                scope = instr.scope
+                while scope is not None:
+                    self.scope_addrs.setdefault(
+                        scope.scope_id, set()).add(addr)
+                    scope = scope.parent
+                addr += 1
+
+        if addr != info.high_pc or param_phys != list(info.param_regs):
+            raise StaticCheckError(
+                f"module/executable mismatch replaying {fn.name!r}: "
+                f"replayed [{info.low_pc},{addr}) x params {param_phys} "
+                f"vs linked [{info.low_pc},{info.high_pc}) x "
+                f"params {list(info.param_regs)}")
+        self._flush(pending, addr)
+        for sym in list(self.open_loc):
+            self._close(sym, addr)
+
+        self.param_phys = param_phys
+        self.vreg_of_phys = {phys: vreg
+                             for vreg, phys in self.reg_map.items()}
+
+    def expected_list(self, sym: Symbol) -> Optional[LocationList]:
+        """The location list a defect-free producer emits for ``sym``."""
+        events = self.events.get(sym)
+        if not events:
+            return None
+        raw = LocationList()
+        for lo, hi, loc in events:
+            raw.add(lo, hi, loc)
+        normalized = raw.normalized()
+        return normalized if len(normalized) else None
+
+    def scope_ranges(self, scope_id: int) -> Tuple[Range, ...]:
+        """Sorted [lo, hi) runs an inline scope covers (DIE ``ranges``)."""
+        out: List[Range] = []
+        for pc in sorted(self.scope_addrs.get(scope_id, ())):
+            if out and out[-1][1] == pc:
+                out[-1] = (out[-1][0], pc + 1)
+            else:
+                out.append((pc, pc + 1))
+        return tuple(out)
+
+
+# -- liveness per pc ----------------------------------------------------------
+
+
+def _live_before_map(fn: Function,
+                     addr_instr: Dict[int, Tuple[object, int]]
+                     ) -> Dict[int, Set[VReg]]:
+    """Machine address -> VRegs live immediately before that pc."""
+    info = liveness(fn)
+    before_by_pos: Dict[Tuple[int, int], Set[VReg]] = {}
+    for block in fn.blocks:
+        after: Set[VReg] = set(info.live_out.get(block, set()))
+        for index in range(len(block.instrs) - 1, -1, -1):
+            instr = block.instrs[index]
+            if instr.is_dbg():
+                before_by_pos[(id(block), index)] = after
+                continue
+            before = set(after)
+            defined = instr.defs()
+            if defined is not None:
+                before.discard(defined)
+            before.update(instr.uses())
+            before_by_pos[(id(block), index)] = before
+            after = before
+    return {addr: before_by_pos[(id(block), index)]
+            for addr, (block, index) in addr_instr.items()}
+
+
+def _subtract(interval: Range, cover: Sequence[Range]) -> List[Range]:
+    """The parts of ``interval`` no (merged) cover range reaches."""
+    lo, hi = interval
+    gaps: List[Range] = []
+    for clo, chi in sorted(cover):
+        if chi <= lo:
+            continue
+        if clo >= hi:
+            break
+        if clo > lo:
+            gaps.append((lo, clo))
+        lo = max(lo, chi)
+        if lo >= hi:
+            break
+    if lo < hi:
+        gaps.append((lo, hi))
+    return gaps
+
+
+# -- symbol <-> DIE matching --------------------------------------------------
+
+
+def _die_context(die: DIE) -> Optional[Tuple[str, int, Tuple[Range, ...]]]:
+    """The (callee, call_line, ranges) of the nearest inlined ancestor."""
+    node = die.parent
+    while node is not None:
+        if node.tag == TAG_INLINED_SUBROUTINE:
+            return (node.name or "", node.attrs.get("call_line", 0),
+                    tuple(tuple(r) for r in node.ranges))
+        if node.tag == TAG_SUBPROGRAM:
+            return None
+        node = node.parent
+    return None
+
+
+def _symbol_context(fn: Function, sym: Symbol, replay: _Replay
+                    ) -> Optional[Tuple[str, int, Tuple[Range, ...]]]:
+    scope = fn.symbol_scopes.get(sym)
+    if scope is None:
+        return None
+    return (scope.callee, scope.call_line,
+            replay.scope_ranges(scope.scope_id))
+
+
+def _emitted_symbols(fn: Function, replay: _Replay) -> List[Symbol]:
+    """The symbols codegen emits DIEs for, in emission order."""
+    symbols = list(fn.source_symbols)
+    for sym in replay.symbol_order:
+        if sym not in symbols:
+            symbols.append(sym)
+    return symbols
+
+
+def _match_dies(fn: Function, subprogram: DIE, replay: _Replay,
+                findings: List[Finding]
+                ) -> List[Tuple[Symbol, DIE]]:
+    """Pair each expected symbol with its concrete variable DIE.
+
+    Grouped by (name, inline context) — including the inline scope's pc
+    ranges, so two instances of the same callee pair with the right
+    scope DIE — and paired in emission order within a group (shadowed
+    names).  Symbols left without a DIE are Missing-DIE findings."""
+    by_key: Dict[object, List[DIE]] = {}
+    for die in subprogram.walk():
+        if die.is_variable():
+            by_key.setdefault((die.name, _die_context(die)),
+                              []).append(die)
+    pairs: List[Tuple[Symbol, DIE]] = []
+    taken: Dict[object, int] = {}
+    for sym in _emitted_symbols(fn, replay):
+        key = (sym.name, _symbol_context(fn, sym, replay))
+        index = taken.get(key, 0)
+        taken[key] = index + 1
+        candidates = by_key.get(key, [])
+        if index < len(candidates):
+            pairs.append((sym, candidates[index]))
+        else:
+            findings.append(Finding(
+                check="missing-die", category="availability",
+                function=fn.name, symbol=sym.name,
+                lo=replay.info.low_pc, hi=replay.info.high_pc,
+                detail=f"no variable DIE for {sym.name!r} "
+                       f"(symbol has debug data in the IR)"))
+    return pairs
+
+
+# -- the availability checks --------------------------------------------------
+
+
+def _check_symbol(fn: Function, sym: Symbol, die: DIE, replay: _Replay,
+                  live_at: Dict[int, Set[VReg]], dead_ids: Set[int],
+                  findings: List[Finding]) -> None:
+    expected = replay.expected_list(sym)
+    actual = die.location
+    expected_entries = list(expected.entries) if expected else []
+    actual_cover = actual.covered_ranges() if actual else []
+
+    for entry in expected_entries:
+        for lo, hi in _subtract((entry.lo, entry.hi), actual_cover):
+            live = ""
+            phys = getattr(entry.loc, "reg", None)
+            if phys is not None:
+                vreg = replay.vreg_of_phys.get(phys)
+                if vreg is not None and all(
+                        vreg in live_at.get(pc, ())
+                        for pc in range(lo, hi)):
+                    live = " while the register is provably live " \
+                           "(C2/C3 shape)"
+            findings.append(Finding(
+                check="availability-gap", category="availability",
+                function=fn.name, symbol=sym.name, lo=lo, hi=hi,
+                detail=f"IR establishes {sym.name!r} at {entry.loc!r} "
+                       f"over [{lo},{hi}) but the DIE reports it "
+                       f"unavailable{live}"))
+
+    for entry in (actual.entries if actual else []):
+        if entry.empty:
+            continue  # flagged structurally by the empty-entry check
+        backed = any(exp.loc == entry.loc and
+                     entry.lo < exp.hi and exp.lo < entry.hi
+                     for exp in expected_entries)
+        phys = getattr(entry.loc, "reg", None)
+        writes = replay.reg_writes.get(phys, []) if phys is not None \
+            else []
+        unwritten = (phys is not None and
+                     phys not in replay.param_phys and not writes)
+        all_dead = bool(writes) and all(id(instr) in dead_ids
+                                        for _addr, instr in writes)
+        if unwritten or (not backed and phys is not None and
+                         phys not in replay.param_phys and all_dead):
+            why = "never written" if unwritten \
+                else "only written by dead definitions"
+            findings.append(Finding(
+                check="dead-register-location", category="availability",
+                function=fn.name, symbol=sym.name,
+                lo=entry.lo, hi=entry.hi,
+                detail=f"location entry points at r{phys}, which is "
+                       f"{why} in {fn.name!r} — wrong-value "
+                       f"candidate"))
+        elif not backed:
+            findings.append(Finding(
+                check="phantom-location", category="availability",
+                function=fn.name, symbol=sym.name,
+                lo=entry.lo, hi=entry.hi,
+                detail=f"location entry [{entry.lo},{entry.hi}) "
+                       f"{entry.loc!r} is backed by no debug event "
+                       f"in the IR"))
+
+
+def _check_globals(exe: Executable, module: Module,
+                   findings: List[Finding]) -> None:
+    dies = {die.name: die for die in exe.debug.global_variable_dies()}
+    code_len = len(exe.instrs)
+    for name in module.globals:
+        die = dies.get(name)
+        if die is None:
+            findings.append(Finding(
+                check="missing-global-die", category="availability",
+                symbol=name,
+                detail=f"no global variable DIE for {name!r}"))
+            continue
+        cover = die.location.covered_ranges() if die.location else []
+        if _subtract((0, code_len), cover):
+            findings.append(Finding(
+                check="availability-gap", category="availability",
+                symbol=name, lo=0, hi=code_len,
+                detail=f"global {name!r} is not visible over the "
+                       f"whole program"))
+
+
+def check_availability(exe: Executable, module: Module) -> List[Finding]:
+    """All availability findings for one (module, executable) pair."""
+    findings: List[Finding] = []
+    for fn in module.functions.values():
+        info = exe.functions.get(fn.name)
+        if info is None:
+            raise StaticCheckError(
+                f"module function {fn.name!r} missing from executable")
+        replay = _Replay(fn, info, exe.global_addr)
+        subprogram = exe.debug.subprogram_by_name(fn.name)
+        if subprogram is None:
+            findings.append(Finding(
+                check="missing-die", category="availability",
+                function=fn.name, lo=info.low_pc, hi=info.high_pc,
+                detail=f"no subprogram DIE for {fn.name!r}"))
+            continue
+        live_at = _live_before_map(fn, replay.addr_instr)
+        dead_ids = {id(instr) for _block, instr in dead_definitions(fn)}
+        for sym, die in _match_dies(fn, subprogram, replay, findings):
+            _check_symbol(fn, sym, die, replay, live_at, dead_ids,
+                          findings)
+    _check_globals(exe, module, findings)
+    return findings

@@ -1,0 +1,287 @@
+"""Verify campaigns: the static analyzer at campaign scale.
+
+``run_verify_campaign`` is the static twin of the dynamic Table 1
+driver: generate N programs, compile each at every optimization level,
+run :func:`repro.staticcheck.verify_compilation` over the linked
+executable + lowered module, and record the findings next to the
+compile-time fired-defect ground truth.  No debugger, no VM execution —
+one compile per cell is the entire cost, which is what makes the
+ROADMAP's "verify millions of builds" axis feasible.
+
+Results are pure, mergeable values exactly like
+:class:`~repro.pipeline.campaign.CampaignResult`: shard merges are
+associative over disjoint seed ranges, serialization round-trips via
+the ``repro-verify/1`` artifact (``docs/ARTIFACTS.md``), and the
+sharded driver (:func:`run_verify_campaign_parallel`) reuses the
+pipeline's picklable-spec spawn machinery so serial and parallel runs
+are bit-identical.  Each program additionally records its lowered
+``module_fingerprint`` so a verify artifact can be joined against a
+matrix/campaign artifact for the same seeds with confidence that both
+saw the same programs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..compilers.compiler import Compiler, CompilerSpec
+from ..compilers.frontend import FrontendSession
+from ..fuzz.seeds import SeedSpec
+from ..pipeline.parallel import (
+    SHARDS_PER_WORKER, as_compiler_spec, build_cached, default_workers,
+    _map_shards,
+)
+from .findings import Finding
+from .verifier import verify_compilation
+
+#: Artifact schema tag; bump only with a migration path in ``from_dict``.
+VERIFY_SCHEMA = "repro-verify/1"
+
+
+@dataclass
+class VerifyProgramResult:
+    """Static findings for one program across every compiled level."""
+
+    seed: int
+    #: ``module_fingerprint`` of the pre-optimization lowered module —
+    #: the join key against ``repro-matrix/1`` / reduction artifacts.
+    fingerprint: str = ""
+    findings: Dict[str, List[Finding]] = field(default_factory=dict)
+    #: level -> ids of injected defects that fired during that compile
+    #: (same ground truth the dynamic campaign records).
+    fired: Dict[str, List[str]] = field(default_factory=dict)
+
+    def finding_count(self, level: Optional[str] = None) -> int:
+        if level is not None:
+            return len(self.findings.get(level, ()))
+        return sum(len(found) for found in self.findings.values())
+
+    def points(self, level: str) -> set:
+        """Producer hook points the findings at ``level`` indict."""
+        return {f.point() for f in self.findings.get(level, ())} - {""}
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "seed": self.seed,
+            "fingerprint": self.fingerprint,
+            "findings": {
+                level: [f.to_dict() for f in found]
+                for level, found in self.findings.items()
+            },
+        }
+        if self.fired:
+            data["fired"] = {level: list(ids)
+                             for level, ids in self.fired.items()}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "VerifyProgramResult":
+        return cls(
+            seed=data["seed"],
+            fingerprint=data.get("fingerprint", ""),
+            findings={
+                level: [Finding.from_dict(f) for f in found]
+                for level, found in data["findings"].items()
+            },
+            fired={level: list(ids)
+                   for level, ids in data.get("fired", {}).items()},
+        )
+
+
+@dataclass
+class VerifyCampaignResult:
+    """Aggregated static-verification campaign."""
+
+    family: str
+    version: str
+    levels: List[str]
+    pool_size: int = 0
+    programs: List[VerifyProgramResult] = field(default_factory=list)
+
+    def finding_count(self, level: Optional[str] = None) -> int:
+        return sum(p.finding_count(level) for p in self.programs)
+
+    def check_counts(self) -> Dict[str, Dict[str, int]]:
+        """{check id: {level: finding count}} over the whole campaign."""
+        out: Dict[str, Dict[str, int]] = {}
+        for program in self.programs:
+            for level, found in program.findings.items():
+                for finding in found:
+                    per_level = out.setdefault(finding.check, {})
+                    per_level[level] = per_level.get(level, 0) + 1
+        return out
+
+    def clean(self) -> bool:
+        """True when no compile produced any finding."""
+        return self.finding_count() == 0
+
+    # -- merging -------------------------------------------------------------
+
+    def merge(self, other: "VerifyCampaignResult"
+              ) -> "VerifyCampaignResult":
+        """Combine two shard results (disjoint seed ranges required)."""
+        if (self.family, self.version) != (other.family, other.version):
+            raise ValueError(
+                f"cannot merge verify campaigns of different compilers: "
+                f"{self.family}-{self.version} vs "
+                f"{other.family}-{other.version}")
+        if self.levels != other.levels:
+            raise ValueError(
+                f"cannot merge verify campaigns over different level "
+                f"sets: {self.levels} vs {other.levels}")
+        overlap = {p.seed for p in self.programs} & \
+            {p.seed for p in other.programs}
+        if overlap:
+            raise ValueError(
+                f"cannot merge verify campaigns with overlapping seed "
+                f"ranges (would double-count): {sorted(overlap)[:5]}...")
+        programs = sorted(self.programs + other.programs,
+                          key=lambda result: result.seed)
+        return VerifyCampaignResult(
+            family=self.family, version=self.version,
+            levels=list(self.levels),
+            pool_size=self.pool_size + other.pool_size,
+            programs=programs)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": VERIFY_SCHEMA,
+            "family": self.family,
+            "version": self.version,
+            "levels": list(self.levels),
+            "pool_size": self.pool_size,
+            "programs": [p.to_dict() for p in self.programs],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The ``repro-verify/1`` artifact document (specified in
+        ``docs/ARTIFACTS.md``); render with ``repro-report verify``."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "VerifyCampaignResult":
+        schema = data.get("schema")
+        if schema != VERIFY_SCHEMA:
+            raise ValueError(
+                f"not a verify artifact: schema {schema!r} "
+                f"(expected {VERIFY_SCHEMA!r})")
+        return cls(
+            family=data["family"], version=data["version"],
+            levels=list(data["levels"]), pool_size=data["pool_size"],
+            programs=[VerifyProgramResult.from_dict(p)
+                      for p in data["programs"]])
+
+    @classmethod
+    def from_json(cls, text: str) -> "VerifyCampaignResult":
+        """Load a stored ``repro-verify/1`` artifact."""
+        return cls.from_dict(json.loads(text))
+
+
+def merge_verify_results(results: Iterable[VerifyCampaignResult]
+                         ) -> VerifyCampaignResult:
+    """Fold any number of shard results into one (at least one needed)."""
+    merged: Optional[VerifyCampaignResult] = None
+    for result in results:
+        merged = result if merged is None else merged.merge(result)
+    if merged is None:
+        raise ValueError("cannot merge an empty sequence of results")
+    return merged
+
+
+# -- drivers ------------------------------------------------------------------
+
+
+def _resolve_levels(compiler: Compiler,
+                    levels: Optional[Sequence[str]]) -> List[str]:
+    # Unlike the dynamic campaign, O0 stays in by default: a static
+    # check of the unoptimized build is free and anchors the matrix.
+    if levels is None:
+        return list(compiler.levels)
+    return list(levels)
+
+
+def run_verify_campaign_seeds(compiler: Compiler, seeds: SeedSpec,
+                              levels: Optional[Sequence[str]] = None
+                              ) -> VerifyCampaignResult:
+    """Verify campaign over an explicit seed range (one shard's worth)."""
+    levels = _resolve_levels(compiler, levels)
+    result = VerifyCampaignResult(
+        family=compiler.family, version=compiler.version,
+        levels=levels, pool_size=seeds.count)
+    for seed in seeds.seeds():
+        session = FrontendSession(seed)
+        program_result = VerifyProgramResult(
+            seed=seed, fingerprint=session.fingerprint)
+        for level in levels:
+            compilation = compiler.compile_ir(
+                session.ir_module(), level,
+                program_token=session.program_token)
+            found = verify_compilation(compilation)
+            program_result.findings[level] = found
+            fired = compilation.fired_defects()
+            if fired:
+                program_result.fired[level] = fired
+        result.programs.append(program_result)
+    return result
+
+
+def run_verify_campaign(compiler: Compiler, pool_size: int = 100,
+                        seed_base: int = 0,
+                        levels: Optional[Sequence[str]] = None
+                        ) -> VerifyCampaignResult:
+    """Generate ``pool_size`` programs and statically verify each at
+    every level — the serial driver behind ``repro-verify``."""
+    return run_verify_campaign_seeds(
+        compiler, SeedSpec(base=seed_base, count=pool_size),
+        levels=levels)
+
+
+@dataclass(frozen=True)
+class VerifyShard:
+    """One worker's unit of verify work (fully picklable)."""
+
+    compiler: CompilerSpec
+    seeds: SeedSpec
+    levels: Optional[Tuple[str, ...]] = None
+
+
+def run_verify_shard(shard: VerifyShard) -> VerifyCampaignResult:
+    """Worker entry point: one shard on the memoized toolchain."""
+    return run_verify_campaign_seeds(
+        build_cached(shard.compiler), shard.seeds, levels=shard.levels)
+
+
+def run_verify_campaign_parallel(compiler, pool_size: int = 100,
+                                 seed_base: int = 0,
+                                 levels: Optional[Sequence[str]] = None,
+                                 workers: Optional[int] = None,
+                                 start_method: str = "spawn"
+                                 ) -> VerifyCampaignResult:
+    """Sharded, multi-process verify campaign.
+
+    Bit-identical to :func:`run_verify_campaign` for the same
+    arguments; ``workers <= 1`` runs the shards in-process.
+    """
+    compiler_spec = as_compiler_spec(compiler)
+    if workers is None:
+        workers = default_workers()
+    if pool_size == 0:
+        return VerifyCampaignResult(
+            family=compiler_spec.family, version=compiler_spec.version,
+            levels=_resolve_levels(compiler_spec.build(), levels),
+            pool_size=0)
+    spec = SeedSpec(base=seed_base, count=pool_size)
+    shard_levels = tuple(levels) if levels is not None else None
+    shards = [
+        VerifyShard(compiler=compiler_spec, seeds=seed_shard,
+                    levels=shard_levels)
+        for seed_shard in spec.shard(max(1, workers) * SHARDS_PER_WORKER)
+    ]
+    return merge_verify_results(
+        _map_shards(run_verify_shard, shards, workers, start_method))

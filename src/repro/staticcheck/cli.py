@@ -1,0 +1,129 @@
+"""``repro-verify`` — run a static-verification campaign from the CLI.
+
+Compiles a generated program pool at every optimization level, runs the
+static debug-info verifier over each linked executable (no debugger, no
+VM execution), writes the result as a ``repro-verify/1`` JSON artifact,
+and prints a findings summary::
+
+    repro-verify --family gcc --pool-size 100 --workers 4 \
+        --output verify-gcc.json
+
+Render a stored artifact later — including the static-vs-dynamic
+comparison against a ``repro-campaign/1`` artifact for the same
+toolchain — with ``repro-report verify``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from ..compilers.compiler import CompilerSpec
+from .campaign import (
+    run_verify_campaign, run_verify_campaign_parallel,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="Statically verify the debug info of a generated "
+                    "program pool at every optimization level and "
+                    "write a repro-verify/1 JSON artifact.")
+    parser.add_argument("--family", choices=("gcc", "clang"),
+                        default="gcc", help="compiler family")
+    parser.add_argument("--version", default="trunk",
+                        help="compiler version (default: trunk)")
+    parser.add_argument("--pool-size", type=int, default=100,
+                        help="number of generated programs")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed of the campaign range")
+    parser.add_argument("--levels", nargs="+", metavar="LEVEL",
+                        help="optimization levels (default: every level "
+                             "of the family, O0 included)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: CPU count; "
+                             "1 = in-process)")
+    parser.add_argument("--serial", action="store_true",
+                        help="force the serial driver (ignores --workers)")
+    parser.add_argument("--start-method", default="spawn",
+                        choices=("spawn", "fork", "forkserver"),
+                        help="multiprocessing start method")
+    parser.add_argument("--output", metavar="PATH",
+                        help="write the verify artifact JSON here")
+    parser.add_argument("--indent", type=int, default=2,
+                        help="artifact JSON indentation (default: 2)")
+    parser.add_argument("--report", metavar="DIR",
+                        help="render the verify deliverables plus a "
+                             "manifest.json into this directory")
+    parser.add_argument("--report-formats", type=_parse_formats_csv,
+                        default=None, metavar="FMT[,FMT]",
+                        help="formats for --report "
+                             "(default: md,html,csv)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary tables")
+    return parser
+
+
+def _parse_formats_csv(text: str):
+    from ..report.cli import _parse_formats
+    return _parse_formats(text)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    compiler = CompilerSpec(family=args.family, version=args.version)
+
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    workers = 1 if args.serial else (
+        args.workers if args.workers is not None else None)
+    started = time.perf_counter()
+    if args.serial:
+        result = run_verify_campaign(
+            compiler.build(), pool_size=args.pool_size,
+            seed_base=args.seed_base, levels=args.levels)
+    else:
+        result = run_verify_campaign_parallel(
+            compiler, pool_size=args.pool_size,
+            seed_base=args.seed_base, levels=args.levels,
+            workers=workers, start_method=args.start_method)
+    elapsed = time.perf_counter() - started
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json(indent=args.indent))
+            handle.write("\n")
+
+    if not args.quiet:
+        from ..report import format_verify_findings_text
+        mode = "serial" if args.serial or (workers or 0) == 1 else \
+            "parallel"
+        rate = result.pool_size / elapsed if elapsed > 0 else 0.0
+        print(f"verify campaign: {result.family}-{result.version}, "
+              f"{result.pool_size} programs, levels "
+              f"{'/'.join(result.levels)} ({mode})")
+        print(f"elapsed: {elapsed:.2f}s ({rate:.2f} programs/sec)")
+        print(f"findings: {result.finding_count()}")
+        if not result.clean():
+            print()
+            print("Findings per check and level")
+            print(format_verify_findings_text(result))
+        if args.output:
+            print()
+            print(f"artifact written to {args.output}")
+    if args.report:
+        from ..report.manifest import render_all
+        from ..report.renderers import DEFAULT_FORMATS
+        render_all([result], args.report,
+                   formats=args.report_formats or DEFAULT_FORMATS)
+        if not args.quiet:
+            print(f"report written to {args.report}/manifest.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,220 @@
+"""DIE-tree well-formedness checks (the ``llvm-dwarfdump --verify``
+analogue).
+
+Everything here is a *consumer-independent* structural invariant of the
+debug info our codegen emits — each check states a property every
+defect-free link satisfies by construction, so any finding indicts the
+producer, never the program:
+
+* abstract origins resolve to DIEs inside the unit;
+* abstract DIEs never carry locations (the lldb-50076 shape attaches
+  the location list to the origin and leaves the concrete DIE bare);
+* scope pc ranges are well-ordered, disjoint, inside the unit's code,
+  and nested inside their parent scope's extent;
+* concrete subprograms do not overlap;
+* lexical blocks in a concrete inline tree exist in the abstract origin
+  tree too (the gdb-29060 shape wraps an inlined variable in a
+  synthetic block its origin never had);
+* location lists are normalized — no empty (``lo == hi``) entries (the
+  gdb-28987 shape), no inverted entries, no entries escaping the
+  enclosing function's code range.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..debuginfo.die import (
+    DIE, TAG_INLINED_SUBROUTINE, TAG_LEXICAL_BLOCK, TAG_SUBPROGRAM,
+)
+from ..target.isa import Executable
+from .findings import Finding
+
+Range = Tuple[int, int]
+
+
+def _enclosing_subprogram(die: DIE) -> str:
+    node: Optional[DIE] = die
+    while node is not None:
+        if node.tag == TAG_SUBPROGRAM:
+            return node.name or ""
+        node = node.parent
+    return ""
+
+
+def _is_abstract(die: DIE) -> bool:
+    return die.attrs.get("abstract") is True
+
+
+def _contained(inner: Range, outer_ranges: List[Range]) -> bool:
+    lo, hi = inner
+    return any(olo <= lo and hi <= ohi for olo, ohi in outer_ranges)
+
+
+def _check_origins(exe: Executable, findings: List[Finding]) -> None:
+    """Every abstract_origin must point inside the unit; abstract DIEs
+    never carry location lists."""
+    unit_dies = {id(die) for die in exe.debug.root.walk()}
+    for die in exe.debug.root.walk():
+        origin = die.abstract_origin
+        if origin is not None and id(origin) not in unit_dies:
+            findings.append(Finding(
+                check="dangling-origin", category="die",
+                function=_enclosing_subprogram(die),
+                symbol=die.name or "",
+                detail=f"abstract origin of {die.tag} "
+                       f"{die.name!r} is not in the unit"))
+        if _is_abstract(die) and die.location is not None:
+            findings.append(Finding(
+                check="abstract-location", category="die",
+                function=_enclosing_subprogram(die),
+                symbol=die.name if die.is_variable() else "",
+                detail=f"abstract {die.tag} {die.name!r} carries a "
+                       f"location list (belongs on the concrete DIE)"))
+
+
+def _check_scope_ranges(scope: DIE, parent_ranges: List[Range],
+                        function: str, code_len: int,
+                        findings: List[Finding]) -> None:
+    """Recursive range sanity for one scope DIE and its children."""
+    ranges = scope.ranges
+    label = f"{scope.tag} {scope.name!r}"
+    for lo, hi in ranges:
+        if lo > hi:
+            findings.append(Finding(
+                check="inverted-range", category="die",
+                function=function, lo=hi, hi=lo,
+                detail=f"{label} has inverted range [{lo},{hi})"))
+            continue
+        if lo < 0 or hi > code_len:
+            findings.append(Finding(
+                check="range-escape", category="die",
+                function=function, lo=lo, hi=hi,
+                detail=f"{label} range [{lo},{hi}) outside the "
+                       f"unit's code [0,{code_len})"))
+        elif parent_ranges and not _contained((lo, hi), parent_ranges):
+            findings.append(Finding(
+                check="range-escape", category="die",
+                function=function, lo=lo, hi=hi,
+                detail=f"{label} range [{lo},{hi}) not nested in its "
+                       f"parent scope's ranges {parent_ranges}"))
+    ordered = sorted((lo, hi) for lo, hi in ranges if lo <= hi)
+    for (_alo, ahi), (blo, bhi) in zip(ordered, ordered[1:]):
+        if blo < ahi:
+            findings.append(Finding(
+                check="inverted-range", category="die",
+                function=function, lo=blo, hi=min(ahi, bhi),
+                detail=f"{label} has overlapping ranges"))
+    # A rangeless scope inherits its parent's extent (pc_in_scope).
+    own = ordered if ranges else parent_ranges
+    for child in scope.children:
+        if child.is_scope():
+            _check_scope_ranges(child, own, function, code_len,
+                                findings)
+
+
+def _check_subprograms(exe: Executable,
+                       findings: List[Finding]) -> None:
+    code_len = len(exe.instrs)
+    concrete = [child for child in exe.debug.root.children
+                if child.tag == TAG_SUBPROGRAM
+                and not _is_abstract(child)]
+    spans = []
+    for sub in concrete:
+        lo, hi = sub.low_pc, sub.high_pc
+        if lo is None or hi is None:
+            findings.append(Finding(
+                check="range-escape", category="die",
+                function=sub.name or "",
+                detail=f"subprogram {sub.name!r} has no pc range"))
+            continue
+        spans.append((lo, hi, sub.name or ""))
+        _check_scope_ranges(sub, [(lo, hi)], sub.name or "", code_len,
+                            findings)
+    spans.sort()
+    for (_alo, ahi, aname), (blo, bhi, bname) in zip(spans, spans[1:]):
+        if blo < ahi:
+            findings.append(Finding(
+                check="overlapping-subprograms", category="die",
+                function=bname, lo=blo, hi=min(ahi, bhi),
+                detail=f"subprograms {aname!r} and {bname!r} overlap"))
+
+
+def _check_lexical_blocks(exe: Executable,
+                          findings: List[Finding]) -> None:
+    """A lexical block in a concrete inline tree must exist in the
+    abstract origin tree too — our producer never emits blocks on its
+    own, and real ones (gdb-29060) confuse consumers walking the
+    abstract tree in parallel."""
+    for die in exe.debug.root.walk():
+        if die.tag != TAG_LEXICAL_BLOCK or _is_abstract(die):
+            continue
+        function = _enclosing_subprogram(die)
+        for child in die.walk():
+            if not child.is_variable():
+                continue
+            origin = child.abstract_origin
+            if origin is None:
+                continue
+            chain = []
+            node = origin.parent
+            while node is not None:
+                chain.append(node.tag)
+                node = node.parent
+            if TAG_LEXICAL_BLOCK not in chain:
+                findings.append(Finding(
+                    check="lexical-block-mismatch", category="die",
+                    function=function, symbol=child.name or "",
+                    detail=f"variable {child.name!r} sits in a lexical "
+                           f"block absent from its abstract origin "
+                           f"tree"))
+
+
+def _check_location_lists(exe: Executable,
+                          findings: List[Finding]) -> None:
+    for sub in exe.debug.root.children:
+        if sub.tag != TAG_SUBPROGRAM or _is_abstract(sub):
+            continue
+        function = sub.name or ""
+        lo_pc = sub.low_pc if sub.low_pc is not None else 0
+        hi_pc = sub.high_pc if sub.high_pc is not None else len(exe.instrs)
+        for die in sub.walk():
+            if not die.is_variable() or die.location is None:
+                continue
+            symbol = die.name or ""
+            loclist = die.location
+            if loclist.has_empty_entries():
+                empty = next(e for e in loclist.entries if e.empty)
+                findings.append(Finding(
+                    check="empty-entry", category="location",
+                    function=function, symbol=symbol,
+                    lo=empty.lo, hi=empty.hi,
+                    detail=f"location list of {symbol!r} keeps an "
+                           f"empty entry at pc {empty.lo} (consumers "
+                           f"that stop scanning there lose the rest)"))
+            for entry in loclist.entries:
+                if entry.lo > entry.hi:
+                    findings.append(Finding(
+                        check="inverted-entry", category="location",
+                        function=function, symbol=symbol,
+                        lo=entry.hi, hi=entry.lo,
+                        detail=f"inverted location entry "
+                               f"[{entry.lo},{entry.hi})"))
+                elif entry.lo < lo_pc or entry.hi > hi_pc:
+                    findings.append(Finding(
+                        check="entry-out-of-range", category="location",
+                        function=function, symbol=symbol,
+                        lo=entry.lo, hi=entry.hi,
+                        detail=f"location entry [{entry.lo},{entry.hi})"
+                               f" escapes {function!r}'s code range "
+                               f"[{lo_pc},{hi_pc})"))
+
+
+def check_dies(exe: Executable) -> List[Finding]:
+    """All DIE-tree and location-list structural findings for ``exe``."""
+    findings: List[Finding] = []
+    _check_origins(exe, findings)
+    _check_subprograms(exe, findings)
+    _check_lexical_blocks(exe, findings)
+    _check_location_lists(exe, findings)
+    return findings

@@ -1,0 +1,90 @@
+"""The static verifier's finding model (``repro-verify/1`` vocabulary).
+
+A :class:`Finding` is one structured defect report: which check fired,
+where (function / symbol / pc range), and a human-readable detail.  The
+check ids are a closed vocabulary — ``docs/ARTIFACTS.md`` specifies each
+one — grouped into four categories mirroring the analyzer's modules:
+
+``die``
+    DIE-tree well-formedness (:mod:`repro.staticcheck.dies`): dangling
+    abstract origins, inverted/escaping scope ranges, abstract DIEs
+    carrying locations, lexical blocks absent from the abstract tree.
+``location``
+    Location-list structure (:mod:`repro.staticcheck.dies`): empty
+    entries left by a non-normalizing producer (the gdb-28987 shape),
+    inverted entries, entries escaping the enclosing function.
+``line``
+    Line-table sanity (:mod:`repro.staticcheck.lines`): non-monotone
+    addresses, rows disagreeing with the instruction stream,
+    breakpointable instructions with no row.
+``availability``
+    Location coverage vs. the lowered IR's debug-event stream and
+    liveness facts (:mod:`repro.staticcheck.availability`): missing
+    DIEs, coverage gaps over provably-live values (C2/C3-shaped),
+    location entries no debug event backs (wrong-value candidates).
+
+:data:`CHECK_POINTS` maps check ids to the producer-side hook points of
+:mod:`repro.bugs.catalog`; the report layer joins it against the defect
+catalog to classify each defect id as statically detectable or only
+dynamically observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Checks attributable to a cataloged producer defect hook point.  A
+#: fired defect counts as *statically detected* when the same compile
+#: carries at least one finding whose check maps to the defect's point.
+CHECK_POINTS: Dict[str, str] = {
+    "missing-die": "codegen.drop_die",
+    "empty-entry": "codegen.keep_empty_entries",
+    "lexical-block-mismatch": "codegen.concrete_lexical_block",
+    "abstract-location": "codegen.abstract_only_location",
+    "availability-gap": "codegen.abstract_only_location",
+}
+
+_FINDING_FIELDS = (
+    "check", "category", "function", "symbol", "lo", "hi", "detail",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis defect report."""
+
+    check: str
+    category: str
+    function: str = ""
+    symbol: str = ""
+    lo: int = 0
+    hi: int = 0
+    detail: str = ""
+
+    def sort_key(self) -> Tuple:
+        return (self.function, self.lo, self.hi, self.category,
+                self.check, self.symbol, self.detail)
+
+    def point(self) -> str:
+        """The producer hook point this check indicts ('' if none)."""
+        return CHECK_POINTS.get(self.check, "")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {name: getattr(self, name) for name in _FINDING_FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        return cls(**{name: data[name] for name in _FINDING_FIELDS})
+
+    def __str__(self) -> str:
+        where = self.function or "<module>"
+        if self.symbol:
+            where += f":{self.symbol}"
+        span = f" [{self.lo},{self.hi})" if self.hi > self.lo else ""
+        return f"{self.check} @ {where}{span}: {self.detail}"
+
+
+def sorted_findings(findings: List[Finding]) -> List[Finding]:
+    """Deterministic report order (by function, pc, then check)."""
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,71 @@
+"""Line-table sanity checks (``.debug_line`` verification).
+
+Our codegen appends one row per machine instruction that carries a
+source line, at the moment the instruction is emitted — so a healthy
+table is strictly address-monotone, every row points at an instruction
+inside some function and agrees with that instruction's line, and every
+instruction with a line has a row (otherwise its line may become
+unbreakpointable).  Each of these is checked directly against the
+instruction stream; violations mislead the stepping engine's one-shot
+breakpoint placement (the paper's footnote-3 criterion) and are exactly
+what ``llvm-dwarfdump --verify`` flags on real toolchains.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..target.isa import Executable
+from .findings import Finding
+
+
+def check_lines(exe: Executable) -> List[Finding]:
+    """All line-table findings for ``exe``."""
+    findings: List[Finding] = []
+    code_len = len(exe.instrs)
+
+    prev_addr = None
+    for entry in exe.line_table.entries:
+        if prev_addr is not None and entry.addr <= prev_addr:
+            findings.append(Finding(
+                check="line-order", category="line",
+                lo=entry.addr, hi=entry.addr,
+                detail=f"line-table address {entry.addr} not above "
+                       f"the previous row's {prev_addr}"))
+        prev_addr = entry.addr
+
+        if entry.addr < 0 or entry.addr >= code_len:
+            findings.append(Finding(
+                check="line-bounds", category="line",
+                lo=entry.addr, hi=entry.addr,
+                detail=f"line-table row for line {entry.line} points "
+                       f"outside the code [0,{code_len})"))
+            continue
+        info = exe.function_at(entry.addr)
+        if info is None:
+            findings.append(Finding(
+                check="line-bounds", category="line",
+                lo=entry.addr, hi=entry.addr,
+                detail=f"line-table row at {entry.addr} is covered by "
+                       f"no function"))
+            continue
+        instr = exe.instrs[entry.addr]
+        if instr.line != entry.line:
+            findings.append(Finding(
+                check="line-mismatch", category="line",
+                function=info.name, lo=entry.addr, hi=entry.addr,
+                detail=f"table maps {entry.addr} to line {entry.line} "
+                       f"but the instruction carries {instr.line}"))
+
+    mapped = {entry.addr for entry in exe.line_table.entries}
+    for addr, instr in enumerate(exe.instrs):
+        if instr.line is not None and addr not in mapped:
+            info = exe.function_at(addr)
+            findings.append(Finding(
+                check="line-missing", category="line",
+                function=info.name if info else "",
+                lo=addr, hi=addr,
+                detail=f"instruction at {addr} carries line "
+                       f"{instr.line} but has no line-table row "
+                       f"(line may be unbreakpointable)"))
+    return findings

@@ -1,0 +1,36 @@
+"""The static verifier entry points.
+
+``verify_executable`` runs every check family over one linked
+executable and its lowered IR module and returns the findings in
+deterministic report order; ``verify_compilation`` is the convenience
+wrapper over a :class:`repro.compilers.compiler.Compilation`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.module import Module
+from ..target.isa import Executable
+from .availability import check_availability
+from .dies import check_dies
+from .findings import Finding, sorted_findings
+from .lines import check_lines
+
+
+def verify_executable(exe: Executable, module: Module) -> List[Finding]:
+    """All static findings for one (executable, lowered module) pair.
+
+    ``module`` must be the post-optimization module the executable was
+    linked from (``Compilation.module``); a structurally different
+    module raises :class:`repro.staticcheck.StaticCheckError`.
+    """
+    findings = check_dies(exe)
+    findings.extend(check_lines(exe))
+    findings.extend(check_availability(exe, module))
+    return sorted_findings(findings)
+
+
+def verify_compilation(compilation) -> List[Finding]:
+    """Static findings for a :class:`Compilation` (exe + its module)."""
+    return verify_executable(compilation.exe, compilation.module)

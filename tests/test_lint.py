@@ -1,0 +1,98 @@
+"""The project lint (tools/lint_repro.py) over the real tree plus
+synthetic violations for each rule."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+_TOOLS = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "tools", "lint_repro.py")
+_SPEC = importlib.util.spec_from_file_location("lint_repro", _TOOLS)
+lint_repro = importlib.util.module_from_spec(_SPEC)
+sys.modules["lint_repro"] = lint_repro
+_SPEC.loader.exec_module(lint_repro)
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+
+def test_src_tree_is_clean():
+    findings = lint_repro.lint_paths([SRC])
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_main_exit_code_clean():
+    assert lint_repro.main([SRC]) == 0
+
+
+# -- deepcopy rule -------------------------------------------------------------
+
+
+DEEPCOPY_ATTR = "import copy\nx = copy.deepcopy(module)\n"
+DEEPCOPY_NAME = "from copy import deepcopy\nx = deepcopy(module)\n"
+DEEPCOPY_ALIAS = "from copy import deepcopy as dc\nx = dc(module)\n"
+
+
+@pytest.mark.parametrize("source", [DEEPCOPY_ATTR, DEEPCOPY_NAME,
+                                    DEEPCOPY_ALIAS])
+def test_deepcopy_flagged_in_hot_paths(source):
+    for hot in ("src/repro/ir/x.py", "src/repro/target/y.py",
+                "src/repro/debugger/z.py"):
+        findings = lint_repro.lint_source(source, hot)
+        assert [f.rule for f in findings] == ["deepcopy-in-hot-path"]
+
+
+def test_deepcopy_allowed_outside_hot_paths():
+    # The reduction engine legitimately snapshots candidates.
+    for cold in ("src/repro/reduce/engine.py", "tests/test_x.py"):
+        assert lint_repro.lint_source(DEEPCOPY_ATTR, cold) == []
+
+
+# -- mutable default rule ------------------------------------------------------
+
+
+@pytest.mark.parametrize("default", ["[]", "{}", "{1}", "list()",
+                                     "dict()", "set()"])
+def test_mutable_defaults_flagged(default):
+    source = f"def f(a, b={default}):\n    return b\n"
+    findings = lint_repro.lint_source(source, "src/repro/x.py")
+    assert [f.rule for f in findings] == ["mutable-default-arg"]
+
+
+def test_keyword_only_mutable_default_flagged():
+    source = "def f(*, cache=[]):\n    return cache\n"
+    findings = lint_repro.lint_source(source, "src/repro/x.py")
+    assert [f.rule for f in findings] == ["mutable-default-arg"]
+
+
+@pytest.mark.parametrize("default", ["None", "()", "0", "'x'",
+                                     "frozenset()", "tuple()"])
+def test_immutable_defaults_pass(default):
+    source = f"def f(a, b={default}):\n    return b\n"
+    assert lint_repro.lint_source(source, "src/repro/x.py") == []
+
+
+# -- bare except rule ----------------------------------------------------------
+
+
+def test_bare_except_flagged():
+    source = "try:\n    x()\nexcept:\n    pass\n"
+    findings = lint_repro.lint_source(source, "src/repro/x.py")
+    assert [f.rule for f in findings] == ["bare-except"]
+
+
+def test_typed_except_passes():
+    source = "try:\n    x()\nexcept ValueError:\n    pass\n"
+    assert lint_repro.lint_source(source, "src/repro/x.py") == []
+
+
+def test_findings_format_and_exit(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("try:\n    x()\nexcept:\n    pass\n",
+                   encoding="utf-8")
+    findings = lint_repro.lint_paths([str(tmp_path)])
+    assert len(findings) == 1
+    assert str(findings[0]).startswith(f"{bad}:3: bare-except")
+    assert lint_repro.main([str(tmp_path)]) == 1

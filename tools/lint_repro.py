@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Project-specific AST lint for the repro codebase.
+
+Three rules, each motivated by a class of bug this repo has actually
+had to engineer around:
+
+``deepcopy-in-hot-path``
+    ``copy.deepcopy`` is banned inside ``repro/ir``, ``repro/target``
+    and ``repro/debugger`` — the compile/trace hot paths.  Deep copies
+    of IR modules dominated profile time until ``ir/clone.py`` replaced
+    them with an explicit, identity-preserving clone; a stray deepcopy
+    reintroduces both the slowdown and the subtle identity breakage
+    (selectors and scope maps key on object identity).  The reduction
+    engine (``repro/reduce``) legitimately snapshots candidates and is
+    exempt.
+
+``mutable-default-arg``
+    A mutable literal (or empty ``list()``/``dict()``/``set()`` call)
+    as a parameter default is shared across calls — campaign drivers
+    accumulate state across programs if one slips in.
+
+``bare-except``
+    ``except:`` swallows ``KeyboardInterrupt``/``SystemExit`` inside
+    worker processes and turns a dead shard into a silent wrong
+    answer; catch a concrete exception type instead.
+
+Usage::
+
+    python tools/lint_repro.py [PATH ...]     # default: src/
+
+Prints ``path:line: RULE message`` per finding and exits non-zero when
+anything fired.  ``tests/test_lint.py`` runs it over ``src/`` in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+#: Path fragments (normalized to "/") where deepcopy is banned.
+HOT_PATHS = ("repro/ir/", "repro/target/", "repro/debugger/")
+
+#: Zero-argument constructor calls that make a shared mutable default.
+MUTABLE_CONSTRUCTORS = ("list", "dict", "set")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint violation."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _is_hot_path(path: str) -> bool:
+    normalized = path.replace(os.sep, "/")
+    return any(fragment in normalized for fragment in HOT_PATHS)
+
+
+def _deepcopy_names(tree: ast.Module) -> List[str]:
+    """Local names that resolve to ``copy.deepcopy`` via imports."""
+    names = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "copy":
+            for alias in node.names:
+                if alias.name == "deepcopy":
+                    names.append(alias.asname or alias.name)
+    return names
+
+
+def _check_deepcopy(tree: ast.Module, path: str,
+                    findings: List[LintFinding]) -> None:
+    direct_names = set(_deepcopy_names(tree))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        hit = (isinstance(func, ast.Attribute) and
+               func.attr == "deepcopy") or \
+              (isinstance(func, ast.Name) and func.id in direct_names)
+        if hit:
+            findings.append(LintFinding(
+                path=path, line=node.lineno, rule="deepcopy-in-hot-path",
+                message="copy.deepcopy in a compile/trace hot path "
+                        "(use repro.ir.clone instead)"))
+
+
+def _is_mutable_default(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (isinstance(node, ast.Call) and
+            isinstance(node.func, ast.Name) and
+            node.func.id in MUTABLE_CONSTRUCTORS and
+            not node.args and not node.keywords)
+
+
+def _check_mutable_defaults(tree: ast.Module, path: str,
+                            findings: List[LintFinding]) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + \
+            [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable_default(default):
+                findings.append(LintFinding(
+                    path=path, line=default.lineno,
+                    rule="mutable-default-arg",
+                    message=f"mutable default argument in "
+                            f"{node.name}() is shared across calls"))
+
+
+def _check_bare_except(tree: ast.Module, path: str,
+                       findings: List[LintFinding]) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(LintFinding(
+                path=path, line=node.lineno, rule="bare-except",
+                message="bare except: swallows KeyboardInterrupt/"
+                        "SystemExit; name an exception type"))
+
+
+def lint_source(source: str, path: str) -> List[LintFinding]:
+    """All findings for one file's source text."""
+    findings: List[LintFinding] = []
+    tree = ast.parse(source, filename=path)
+    if _is_hot_path(path):
+        _check_deepcopy(tree, path, findings)
+    _check_mutable_defaults(tree, path, findings)
+    _check_bare_except(tree, path, findings)
+    return findings
+
+
+def _python_files(paths: Sequence[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for root, _dirs, files in os.walk(path):
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def lint_paths(paths: Sequence[str]) -> List[LintFinding]:
+    """Lint every Python file under ``paths`` (files or directories)."""
+    findings: List[LintFinding] = []
+    for path in _python_files(paths):
+        with open(path, encoding="utf-8") as handle:
+            findings.extend(lint_source(handle.read(), path))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    roots = args or [os.path.join(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))), "src")]
+    findings = lint_paths(roots)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} lint finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
