@@ -31,9 +31,16 @@ BENCH_VERIFY_PATH = os.environ.get(
     "REPRO_BENCH_VERIFY_OUT",
     os.path.join(os.path.dirname(__file__), "BENCH_verify.json"))
 
+#: Where the store-resume benchmark lands; override with
+#: REPRO_BENCH_STORE_OUT.
+BENCH_STORE_PATH = os.environ.get(
+    "REPRO_BENCH_STORE_OUT",
+    os.path.join(os.path.dirname(__file__), "BENCH_store.json"))
+
 _campaign_bench = {}
 _reduce_bench = {}
 _verify_bench = {}
+_store_bench = {}
 
 
 def record_campaign_bench(**fields):
@@ -54,10 +61,17 @@ def record_verify_bench(**fields):
     _verify_bench.update(fields)
 
 
+def record_store_bench(**fields):
+    """Collect fresh-vs-resumed campaign timings; written to
+    ``BENCH_store.json`` at session end."""
+    _store_bench.update(fields)
+
+
 def pytest_sessionfinish(session, exitstatus):
     for data, path in ((_campaign_bench, BENCH_CAMPAIGN_PATH),
                        (_reduce_bench, BENCH_REDUCE_PATH),
-                       (_verify_bench, BENCH_VERIFY_PATH)):
+                       (_verify_bench, BENCH_VERIFY_PATH),
+                       (_store_bench, BENCH_STORE_PATH)):
         if data:
             with open(path, "w", encoding="utf-8") as handle:
                 json.dump(data, handle, indent=2, sort_keys=True)

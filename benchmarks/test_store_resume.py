@@ -1,0 +1,108 @@
+"""BENCH_store — what resuming a campaign from the persistent store
+saves over recomputing it.
+
+Three timed passes over one seed pool and one cell (gcc trunk x
+gdb-like, all levels): a *fresh* run that also populates a store file,
+an *incremental* run after the pool grows (only the new seeds may
+touch the compiler), and a full *replay* of the final pool (every seed
+a store hit — zero compiles, the paper tables for free). The replay
+artifact must be bit-identical to a storeless run, which is the
+whole contract: the store is a cache, never a fork of the results.
+Compile work is observed through the store's own hit/miss counters,
+so the zero-compile claims are structural, not timing-based; the one
+timing assertion (replay speedup over fresh) is waivable with
+``REPRO_BENCH_STRICT=0`` like every other floor here.
+"""
+
+import json
+import os
+import time
+
+from repro import Compiler, GdbLike
+from repro.pipeline import run_campaign
+from repro.store import CampaignStore
+
+from conftest import banner, pool_size, record_store_bench
+
+CPUS = os.cpu_count() or 1
+
+FLOOR_PATH = os.path.join(os.path.dirname(__file__), "bench_floor.json")
+
+#: Waivable on noisy shared runners; the JSON is still emitted.
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+
+POOL = pool_size(16)
+PARTIAL = max(1, POOL // 2)
+
+
+def test_store_resume(benchmark, tmp_path):
+    path = str(tmp_path / "campaign.sqlite")
+    timings = {}
+    counters = {}
+
+    def timed(label, store, pool):
+        started = time.perf_counter()
+        before = (store.stats.hits, store.stats.misses)
+        result = run_campaign(Compiler("gcc", "trunk"), GdbLike(),
+                              pool_size=pool, store=store)
+        timings[label] = time.perf_counter() - started
+        counters[label] = (store.stats.hits - before[0],
+                           store.stats.misses - before[1])
+        return result
+
+    def run():
+        with CampaignStore(path) as store:
+            timed("fresh", store, PARTIAL)
+            resumed = timed("incremental", store, POOL)
+            replay = timed("replay", store, POOL)
+        return resumed, replay
+
+    resumed, replay = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    fresh_rate = PARTIAL / timings["fresh"]
+    replay_rate = POOL / timings["replay"]
+    # Per-program replay time over per-program fresh time.
+    replay_speedup = replay_rate / fresh_rate
+
+    record_store_bench(
+        pool=POOL,
+        partial_pool=PARTIAL,
+        cpus=CPUS,
+        fresh_seconds=round(timings["fresh"], 3),
+        incremental_seconds=round(timings["incremental"], 3),
+        replay_seconds=round(timings["replay"], 3),
+        fresh_programs_per_sec=round(fresh_rate, 2),
+        replay_programs_per_sec=round(replay_rate, 2),
+        replay_speedup=round(replay_speedup, 2),
+        incremental_hits=counters["incremental"][0],
+        incremental_misses=counters["incremental"][1],
+    )
+
+    print(banner(f"Store resume ({POOL} programs, {CPUS} cpus)"))
+    print(f"  fresh        {timings['fresh']:7.2f}s "
+          f"({PARTIAL} programs, {fresh_rate:6.2f} programs/sec)")
+    print(f"  incremental  {timings['incremental']:7.2f}s "
+          f"({counters['incremental'][1]} new programs compiled, "
+          f"{counters['incremental'][0]} reused)")
+    print(f"  replay       {timings['replay']:7.2f}s "
+          f"({replay_rate:6.2f} programs/sec, zero compiles)")
+    print(f"  replay speedup over fresh: {replay_speedup:.2f}x")
+
+    # Structural resume contract, independent of machine speed.
+    assert counters["fresh"] == (0, PARTIAL)
+    assert counters["incremental"] == (PARTIAL, POOL - PARTIAL)
+    assert counters["replay"] == (POOL, 0), "replay must not recompute"
+    assert resumed == replay
+
+    # Bit-identical to a storeless run of the same pool.
+    fresh_full = run_campaign(Compiler("gcc", "trunk"), GdbLike(),
+                              pool_size=POOL)
+    assert replay.to_json() == fresh_full.to_json(), \
+        "resumed artifact must be bit-identical to a storeless run"
+
+    if STRICT:
+        with open(FLOOR_PATH, encoding="utf-8") as handle:
+            floor = json.load(handle)["min_store_replay_speedup"]
+        assert replay_speedup >= floor, \
+            (f"store replay at {replay_speedup:.2f}x over fresh "
+             f"(floor {floor:.1f}x)")

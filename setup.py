@@ -9,6 +9,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-campaign=repro.pipeline.cli:main",
+            "repro-db=repro.store.cli:main",
             "repro-reduce=repro.reduce.cli:main",
             "repro-report=repro.report.cli:main",
             "repro-verify=repro.staticcheck.cli:main",

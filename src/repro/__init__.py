@@ -44,9 +44,10 @@ from .metrics import (
 )
 from .pipeline import (
     CampaignResult, MatrixCampaignResult, ReductionCampaignResult,
-    classify_violation, dwarf_category, merge_matrix_results,
-    merge_results, run_campaign, run_campaign_on_programs,
-    run_campaign_parallel, run_campaign_seeds, run_matrix_campaign,
+    classify_violation, dwarf_category, fold_results,
+    merge_matrix_results, merge_reduction_results, merge_results,
+    run_campaign, run_campaign_on_programs, run_campaign_parallel,
+    run_campaign_seeds, run_matrix_campaign,
     run_matrix_campaign_parallel, run_matrix_study, run_reduction_campaign,
     run_study_parallel, test_program,
 )
@@ -57,5 +58,6 @@ from .reduce import (
 from .report import (
     TriageSummary, load_artifact, load_artifact_file, render, render_all,
 )
+from .store import CampaignStore, StoreError, StoreStats
 from .target import VM, Executable, link, run_executable
 from .triage import TriageResult, find_culprit_bisect, find_culprit_flags, triage

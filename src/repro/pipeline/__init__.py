@@ -2,7 +2,7 @@
 
 from .campaign import (
     CAMPAIGN_SCHEMA, CampaignResult, ProgramResult, ViolationKey,
-    merge_results, run_campaign, run_campaign_on_programs,
+    fold_results, merge_results, run_campaign, run_campaign_on_programs,
     run_campaign_seeds, test_program, test_program_full,
 )
 from .classify import ClassifiedViolation, classify_violation, dwarf_category
@@ -17,5 +17,5 @@ from .parallel import (
 )
 from .reduction import (
     REDUCE_SCHEMA, ReductionCampaignResult, ReductionRecord,
-    iter_witnesses, run_reduction_campaign,
+    iter_witnesses, merge_reduction_results, run_reduction_campaign,
 )

@@ -34,6 +34,7 @@ from ..debugger.base import Debugger
 from ..fuzz.generator import generate_validated
 from ..fuzz.seeds import SeedSpec
 from ..lang.ast_nodes import Program
+from ..lang.printer import print_program
 
 #: A unique violation identity: (conjecture, line, variable).
 ViolationKey = Tuple[str, int, str]
@@ -44,6 +45,34 @@ CAMPAIGN_SCHEMA = "repro-campaign/1"
 _VIOLATION_FIELDS = (
     "conjecture", "line", "variable", "function", "observed", "detail",
 )
+
+
+def missing_field_error(schema: str, error: KeyError) -> ValueError:
+    """The uniform diagnosis every artifact loader raises when a stored
+    document lacks a required field — callers (DB ingest, CLI loads)
+    report it instead of a bare ``KeyError``."""
+    return ValueError(f"malformed {schema} artifact: "
+                      f"missing field {error.args[0]!r}")
+
+
+def fold_results(results: Iterable, what: str = "results"):
+    """Fold shard results into one via pairwise ``merge``.
+
+    The one folder every result type shares, so the edge cases behave
+    identically everywhere: an empty iterable raises immediately (not
+    after consuming the input), and a single shard is returned **as
+    is** — the exact object, never a lossy copy — so ``fold([r])``
+    round-trips unchanged.
+    """
+    iterator = iter(results)
+    try:
+        merged = next(iterator)
+    except StopIteration:
+        raise ValueError(
+            f"cannot merge an empty sequence of {what}") from None
+    for result in iterator:
+        merged = merged.merge(result)
+    return merged
 
 
 def _violation_to_dict(violation: Violation) -> Dict[str, object]:
@@ -104,15 +133,18 @@ class ProgramResult:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ProgramResult":
-        return cls(
-            seed=data["seed"],
-            violations={
-                level: [_violation_from_dict(v) for v in violations]
-                for level, violations in data["violations"].items()
-            },
-            fired={level: list(ids)
-                   for level, ids in data.get("fired", {}).items()},
-        )
+        try:
+            return cls(
+                seed=data["seed"],
+                violations={
+                    level: [_violation_from_dict(v) for v in violations]
+                    for level, violations in data["violations"].items()
+                },
+                fired={level: list(ids)
+                       for level, ids in data.get("fired", {}).items()},
+            )
+        except KeyError as error:
+            raise missing_field_error(CAMPAIGN_SCHEMA, error) from None
 
 
 @dataclass
@@ -202,7 +234,12 @@ class CampaignResult:
                 f"cannot merge campaigns of different compilers: "
                 f"{self.family}-{self.version} vs "
                 f"{other.family}-{other.version}")
-        if self.levels != other.levels:
+        if sorted(self.levels) != sorted(other.levels):
+            # Order-insensitive on purpose: shards built with a
+            # different level *ordering* hold the same per-level data
+            # (violations are keyed by level name); only a different
+            # level *set* is a real mismatch.  The merged result keeps
+            # the left shard's display order.
             raise ValueError(
                 f"cannot merge campaigns over different level sets: "
                 f"{self.levels} vs {other.levels}")
@@ -245,11 +282,14 @@ class CampaignResult:
             raise ValueError(
                 f"not a campaign artifact: schema {schema!r} "
                 f"(expected {CAMPAIGN_SCHEMA!r})")
-        return cls(
-            family=data["family"], version=data["version"],
-            levels=list(data["levels"]), pool_size=data["pool_size"],
-            programs=[ProgramResult.from_dict(p)
-                      for p in data["programs"]])
+        try:
+            return cls(
+                family=data["family"], version=data["version"],
+                levels=list(data["levels"]), pool_size=data["pool_size"],
+                programs=[ProgramResult.from_dict(p)
+                          for p in data["programs"]])
+        except KeyError as error:
+            raise missing_field_error(CAMPAIGN_SCHEMA, error) from None
 
     @classmethod
     def from_json(cls, text: str) -> "CampaignResult":
@@ -290,13 +330,9 @@ class CampaignResult:
 
 
 def merge_results(results: Iterable[CampaignResult]) -> CampaignResult:
-    """Fold any number of shard results into one (at least one needed)."""
-    merged: Optional[CampaignResult] = None
-    for result in results:
-        merged = result if merged is None else merged.merge(result)
-    if merged is None:
-        raise ValueError("cannot merge an empty sequence of results")
-    return merged
+    """Fold any number of shard results into one (at least one needed;
+    a single shard is returned unchanged — see :func:`fold_results`)."""
+    return fold_results(results)
 
 
 def test_program_full(program: Program, compiler: Compiler,
@@ -340,30 +376,55 @@ def test_program(program: Program, compiler: Compiler,
 
 def run_campaign_seeds(compiler: Compiler, debugger: Debugger,
                        seeds: SeedSpec,
-                       levels: Optional[Sequence[str]] = None
-                       ) -> CampaignResult:
-    """Campaign over an explicit seed range (one shard's worth)."""
+                       levels: Optional[Sequence[str]] = None,
+                       store=None) -> CampaignResult:
+    """Campaign over an explicit seed range (one shard's worth).
+
+    With a :class:`~repro.store.CampaignStore`, the run is *resumable*:
+    every already-evaluated ``(seed, cell)`` pair is loaded back instead
+    of recompiled (the cell is ``(family, version, debugger, level
+    set)``), and every freshly evaluated pair is written through — so an
+    interrupted or extended campaign only pays for the delta, and the
+    returned result is bit-identical to an uninterrupted serial run.
+    """
     if levels is None:
         levels = [l for l in compiler.levels if l != "O0"]
     result = CampaignResult(family=compiler.family,
                             version=compiler.version,
                             levels=list(levels), pool_size=seeds.count)
+    run = None
+    if store is not None:
+        run = store.run_id(CAMPAIGN_SCHEMA, compiler.family,
+                           compiler.version, levels,
+                           debugger=debugger.name)
     for seed in seeds.seeds():
+        if run is not None:
+            stored = store.get_result(run, seed)
+            if stored is not None:
+                result.programs.append(ProgramResult.from_dict(stored))
+                continue
         program = generate_validated(seed)
         violations, fired = test_program_full(program, compiler,
                                               debugger, levels)
-        result.programs.append(
-            ProgramResult(seed=seed, violations=violations, fired=fired))
+        program_result = ProgramResult(seed=seed, violations=violations,
+                                       fired=fired)
+        result.programs.append(program_result)
+        if run is not None:
+            store.add_program(seed, print_program(program))
+            store.put_result(run, seed, program_result.to_dict())
     return result
 
 
 def run_campaign(compiler: Compiler, debugger: Debugger,
                  pool_size: int = 100, seed_base: int = 0,
-                 levels: Optional[Sequence[str]] = None) -> CampaignResult:
-    """Generate ``pool_size`` programs and test them all."""
+                 levels: Optional[Sequence[str]] = None,
+                 store=None) -> CampaignResult:
+    """Generate ``pool_size`` programs and test them all (resumable and
+    incremental when ``store`` is given — see
+    :func:`run_campaign_seeds`)."""
     return run_campaign_seeds(
         compiler, debugger, SeedSpec(base=seed_base, count=pool_size),
-        levels=levels)
+        levels=levels, store=store)
 
 
 def run_campaign_on_programs(programs: Sequence[Program],

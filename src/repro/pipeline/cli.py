@@ -85,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="multiprocessing start method")
     parser.add_argument("--output", metavar="PATH",
                         help="write the campaign artifact JSON here")
+    parser.add_argument("--store", metavar="PATH",
+                        help="persistent campaign store (repro-db/1 "
+                             "sqlite file): finished seeds are written "
+                             "through and replayed on the next run, so "
+                             "an interrupted or extended campaign only "
+                             "compiles the delta")
     parser.add_argument("--indent", type=int, default=2,
                         help="artifact JSON indentation (default: 2)")
     parser.add_argument("--report", metavar="DIR",
@@ -103,6 +109,16 @@ def build_parser() -> argparse.ArgumentParser:
 def _parse_formats_csv(text: str):
     from ..report.cli import _parse_formats
     return _parse_formats(text)
+
+
+def _open_cli_store(path: Optional[str]):
+    """Open the ``--store`` file for a serial run (``None`` stays
+    ``None``); the parallel drivers take the path itself and open one
+    connection per worker instead."""
+    if path is None:
+        return None
+    from ..store import CampaignStore
+    return CampaignStore(path)
 
 
 def _write_report(result, args) -> None:
@@ -132,15 +148,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.workers if args.workers is not None else default_workers())
     started = time.perf_counter()
     if args.serial:
-        result = run_campaign(
-            compiler.build(), debugger.build(),
-            pool_size=args.pool_size, seed_base=args.seed_base,
-            levels=args.levels)
+        store = _open_cli_store(args.store)
+        try:
+            result = run_campaign(
+                compiler.build(), debugger.build(),
+                pool_size=args.pool_size, seed_base=args.seed_base,
+                levels=args.levels, store=store)
+        finally:
+            if store is not None:
+                store.close()
     else:
         result = run_campaign_parallel(
             compiler, debugger, pool_size=args.pool_size,
             seed_base=args.seed_base, levels=args.levels,
-            workers=workers, start_method=args.start_method)
+            workers=workers, start_method=args.start_method,
+            store_path=args.store)
     elapsed = time.perf_counter() - started
 
     if args.output:
@@ -179,16 +201,21 @@ def _run_matrix(parser: argparse.ArgumentParser, args) -> int:
         args.workers if args.workers is not None else default_workers())
     started = time.perf_counter()
     if args.serial or workers <= 1:
-        result = run_matrix_campaign(
-            families=args.families, version=args.version,
-            pool_size=args.pool_size, seed_base=args.seed_base,
-            levels=args.levels)
+        store = _open_cli_store(args.store)
+        try:
+            result = run_matrix_campaign(
+                families=args.families, version=args.version,
+                pool_size=args.pool_size, seed_base=args.seed_base,
+                levels=args.levels, store=store)
+        finally:
+            if store is not None:
+                store.close()
     else:
         result = run_matrix_campaign_parallel(
             families=args.families, version=args.version,
             pool_size=args.pool_size, seed_base=args.seed_base,
             levels=args.levels, workers=workers,
-            start_method=args.start_method)
+            start_method=args.start_method, store_path=args.store)
     elapsed = time.perf_counter() - started
 
     if args.output:

@@ -41,8 +41,12 @@ from ..fuzz.seeds import SeedSpec
 from ..metrics.study import (
     CellSamples, StudyResult, compare_traces, reduce_cells,
 )
+from ..lang.printer import print_program
 from ..target.codegen import link
-from .campaign import CampaignResult, ProgramResult
+from .campaign import (
+    CAMPAIGN_SCHEMA, CampaignResult, ProgramResult, fold_results,
+    missing_field_error,
+)
 
 #: Artifact schema tag for stored matrix results.
 MATRIX_SCHEMA = "repro-matrix/1"
@@ -157,14 +161,17 @@ class MatrixCampaignResult:
             raise ValueError(
                 f"not a matrix artifact: schema {schema!r} "
                 f"(expected {MATRIX_SCHEMA!r})")
-        result = cls(pool_size=data["pool_size"])
-        result.fingerprints = {int(seed): fp for seed, fp
-                               in data["fingerprints"].items()}
-        for cell in data["cells"]:
-            key = (cell["family"], cell["version"], cell["debugger"])
-            result.cells[key] = CampaignResult.from_dict(
-                cell["campaign"])
-        return result
+        try:
+            result = cls(pool_size=data["pool_size"])
+            result.fingerprints = {int(seed): fp for seed, fp
+                                   in data["fingerprints"].items()}
+            for cell in data["cells"]:
+                key = (cell["family"], cell["version"], cell["debugger"])
+                result.cells[key] = CampaignResult.from_dict(
+                    cell["campaign"])
+            return result
+        except KeyError as error:
+            raise missing_field_error(MATRIX_SCHEMA, error) from None
 
     @classmethod
     def from_json(cls, text: str) -> "MatrixCampaignResult":
@@ -188,32 +195,38 @@ class MatrixCampaignResult:
 
 def merge_matrix_results(results: Iterable[MatrixCampaignResult]
                          ) -> MatrixCampaignResult:
-    """Fold any number of shard results into one (at least one needed)."""
-    merged: Optional[MatrixCampaignResult] = None
-    for result in results:
-        merged = result if merged is None else merged.merge(result)
-    if merged is None:
-        raise ValueError("cannot merge an empty sequence of results")
-    return merged
+    """Fold any number of shard results into one (at least one needed;
+    a single shard is returned unchanged — see
+    :func:`~repro.pipeline.campaign.fold_results`)."""
+    return fold_results(results)
 
 
 def run_matrix_campaign_seeds(
         compilers: Sequence[CompilerLike],
         debuggers: Sequence[DebuggerLike],
         seeds: SeedSpec,
-        levels: Optional[Sequence[str]] = None
-) -> MatrixCampaignResult:
+        levels: Optional[Sequence[str]] = None,
+        store=None) -> MatrixCampaignResult:
     """Compile-once campaign over an explicit seed range (one shard).
 
     For each seed: one frontend session; per compiler, one backend run
     per level over a private clone of the shared lowering; per debugger,
     one trace of each already-linked executable.
+
+    With a :class:`~repro.store.CampaignStore`, each matrix cell resumes
+    independently: cells are the same ``(family, version, debugger,
+    level set)`` keys plain campaigns use, so a matrix run reuses — and
+    feeds — single-cell campaign results.  A seed whose cells all hit
+    skips the frontend and every compile; a partially stored seed
+    recompiles each level once and re-traces only the debuggers whose
+    cells are missing.
     """
     built_compilers = [_build_compiler(c) for c in compilers]
     built_debuggers = [_build_debugger(d) for d in debuggers]
     compiler_levels = [_campaign_levels(compiler, levels)
                        for compiler in built_compilers]
     result = MatrixCampaignResult(pool_size=seeds.count)
+    cell_runs: Dict[MatrixCellKey, int] = {}
     for compiler, run_levels in zip(built_compilers, compiler_levels):
         for debugger in built_debuggers:
             key = (compiler.family, compiler.version, debugger.name)
@@ -225,35 +238,80 @@ def run_matrix_campaign_seeds(
             result.cells[key] = CampaignResult(
                 family=compiler.family, version=compiler.version,
                 levels=list(run_levels), pool_size=seeds.count)
+            if store is not None:
+                cell_runs[key] = store.run_id(
+                    CAMPAIGN_SCHEMA, compiler.family, compiler.version,
+                    run_levels, debugger=debugger.name)
 
     for seed in seeds.seeds():
+        stored_programs: Dict[MatrixCellKey, ProgramResult] = {}
+        if store is not None:
+            for key, run in cell_runs.items():
+                payload = store.get_result(run, seed)
+                if payload is not None:
+                    stored_programs[key] = ProgramResult.from_dict(
+                        payload)
+        if store is not None and len(stored_programs) == len(cell_runs):
+            # Every cell already evaluated this seed: no frontend, no
+            # compiles.  The fingerprint is served from the store when
+            # a previous matrix run recorded it; cells filled by plain
+            # campaigns need one frontend pass (still zero compiles).
+            fingerprint = store.module_fingerprint(seed)
+            if fingerprint is None:
+                fingerprint = FrontendSession(seed).fingerprint
+                store.record_module_fingerprint(seed, fingerprint)
+            result.fingerprints[seed] = fingerprint
+            for key, program_result in stored_programs.items():
+                result.cells[key].programs.append(program_result)
+            continue
         session = FrontendSession(seed)
         facts = session.facts
         token = session.program_token
         result.fingerprints[seed] = session.fingerprint
+        if store is not None:
+            store.add_program(seed, print_program(session.program))
+            store.record_module_fingerprint(seed, session.fingerprint)
         for compiler, run_levels in zip(built_compilers,
                                         compiler_levels):
-            per_debugger: List[Dict[str, List[Violation]]] = [
-                {} for _ in built_debuggers]
-            fired: Dict[str, List[str]] = {}
-            for level in run_levels:
-                # Compile once per level and execute once; every
-                # debugger cell observes the same stops.
-                compilation = compiler.compile_ir(
-                    session.ir_module(), level, program_token=token)
-                fired_ids = compilation.fired_defects()
-                if fired_ids:
-                    fired[level] = fired_ids
-                traces = trace_all(compilation.exe, built_debuggers)
-                for violations, trace in zip(per_debugger, traces):
-                    violations[level] = check_all(facts, trace)
-            for debugger, violations in zip(built_debuggers,
-                                            per_debugger):
+            missing = [
+                debugger for debugger in built_debuggers
+                if (compiler.family, compiler.version, debugger.name)
+                not in stored_programs]
+            if missing:
+                per_debugger: List[Dict[str, List[Violation]]] = [
+                    {} for _ in missing]
+                fired: Dict[str, List[str]] = {}
+                for level in run_levels:
+                    # Compile once per level and execute once; every
+                    # debugger cell observes the same stops.
+                    compilation = compiler.compile_ir(
+                        session.ir_module(), level, program_token=token)
+                    fired_ids = compilation.fired_defects()
+                    if fired_ids:
+                        fired[level] = fired_ids
+                    traces = trace_all(compilation.exe, missing)
+                    for violations, trace in zip(per_debugger, traces):
+                        violations[level] = check_all(facts, trace)
+                computed = {
+                    debugger.name: ProgramResult(
+                        seed=seed, violations=violations,
+                        fired={level: list(ids)
+                               for level, ids in fired.items()})
+                    for debugger, violations in zip(missing,
+                                                    per_debugger)}
+            else:
+                computed = {}
+            for debugger in built_debuggers:
                 key = (compiler.family, compiler.version, debugger.name)
-                result.cells[key].programs.append(
-                    ProgramResult(seed=seed, violations=violations,
-                                  fired={level: list(ids)
-                                         for level, ids in fired.items()}))
+                if key in stored_programs:
+                    result.cells[key].programs.append(
+                        stored_programs[key])
+                    continue
+                program_result = computed[debugger.name]
+                result.cells[key].programs.append(program_result)
+                if store is not None:
+                    store.put_result(cell_runs[key], seed,
+                                     program_result.to_dict())
     return result
 
 
@@ -263,13 +321,15 @@ def run_matrix_campaign(
         pool_size: int = 100, seed_base: int = 0,
         levels: Optional[Sequence[str]] = None,
         families: Optional[Sequence[str]] = None,
-        version: str = "trunk") -> MatrixCampaignResult:
+        version: str = "trunk", store=None) -> MatrixCampaignResult:
     """The full evaluation matrix over a generated seed range.
 
     ``compilers`` defaults to the trunk compiler of every family in
     ``families`` (default: gcc and clang); ``debuggers`` defaults to
     both consumers.  Every cell is bit-identical to the corresponding
     per-cell :func:`~repro.pipeline.campaign.run_campaign` run.
+    ``store`` makes the run resumable per cell (see
+    :func:`run_matrix_campaign_seeds`).
     """
     if compilers is None:
         families = tuple(families) if families else ("gcc", "clang")
@@ -278,7 +338,8 @@ def run_matrix_campaign(
         debuggers = DEFAULT_DEBUGGERS
     return run_matrix_campaign_seeds(
         compilers, debuggers,
-        SeedSpec(base=seed_base, count=pool_size), levels=levels)
+        SeedSpec(base=seed_base, count=pool_size), levels=levels,
+        store=store)
 
 
 # -- the metrics study over the shared pool -----------------------------------

@@ -68,6 +68,21 @@ def build_cached(spec) -> object:
         built = _TOOLCHAIN_CACHE[spec] = spec.build()
     return built
 
+
+def _open_store(path: Optional[str]):
+    """A worker-local :class:`~repro.store.CampaignStore` for ``path``.
+
+    Shards carry the store as a *path*, not a handle — sqlite
+    connections don't pickle and must not cross a spawn boundary.  Each
+    worker opens its own connection; WAL mode plus the store's busy
+    timeout make concurrent shard writes safe.  ``None`` stays ``None``
+    (storeless shards skip persistence entirely).
+    """
+    if path is None:
+        return None
+    from ..store import CampaignStore  # lazy: avoid an import cycle
+    return CampaignStore(path)
+
 CompilerLike = Union[Compiler, CompilerSpec]
 DebuggerLike = Union[Debugger, DebuggerSpec]
 
@@ -127,20 +142,29 @@ class CampaignShard:
     debugger: DebuggerSpec
     seeds: SeedSpec
     levels: Tuple[str, ...]
+    store_path: Optional[str] = None
 
 
 def run_campaign_shard(shard: CampaignShard) -> CampaignResult:
-    """Worker entry point: one shard on the memoized toolchain."""
-    return run_campaign_seeds(
-        build_cached(shard.compiler), build_cached(shard.debugger),
-        shard.seeds, levels=shard.levels)
+    """Worker entry point: one shard on the memoized toolchain (writing
+    through the shared WAL-mode store when the shard names one)."""
+    store = _open_store(shard.store_path)
+    try:
+        return run_campaign_seeds(
+            build_cached(shard.compiler), build_cached(shard.debugger),
+            shard.seeds, levels=shard.levels, store=store)
+    finally:
+        if store is not None:
+            store.close()
 
 
 def run_campaign_parallel(compiler: CompilerLike, debugger: DebuggerLike,
                           pool_size: int = 100, seed_base: int = 0,
                           levels: Optional[Sequence[str]] = None,
                           workers: Optional[int] = None,
-                          start_method: str = "spawn") -> CampaignResult:
+                          start_method: str = "spawn",
+                          store_path: Optional[str] = None
+                          ) -> CampaignResult:
     """Sharded, multi-process equivalent of
     :func:`~repro.pipeline.campaign.run_campaign`.
 
@@ -148,6 +172,8 @@ def run_campaign_parallel(compiler: CompilerLike, debugger: DebuggerLike,
     ``(pool_size, seed_base, levels)``. ``workers`` defaults to the CPU
     count; ``workers <= 1`` runs the shards in-process (no pool), which
     keeps small campaigns cheap while still exercising the merge path.
+    ``store_path`` names a shared store file every worker writes through
+    (and resumes from) with WAL-mode concurrent access.
     """
     compiler_spec = as_compiler_spec(compiler)
     debugger_spec = as_debugger_spec(debugger)
@@ -161,7 +187,8 @@ def run_campaign_parallel(compiler: CompilerLike, debugger: DebuggerLike,
                               levels=list(levels), pool_size=0)
     shards = [
         CampaignShard(compiler=compiler_spec, debugger=debugger_spec,
-                      seeds=seed_shard, levels=levels)
+                      seeds=seed_shard, levels=levels,
+                      store_path=store_path)
         for seed_shard in spec.shard(max(1, workers) * SHARDS_PER_WORKER)
     ]
     return merge_results(
@@ -231,6 +258,7 @@ class MatrixShard:
     debuggers: Tuple[DebuggerSpec, ...]
     seeds: SeedSpec
     levels: Optional[Tuple[str, ...]] = None
+    store_path: Optional[str] = None
 
 
 def run_matrix_shard(shard: MatrixShard) -> MatrixCampaignResult:
@@ -241,10 +269,15 @@ def run_matrix_shard(shard: MatrixShard) -> MatrixCampaignResult:
     diverged from the serial driver's cannot silently corrupt the
     campaign.
     """
-    return run_matrix_campaign_seeds(
-        [build_cached(spec) for spec in shard.compilers],
-        [build_cached(spec) for spec in shard.debuggers],
-        shard.seeds, levels=shard.levels)
+    store = _open_store(shard.store_path)
+    try:
+        return run_matrix_campaign_seeds(
+            [build_cached(spec) for spec in shard.compilers],
+            [build_cached(spec) for spec in shard.debuggers],
+            shard.seeds, levels=shard.levels, store=store)
+    finally:
+        if store is not None:
+            store.close()
 
 
 def run_matrix_campaign_parallel(
@@ -255,7 +288,8 @@ def run_matrix_campaign_parallel(
         workers: Optional[int] = None,
         start_method: str = "spawn",
         families: Optional[Sequence[str]] = None,
-        version: str = "trunk") -> MatrixCampaignResult:
+        version: str = "trunk",
+        store_path: Optional[str] = None) -> MatrixCampaignResult:
     """Sharded, multi-process compile-once matrix campaign.
 
     Bit-identical to :func:`~repro.pipeline.matrix.run_matrix_campaign`
@@ -282,7 +316,8 @@ def run_matrix_campaign_parallel(
     shards = [
         MatrixShard(compilers=compiler_specs, debuggers=debugger_specs,
                     seeds=seed_shard,
-                    levels=tuple(levels) if levels is not None else None)
+                    levels=tuple(levels) if levels is not None else None,
+                    store_path=store_path)
         for seed_shard in spec.shard(max(1, workers) * SHARDS_PER_WORKER)
     ]
     return merge_matrix_results(

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..compilers.compiler import Compiler
 from ..conjectures.base import Violation
@@ -31,7 +31,7 @@ from ..debugger.base import Debugger
 from ..fuzz.generator import generate_validated
 from ..reduce import Reducer, ReductionResult, ReferenceReducer
 from ..triage.triage import triage
-from .campaign import CampaignResult
+from .campaign import CampaignResult, fold_results, missing_field_error
 
 #: Artifact schema tag; bump only with a migration path in ``from_dict``.
 REDUCE_SCHEMA = "repro-reduce/1"
@@ -64,6 +64,11 @@ class ReductionRecord:
             return 0.0
         return 1.0 - self.reduced_size / self.original_size
 
+    def witness_key(self) -> Tuple[int, str, str, str]:
+        """The violation identity reduction preserves — what the store
+        keys witnesses by, and what shard merges must keep disjoint."""
+        return (self.seed, self.level, self.conjecture, self.variable)
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "seed": self.seed,
@@ -83,10 +88,14 @@ class ReductionRecord:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ReductionRecord":
-        return cls(**{name: data[name] for name in (
-            "seed", "level", "conjecture", "variable", "function", "line",
-            "culprit", "method", "original_size", "reduced_size",
-            "steps_tried", "steps_accepted", "reduced_source")})
+        try:
+            return cls(**{name: data[name] for name in (
+                "seed", "level", "conjecture", "variable", "function",
+                "line", "culprit", "method", "original_size",
+                "reduced_size", "steps_tried", "steps_accepted",
+                "reduced_source")})
+        except KeyError as error:
+            raise missing_field_error(REDUCE_SCHEMA, error) from None
 
 
 @dataclass
@@ -108,6 +117,43 @@ class ReductionCampaignResult:
 
     def total(self, attr: str) -> int:
         return sum(getattr(record, attr) for record in self.records)
+
+    # -- merging -----------------------------------------------------------------
+
+    def merge(self, other: "ReductionCampaignResult"
+              ) -> "ReductionCampaignResult":
+        """Combine two shard results (disjoint witness sets required).
+
+        Identity is the full reduction cell — compiler, debugger *and*
+        engine — since records from different engines are not
+        comparable.  Records renormalize to seed order (stable, so a
+        program's per-level witness order is preserved) and the oracle
+        accounting is summed key-wise.
+        """
+        mine = (self.family, self.version, self.debugger, self.engine)
+        theirs = (other.family, other.version, other.debugger,
+                  other.engine)
+        if mine != theirs:
+            raise ValueError(
+                f"cannot merge reduction campaigns of different cells: "
+                f"{'/'.join(mine)} vs {'/'.join(theirs)}")
+        overlap = {record.witness_key() for record in self.records} & \
+            {record.witness_key() for record in other.records}
+        if overlap:
+            raise ValueError(
+                f"cannot merge reduction campaigns with overlapping "
+                f"witnesses (would double-count): "
+                f"{sorted(overlap)[:3]}...")
+        stats = dict(self.stats)
+        for key, value in other.stats.items():
+            stats[key] = stats.get(key, 0) + value
+        records = sorted(self.records + other.records,
+                         key=lambda record: record.seed)
+        return ReductionCampaignResult(
+            family=self.family, version=self.version,
+            debugger=self.debugger, engine=self.engine,
+            pool_size=self.pool_size + other.pool_size,
+            records=records, stats=stats)
 
     # -- serialization -----------------------------------------------------------
 
@@ -137,19 +183,30 @@ class ReductionCampaignResult:
             raise ValueError(
                 f"not a reduction artifact: schema {schema!r} "
                 f"(expected {REDUCE_SCHEMA!r})")
-        return cls(
-            family=data["family"], version=data["version"],
-            debugger=data["debugger"], engine=data["engine"],
-            pool_size=data["pool_size"],
-            records=[ReductionRecord.from_dict(r)
-                     for r in data["records"]],
-            stats=dict(data["stats"]))
+        try:
+            return cls(
+                family=data["family"], version=data["version"],
+                debugger=data["debugger"], engine=data["engine"],
+                pool_size=data["pool_size"],
+                records=[ReductionRecord.from_dict(r)
+                         for r in data["records"]],
+                stats=dict(data["stats"]))
+        except KeyError as error:
+            raise missing_field_error(REDUCE_SCHEMA, error) from None
 
     @classmethod
     def from_json(cls, text: str) -> "ReductionCampaignResult":
         """Load a stored ``repro-reduce/1`` artifact (see
         ``docs/ARTIFACTS.md``)."""
         return cls.from_dict(json.loads(text))
+
+
+def merge_reduction_results(results: Iterable[ReductionCampaignResult]
+                            ) -> ReductionCampaignResult:
+    """Fold any number of shard results into one (at least one needed;
+    a single shard is returned unchanged — see
+    :func:`~repro.pipeline.campaign.fold_results`)."""
+    return fold_results(results, what="reduction results")
 
 
 def iter_witnesses(campaign: CampaignResult
@@ -174,8 +231,8 @@ def run_reduction_campaign(campaign: CampaignResult,
                            max_steps: int = 2000,
                            with_triage: bool = True,
                            workers: Optional[int] = None,
-                           limit: Optional[int] = None
-                           ) -> ReductionCampaignResult:
+                           limit: Optional[int] = None,
+                           store=None) -> ReductionCampaignResult:
     """Reduce every witness of ``campaign`` and aggregate the outcomes.
 
     ``engine`` selects ``fast`` (serial engine), ``parallel``
@@ -188,6 +245,11 @@ def run_reduction_campaign(campaign: CampaignResult,
     The campaign must have been produced over generator seeds (as
     ``run_campaign``/``repro-campaign`` do) — programs are regenerated
     with :func:`~repro.fuzz.generator.generate_validated`.
+
+    With a :class:`~repro.store.CampaignStore`, every finished witness
+    (triage + reduction, with its share of the oracle accounting) is
+    written through and replayed on the next run, so an interrupted
+    reduction campaign resumes at the first unreduced witness.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown reduction engine {engine!r}; "
@@ -199,11 +261,27 @@ def run_reduction_campaign(campaign: CampaignResult,
         family=campaign.family, version=campaign.version,
         debugger=debugger.name, engine=engine,
         pool_size=campaign.pool_size)
+    run = None
+    if store is not None:
+        run = store.run_id(
+            REDUCE_SCHEMA, campaign.family, campaign.version, (),
+            debugger=debugger.name, engine=engine,
+            attrs={"pool_size": campaign.pool_size})
     totals: Dict[str, int] = {}
     for count, (seed, level, violation) in enumerate(
             iter_witnesses(campaign)):
         if limit is not None and count >= limit:
             break
+        if run is not None:
+            stored = store.get_reduction(
+                run, seed, level, violation.conjecture,
+                violation.variable)
+            if stored is not None:
+                for key, value in stored.pop("stats", {}).items():
+                    totals[key] = totals.get(key, 0) + value
+                result.records.append(
+                    ReductionRecord.from_dict(stored))
+                continue
         program = generate_validated(seed)
         culprit = None
         method = "none"
@@ -215,7 +293,7 @@ def run_reduction_campaign(campaign: CampaignResult,
         reduction = _reduce_one(compiler, level, debugger, violation,
                                 culprit, engine, max_steps, workers,
                                 program)
-        result.records.append(ReductionRecord(
+        record = ReductionRecord(
             seed=seed, level=level, conjecture=violation.conjecture,
             variable=violation.variable, function=violation.function,
             line=violation.line, culprit=culprit, method=method,
@@ -223,10 +301,23 @@ def run_reduction_campaign(campaign: CampaignResult,
             reduced_size=reduction.reduced_size,
             steps_tried=reduction.steps_tried,
             steps_accepted=reduction.steps_accepted,
-            reduced_source=reduction.source))
+            reduced_source=reduction.source)
+        result.records.append(record)
+        share: Dict[str, int] = {}
         if reduction.stats is not None:
-            for key, value in reduction.stats.as_dict().items():
+            share = reduction.stats.as_dict()
+            for key, value in share.items():
                 totals[key] = totals.get(key, 0) + value
+        if run is not None:
+            payload = record.to_dict()
+            if share:
+                # Each witness carries its own slice of the oracle
+                # accounting so a resumed run reassembles the exact
+                # aggregate (int sums are order-independent).
+                payload["stats"] = share
+            store.put_reduction(
+                run, seed, level, violation.conjecture,
+                violation.variable, count, payload)
     result.stats = totals
     return result
 

@@ -51,6 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "then preserve only the violation)")
     parser.add_argument("--output", metavar="PATH",
                         help="write the repro-reduce/1 artifact here")
+    parser.add_argument("--store", metavar="PATH",
+                        help="persistent campaign store (repro-db/1 "
+                             "sqlite file): finished witnesses are "
+                             "written through and replayed on the next "
+                             "run")
     parser.add_argument("--indent", type=int, default=2,
                         help="artifact JSON indentation (default: 2)")
     parser.add_argument("--report", metavar="DIR",
@@ -80,10 +85,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"--workers must be >= 1, got {args.workers}")
 
     started = time.perf_counter()
-    result = run_reduction_campaign(
-        campaign, engine=args.engine, max_steps=args.max_steps,
-        with_triage=not args.no_triage, workers=args.workers,
-        limit=args.limit)
+    from ..pipeline.cli import _open_cli_store
+    store = _open_cli_store(args.store)
+    try:
+        result = run_reduction_campaign(
+            campaign, engine=args.engine, max_steps=args.max_steps,
+            with_triage=not args.no_triage, workers=args.workers,
+            limit=args.limit, store=store)
+    finally:
+        if store is not None:
+            store.close()
     elapsed = time.perf_counter() - started
 
     if args.output:

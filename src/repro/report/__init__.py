@@ -31,8 +31,8 @@ from .manifest import (
     describe_artifact, matrix_cell_tables, render_all,
 )
 from .model import (
-    TRIAGE_SCHEMA, Artifact, TriageSummary, load_artifact,
-    load_artifact_file,
+    TRIAGE_SCHEMA, Artifact, TriageSummary, is_store_file,
+    load_artifact, load_artifact_file, load_store_artifacts,
 )
 from .renderers import (
     DEFAULT_FORMATS, RENDERERS, CsvRenderer, HtmlRenderer,

@@ -33,7 +33,10 @@ from ..pipeline.reduction import ReductionCampaignResult
 from ..staticcheck.campaign import VerifyCampaignResult
 from .figures import DEFAULT_VENN_EXCLUDE, fig4_table, venn_table
 from .manifest import DELIVERABLE_TITLES, matrix_cell_tables, render_all
-from .model import Artifact, TriageSummary, load_artifact_file
+from .model import (
+    Artifact, TriageSummary, is_store_file, load_artifact_file,
+    load_store_artifacts,
+)
 from .renderers import DEFAULT_FORMATS, RENDERERS, render_many
 from .table import Table
 from .tables import (
@@ -148,6 +151,51 @@ def _expect(parser, artifact, types, command) -> Artifact:
     return artifact
 
 
+def _expand_source(parser, path: str) -> List[Artifact]:
+    """One artifact path — or every run of a store file."""
+    try:
+        if is_store_file(path):
+            return load_store_artifacts(path)
+    except (OSError, ValueError) as error:
+        parser.error(f"{path}: {error}")
+    return [_load(parser, path)]
+
+
+def _load_typed(parser, path: str, types, command) -> Artifact:
+    """Load one artifact of the wanted type(s) from a JSON document
+    or a ``repro-db/1`` store file.
+
+    A store needs no export step: the run whose type the subcommand
+    wants is selected directly, and several stored campaign cells are
+    assembled into a matrix when the subcommand accepts one.
+    """
+    try:
+        from_store = is_store_file(path)
+    except OSError as error:
+        parser.error(f"{path}: {error}")
+    if not from_store:
+        return _expect(parser, _load(parser, path), types, command)
+    matches = [artifact for artifact in _expand_source(parser, path)
+               if isinstance(artifact, types)]
+    if len(matches) == 1:
+        return matches[0]
+    if (MatrixCampaignResult in types and
+            sum(isinstance(a, CampaignResult) for a in matches) > 1):
+        from ..store import CampaignStore
+        try:
+            with CampaignStore(path) as store:
+                return store.export_matrix()
+        except ValueError as error:
+            parser.error(f"{path}: {error}")
+    names = "/".join(t.__name__ for t in types)
+    if not matches:
+        parser.error(f"{path}: store holds no {names} run "
+                     f"(see 'repro-db list')")
+    parser.error(f"{path}: store holds {len(matches)} {names} runs; "
+                 f"export the one you want with 'repro-db export "
+                 f"--run ID'")
+
+
 def _per_campaign(artifact, builder, **kwargs) -> List[Table]:
     """Apply a campaign-table builder across matrix cells if needed."""
     if isinstance(artifact, MatrixCampaignResult):
@@ -178,7 +226,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not args.sources:
             parser.error("repro-report all needs at least one "
                          "--from ARTIFACT")
-        artifacts = [_load(parser, path) for path in args.sources]
+        artifacts = []
+        for path in args.sources:
+            artifacts.extend(_expand_source(parser, path))
         manifest = render_all(
             artifacts, args.out_dir, formats=args.formats,
             include_catalog=not args.no_catalog)
@@ -193,8 +243,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _emit(args, [table3(system=args.system)], "table3")
 
     if command == "table2":
-        artifact = _expect(parser, _load(parser, args.artifact),
-                           (TriageSummary, CampaignResult), command)
+        artifact = _load_typed(parser, args.artifact,
+                               (TriageSummary, CampaignResult), command)
         if isinstance(artifact, CampaignResult):
             # Triage at campaign scale: the stored fired-defect record
             # stands in for a recompile-everything triage run.
@@ -208,20 +258,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _emit(args, [table2(artifact, top=args.top)], "table2")
 
     if command == "reduce":
-        reduction = _expect(parser, _load(parser, args.artifact),
-                            (ReductionCampaignResult,), command)
+        reduction = _load_typed(parser, args.artifact,
+                                (ReductionCampaignResult,), command)
         return _emit(args, [reduce_table(reduction)], "reduce")
 
     if command == "verify":
         if len(args.artifacts) > 2:
             parser.error("verify takes a repro-verify/1 artifact plus "
                          "at most one repro-campaign/1 artifact")
-        verify = _expect(parser, _load(parser, args.artifacts[0]),
-                         (VerifyCampaignResult,), command)
+        verify = _load_typed(parser, args.artifacts[0],
+                             (VerifyCampaignResult,), command)
         paired = None
         if len(args.artifacts) == 2:
-            paired = _expect(parser, _load(parser, args.artifacts[1]),
-                             (CampaignResult,), command)
+            paired = _load_typed(parser, args.artifacts[1],
+                                 (CampaignResult,), command)
         try:
             tables = [verify_table(verify, paired),
                       verify_findings_table(verify)]
@@ -230,14 +280,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _emit(args, tables, "verify")
 
     if command == "fig1":
-        study = _expect(parser, _load(parser, args.artifact),
-                        (StudyResult,), command)
+        study = _load_typed(parser, args.artifact,
+                            (StudyResult,), command)
         metrics = (STUDY_METRICS if args.metric == "all"
                    else (args.metric,))
         return _emit(args, fig1_tables(study, metrics), "fig1")
 
     if command == "table4":
-        artifacts = [_load(parser, path) for path in args.artifacts]
+        artifacts = [
+            _load_typed(parser, path,
+                        (CampaignResult, MatrixCampaignResult), command)
+            for path in args.artifacts]
         if len(artifacts) == 1 and isinstance(artifacts[0],
                                               MatrixCampaignResult):
             return _emit(args, [table4(artifacts[0])], "table4")
@@ -245,9 +298,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      for a in artifacts]
         return _emit(args, [table4(campaigns)], "table4")
 
-    # table1 / venn / fig4: one campaign or matrix artifact.
-    artifact = _expect(parser, _load(parser, args.artifact),
-                       (CampaignResult, MatrixCampaignResult), command)
+    # table1 / venn / fig4: one campaign or matrix artifact (a JSON
+    # document or a store file, whose cells render without an export).
+    artifact = _load_typed(parser, args.artifact,
+                           (CampaignResult, MatrixCampaignResult),
+                           command)
     if command == "table1":
         return _emit(args, _per_campaign(artifact, table1), "table1")
     if command == "venn":

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Union
+from typing import Dict, List, Union
 
 from ..metrics.study import STUDY_SCHEMA, StudyResult
 from ..pipeline.campaign import CAMPAIGN_SCHEMA, CampaignResult
@@ -184,7 +184,42 @@ def load_artifact(text: Union[str, Dict[str, object]]) -> Artifact:
     return loader(data)
 
 
+#: First bytes of every sqlite3 database file — how artifact loading
+#: tells a ``repro-db/1`` persistent store from a JSON document.
+SQLITE_MAGIC = b"SQLite format 3\x00"
+
+
+def is_store_file(path: str) -> bool:
+    """True when ``path`` is a sqlite database — i.e. a ``repro-db/1``
+    persistent campaign store rather than artifact JSON."""
+    with open(path, "rb") as handle:
+        return handle.read(len(SQLITE_MAGIC)) == SQLITE_MAGIC
+
+
+def load_store_artifacts(path: str) -> List[Artifact]:
+    """Every run of a persistent store as its typed result, in run-id
+    order (the order ``repro-db list`` prints)."""
+    from ..store import CampaignStore  # lazy: repro.store imports us
+    with CampaignStore(path) as store:
+        return [store.load_run(info.id) for info in store.runs()]
+
+
 def load_artifact_file(path: str) -> Artifact:
-    """:func:`load_artifact` over a file path."""
+    """:func:`load_artifact` over a file path.
+
+    A ``repro-db/1`` store file is accepted too, provided it holds
+    exactly one run — rendering straight from the database without an
+    export step.  For multi-run stores use
+    :func:`load_store_artifacts` (or the typed selection the
+    ``repro-report`` subcommands perform).
+    """
+    if is_store_file(path):
+        artifacts = load_store_artifacts(path)
+        if len(artifacts) != 1:
+            raise ValueError(
+                f"store holds {len(artifacts)} runs; pick one with "
+                f"'repro-db export --run ID' or pass the store to a "
+                f"typed repro-report subcommand")
+        return artifacts[0]
     with open(path, encoding="utf-8") as handle:
         return load_artifact(handle.read())

@@ -29,9 +29,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..compilers.compiler import Compiler, CompilerSpec
 from ..compilers.frontend import FrontendSession
 from ..fuzz.seeds import SeedSpec
+from ..lang.printer import print_program
+from ..pipeline.campaign import fold_results, missing_field_error
 from ..pipeline.parallel import (
     SHARDS_PER_WORKER, as_compiler_spec, build_cached, default_workers,
-    _map_shards,
+    _map_shards, _open_store,
 )
 from .findings import Finding
 from .verifier import verify_compilation
@@ -80,16 +82,19 @@ class VerifyProgramResult:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "VerifyProgramResult":
-        return cls(
-            seed=data["seed"],
-            fingerprint=data.get("fingerprint", ""),
-            findings={
-                level: [Finding.from_dict(f) for f in found]
-                for level, found in data["findings"].items()
-            },
-            fired={level: list(ids)
-                   for level, ids in data.get("fired", {}).items()},
-        )
+        try:
+            return cls(
+                seed=data["seed"],
+                fingerprint=data.get("fingerprint", ""),
+                findings={
+                    level: [Finding.from_dict(f) for f in found]
+                    for level, found in data["findings"].items()
+                },
+                fired={level: list(ids)
+                       for level, ids in data.get("fired", {}).items()},
+            )
+        except KeyError as error:
+            raise missing_field_error(VERIFY_SCHEMA, error) from None
 
 
 @dataclass
@@ -129,7 +134,11 @@ class VerifyCampaignResult:
                 f"cannot merge verify campaigns of different compilers: "
                 f"{self.family}-{self.version} vs "
                 f"{other.family}-{other.version}")
-        if self.levels != other.levels:
+        if sorted(self.levels) != sorted(other.levels):
+            # Order-insensitive like CampaignResult.merge: per-level
+            # findings are keyed by level name, so only a different
+            # level *set* is a real mismatch; the merged result keeps
+            # the left shard's display order.
             raise ValueError(
                 f"cannot merge verify campaigns over different level "
                 f"sets: {self.levels} vs {other.levels}")
@@ -171,11 +180,14 @@ class VerifyCampaignResult:
             raise ValueError(
                 f"not a verify artifact: schema {schema!r} "
                 f"(expected {VERIFY_SCHEMA!r})")
-        return cls(
-            family=data["family"], version=data["version"],
-            levels=list(data["levels"]), pool_size=data["pool_size"],
-            programs=[VerifyProgramResult.from_dict(p)
-                      for p in data["programs"]])
+        try:
+            return cls(
+                family=data["family"], version=data["version"],
+                levels=list(data["levels"]), pool_size=data["pool_size"],
+                programs=[VerifyProgramResult.from_dict(p)
+                          for p in data["programs"]])
+        except KeyError as error:
+            raise missing_field_error(VERIFY_SCHEMA, error) from None
 
     @classmethod
     def from_json(cls, text: str) -> "VerifyCampaignResult":
@@ -185,13 +197,10 @@ class VerifyCampaignResult:
 
 def merge_verify_results(results: Iterable[VerifyCampaignResult]
                          ) -> VerifyCampaignResult:
-    """Fold any number of shard results into one (at least one needed)."""
-    merged: Optional[VerifyCampaignResult] = None
-    for result in results:
-        merged = result if merged is None else merged.merge(result)
-    if merged is None:
-        raise ValueError("cannot merge an empty sequence of results")
-    return merged
+    """Fold any number of shard results into one (at least one needed;
+    a single shard is returned unchanged — see
+    :func:`~repro.pipeline.campaign.fold_results`)."""
+    return fold_results(results)
 
 
 # -- drivers ------------------------------------------------------------------
@@ -207,14 +216,30 @@ def _resolve_levels(compiler: Compiler,
 
 
 def run_verify_campaign_seeds(compiler: Compiler, seeds: SeedSpec,
-                              levels: Optional[Sequence[str]] = None
-                              ) -> VerifyCampaignResult:
-    """Verify campaign over an explicit seed range (one shard's worth)."""
+                              levels: Optional[Sequence[str]] = None,
+                              store=None) -> VerifyCampaignResult:
+    """Verify campaign over an explicit seed range (one shard's worth).
+
+    With a :class:`~repro.store.CampaignStore`, already-verified
+    ``(seed, cell)`` pairs are loaded back instead of recompiled, and
+    fresh ones are written through — the same resume contract as
+    :func:`~repro.pipeline.campaign.run_campaign_seeds`.
+    """
     levels = _resolve_levels(compiler, levels)
     result = VerifyCampaignResult(
         family=compiler.family, version=compiler.version,
         levels=levels, pool_size=seeds.count)
+    run = None
+    if store is not None:
+        run = store.run_id(VERIFY_SCHEMA, compiler.family,
+                           compiler.version, levels)
     for seed in seeds.seeds():
+        if run is not None:
+            stored = store.get_result(run, seed)
+            if stored is not None:
+                result.programs.append(
+                    VerifyProgramResult.from_dict(stored))
+                continue
         session = FrontendSession(seed)
         program_result = VerifyProgramResult(
             seed=seed, fingerprint=session.fingerprint)
@@ -228,18 +253,23 @@ def run_verify_campaign_seeds(compiler: Compiler, seeds: SeedSpec,
             if fired:
                 program_result.fired[level] = fired
         result.programs.append(program_result)
+        if run is not None:
+            store.add_program(seed, print_program(session.program))
+            store.record_module_fingerprint(seed, session.fingerprint)
+            store.put_result(run, seed, program_result.to_dict())
     return result
 
 
 def run_verify_campaign(compiler: Compiler, pool_size: int = 100,
                         seed_base: int = 0,
-                        levels: Optional[Sequence[str]] = None
-                        ) -> VerifyCampaignResult:
+                        levels: Optional[Sequence[str]] = None,
+                        store=None) -> VerifyCampaignResult:
     """Generate ``pool_size`` programs and statically verify each at
-    every level — the serial driver behind ``repro-verify``."""
+    every level — the serial driver behind ``repro-verify``
+    (resumable when ``store`` is given)."""
     return run_verify_campaign_seeds(
         compiler, SeedSpec(base=seed_base, count=pool_size),
-        levels=levels)
+        levels=levels, store=store)
 
 
 @dataclass(frozen=True)
@@ -249,24 +279,35 @@ class VerifyShard:
     compiler: CompilerSpec
     seeds: SeedSpec
     levels: Optional[Tuple[str, ...]] = None
+    store_path: Optional[str] = None
 
 
 def run_verify_shard(shard: VerifyShard) -> VerifyCampaignResult:
-    """Worker entry point: one shard on the memoized toolchain."""
-    return run_verify_campaign_seeds(
-        build_cached(shard.compiler), shard.seeds, levels=shard.levels)
+    """Worker entry point: one shard on the memoized toolchain (writing
+    through the shared WAL-mode store when the shard names one)."""
+    store = _open_store(shard.store_path)
+    try:
+        return run_verify_campaign_seeds(
+            build_cached(shard.compiler), shard.seeds,
+            levels=shard.levels, store=store)
+    finally:
+        if store is not None:
+            store.close()
 
 
 def run_verify_campaign_parallel(compiler, pool_size: int = 100,
                                  seed_base: int = 0,
                                  levels: Optional[Sequence[str]] = None,
                                  workers: Optional[int] = None,
-                                 start_method: str = "spawn"
+                                 start_method: str = "spawn",
+                                 store_path: Optional[str] = None
                                  ) -> VerifyCampaignResult:
     """Sharded, multi-process verify campaign.
 
     Bit-identical to :func:`run_verify_campaign` for the same
     arguments; ``workers <= 1`` runs the shards in-process.
+    ``store_path`` names a shared store file every worker writes
+    through (and resumes from) with WAL-mode concurrent access.
     """
     compiler_spec = as_compiler_spec(compiler)
     if workers is None:
@@ -280,7 +321,7 @@ def run_verify_campaign_parallel(compiler, pool_size: int = 100,
     shard_levels = tuple(levels) if levels is not None else None
     shards = [
         VerifyShard(compiler=compiler_spec, seeds=seed_shard,
-                    levels=shard_levels)
+                    levels=shard_levels, store_path=store_path)
         for seed_shard in spec.shard(max(1, workers) * SHARDS_PER_WORKER)
     ]
     return merge_verify_results(

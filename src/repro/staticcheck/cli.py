@@ -53,6 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="multiprocessing start method")
     parser.add_argument("--output", metavar="PATH",
                         help="write the verify artifact JSON here")
+    parser.add_argument("--store", metavar="PATH",
+                        help="persistent campaign store (repro-db/1 "
+                             "sqlite file): verified seeds are written "
+                             "through and replayed on the next run")
     parser.add_argument("--indent", type=int, default=2,
                         help="artifact JSON indentation (default: 2)")
     parser.add_argument("--report", metavar="DIR",
@@ -83,14 +87,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.workers if args.workers is not None else None)
     started = time.perf_counter()
     if args.serial:
-        result = run_verify_campaign(
-            compiler.build(), pool_size=args.pool_size,
-            seed_base=args.seed_base, levels=args.levels)
+        from ..pipeline.cli import _open_cli_store
+        store = _open_cli_store(args.store)
+        try:
+            result = run_verify_campaign(
+                compiler.build(), pool_size=args.pool_size,
+                seed_base=args.seed_base, levels=args.levels,
+                store=store)
+        finally:
+            if store is not None:
+                store.close()
     else:
         result = run_verify_campaign_parallel(
             compiler, pool_size=args.pool_size,
             seed_base=args.seed_base, levels=args.levels,
-            workers=workers, start_method=args.start_method)
+            workers=workers, start_method=args.start_method,
+            store_path=args.store)
     elapsed = time.perf_counter() - started
 
     if args.output:

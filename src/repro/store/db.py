@@ -1,0 +1,737 @@
+"""The persistent campaign store: a stdlib-sqlite results database.
+
+The campaign drivers are one-shot in-memory runs that serialize a JSON
+artifact at the end; at ROADMAP scale (millions of programs) a crashed
+30-minute campaign loses everything.  :class:`CampaignStore` is the
+durable backing the drivers write through instead — modeled on
+DeadCodeProductions/diopter's ``database.py``: content-hash dedup of
+every stored text (program witnesses, per-seed result payloads, reduced
+programs) in one zlib-compressed blob table, keyed lookups by
+``seed_fingerprint`` / ``module_fingerprint``, and WAL-mode connections
+so sharded workers can write the same file concurrently.
+
+Layout (schema tag ``repro-db/1``; field-by-field spec in
+``docs/ARTIFACTS.md``):
+
+=====================  ======================================================
+``meta``               ``schema`` tag and store-level key/values
+``blobs``              sha256(text) -> zlib-compressed text (the only place
+                       any text is stored; identical content is stored once)
+``programs``           seed -> sha256 of the printed program (the
+                       ``seed_fingerprint`` digest) + source blob
+``module_fingerprints``  seed -> counter-normalized lowered-module digest
+``runs``               one row per campaign cell: (schema, family, version,
+                       debugger, engine, sorted level set) is the identity
+``results``            (run, seed) -> per-program payload blob — the unit of
+                       resume for campaign / matrix-cell / verify runs
+``reductions``         (run, seed, level, conjecture, variable) -> reduction
+                       record blob + deduplicated reduced-program blob
+=====================  ======================================================
+
+Everything the JSON artifacts serialize round-trips through the store
+losslessly: per-seed payloads are stored as canonical JSON (sorted keys,
+no whitespace), so a result loaded back compares equal — and re-serializes
+byte-identically — to the value the driver computed live.  That is the
+invariant that makes resumed campaigns bit-identical to uninterrupted
+serial runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Store schema tag; bump only with a migration path in ``_check_schema``.
+DB_SCHEMA = "repro-db/1"
+
+#: zlib level 6: within a few percent of level 9 on generated programs at
+#: roughly twice the speed.
+_COMPRESSION_LEVEL = 6
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS blobs (
+    hash     TEXT PRIMARY KEY,
+    data     BLOB NOT NULL,
+    raw_size INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS programs (
+    seed        INTEGER PRIMARY KEY,
+    fingerprint TEXT NOT NULL,
+    source_hash TEXT NOT NULL REFERENCES blobs(hash)
+);
+CREATE TABLE IF NOT EXISTS module_fingerprints (
+    seed        INTEGER PRIMARY KEY,
+    fingerprint TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    id         INTEGER PRIMARY KEY,
+    schema     TEXT NOT NULL,
+    family     TEXT NOT NULL,
+    version    TEXT NOT NULL,
+    debugger   TEXT NOT NULL DEFAULT '',
+    engine     TEXT NOT NULL DEFAULT '',
+    levels_key TEXT NOT NULL,
+    levels     TEXT NOT NULL,
+    attrs      TEXT NOT NULL DEFAULT '{}',
+    UNIQUE (schema, family, version, debugger, engine, levels_key)
+);
+CREATE TABLE IF NOT EXISTS results (
+    run_id       INTEGER NOT NULL REFERENCES runs(id),
+    seed         INTEGER NOT NULL,
+    payload_hash TEXT NOT NULL REFERENCES blobs(hash),
+    PRIMARY KEY (run_id, seed)
+);
+CREATE TABLE IF NOT EXISTS reductions (
+    run_id       INTEGER NOT NULL REFERENCES runs(id),
+    seed         INTEGER NOT NULL,
+    level        TEXT NOT NULL,
+    conjecture   TEXT NOT NULL,
+    variable     TEXT NOT NULL,
+    position     INTEGER NOT NULL,
+    payload_hash TEXT NOT NULL REFERENCES blobs(hash),
+    source_hash  TEXT NOT NULL REFERENCES blobs(hash),
+    PRIMARY KEY (run_id, seed, level, conjecture, variable)
+);
+"""
+
+
+class StoreError(ValueError):
+    """A store-level invariant was violated (schema mismatch, divergent
+    payload for an already-evaluated key, inconsistent fingerprints)."""
+
+
+@dataclass
+class StoreStats:
+    """Per-connection accounting of one store's lifetime (the
+    ``OracleStats`` of the persistence layer; the resume tests assert
+    zero re-compiles through these counters)."""
+
+    hits: int = 0            # (run, seed) results served from the store
+    misses: int = 0          # results evaluated live and written
+    reductions_reused: int = 0
+    reductions_stored: int = 0
+    programs_added: int = 0
+    blob_inserts: int = 0
+    blob_reuses: int = 0     # content-hash dedup: text already present
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "reductions_reused": self.reductions_reused,
+            "reductions_stored": self.reductions_stored,
+            "programs_added": self.programs_added,
+            "blob_inserts": self.blob_inserts,
+            "blob_reuses": self.blob_reuses,
+        }
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """One ``runs`` row, decoded."""
+
+    id: int
+    schema: str
+    family: str
+    version: str
+    debugger: str
+    engine: str
+    levels: Tuple[str, ...]
+    attrs: Dict[str, object] = field(hash=False, default_factory=dict)
+
+
+def canonical_json(payload: Dict[str, object]) -> str:
+    """The canonical serialized form every payload is stored (and
+    content-hashed) under: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def text_digest(text: str) -> str:
+    """sha256 hex digest of UTF-8 ``text`` — the blob/content key."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class CampaignStore:
+    """A persistent, resumable results database over one sqlite file.
+
+    ``path`` may be ``":memory:"`` for a private in-process store (tests,
+    examples) or a filesystem path; file-backed stores run in WAL mode so
+    sharded campaign workers can read and write concurrently.  The class
+    is a context manager; ``close()`` is otherwise explicit.
+    """
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = str(path)
+        try:
+            self._conn = sqlite3.connect(self.path, timeout=30.0)
+        except sqlite3.Error as error:
+            raise StoreError(f"cannot open store {self.path!r}: "
+                             f"{error}") from None
+        self._conn.row_factory = sqlite3.Row
+        self.stats = StoreStats()
+        try:
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA foreign_keys=ON")
+            with self._conn:
+                self._conn.executescript(_DDL)
+            self._check_schema()
+        except sqlite3.DatabaseError as error:
+            self._conn.close()
+            raise StoreError(f"{self.path!r} is not a campaign store: "
+                             f"{error}") from None
+
+    def _check_schema(self) -> None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema'").fetchone()
+        if row is None:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO meta VALUES ('schema', ?)",
+                    (DB_SCHEMA,))
+            return
+        if row["value"] != DB_SCHEMA:
+            raise StoreError(
+                f"store {self.path!r} has schema {row['value']!r} "
+                f"(this build reads {DB_SCHEMA!r})")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<CampaignStore {self.path!r}>"
+
+    # -- blobs ---------------------------------------------------------------
+
+    def _put_blob(self, text: str) -> str:
+        """Store ``text`` once, keyed by content hash; returns the key."""
+        digest = text_digest(text)
+        present = self._conn.execute(
+            "SELECT 1 FROM blobs WHERE hash = ?", (digest,)).fetchone()
+        if present is not None:
+            self.stats.blob_reuses += 1
+            return digest
+        raw = text.encode("utf-8")
+        self._conn.execute(
+            "INSERT OR IGNORE INTO blobs VALUES (?, ?, ?)",
+            (digest, zlib.compress(raw, _COMPRESSION_LEVEL), len(raw)))
+        self.stats.blob_inserts += 1
+        return digest
+
+    def _blob_text(self, digest: str) -> str:
+        row = self._conn.execute(
+            "SELECT data FROM blobs WHERE hash = ?", (digest,)).fetchone()
+        if row is None:
+            raise StoreError(f"dangling blob reference {digest[:12]}...")
+        return zlib.decompress(row["data"]).decode("utf-8")
+
+    # -- program corpus ------------------------------------------------------
+
+    def add_program(self, seed: int, source: str) -> None:
+        """Record the printed program for ``seed`` (content-deduplicated;
+        re-adding with different text is a determinism violation)."""
+        digest = text_digest(source)
+        row = self._conn.execute(
+            "SELECT fingerprint FROM programs WHERE seed = ?",
+            (seed,)).fetchone()
+        if row is not None:
+            if row["fingerprint"] != digest:
+                raise StoreError(
+                    f"seed {seed} already stored with a different "
+                    f"program text ({row['fingerprint'][:12]} vs "
+                    f"{digest[:12]}): non-deterministic generation?")
+            return
+        with self._conn:
+            source_hash = self._put_blob(source)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO programs VALUES (?, ?, ?)",
+                (seed, digest, source_hash))
+        self.stats.programs_added += 1
+
+    def program_source(self, seed: int) -> Optional[str]:
+        """The stored program text for ``seed`` (None when absent)."""
+        row = self._conn.execute(
+            "SELECT source_hash FROM programs WHERE seed = ?",
+            (seed,)).fetchone()
+        if row is None:
+            return None
+        return self._blob_text(row["source_hash"])
+
+    def program_fingerprint(self, seed: int) -> Optional[str]:
+        """sha256 of the stored program text (the ``seed_fingerprint``
+        digest) for ``seed``."""
+        row = self._conn.execute(
+            "SELECT fingerprint FROM programs WHERE seed = ?",
+            (seed,)).fetchone()
+        return None if row is None else row["fingerprint"]
+
+    def record_module_fingerprint(self, seed: int,
+                                  fingerprint: str) -> None:
+        """Record the lowered-module digest for ``seed``; a differing
+        re-record means two runs lowered divergent IR."""
+        row = self._conn.execute(
+            "SELECT fingerprint FROM module_fingerprints WHERE seed = ?",
+            (seed,)).fetchone()
+        if row is not None:
+            if row["fingerprint"] != fingerprint:
+                raise StoreError(
+                    f"runs disagree on the lowered module of seed "
+                    f"{seed}: {row['fingerprint'][:12]} vs "
+                    f"{fingerprint[:12]}")
+            return
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO module_fingerprints VALUES (?, ?)",
+                (seed, fingerprint))
+
+    def module_fingerprint(self, seed: int) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT fingerprint FROM module_fingerprints WHERE seed = ?",
+            (seed,)).fetchone()
+        return None if row is None else row["fingerprint"]
+
+    # -- runs (campaign cells) -----------------------------------------------
+
+    def run_id(self, schema: str, family: str, version: str,
+               levels: Sequence[str], debugger: str = "",
+               engine: str = "",
+               attrs: Optional[Dict[str, object]] = None) -> int:
+        """The id of the cell (creating its row if new).
+
+        The identity is the *sorted* level set: two runs that evaluate
+        the same levels in a different order resume each other (the
+        per-seed payloads are level-order independent).  The first
+        creator's display order is kept for export.
+        """
+        levels = [str(level) for level in levels]
+        key = json.dumps(sorted(levels))
+        where = ("schema = ? AND family = ? AND version = ? AND "
+                 "debugger = ? AND engine = ? AND levels_key = ?")
+        values = (schema, family, version, debugger, engine, key)
+        row = self._conn.execute(
+            f"SELECT id FROM runs WHERE {where}", values).fetchone()
+        if row is not None:
+            if attrs:
+                self._merge_attrs(row["id"], attrs)
+            return row["id"]
+        try:
+            with self._conn:
+                cursor = self._conn.execute(
+                    "INSERT INTO runs (schema, family, version, debugger,"
+                    " engine, levels_key, levels, attrs)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    values + (json.dumps(levels),
+                              canonical_json(attrs or {})))
+            return cursor.lastrowid
+        except sqlite3.IntegrityError:
+            # Another worker created the row between our SELECT and
+            # INSERT; the UNIQUE constraint guarantees it is ours.
+            row = self._conn.execute(
+                f"SELECT id FROM runs WHERE {where}", values).fetchone()
+            return row["id"]
+
+    def _merge_attrs(self, run_id: int,
+                     attrs: Dict[str, object]) -> None:
+        """Merge run attributes; a changed value for an existing key is
+        a mismatch between the original and resuming invocation."""
+        row = self._conn.execute(
+            "SELECT attrs FROM runs WHERE id = ?", (run_id,)).fetchone()
+        existing = json.loads(row["attrs"])
+        for key, value in attrs.items():
+            if key in existing and existing[key] != value:
+                raise StoreError(
+                    f"run {run_id} attribute {key!r} mismatch: stored "
+                    f"{existing[key]!r}, resuming run has {value!r}")
+        existing.update(attrs)
+        with self._conn:
+            self._conn.execute(
+                "UPDATE runs SET attrs = ? WHERE id = ?",
+                (canonical_json(existing), run_id))
+
+    def set_run_attrs(self, run_id: int, **attrs: object) -> None:
+        """Overwrite run attributes (used for end-of-run aggregates that
+        legitimately change across resumes, e.g. reduction stats)."""
+        row = self._conn.execute(
+            "SELECT attrs FROM runs WHERE id = ?", (run_id,)).fetchone()
+        if row is None:
+            raise StoreError(f"no run {run_id} in {self.path!r}")
+        existing = json.loads(row["attrs"])
+        existing.update(attrs)
+        with self._conn:
+            self._conn.execute(
+                "UPDATE runs SET attrs = ? WHERE id = ?",
+                (canonical_json(existing), run_id))
+
+    def run_info(self, run_id: int) -> RunInfo:
+        row = self._conn.execute(
+            "SELECT * FROM runs WHERE id = ?", (run_id,)).fetchone()
+        if row is None:
+            raise StoreError(f"no run {run_id} in {self.path!r}")
+        return self._run_info(row)
+
+    @staticmethod
+    def _run_info(row) -> RunInfo:
+        return RunInfo(
+            id=row["id"], schema=row["schema"], family=row["family"],
+            version=row["version"], debugger=row["debugger"],
+            engine=row["engine"],
+            levels=tuple(json.loads(row["levels"])),
+            attrs=json.loads(row["attrs"]))
+
+    def runs(self) -> List[RunInfo]:
+        """Every stored run, in creation order."""
+        return [self._run_info(row) for row in self._conn.execute(
+            "SELECT * FROM runs ORDER BY id")]
+
+    # -- per-seed results ----------------------------------------------------
+
+    def get_result(self, run_id: int, seed: int
+                   ) -> Optional[Dict[str, object]]:
+        """The stored per-program payload for ``(run, seed)``, or None
+        if the pair has not been evaluated yet (counted as a hit only
+        when present)."""
+        row = self._conn.execute(
+            "SELECT payload_hash FROM results"
+            " WHERE run_id = ? AND seed = ?", (run_id, seed)).fetchone()
+        if row is None:
+            return None
+        self.stats.hits += 1
+        return json.loads(self._blob_text(row["payload_hash"]))
+
+    def has_result(self, run_id: int, seed: int) -> bool:
+        return self._conn.execute(
+            "SELECT 1 FROM results WHERE run_id = ? AND seed = ?",
+            (run_id, seed)).fetchone() is not None
+
+    def put_result(self, run_id: int, seed: int,
+                   payload: Dict[str, object]) -> None:
+        """Record one evaluated ``(run, seed)`` pair (idempotent for an
+        identical payload; a divergent payload is an error)."""
+        text = canonical_json(payload)
+        existing = self._conn.execute(
+            "SELECT payload_hash FROM results"
+            " WHERE run_id = ? AND seed = ?", (run_id, seed)).fetchone()
+        if existing is not None:
+            if existing["payload_hash"] != text_digest(text):
+                raise StoreError(
+                    f"run {run_id} seed {seed} already stored with a "
+                    f"different payload: non-deterministic evaluation?")
+            return
+        with self._conn:
+            payload_hash = self._put_blob(text)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO results VALUES (?, ?, ?)",
+                (run_id, seed, payload_hash))
+        self.stats.misses += 1
+
+    def seeds_evaluated(self, run_id: int) -> List[int]:
+        return [row["seed"] for row in self._conn.execute(
+            "SELECT seed FROM results WHERE run_id = ? ORDER BY seed",
+            (run_id,))]
+
+    def result_count(self, run_id: int) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) AS n FROM results WHERE run_id = ?",
+            (run_id,)).fetchone()["n"]
+
+    # -- reduction records ---------------------------------------------------
+
+    def get_reduction(self, run_id: int, seed: int, level: str,
+                      conjecture: str, variable: str
+                      ) -> Optional[Dict[str, object]]:
+        """The stored reduction payload for one witness (the record
+        dict, ``reduced_source`` re-attached from its dedup blob)."""
+        row = self._conn.execute(
+            "SELECT payload_hash, source_hash FROM reductions"
+            " WHERE run_id = ? AND seed = ? AND level = ?"
+            " AND conjecture = ? AND variable = ?",
+            (run_id, seed, level, conjecture, variable)).fetchone()
+        if row is None:
+            return None
+        payload = json.loads(self._blob_text(row["payload_hash"]))
+        payload["reduced_source"] = self._blob_text(row["source_hash"])
+        self.stats.reductions_reused += 1
+        return payload
+
+    def put_reduction(self, run_id: int, seed: int, level: str,
+                      conjecture: str, variable: str, position: int,
+                      payload: Dict[str, object]) -> None:
+        """Record one reduced witness.  ``payload`` is the record dict
+        (``reduced_source`` included — it is split off and stored
+        content-deduplicated); ``position`` is the witness's index in
+        the deterministic enumeration order, which export replays."""
+        payload = dict(payload)
+        source = payload.pop("reduced_source")
+        text = canonical_json(payload)
+        existing = self._conn.execute(
+            "SELECT payload_hash, source_hash FROM reductions"
+            " WHERE run_id = ? AND seed = ? AND level = ?"
+            " AND conjecture = ? AND variable = ?",
+            (run_id, seed, level, conjecture, variable)).fetchone()
+        if existing is not None:
+            if (existing["payload_hash"] != text_digest(text)
+                    or existing["source_hash"] != text_digest(source)):
+                raise StoreError(
+                    f"run {run_id} witness ({seed}, {level}, "
+                    f"{conjecture}, {variable}) already stored with a "
+                    f"different reduction")
+            return
+        with self._conn:
+            payload_hash = self._put_blob(text)
+            source_hash = self._put_blob(source)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO reductions"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (run_id, seed, level, conjecture, variable, position,
+                 payload_hash, source_hash))
+        self.stats.reductions_stored += 1
+
+    def reduction_payloads(self, run_id: int) -> List[Dict[str, object]]:
+        """Every stored reduction payload of the run, in enumeration
+        (``position``) order, ``reduced_source`` re-attached."""
+        out = []
+        for row in self._conn.execute(
+                "SELECT payload_hash, source_hash FROM reductions"
+                " WHERE run_id = ? ORDER BY position", (run_id,)):
+            payload = json.loads(self._blob_text(row["payload_hash"]))
+            payload["reduced_source"] = self._blob_text(
+                row["source_hash"])
+            out.append(payload)
+        return out
+
+    # -- artifact export -----------------------------------------------------
+
+    def load_run(self, run_id: int):
+        """Rebuild the typed result a run's rows represent (the exact
+        value the matching driver would return)."""
+        from ..pipeline.campaign import CAMPAIGN_SCHEMA
+        from ..pipeline.reduction import REDUCE_SCHEMA
+        from ..staticcheck.campaign import VERIFY_SCHEMA
+        info = self.run_info(run_id)
+        if info.schema == CAMPAIGN_SCHEMA:
+            return self._load_campaign(info)
+        if info.schema == VERIFY_SCHEMA:
+            return self._load_verify(info)
+        if info.schema == REDUCE_SCHEMA:
+            return self._load_reduction(info)
+        raise StoreError(f"run {run_id} has unloadable schema "
+                         f"{info.schema!r}")
+
+    def _result_payloads(self, run_id: int) -> List[Dict[str, object]]:
+        return [json.loads(self._blob_text(row["payload_hash"]))
+                for row in self._conn.execute(
+                    "SELECT payload_hash FROM results WHERE run_id = ?"
+                    " ORDER BY seed", (run_id,))]
+
+    def _load_campaign(self, info: RunInfo):
+        from ..pipeline.campaign import CampaignResult, ProgramResult
+        programs = [ProgramResult.from_dict(payload)
+                    for payload in self._result_payloads(info.id)]
+        pool_size = info.attrs.get("pool_size", len(programs))
+        return CampaignResult(
+            family=info.family, version=info.version,
+            levels=list(info.levels), pool_size=pool_size,
+            programs=programs)
+
+    def _load_verify(self, info: RunInfo):
+        from ..staticcheck.campaign import (
+            VerifyCampaignResult, VerifyProgramResult,
+        )
+        programs = [VerifyProgramResult.from_dict(payload)
+                    for payload in self._result_payloads(info.id)]
+        pool_size = info.attrs.get("pool_size", len(programs))
+        return VerifyCampaignResult(
+            family=info.family, version=info.version,
+            levels=list(info.levels), pool_size=pool_size,
+            programs=programs)
+
+    def _load_reduction(self, info: RunInfo):
+        from ..pipeline.reduction import (
+            ReductionCampaignResult, ReductionRecord,
+        )
+        records = []
+        totals: Dict[str, int] = {}
+        for payload in self.reduction_payloads(info.id):
+            for key, value in payload.pop("stats", {}).items():
+                totals[key] = totals.get(key, 0) + value
+            records.append(ReductionRecord.from_dict(payload))
+        stats = info.attrs.get("stats", totals)
+        return ReductionCampaignResult(
+            family=info.family, version=info.version,
+            debugger=info.debugger, engine=info.engine,
+            pool_size=info.attrs.get("pool_size", 0),
+            records=records, stats=dict(stats))
+
+    def export_matrix(self, run_ids: Optional[Iterable[int]] = None):
+        """Assemble a :class:`~repro.pipeline.matrix.MatrixCampaignResult`
+        from the store's campaign cells (all of them, or ``run_ids``).
+
+        Requires every chosen cell to cover the same seed set and a
+        recorded module fingerprint for each seed — exactly what one
+        (possibly resumed) matrix campaign leaves behind.
+        """
+        from ..pipeline.campaign import CAMPAIGN_SCHEMA
+        from ..pipeline.matrix import MatrixCampaignResult
+        chosen = [info for info in self.runs()
+                  if info.schema == CAMPAIGN_SCHEMA and info.debugger]
+        if run_ids is not None:
+            wanted = set(run_ids)
+            chosen = [info for info in chosen if info.id in wanted]
+        if not chosen:
+            raise StoreError(
+                "no campaign cells with a recorded debugger to "
+                "assemble a matrix from")
+        seed_sets = {info.id: self.seeds_evaluated(info.id)
+                     for info in chosen}
+        seeds = seed_sets[chosen[0].id]
+        for info in chosen[1:]:
+            if seed_sets[info.id] != seeds:
+                raise StoreError(
+                    f"matrix cells cover different seed sets: run "
+                    f"{chosen[0].id} has {len(seeds)} seeds, run "
+                    f"{info.id} has {len(seed_sets[info.id])}")
+        fingerprints = {}
+        for seed in seeds:
+            fingerprint = self.module_fingerprint(seed)
+            if fingerprint is None:
+                raise StoreError(
+                    f"no module fingerprint recorded for seed {seed}; "
+                    f"cannot assemble a repro-matrix/1 artifact")
+            fingerprints[seed] = fingerprint
+        matrix = MatrixCampaignResult(pool_size=len(seeds),
+                                      fingerprints=fingerprints)
+        for info in chosen:
+            key = (info.family, info.version, info.debugger)
+            if key in matrix.cells:
+                raise StoreError(
+                    f"two stored cells share the matrix key {key}; "
+                    f"pass run_ids to disambiguate")
+            matrix.cells[key] = self._load_campaign(info)
+        return matrix
+
+    # -- artifact ingest -----------------------------------------------------
+
+    def ingest(self, artifact, debugger: str = "") -> List[int]:
+        """Store an existing artifact's contents; returns the run ids
+        it landed in.
+
+        Accepts the campaign / matrix / verify / reduction results
+        (anything :func:`repro.report.load_artifact` returns for those
+        schemas).  A ``repro-campaign/1`` artifact does not record which
+        debugger produced it; pass ``debugger`` to file it under the
+        cell a live run would resume.
+        """
+        from ..pipeline.campaign import CampaignResult
+        from ..pipeline.matrix import MatrixCampaignResult
+        from ..pipeline.reduction import ReductionCampaignResult
+        from ..staticcheck.campaign import VerifyCampaignResult
+        if isinstance(artifact, CampaignResult):
+            return [self._ingest_campaign(artifact, debugger)]
+        if isinstance(artifact, MatrixCampaignResult):
+            run_ids = []
+            for (family, version, cell_debugger) in artifact.cell_keys():
+                run_ids.append(self._ingest_campaign(
+                    artifact.cells[(family, version, cell_debugger)],
+                    cell_debugger))
+            for seed, fingerprint in artifact.fingerprints.items():
+                self.record_module_fingerprint(seed, fingerprint)
+            return run_ids
+        if isinstance(artifact, VerifyCampaignResult):
+            return [self._ingest_verify(artifact)]
+        if isinstance(artifact, ReductionCampaignResult):
+            return [self._ingest_reduction(artifact)]
+        raise StoreError(
+            f"{type(artifact).__name__} artifacts are not stored in a "
+            f"campaign store (supported: campaign, matrix, verify, "
+            f"reduction results)")
+
+    def _ingest_campaign(self, campaign, debugger: str) -> int:
+        from ..pipeline.campaign import CAMPAIGN_SCHEMA
+        attrs = {}
+        if campaign.pool_size != len(campaign.programs):
+            attrs["pool_size"] = campaign.pool_size
+        run = self.run_id(CAMPAIGN_SCHEMA, campaign.family,
+                          campaign.version, campaign.levels,
+                          debugger=debugger, attrs=attrs)
+        for program in campaign.programs:
+            self.put_result(run, program.seed, program.to_dict())
+        return run
+
+    def _ingest_verify(self, campaign) -> int:
+        from ..staticcheck.campaign import VERIFY_SCHEMA
+        attrs = {}
+        if campaign.pool_size != len(campaign.programs):
+            attrs["pool_size"] = campaign.pool_size
+        run = self.run_id(VERIFY_SCHEMA, campaign.family,
+                          campaign.version, campaign.levels,
+                          attrs=attrs)
+        for program in campaign.programs:
+            self.put_result(run, program.seed, program.to_dict())
+            if program.fingerprint:
+                self.record_module_fingerprint(program.seed,
+                                               program.fingerprint)
+        return run
+
+    def _ingest_reduction(self, reduction) -> int:
+        from ..pipeline.reduction import REDUCE_SCHEMA
+        run = self.run_id(
+            REDUCE_SCHEMA, reduction.family, reduction.version, (),
+            debugger=reduction.debugger, engine=reduction.engine,
+            attrs={"pool_size": reduction.pool_size})
+        for position, record in enumerate(reduction.records):
+            self.put_reduction(
+                run, record.seed, record.level, record.conjecture,
+                record.variable, position, record.to_dict())
+        # Ingested artifacts carry only the aggregate stats; keep them
+        # on the run so export reproduces the document exactly.
+        self.set_run_attrs(run, stats=dict(reduction.stats))
+        return run
+
+    # -- statistics ----------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Store-wide totals for ``repro-db stats``: row counts per
+        table, compressed vs raw blob bytes, dedup savings."""
+        counts = {}
+        for table in ("blobs", "programs", "module_fingerprints",
+                      "runs", "results", "reductions"):
+            counts[table] = self._conn.execute(
+                f"SELECT COUNT(*) AS n FROM {table}").fetchone()["n"]
+        sizes = self._conn.execute(
+            "SELECT COALESCE(SUM(LENGTH(data)), 0) AS stored,"
+            " COALESCE(SUM(raw_size), 0) AS raw FROM blobs").fetchone()
+        references = self._conn.execute(
+            "SELECT (SELECT COUNT(*) FROM results)"
+            " + (SELECT COUNT(*) FROM programs)"
+            " + 2 * (SELECT COUNT(*) FROM reductions) AS n").fetchone()
+        per_schema: Dict[str, int] = {}
+        for row in self._conn.execute(
+                "SELECT schema, COUNT(*) AS n FROM runs GROUP BY schema"):
+            per_schema[row["schema"]] = row["n"]
+        return {
+            "schema": DB_SCHEMA,
+            "path": self.path,
+            "tables": counts,
+            "runs_per_schema": per_schema,
+            "blob_bytes_stored": sizes["stored"],
+            "blob_bytes_raw": sizes["raw"],
+            "blob_references": references["n"],
+            "deduplicated_blobs": references["n"] - counts["blobs"],
+        }
