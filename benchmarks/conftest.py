@@ -37,10 +37,17 @@ BENCH_STORE_PATH = os.environ.get(
     "REPRO_BENCH_STORE_OUT",
     os.path.join(os.path.dirname(__file__), "BENCH_store.json"))
 
+#: Where the containment-overhead benchmark lands; override with
+#: REPRO_BENCH_FAULTS_OUT.
+BENCH_FAULTS_PATH = os.environ.get(
+    "REPRO_BENCH_FAULTS_OUT",
+    os.path.join(os.path.dirname(__file__), "BENCH_faults.json"))
+
 _campaign_bench = {}
 _reduce_bench = {}
 _verify_bench = {}
 _store_bench = {}
+_faults_bench = {}
 
 
 def record_campaign_bench(**fields):
@@ -67,11 +74,18 @@ def record_store_bench(**fields):
     _store_bench.update(fields)
 
 
+def record_faults_bench(**fields):
+    """Collect contained-vs-bare campaign timings; written to
+    ``BENCH_faults.json`` at session end."""
+    _faults_bench.update(fields)
+
+
 def pytest_sessionfinish(session, exitstatus):
     for data, path in ((_campaign_bench, BENCH_CAMPAIGN_PATH),
                        (_reduce_bench, BENCH_REDUCE_PATH),
                        (_verify_bench, BENCH_VERIFY_PATH),
-                       (_store_bench, BENCH_STORE_PATH)):
+                       (_store_bench, BENCH_STORE_PATH),
+                       (_faults_bench, BENCH_FAULTS_PATH)):
         if data:
             with open(path, "w", encoding="utf-8") as handle:
                 json.dump(data, handle, indent=2, sort_keys=True)

@@ -1,0 +1,40 @@
+"""Fault tolerance: deterministic injection, containment, accounting.
+
+The three layers, bottom up:
+
+- :mod:`repro.faults.records` — :class:`FailureRecord`, the structured
+  unit of graceful degradation, plus the exact ``merge_failures`` fold
+  every artifact ``merge()`` applies.
+- :mod:`repro.faults.plan` — :class:`FaultPlan`, a seeded, picklable
+  chaos schedule (``repro-faults/1`` JSON) injecting crashes, hangs,
+  transient stage errors, and store write failures deterministically.
+- :mod:`repro.faults.boundary` — :class:`FailureBoundary`, the
+  per-(seed, cell) containment wrapper all four campaign drivers use.
+
+See ``docs/ARCHITECTURE.md`` ("repro.faults") and the README's
+"Fault tolerance" section for the end-to-end story.
+"""
+
+from .boundary import (
+    DEFAULT_MAX_ATTEMPTS, FailureBoundary, crash_record,
+    in_worker_process,
+)
+from .plan import (
+    ERROR_STAGES, FAULT_KINDS, FAULTPLAN_SCHEMA, PERSISTENT, FaultPlan,
+    FaultSpec, InjectedCrash, InjectedError, InjectedFault, InjectedHang,
+)
+from .records import (
+    FAILURE_KINDS, FAILURE_STAGES, FAILURE_STATUSES, FailureRecord,
+    failure_census, failures_from_dicts, failures_to_dicts,
+    merge_failures, record_failure,
+)
+
+__all__ = [
+    "DEFAULT_MAX_ATTEMPTS", "ERROR_STAGES", "FAILURE_KINDS",
+    "FAILURE_STAGES", "FAILURE_STATUSES", "FAULTPLAN_SCHEMA",
+    "FAULT_KINDS", "FailureBoundary", "FailureRecord", "FaultPlan",
+    "FaultSpec", "InjectedCrash", "InjectedError", "InjectedFault",
+    "InjectedHang", "PERSISTENT", "crash_record", "failure_census",
+    "failures_from_dicts", "failures_to_dicts", "in_worker_process",
+    "merge_failures", "record_failure",
+]

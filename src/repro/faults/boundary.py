@@ -1,0 +1,233 @@
+"""The containment boundary drivers wrap around per-(seed, cell) work.
+
+:class:`FailureBoundary` runs one evaluation thunk and guarantees the
+driver an answer: either the thunk's value, or a structured
+:class:`~repro.faults.records.FailureRecord` explaining why the pair was
+given up on.  Exceptions never escape to abort the campaign (the two
+deliberate exits: ``KeyboardInterrupt`` always propagates so drivers can
+flush, and :class:`~repro.faults.plan.InjectedCrash` propagates when the
+boundary runs inside a worker shard with ``escalate_crashes=True`` —
+worker death is the *supervisor's* problem, see
+:mod:`repro.pipeline.parallel`).
+
+Retry policy:
+
+- transient exceptions retry up to ``max_attempts`` total tries, then
+  quarantine;
+- :class:`~repro.ir.interp.TimeoutError_` (real fuel exhaustion or an
+  injected hang — indistinguishable by design) quarantines immediately:
+  a hang is a deterministic property of the program, so retrying it
+  only burns fuel;
+- injected worker crashes are simulated in place by the serial drivers
+  (the boundary plays supervisor: bump the incarnation count and retry)
+  and escalated in parallel workers.
+
+The thunk receives a ``probe(stage)`` callable and must call it at each
+pipeline-stage entry.  The probe does double duty: it tags the stage
+real exceptions get attributed to, and it is the injection point where
+a :class:`~repro.faults.plan.FaultPlan` raises scheduled faults.  With
+no plan the probe costs one attribute store — the benchmark
+``benchmarks/test_faults_overhead.py`` pins that overhead.
+
+Attempt accounting is written to converge between drivers: transient
+attempts are counted locally per evaluation, and crash incarnations are
+counted per seed (serial) or reconstructed from the shard's death count
+via :meth:`~repro.faults.plan.FaultPlan.prior_crashes` (parallel), so a
+storeless serial run and a sharded run emit bit-identical records for
+any recovering fault plan.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ir.interp import TimeoutError_
+from .plan import FaultPlan, InjectedCrash
+from .records import FailureRecord, record_failure
+
+#: Default bound on total tries (first try + retries) per pair.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+def crash_record(seed: int, cell: str, attempts: int, status: str,
+                 item: str = "") -> FailureRecord:
+    """The synthesized record for injected worker death.  Built from
+    plan data alone (no live traceback — the crash happened in a
+    previous incarnation), so the serial simulation and a respawned
+    parallel worker reconstruct the identical record."""
+    return FailureRecord(
+        seed=seed, cell=cell, item=item, stage="worker", kind="crash",
+        error="InjectedCrash",
+        detail="worker death injected by fault plan", digest="",
+        attempts=attempts, status=status)
+
+
+def in_worker_process() -> bool:
+    """Are we in a multiprocessing child (where a hard crash may
+    genuinely ``os._exit`` without killing the driver)?"""
+    return multiprocessing.parent_process() is not None
+
+
+class FailureBoundary:
+    """Failure containment for one driver run (see module docstring)."""
+
+    def __init__(self, cell: str, faults: Optional[FaultPlan] = None,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 crash_base: int = 0,
+                 escalate_crashes: bool = False) -> None:
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        self.cell = cell
+        self.plan = faults if faults is not None else FaultPlan()
+        self.max_attempts = max_attempts
+        #: Shard death count before this boundary came up (parallel
+        #: workers); serial drivers leave it 0 and count per seed.
+        self.crash_base = crash_base
+        self.escalate_crashes = escalate_crashes
+        #: Every record this boundary produced, in evaluation order.
+        self.failures: List[FailureRecord] = []
+        self._crash_counts: Dict[Tuple[int, str], int] = {}
+        self._stage = "generate"
+
+    # -- the per-pair wrapper ------------------------------------------------
+
+    def evaluate(self, seed: int,
+                 thunk: Callable[[Callable[[str], None]], object],
+                 item: str = "", cell: Optional[str] = None,
+                 initial_stage: str = "generate"):
+        """Run ``thunk(probe)`` under containment.
+
+        Returns ``(value, record)``: on success ``value`` is the
+        thunk's result and ``record`` is ``None`` or a ``recovered``
+        record (already appended to :attr:`failures`); on quarantine
+        ``value`` is ``None`` and ``record`` is the quarantined
+        record.
+        """
+        cell = self.cell if cell is None else cell
+        key = (seed, item)
+        attempt = 0
+        last_error: Optional[BaseException] = None
+        last_stage = initial_stage
+        while True:
+            crashes = self._pre_crash(seed, key, attempt)
+            if crashes is None:  # crash budget exhausted: quarantined
+                record = crash_record(
+                    seed, cell, attempts=self.max_attempts,
+                    status="quarantined", item=item)
+                self.failures.append(record)
+                return None, record
+            self._stage = initial_stage
+            try:
+                value = thunk(self._probe(seed, attempt))
+            except KeyboardInterrupt:
+                raise
+            except InjectedCrash:
+                raise  # escalate mode only: the supervisor owns this
+            except TimeoutError_ as error:
+                record = record_failure(
+                    seed, cell, self._stage, error,
+                    attempts=attempt + crashes + 1,
+                    status="quarantined", item=item, kind="timeout")
+                self.failures.append(record)
+                return None, record
+            except Exception as error:
+                attempt += 1
+                last_error, last_stage = error, self._stage
+                if attempt + crashes >= self.max_attempts:
+                    record = record_failure(
+                        seed, cell, self._stage, error,
+                        attempts=attempt + crashes,
+                        status="quarantined", item=item)
+                    self.failures.append(record)
+                    return None, record
+                continue
+            total = attempt + crashes + 1
+            if total == 1:
+                return value, None
+            if crashes:
+                record = crash_record(seed, cell, attempts=total,
+                                      status="recovered", item=item)
+            else:
+                record = record_failure(
+                    seed, cell, last_stage, last_error, attempts=total,
+                    status="recovered", item=item)
+            self.failures.append(record)
+            return value, record
+
+    def store_write(self, seed: int, thunk: Callable[[], object],
+                    item: str = "", cell: Optional[str] = None) -> bool:
+        """Guard the store write-through of a finished result.  Returns
+        whether it persisted; a persistently failing store never
+        discards the computed result — the driver keeps it in the
+        artifact and a ``stage="store"`` record marks the gap (resume
+        recomputes the pair)."""
+        cell = self.cell if cell is None else cell
+        attempt = 0
+        last_error: Optional[BaseException] = None
+        while True:
+            try:
+                if self.plan:
+                    self.plan.check("store", seed, attempt)
+                thunk()
+            except KeyboardInterrupt:
+                raise
+            except Exception as error:
+                attempt += 1
+                last_error = error
+                if attempt >= self.max_attempts:
+                    self.failures.append(record_failure(
+                        seed, cell, "store", error, attempts=attempt,
+                        status="quarantined", item=item))
+                    return False
+                continue
+            if attempt:
+                self.failures.append(record_failure(
+                    seed, cell, "store", last_error,
+                    attempts=attempt + 1, status="recovered",
+                    item=item))
+            return True
+
+    # -- internals -----------------------------------------------------------
+
+    def _pre_crash(self, seed: int, key: Tuple[int, str],
+                   attempt: int) -> Optional[int]:
+        """Handle worker-death injection at evaluation entry.  Returns
+        the number of crashes this pair has absorbed (for attempt
+        accounting), or None when the crash budget quarantines it.
+        In escalate mode a due crash leaves the boundary entirely —
+        hard via ``os._exit`` (a real ``BrokenProcessPool`` for the
+        supervisor), soft via :class:`InjectedCrash`."""
+        if not self.plan:
+            return 0
+        if self.escalate_crashes:
+            spec = self.plan.crash_due(seed, self.crash_base)
+            if spec is not None:
+                if spec.hard and in_worker_process():
+                    os._exit(3)
+                raise InjectedCrash(
+                    f"injected worker crash (seed {seed})")
+            return self.plan.prior_crashes(seed, self.crash_base)
+        # Simulation path.  crash_base credits incarnations already spent
+        # by a real worker (the rescue re-run of a shard whose worker
+        # kept dying); a plain serial run starts from 0.
+        base = self.plan.prior_crashes(seed, self.crash_base)
+        while True:
+            local = self._crash_counts.get(key, 0)
+            if self.plan.crash_due(seed, self.crash_base + local) is None:
+                return base + local
+            local += 1
+            self._crash_counts[key] = local
+            if attempt + base + local >= self.max_attempts:
+                return None
+
+    def _probe(self, seed: int, attempt: int) -> Callable[[str], None]:
+        plan = self.plan if self.plan else None
+
+        def probe(stage: str) -> None:
+            self._stage = stage
+            if plan is not None:
+                plan.check(stage, seed, attempt)
+        return probe

@@ -1,0 +1,253 @@
+"""Deterministic fault injection — seeded chaos for campaign drivers.
+
+A :class:`FaultPlan` is a frozen, picklable schedule of faults keyed by
+``(kind, stage, seed)``.  Drivers thread the plan into their containment
+boundary (:mod:`repro.faults.boundary`); at each stage entry the
+boundary asks the plan whether a fault is due, and the plan answers the
+same way in every process — decisions are pure functions of the plan
+seed, so a chaos run reproduces bit-for-bit across serial/parallel
+drivers, spawn/fork start methods, and CI reruns.
+
+Four fault kinds:
+
+``error``
+    A transient exception (:class:`InjectedError`) at a named pipeline
+    stage (``generate``/``compile``/``trace``/``verify``/``reduce``).
+    ``count`` bounds how many evaluation attempts it poisons; a retrying
+    boundary recovers once the count is spent.
+``hang``
+    A hung seed.  :class:`InjectedHang` subclasses the interpreter's
+    :class:`~repro.ir.interp.TimeoutError_`, so it rides exactly the
+    fuel-exhaustion path a genuinely diverging program takes through
+    ``target/vm.py`` — containment cannot tell them apart, which is the
+    point.  Timeouts are deterministic, so boundaries quarantine them
+    immediately instead of burning retries.
+``crash``
+    Worker death.  In a real worker process a ``hard`` crash calls
+    ``os._exit(3)`` (the pool sees ``BrokenProcessPool``); a soft crash
+    raises :class:`InjectedCrash` through the shard entry so the
+    supervisor respawns with precise accounting.  ``count`` is the
+    number of *incarnations* the fault stays live for: the serial
+    driver counts per-seed simulated respawns, a parallel shard counts
+    its own deaths (``crash_base``), and both converge on the same
+    recovered-crash records via :meth:`FaultPlan.prior_crashes`.
+``store``
+    A write failure on the store write-through of a finished result.
+
+Each spec targets explicit ``seeds`` or a deterministic ``rate`` (a
+seed participates iff ``hash(plan_seed, kind, stage, seed) < rate``).
+Plans serialize as ``repro-faults/1`` JSON for the ``--faults`` CLI
+flag and the CI chaos job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..ir.interp import TimeoutError_
+from ..ir.ops import UBError
+
+FAULTPLAN_SCHEMA = "repro-faults/1"
+
+#: ``count`` value meaning the fault never recovers.
+PERSISTENT = -1
+
+FAULT_KINDS = ("error", "hang", "crash", "store")
+
+#: Stages an ``error`` spec may target (hangs always hit ``trace``,
+#: store faults always hit ``store``).
+ERROR_STAGES = ("generate", "compile", "trace", "verify", "reduce")
+
+
+class InjectedFault(Exception):
+    """Marker base for every fault this module injects."""
+
+
+class InjectedError(InjectedFault, RuntimeError):
+    """A transient stage exception from an ``error`` spec."""
+
+
+class InjectedCrash(InjectedFault, RuntimeError):
+    """A (soft) worker death from a ``crash`` spec — escapes the shard
+    entry so the supervisor treats the worker as lost."""
+
+
+class InjectedHang(TimeoutError_, InjectedFault):
+    """A hung seed: fuel exhaustion injected on the interpreter's own
+    :class:`~repro.ir.interp.TimeoutError_` path."""
+
+    def __init__(self, detail: str = "(injected)"):
+        # TimeoutError_ hard-codes its message; keep its shape but say
+        # which injection raised it.
+        UBError.__init__(self, "non-termination", detail)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault schedule entry (see module docstring for semantics)."""
+
+    kind: str
+    stage: str = ""
+    seeds: Tuple[int, ...] = ()
+    rate: float = 0.0
+    count: int = 1
+    hard: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} "
+                f"(known: {', '.join(FAULT_KINDS)})")
+        if self.kind == "error":
+            if self.stage not in ERROR_STAGES:
+                raise ValueError(
+                    f"error fault needs a stage in "
+                    f"{'/'.join(ERROR_STAGES)}, got {self.stage!r}")
+        elif self.stage:
+            raise ValueError(
+                f"{self.kind} faults have a fixed stage; drop "
+                f"stage={self.stage!r}")
+        if self.count != PERSISTENT and self.count < 1:
+            raise ValueError(
+                f"count must be >= 1 or PERSISTENT (-1), "
+                f"got {self.count}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.hard and self.kind != "crash":
+            raise ValueError("hard only applies to crash faults")
+        object.__setattr__(self, "seeds",
+                           tuple(sorted(set(self.seeds))))
+
+    def live(self, attempt: int) -> bool:
+        """Does the fault still fire on the ``attempt``-th retry
+        (0-based: attempt 0 is the first try)?"""
+        return self.count == PERSISTENT or attempt < self.count
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "stage": self.stage,
+                "seeds": list(self.seeds), "rate": self.rate,
+                "count": self.count, "hard": self.hard}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultSpec":
+        try:
+            kind = data["kind"]
+        except KeyError:
+            raise ValueError("fault spec is missing 'kind'") from None
+        return cls(kind=kind, stage=data.get("stage", ""),
+                   seeds=tuple(data.get("seeds", ())),
+                   rate=data.get("rate", 0.0),
+                   count=data.get("count", 1),
+                   hard=data.get("hard", False))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, picklable fault schedule (empty plan == no faults)."""
+
+    seed: int = 0
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    # -- deterministic decisions --------------------------------------------
+
+    def chance(self, kind: str, stage: str, seed: int) -> float:
+        """The plan's stable uniform draw in ``[0, 1)`` for one
+        ``(kind, stage, seed)`` triple — independent of process,
+        platform and evaluation order."""
+        token = f"{self.seed}:{kind}:{stage}:{seed}"
+        digest = hashlib.sha256(token.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / 2 ** 64
+
+    def _applies(self, spec: FaultSpec, seed: int) -> bool:
+        if spec.seeds:
+            return seed in spec.seeds
+        return (spec.rate > 0.0 and
+                self.chance(spec.kind, spec.stage, seed) < spec.rate)
+
+    def check(self, stage: str, seed: int, attempt: int = 0) -> None:
+        """Raise the fault due at ``stage`` for ``seed`` on its
+        ``attempt``-th evaluation, if any.  Called by the containment
+        boundary's stage probe; a no-op for untargeted pairs."""
+        for spec in self.specs:
+            if spec.kind == "error" and spec.stage == stage:
+                if self._applies(spec, seed) and spec.live(attempt):
+                    raise InjectedError(
+                        f"injected {stage} fault "
+                        f"(seed {seed}, attempt {attempt + 1})")
+            elif spec.kind == "hang" and stage == "trace":
+                if self._applies(spec, seed) and spec.live(attempt):
+                    raise InjectedHang(
+                        f"(fuel exhaustion injected, seed {seed})")
+            elif spec.kind == "store" and stage == "store":
+                if self._applies(spec, seed) and spec.live(attempt):
+                    raise InjectedError(
+                        f"injected store write failure "
+                        f"(seed {seed}, attempt {attempt + 1})")
+
+    def crash_due(self, seed: int, incarnation: int
+                  ) -> Optional[FaultSpec]:
+        """The crash spec that kills the worker evaluating ``seed`` in
+        its ``incarnation``-th life, or None.  ``incarnation`` is the
+        per-seed simulated-respawn count in the serial drivers and the
+        shard's death count (``crash_base``) in parallel workers."""
+        for spec in self.specs:
+            if (spec.kind == "crash" and self._applies(spec, seed)
+                    and spec.live(incarnation)):
+                return spec
+        return None
+
+    def prior_crashes(self, seed: int, incarnations: int) -> int:
+        """How many crashes ``seed`` must have gone through to be
+        evaluable in its ``incarnations``-th life.  Lets a respawned
+        worker reconstruct the recovered-crash record the serial driver
+        counts live, so both emit bit-identical failure accounting."""
+        prior = 0
+        for spec in self.specs:
+            if spec.kind == "crash" and self._applies(spec, seed):
+                if spec.count == PERSISTENT:
+                    continue
+                prior = max(prior, min(spec.count, incarnations))
+        return prior
+
+    def crashes(self) -> bool:
+        """Does the plan inject any crash at all (supervision hint)?"""
+        return any(spec.kind == "crash" for spec in self.specs)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"schema": FAULTPLAN_SCHEMA, "seed": self.seed,
+                "faults": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        schema = data.get("schema")
+        if schema != FAULTPLAN_SCHEMA:
+            raise ValueError(
+                f"not a fault plan: schema {schema!r} "
+                f"(expected {FAULTPLAN_SCHEMA!r})")
+        return cls(seed=data.get("seed", 0),
+                   specs=tuple(FaultSpec.from_dict(spec)
+                               for spec in data.get("faults", ())))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent,
+                          sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

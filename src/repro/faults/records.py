@@ -1,0 +1,173 @@
+"""Structured failure records — the unit of graceful degradation.
+
+When a campaign driver's containment boundary gives up on a ``(seed,
+cell)`` pair (or recovers it after retries), the disposition is recorded
+as a :class:`FailureRecord` instead of aborting the run.  Records ride
+on the four artifact schemas as an optional ``failures`` field
+(backward-compatible: absent means empty), fold exactly under every
+``merge()`` (:func:`merge_failures` — a sorted, deduplicated union, so
+any merge tree over any shard ordering yields the same list), persist in
+the campaign store next to the results they replace, and render as the
+failure census behind ``repro-report failures``.
+
+The **stage vocabulary** (:data:`FAILURE_STAGES`) names where in the
+per-seed pipeline the failure happened; the **kind** classifies it:
+``timeout`` for fuel/wall-budget exhaustion (anything riding the
+:class:`~repro.ir.interp.TimeoutError_` path, injected hangs included),
+``crash`` for worker death, ``error`` for everything else.  ``status``
+says how it ended: ``quarantined`` (the pair produced no result and is
+retried on the next resumed run) or ``recovered`` (retries succeeded;
+the result is present and the record only carries the attempt
+accounting).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import traceback as traceback_module
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Where in the per-seed pipeline a failure can happen.  ``worker`` is
+#: the supervision layer's stage for shard-level death (the seed never
+#: reached a per-stage boundary); ``store`` is the write-through of an
+#: already-computed result.
+FAILURE_STAGES = ("generate", "compile", "trace", "verify", "reduce",
+                  "store", "worker")
+
+#: How the failure is classified (see module docstring).
+FAILURE_KINDS = ("error", "timeout", "crash")
+
+#: How the containment attempt ended.
+FAILURE_STATUSES = ("quarantined", "recovered")
+
+#: Serialized field order (also the ``to_dict`` key set).
+_RECORD_FIELDS = ("seed", "cell", "item", "stage", "kind", "error",
+                  "detail", "digest", "attempts", "status")
+
+_DETAIL_LIMIT = 160
+
+
+@dataclass(frozen=True, order=True)
+class FailureRecord:
+    """One contained ``(seed, cell)`` failure (or recovery)."""
+
+    seed: int
+    #: The campaign cell, e.g. ``gcc-trunk/gdb-like`` (dynamic),
+    #: ``gcc-trunk`` (verify), ``gcc-trunk/gdb-like/fast`` (reduction).
+    cell: str
+    #: Sub-seed identity when the containment unit is finer than a seed
+    #: (a reduction witness ``level/conjecture/variable``); empty for
+    #: whole-seed containment.  Also the store's failure-row key.
+    item: str
+    #: One of :data:`FAILURE_STAGES`.
+    stage: str
+    #: One of :data:`FAILURE_KINDS`.
+    kind: str
+    #: Exception type name (``TimeoutError_``, ``InjectedCrash``, ...).
+    error: str
+    #: First line of the exception message, truncated.
+    detail: str
+    #: Stable sha256[:12] of the traceback skeleton — groups identical
+    #: failure sites across seeds without storing whole tracebacks.
+    digest: str
+    #: Total attempts spent on the pair (crash respawns included).
+    attempts: int
+    #: One of :data:`FAILURE_STATUSES`.
+    status: str
+
+    def key(self) -> Tuple[int, str, str]:
+        """The containment-unit identity (what resume retries)."""
+        return (self.seed, self.cell, self.item)
+
+    def with_cell(self, cell: str) -> "FailureRecord":
+        """The same record filed under another cell (the matrix driver
+        fans a shared-frontend failure out to every affected cell)."""
+        return replace(self, cell=cell)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {name: getattr(self, name) for name in _RECORD_FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FailureRecord":
+        try:
+            return cls(**{name: data[name] for name in _RECORD_FIELDS})
+        except KeyError as error:
+            raise ValueError(
+                f"malformed failure record: missing field "
+                f"{error.args[0]!r}") from None
+
+
+def traceback_digest(error: BaseException) -> str:
+    """sha256[:12] over the traceback's (file, line, function) frames —
+    message-independent, so one defect site digests identically across
+    seeds."""
+    frames = traceback_module.extract_tb(error.__traceback__)
+    skeleton = "\n".join(
+        f"{frame.filename}:{frame.lineno}:{frame.name}"
+        for frame in frames)
+    skeleton += f"\n{type(error).__name__}"
+    return hashlib.sha256(skeleton.encode("utf-8")).hexdigest()[:12]
+
+
+def describe_error(error: BaseException) -> str:
+    """First message line, truncated to a census-friendly width."""
+    text = str(error).splitlines()[0] if str(error) else ""
+    if len(text) > _DETAIL_LIMIT:
+        text = text[:_DETAIL_LIMIT - 3] + "..."
+    return text
+
+
+def record_failure(seed: int, cell: str, stage: str,
+                   error: BaseException, attempts: int,
+                   status: str = "quarantined",
+                   item: str = "", kind: Optional[str] = None
+                   ) -> FailureRecord:
+    """Build the structured record for one contained exception."""
+    if kind is None:
+        from ..ir.interp import TimeoutError_
+        if isinstance(error, TimeoutError_):
+            kind = "timeout"
+        else:
+            kind = "error"
+    return FailureRecord(
+        seed=seed, cell=cell, item=item, stage=stage, kind=kind,
+        error=type(error).__name__, detail=describe_error(error),
+        digest=traceback_digest(error), attempts=attempts,
+        status=status)
+
+
+def merge_failures(mine: Iterable[FailureRecord],
+                   theirs: Iterable[FailureRecord]
+                   ) -> List[FailureRecord]:
+    """The exact fold every result ``merge()`` applies to its
+    ``failures`` fields: a sorted, deduplicated union.  Associative and
+    commutative, so shard merge trees agree with the serial run; a
+    shard respawn re-deriving the identical record collapses to one."""
+    return sorted(set(mine) | set(theirs))
+
+
+def failures_to_dicts(failures: Iterable[FailureRecord]
+                      ) -> List[Dict[str, object]]:
+    """Serialize for an artifact's optional ``failures`` field (callers
+    omit the field entirely when the list is empty)."""
+    return [record.to_dict() for record in sorted(failures)]
+
+
+def failures_from_dicts(data: Iterable[Dict[str, object]]
+                        ) -> List[FailureRecord]:
+    """Load an artifact's ``failures`` field (absent == empty: callers
+    pass ``data.get("failures", ())``)."""
+    return [FailureRecord.from_dict(payload) for payload in data]
+
+
+def failure_census(failures: Iterable[FailureRecord]
+                   ) -> Dict[Tuple[str, str, str], int]:
+    """``(stage, kind, error) -> count`` summary of a failure list."""
+    census: Dict[Tuple[str, str, str], int] = {}
+    for record in failures:
+        key = (record.stage, record.kind, record.error)
+        census[key] = census.get(key, 0) + 1
+    return census

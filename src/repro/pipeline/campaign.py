@@ -24,13 +24,20 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from typing import (
-    Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple,
+    Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set,
+    Tuple,
 )
 
 from ..analysis.source_facts import SourceFacts
 from ..compilers.compiler import Compiler
 from ..conjectures.base import CONJECTURES, Violation, check_all
 from ..debugger.base import Debugger
+from ..faults.boundary import DEFAULT_MAX_ATTEMPTS, FailureBoundary
+from ..faults.plan import FaultPlan
+from ..faults.records import (
+    FailureRecord, failures_from_dicts, failures_to_dicts,
+    merge_failures,
+)
 from ..fuzz.generator import generate_validated
 from ..fuzz.seeds import SeedSpec
 from ..lang.ast_nodes import Program
@@ -156,6 +163,10 @@ class CampaignResult:
     levels: List[str]
     pool_size: int = 0
     programs: List[ProgramResult] = field(default_factory=list)
+    #: Contained per-(seed, cell) failures (see repro.faults) — empty
+    #: on a clean run, and omitted from the serialized artifact when
+    #: empty so pre-failure documents round-trip byte-identically.
+    failures: List[FailureRecord] = field(default_factory=list)
 
     # -- Table 1 -----------------------------------------------------------
 
@@ -255,12 +266,13 @@ class CampaignResult:
             family=self.family, version=self.version,
             levels=list(self.levels),
             pool_size=self.pool_size + other.pool_size,
-            programs=programs)
+            programs=programs,
+            failures=merge_failures(self.failures, other.failures))
 
     # -- serialization -----------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "schema": CAMPAIGN_SCHEMA,
             "family": self.family,
             "version": self.version,
@@ -268,6 +280,9 @@ class CampaignResult:
             "pool_size": self.pool_size,
             "programs": [p.to_dict() for p in self.programs],
         }
+        if self.failures:
+            data["failures"] = failures_to_dicts(self.failures)
+        return data
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """The ``repro-campaign/1`` artifact document (every field is
@@ -287,7 +302,8 @@ class CampaignResult:
                 family=data["family"], version=data["version"],
                 levels=list(data["levels"]), pool_size=data["pool_size"],
                 programs=[ProgramResult.from_dict(p)
-                          for p in data["programs"]])
+                          for p in data["programs"]],
+                failures=failures_from_dicts(data.get("failures", ())))
         except KeyError as error:
             raise missing_field_error(CAMPAIGN_SCHEMA, error) from None
 
@@ -338,7 +354,8 @@ def merge_results(results: Iterable[CampaignResult]) -> CampaignResult:
 def test_program_full(program: Program, compiler: Compiler,
                       debugger: Debugger,
                       levels: Optional[Sequence[str]] = None,
-                      facts: Optional[SourceFacts] = None
+                      facts: Optional[SourceFacts] = None,
+                      probe: Optional[Callable[[str], None]] = None
                       ) -> Tuple[Dict[str, List[Violation]],
                                  Dict[str, List[str]]]:
     """Check one program at each level.
@@ -346,7 +363,9 @@ def test_program_full(program: Program, compiler: Compiler,
     Returns ``(violations per level, fired defect ids per level)`` —
     the second mapping is the compile-time ground truth recorded on
     :class:`ProgramResult` (levels whose compile fired nothing are
-    omitted).
+    omitted).  ``probe`` is the containment boundary's stage hook
+    (see :class:`repro.faults.FailureBoundary`); callers outside a
+    boundary leave it None.
     """
     if facts is None:
         facts = SourceFacts(program)
@@ -355,7 +374,11 @@ def test_program_full(program: Program, compiler: Compiler,
     out: Dict[str, List[Violation]] = {}
     fired: Dict[str, List[str]] = {}
     for level in levels:
+        if probe is not None:
+            probe("compile")
         compilation = compiler.compile(program, level)
+        if probe is not None:
+            probe("trace")
         trace = debugger.trace(compilation.exe)
         out[level] = check_all(facts, trace)
         fired_ids = compilation.fired_defects()
@@ -374,10 +397,44 @@ def test_program(program: Program, compiler: Compiler,
                              facts)[0]
 
 
+def persist_failure(store, run: int, record: FailureRecord) -> None:
+    """Best-effort write of a quarantine record to the store so resume
+    knows which pairs to retry.  Store errors are swallowed on purpose:
+    the record is already in the artifact, and a store too broken to
+    record failures must not break graceful degradation."""
+    try:
+        store.put_failure(run, record.seed, record.item,
+                          record.to_dict())
+    except Exception:
+        return
+
+
+def stored_failure(store, run: int, seed: int, item: str = ""
+                   ) -> Optional[FailureRecord]:
+    """The quarantine record a previous run left for this pair, if
+    any (best-effort, like :func:`persist_failure`)."""
+    try:
+        payload = store.get_failure(run, seed, item)
+    except Exception:
+        return None
+    if payload is None:
+        return None
+    try:
+        return FailureRecord.from_dict(payload)
+    except ValueError:
+        return None
+
+
 def run_campaign_seeds(compiler: Compiler, debugger: Debugger,
                        seeds: SeedSpec,
                        levels: Optional[Sequence[str]] = None,
-                       store=None) -> CampaignResult:
+                       store=None,
+                       faults: Optional[FaultPlan] = None,
+                       max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                       crash_base: int = 0,
+                       escalate_crashes: bool = False,
+                       retry_failed: bool = True,
+                       contain: bool = True) -> CampaignResult:
     """Campaign over an explicit seed range (one shard's worth).
 
     With a :class:`~repro.store.CampaignStore`, the run is *resumable*:
@@ -386,6 +443,19 @@ def run_campaign_seeds(compiler: Compiler, debugger: Debugger,
     set)``), and every freshly evaluated pair is written through — so an
     interrupted or extended campaign only pays for the delta, and the
     returned result is bit-identical to an uninterrupted serial run.
+
+    Evaluation runs inside a :class:`~repro.faults.FailureBoundary`:
+    an exception anywhere in generate/compile/trace quarantines that
+    seed as a structured failure record instead of aborting the
+    campaign (``contain=False`` restores the raise-through behaviour —
+    the benchmark's fault-free baseline).  ``faults`` threads a
+    deterministic :class:`~repro.faults.FaultPlan` into the boundary
+    for chaos runs; ``crash_base``/``escalate_crashes`` are the
+    parallel supervisor's crash-accounting knobs
+    (:mod:`repro.pipeline.parallel`).  Quarantined pairs are recorded
+    in the store and retried on the next resumed run unless
+    ``retry_failed=False``.  ``KeyboardInterrupt`` flushes completed
+    work to the store before propagating.
     """
     if levels is None:
         levels = [l for l in compiler.levels if l != "O0"]
@@ -397,34 +467,79 @@ def run_campaign_seeds(compiler: Compiler, debugger: Debugger,
         run = store.run_id(CAMPAIGN_SCHEMA, compiler.family,
                            compiler.version, levels,
                            debugger=debugger.name)
-    for seed in seeds.seeds():
-        if run is not None:
-            stored = store.get_result(run, seed)
-            if stored is not None:
-                result.programs.append(ProgramResult.from_dict(stored))
-                continue
-        program = generate_validated(seed)
-        violations, fired = test_program_full(program, compiler,
-                                              debugger, levels)
-        program_result = ProgramResult(seed=seed, violations=violations,
-                                       fired=fired)
-        result.programs.append(program_result)
-        if run is not None:
-            store.add_program(seed, print_program(program))
-            store.put_result(run, seed, program_result.to_dict())
+    cell = f"{compiler.family}-{compiler.version}/{debugger.name}"
+    boundary = FailureBoundary(cell, faults=faults,
+                               max_attempts=max_attempts,
+                               crash_base=crash_base,
+                               escalate_crashes=escalate_crashes)
+    try:
+        for seed in seeds.seeds():
+            if run is not None:
+                stored = store.get_result(run, seed)
+                if stored is not None:
+                    result.programs.append(
+                        ProgramResult.from_dict(stored))
+                    continue
+                if not retry_failed:
+                    prior = stored_failure(store, run, seed)
+                    if prior is not None:
+                        result.failures.append(prior)
+                        continue
+            if not contain:
+                program = generate_validated(seed)
+                violations, fired = test_program_full(
+                    program, compiler, debugger, levels)
+            else:
+                def compute(probe, seed=seed):
+                    probe("generate")
+                    program = generate_validated(seed)
+                    violations, fired = test_program_full(
+                        program, compiler, debugger, levels,
+                        probe=probe)
+                    return program, violations, fired
+                value, record = boundary.evaluate(seed, compute)
+                if value is None:
+                    if run is not None:
+                        persist_failure(store, run, record)
+                    continue
+                program, violations, fired = value
+            program_result = ProgramResult(
+                seed=seed, violations=violations, fired=fired)
+            result.programs.append(program_result)
+            if run is not None:
+                def write(program=program,
+                          program_result=program_result, seed=seed):
+                    store.add_program(seed, print_program(program))
+                    store.put_result(run, seed,
+                                     program_result.to_dict())
+                if contain:
+                    if boundary.store_write(seed, write):
+                        store.clear_failure(run, seed, "")
+                else:
+                    write()
+    except KeyboardInterrupt:
+        if store is not None:
+            store.checkpoint()
+        raise
+    result.failures = merge_failures(result.failures,
+                                     boundary.failures)
     return result
 
 
 def run_campaign(compiler: Compiler, debugger: Debugger,
                  pool_size: int = 100, seed_base: int = 0,
                  levels: Optional[Sequence[str]] = None,
-                 store=None) -> CampaignResult:
+                 store=None,
+                 faults: Optional[FaultPlan] = None,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 retry_failed: bool = True) -> CampaignResult:
     """Generate ``pool_size`` programs and test them all (resumable and
-    incremental when ``store`` is given — see
+    incremental when ``store`` is given, fault-contained always — see
     :func:`run_campaign_seeds`)."""
     return run_campaign_seeds(
         compiler, debugger, SeedSpec(base=seed_base, count=pool_size),
-        levels=levels, store=store)
+        levels=levels, store=store, faults=faults,
+        max_attempts=max_attempts, retry_failed=retry_failed)
 
 
 def run_campaign_on_programs(programs: Sequence[Program],

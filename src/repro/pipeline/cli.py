@@ -91,6 +91,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "through and replayed on the next run, so "
                              "an interrupted or extended campaign only "
                              "compiles the delta")
+    parser.add_argument("--faults", metavar="PLAN.json",
+                        help="inject faults from a repro-faults/1 plan "
+                             "(deterministic chaos testing: the "
+                             "campaign completes and records every "
+                             "injected failure)")
+    parser.add_argument("--max-attempts", type=int, default=None,
+                        metavar="N",
+                        help="containment retry budget per seed and "
+                             "respawn budget per crashed shard "
+                             "(default: 3)")
+    parser.add_argument("--no-retry-failed", action="store_true",
+                        help="with --store, carry quarantined failure "
+                             "records forward instead of retrying the "
+                             "failed seeds")
     parser.add_argument("--indent", type=int, default=2,
                         help="artifact JSON indentation (default: 2)")
     parser.add_argument("--report", metavar="DIR",
@@ -121,6 +135,38 @@ def _open_cli_store(path: Optional[str]):
     return CampaignStore(path)
 
 
+def _fault_options(parser: argparse.ArgumentParser, args) -> dict:
+    """The containment kwargs shared by every campaign CLI
+    (``--faults/--max-attempts/--no-retry-failed``)."""
+    from ..faults import DEFAULT_MAX_ATTEMPTS, FaultPlan
+    plan = None
+    if args.faults:
+        try:
+            plan = FaultPlan.load(args.faults)
+        except (OSError, ValueError) as error:
+            parser.error(f"--faults: {error}")
+    if args.max_attempts is not None and args.max_attempts < 1:
+        parser.error(
+            f"--max-attempts must be >= 1, got {args.max_attempts}")
+    return {
+        "faults": plan,
+        "max_attempts": (args.max_attempts if args.max_attempts
+                         is not None else DEFAULT_MAX_ATTEMPTS),
+        "retry_failed": not args.no_retry_failed,
+    }
+
+
+def _print_failures(result, quiet: bool) -> None:
+    """One warning line when a run degraded gracefully."""
+    failures = result.failures
+    if failures and not quiet:
+        quarantined = sum(1 for record in failures
+                          if record.status == "quarantined")
+        print(f"failures: {len(failures)} recorded "
+              f"({quarantined} quarantined) — render with "
+              f"'repro-report failures'")
+
+
 def _write_report(result, args) -> None:
     """Materialize the deliverables of a finished run (--report DIR)."""
     from ..report.manifest import render_all
@@ -146,6 +192,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     workers = 1 if args.serial else (
         args.workers if args.workers is not None else default_workers())
+    fault_options = _fault_options(parser, args)
     started = time.perf_counter()
     if args.serial:
         store = _open_cli_store(args.store)
@@ -153,7 +200,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             result = run_campaign(
                 compiler.build(), debugger.build(),
                 pool_size=args.pool_size, seed_base=args.seed_base,
-                levels=args.levels, store=store)
+                levels=args.levels, store=store, **fault_options)
         finally:
             if store is not None:
                 store.close()
@@ -162,7 +209,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             compiler, debugger, pool_size=args.pool_size,
             seed_base=args.seed_base, levels=args.levels,
             workers=workers, start_method=args.start_method,
-            store_path=args.store)
+            store_path=args.store, **fault_options)
     elapsed = time.perf_counter() - started
 
     if args.output:
@@ -188,6 +235,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.output:
             print()
             print(f"artifact written to {args.output}")
+    _print_failures(result, args.quiet)
     if args.report:
         _write_report(result, args)
     return 0
@@ -199,6 +247,7 @@ def _run_matrix(parser: argparse.ArgumentParser, args) -> int:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     workers = 1 if args.serial else (
         args.workers if args.workers is not None else default_workers())
+    fault_options = _fault_options(parser, args)
     started = time.perf_counter()
     if args.serial or workers <= 1:
         store = _open_cli_store(args.store)
@@ -206,7 +255,7 @@ def _run_matrix(parser: argparse.ArgumentParser, args) -> int:
             result = run_matrix_campaign(
                 families=args.families, version=args.version,
                 pool_size=args.pool_size, seed_base=args.seed_base,
-                levels=args.levels, store=store)
+                levels=args.levels, store=store, **fault_options)
         finally:
             if store is not None:
                 store.close()
@@ -215,7 +264,8 @@ def _run_matrix(parser: argparse.ArgumentParser, args) -> int:
             families=args.families, version=args.version,
             pool_size=args.pool_size, seed_base=args.seed_base,
             levels=args.levels, workers=workers,
-            start_method=args.start_method, store_path=args.store)
+            start_method=args.start_method, store_path=args.store,
+            **fault_options)
     elapsed = time.perf_counter() - started
 
     if args.output:
@@ -237,6 +287,7 @@ def _run_matrix(parser: argparse.ArgumentParser, args) -> int:
         if args.output:
             print()
             print(f"artifact written to {args.output}")
+    _print_failures(result, args.quiet)
     if args.report:
         _write_report(result, args)
     return 0

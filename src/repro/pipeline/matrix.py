@@ -37,6 +37,9 @@ from ..compilers.frontend import FrontendSession
 from ..conjectures.base import Violation, check_all
 from ..debugger.base import Debugger, trace_all
 from ..debugger.specs import DEBUGGER_REGISTRY, DebuggerSpec
+from ..faults.boundary import DEFAULT_MAX_ATTEMPTS, FailureBoundary
+from ..faults.plan import FaultPlan
+from ..faults.records import FailureRecord, merge_failures
 from ..fuzz.seeds import SeedSpec
 from ..metrics.study import (
     CellSamples, StudyResult, compare_traces, reduce_cells,
@@ -45,7 +48,7 @@ from ..lang.printer import print_program
 from ..target.codegen import link
 from .campaign import (
     CAMPAIGN_SCHEMA, CampaignResult, ProgramResult, fold_results,
-    missing_field_error,
+    missing_field_error, persist_failure, stored_failure,
 )
 
 #: Artifact schema tag for stored matrix results.
@@ -100,6 +103,20 @@ class MatrixCampaignResult:
 
     def cell_keys(self) -> List[MatrixCellKey]:
         return sorted(self.cells)
+
+    @property
+    def failures(self) -> List[FailureRecord]:
+        """Every contained failure across the matrix, deduplicated.
+
+        Matrix failures live on the per-cell campaigns (a shared
+        frontend fault is replicated into each affected cell with its
+        own ``cell`` tag), so the artifact schema is unchanged; this
+        view aggregates them for reporting.
+        """
+        merged: List[FailureRecord] = []
+        for key in self.cell_keys():
+            merged = merge_failures(merged, self.cells[key].failures)
+        return merged
 
     # -- merging -------------------------------------------------------------
 
@@ -201,12 +218,24 @@ def merge_matrix_results(results: Iterable[MatrixCampaignResult]
     return fold_results(results)
 
 
+def _cell_name(key: MatrixCellKey) -> str:
+    """The failure-record cell tag — the same string the per-cell
+    campaign driver uses, so matrix failures join per-cell ones."""
+    family, version, debugger = key
+    return f"{family}-{version}/{debugger}"
+
+
 def run_matrix_campaign_seeds(
         compilers: Sequence[CompilerLike],
         debuggers: Sequence[DebuggerLike],
         seeds: SeedSpec,
         levels: Optional[Sequence[str]] = None,
-        store=None) -> MatrixCampaignResult:
+        store=None,
+        faults: Optional[FaultPlan] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        crash_base: int = 0,
+        escalate_crashes: bool = False,
+        retry_failed: bool = True) -> MatrixCampaignResult:
     """Compile-once campaign over an explicit seed range (one shard).
 
     For each seed: one frontend session; per compiler, one backend run
@@ -220,6 +249,15 @@ def run_matrix_campaign_seeds(
     skips the frontend and every compile; a partially stored seed
     recompiles each level once and re-traces only the debuggers whose
     cells are missing.
+
+    Evaluation is fault-contained: a seed that keeps failing is
+    quarantined instead of aborting the matrix, with the shared-frontend
+    failure replicated into every still-unevaluated cell (tagged with
+    that cell's name) — fault decisions are keyed by ``(stage, seed)``,
+    never by cell, so the per-cell campaign driver under the same plan
+    produces the same per-cell records (up to the traceback ``digest``,
+    which fingerprints the driver's own frames).  ``KeyboardInterrupt``
+    flushes the store before propagating.
     """
     built_compilers = [_build_compiler(c) for c in compilers]
     built_debuggers = [_build_debugger(d) for d in debuggers]
@@ -243,75 +281,128 @@ def run_matrix_campaign_seeds(
                     CAMPAIGN_SCHEMA, compiler.family, compiler.version,
                     run_levels, debugger=debugger.name)
 
-    for seed in seeds.seeds():
-        stored_programs: Dict[MatrixCellKey, ProgramResult] = {}
-        if store is not None:
-            for key, run in cell_runs.items():
-                payload = store.get_result(run, seed)
-                if payload is not None:
-                    stored_programs[key] = ProgramResult.from_dict(
-                        payload)
-        if store is not None and len(stored_programs) == len(cell_runs):
-            # Every cell already evaluated this seed: no frontend, no
-            # compiles.  The fingerprint is served from the store when
-            # a previous matrix run recorded it; cells filled by plain
-            # campaigns need one frontend pass (still zero compiles).
-            fingerprint = store.module_fingerprint(seed)
-            if fingerprint is None:
-                fingerprint = FrontendSession(seed).fingerprint
-                store.record_module_fingerprint(seed, fingerprint)
-            result.fingerprints[seed] = fingerprint
-            for key, program_result in stored_programs.items():
-                result.cells[key].programs.append(program_result)
-            continue
-        session = FrontendSession(seed)
-        facts = session.facts
-        token = session.program_token
-        result.fingerprints[seed] = session.fingerprint
-        if store is not None:
-            store.add_program(seed, print_program(session.program))
-            store.record_module_fingerprint(seed, session.fingerprint)
-        for compiler, run_levels in zip(built_compilers,
-                                        compiler_levels):
-            missing = [
-                debugger for debugger in built_debuggers
-                if (compiler.family, compiler.version, debugger.name)
-                not in stored_programs]
-            if missing:
-                per_debugger: List[Dict[str, List[Violation]]] = [
-                    {} for _ in missing]
-                fired: Dict[str, List[str]] = {}
-                for level in run_levels:
-                    # Compile once per level and execute once; every
-                    # debugger cell observes the same stops.
-                    compilation = compiler.compile_ir(
-                        session.ir_module(), level, program_token=token)
-                    fired_ids = compilation.fired_defects()
-                    if fired_ids:
-                        fired[level] = fired_ids
-                    traces = trace_all(compilation.exe, missing)
-                    for violations, trace in zip(per_debugger, traces):
-                        violations[level] = check_all(facts, trace)
-                computed = {
-                    debugger.name: ProgramResult(
-                        seed=seed, violations=violations,
-                        fired={level: list(ids)
-                               for level, ids in fired.items()})
-                    for debugger, violations in zip(missing,
-                                                    per_debugger)}
-            else:
-                computed = {}
-            for debugger in built_debuggers:
-                key = (compiler.family, compiler.version, debugger.name)
-                if key in stored_programs:
+    boundary = FailureBoundary("matrix", faults=faults,
+                               max_attempts=max_attempts,
+                               crash_base=crash_base,
+                               escalate_crashes=escalate_crashes)
+    try:
+        for seed in seeds.seeds():
+            stored_programs: Dict[MatrixCellKey, ProgramResult] = {}
+            carried: Dict[MatrixCellKey, FailureRecord] = {}
+            if store is not None:
+                for key, run in cell_runs.items():
+                    payload = store.get_result(run, seed)
+                    if payload is not None:
+                        stored_programs[key] = ProgramResult.from_dict(
+                            payload)
+                    elif not retry_failed:
+                        prior = stored_failure(store, run, seed)
+                        if prior is not None:
+                            carried[key] = prior
+            for key in result.cells:
+                if key in carried:
+                    result.cells[key].failures.append(carried[key])
+                elif key in stored_programs:
                     result.cells[key].programs.append(
                         stored_programs[key])
-                    continue
-                program_result = computed[debugger.name]
+            live = [key for key in result.cells
+                    if key not in stored_programs
+                    and key not in carried]
+            if not live:
+                if stored_programs:
+                    # Every cell already evaluated this seed: no
+                    # frontend, no compiles.  The fingerprint is served
+                    # from the store when a previous matrix run
+                    # recorded it; cells filled by plain campaigns need
+                    # one frontend pass (still zero compiles).
+                    fingerprint = store.module_fingerprint(seed)
+                    if fingerprint is None:
+                        fingerprint = FrontendSession(seed).fingerprint
+                        store.record_module_fingerprint(seed,
+                                                        fingerprint)
+                    result.fingerprints[seed] = fingerprint
+                continue
+
+            def compute(probe, seed=seed, live=live):
+                probe("generate")
+                session = FrontendSession(seed)
+                facts = session.facts
+                token = session.program_token
+                computed: Dict[MatrixCellKey, ProgramResult] = {}
+                for compiler, run_levels in zip(built_compilers,
+                                                compiler_levels):
+                    missing = [
+                        debugger for debugger in built_debuggers
+                        if (compiler.family, compiler.version,
+                            debugger.name) in live]
+                    if not missing:
+                        continue
+                    per_debugger: List[Dict[str, List[Violation]]] = [
+                        {} for _ in missing]
+                    fired: Dict[str, List[str]] = {}
+                    for level in run_levels:
+                        # Compile once per level and execute once;
+                        # every debugger cell observes the same stops.
+                        probe("compile")
+                        compilation = compiler.compile_ir(
+                            session.ir_module(), level,
+                            program_token=token)
+                        fired_ids = compilation.fired_defects()
+                        if fired_ids:
+                            fired[level] = fired_ids
+                        probe("trace")
+                        traces = trace_all(compilation.exe, missing)
+                        for violations, trace in zip(per_debugger,
+                                                     traces):
+                            violations[level] = check_all(facts, trace)
+                    for debugger, violations in zip(missing,
+                                                    per_debugger):
+                        computed[(compiler.family, compiler.version,
+                                  debugger.name)] = ProgramResult(
+                            seed=seed, violations=violations,
+                            fired={level: list(ids)
+                                   for level, ids in fired.items()})
+                return session, computed
+
+            value, record = boundary.evaluate(seed, compute)
+            if value is None:
+                for key in live:
+                    cell_record = record.with_cell(_cell_name(key))
+                    result.cells[key].failures.append(cell_record)
+                    if store is not None:
+                        persist_failure(store, cell_runs[key],
+                                        cell_record)
+                continue
+            session, computed = value
+            result.fingerprints[seed] = session.fingerprint
+            if record is not None:
+                for key in live:
+                    result.cells[key].failures.append(
+                        record.with_cell(_cell_name(key)))
+            for key in live:
+                program_result = computed[key]
                 result.cells[key].programs.append(program_result)
                 if store is not None:
-                    store.put_result(cell_runs[key], seed,
-                                     program_result.to_dict())
+                    def write(key=key, program_result=program_result,
+                              session=session, seed=seed):
+                        store.add_program(
+                            seed, print_program(session.program))
+                        store.record_module_fingerprint(
+                            seed, session.fingerprint)
+                        store.put_result(cell_runs[key], seed,
+                                         program_result.to_dict())
+                    before = len(boundary.failures)
+                    if boundary.store_write(seed, write,
+                                            cell=_cell_name(key)):
+                        store.clear_failure(cell_runs[key], seed, "")
+                    # store_write records (recovered or quarantined
+                    # store-stage failures) belong to this cell.
+                    result.cells[key].failures.extend(
+                        boundary.failures[before:])
+    except KeyboardInterrupt:
+        if store is not None:
+            store.checkpoint()
+        raise
     return result
 
 
@@ -321,7 +412,10 @@ def run_matrix_campaign(
         pool_size: int = 100, seed_base: int = 0,
         levels: Optional[Sequence[str]] = None,
         families: Optional[Sequence[str]] = None,
-        version: str = "trunk", store=None) -> MatrixCampaignResult:
+        version: str = "trunk", store=None,
+        faults: Optional[FaultPlan] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        retry_failed: bool = True) -> MatrixCampaignResult:
     """The full evaluation matrix over a generated seed range.
 
     ``compilers`` defaults to the trunk compiler of every family in
@@ -329,7 +423,8 @@ def run_matrix_campaign(
     both consumers.  Every cell is bit-identical to the corresponding
     per-cell :func:`~repro.pipeline.campaign.run_campaign` run.
     ``store`` makes the run resumable per cell (see
-    :func:`run_matrix_campaign_seeds`).
+    :func:`run_matrix_campaign_seeds`); ``faults`` threads a chaos
+    plan into the containment boundary.
     """
     if compilers is None:
         families = tuple(families) if families else ("gcc", "clang")
@@ -339,7 +434,8 @@ def run_matrix_campaign(
     return run_matrix_campaign_seeds(
         compilers, debuggers,
         SeedSpec(base=seed_base, count=pool_size), levels=levels,
-        store=store)
+        store=store, faults=faults, max_attempts=max_attempts,
+        retry_failed=retry_failed)
 
 
 # -- the metrics study over the shared pool -----------------------------------

@@ -29,14 +29,20 @@ through :mod:`repro.report` unchanged.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from ..compilers.compiler import Compiler, CompilerSpec
 from ..debugger.base import Debugger
 from ..debugger.specs import DebuggerSpec, spec_for
+from ..faults.boundary import DEFAULT_MAX_ATTEMPTS
+from ..faults.plan import FaultPlan, InjectedCrash
 from ..fuzz.seeds import SeedSpec
 from ..metrics.study import (
     CellSamples, StudyResult, measure_pool_cells, reduce_cells,
@@ -47,10 +53,10 @@ from .matrix import (
 )
 
 #: Shards handed out per worker; >1 smooths load imbalance between seeds
-#: (validation retries make some programs costlier than others).  Shards
-#: are dispatched to the pool in small batches (see ``_map_shards``) so
-#: a worker picks up several per round trip instead of paying IPC per
-#: tiny shard.
+#: (validation retries make some programs costlier than others) and
+#: bounds the blast radius of a dying worker: a crash costs at most one
+#: shard's unfinished seeds per incarnation, which the supervisor in
+#: ``_map_shards`` respawns.
 SHARDS_PER_WORKER = 4
 
 #: Process-level toolchain memo: workers rebuild a compiler/debugger from
@@ -110,25 +116,131 @@ def _resolve_levels(spec: CompilerSpec,
     return tuple(levels)
 
 
-def _map_shards(worker, shards: List, workers: int,
-                start_method: str) -> List:
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded shard respawns with exponential backoff and
+    deterministic jitter.
+
+    ``max_attempts`` counts total shard incarnations; the delay before
+    respawn ``attempt`` (0-based) grows as ``base * factor**attempt``
+    capped at ``limit``, scaled by a jitter factor in
+    ``[1 - jitter, 1 + jitter)`` hashed from ``(token, attempt)`` — the
+    spread that stops a respawned fleet from thundering in lockstep,
+    without a live RNG, so a supervised run's schedule reproduces.
+    """
+
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_limit: float = 2.0
+    jitter: float = 0.5
+
+    def delay(self, token: str, attempt: int) -> float:
+        base = min(self.backoff_limit,
+                   self.backoff_base * self.backoff_factor ** attempt)
+        digest = hashlib.sha256(
+            f"{token}:{attempt}".encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2 ** 64
+        return base * (1.0 - self.jitter + 2.0 * self.jitter * fraction)
+
+
+def _run_wave(worker, items: List[Tuple[int, object]], workers: int,
+              start_method: str, in_process: bool):
+    """One dispatch wave: run every ``(index, shard)`` item, splitting
+    the outcomes into finished results and crashed shards.
+
+    Each shard is its own future (no chunk batching): a shard that
+    dies — or, before containment existed, raised — can no longer take
+    a whole worker batch down with it.  Worker death surfaces as
+    ``BrokenProcessPool`` on every unfinished future of the wave (the
+    victim cannot be identified, so the supervisor charges every
+    unfinished shard one incarnation) or as a pickled
+    :class:`~repro.faults.plan.InjectedCrash` for soft-crash plans,
+    which keeps per-shard attribution exact.  Any other exception is a
+    driver bug and propagates.
+    """
+    done: dict = {}
+    crashed: dict = {}
+    if in_process:
+        for index, shard in items:
+            try:
+                done[index] = worker(shard)
+            except InjectedCrash as error:
+                crashed[index] = error
+        return done, crashed
+    context = multiprocessing.get_context(start_method)
+    with ProcessPoolExecutor(max_workers=min(workers, len(items)),
+                             mp_context=context) as pool:
+        futures = [(pool.submit(worker, shard), index)
+                   for index, shard in items]
+        for future, index in futures:
+            try:
+                done[index] = future.result()
+            except (BrokenProcessPool, InjectedCrash) as error:
+                crashed[index] = error
+    return done, crashed
+
+
+def _map_shards(worker, shards: List, workers: int, start_method: str,
+                retry: Optional[RetryPolicy] = None,
+                respawn: Optional[Callable] = None,
+                rescue: Optional[Callable] = None,
+                sleeper: Optional[Callable[[float], None]] = None
+                ) -> List:
     """Run ``worker`` over every shard, in shard order.
 
     ``workers <= 1`` (or a single shard) stays in-process — no pool, no
     spawn cost for small jobs — while still going through the same
-    shard/merge path as the multi-process run.  Shards are dispatched in
-    chunks of :data:`SHARDS_PER_WORKER` so each pool round trip carries a
-    worker's whole batch (one IPC exchange, one toolchain-cache warmup)
-    instead of a single tiny shard.
+    shard/merge/supervision path as the multi-process run.
+
+    With a :class:`RetryPolicy` the map is *supervised*: crashed shards
+    (worker death, injected or real) are respawned — after the policy's
+    backoff, with ``respawn(shard, crashes)`` deriving the retry shard
+    (the drivers bump ``crash_base`` so crash accounting stays exact) —
+    until the policy's attempt bound, then handed to ``rescue(shard,
+    crashes, error)`` which must return a result for the abandoned
+    shard (the drivers re-run it in-process under the serial
+    containment boundary, quarantining the seeds that keep killing
+    workers).  Finished shards are never re-run.  Without a policy,
+    a crash propagates as before.
     """
-    if workers <= 1 or len(shards) == 1:
-        return [worker(shard) for shard in shards]
-    context = multiprocessing.get_context(start_method)
-    with context.Pool(processes=min(workers, len(shards))) as pool:
-        # chunksize=2 batches dispatch (half the IPC round trips) while
-        # keeping two waves per worker, so a shard whose seeds validate
-        # slowly does not pin a statically assigned straggler.
-        return pool.map(worker, shards, chunksize=2)
+    sleep = time.sleep if sleeper is None else sleeper
+    in_process = workers <= 1 or len(shards) == 1
+    results: List = [None] * len(shards)
+    current = list(shards)
+    crash_counts = [0] * len(shards)
+    pending = list(range(len(shards)))
+    while pending:
+        done, crashed = _run_wave(
+            worker, [(index, current[index]) for index in pending],
+            workers, start_method, in_process)
+        for index, value in done.items():
+            results[index] = value
+        if not crashed:
+            break
+        if retry is None:
+            raise crashed[min(crashed)]
+        respawning = []
+        delay = 0.0
+        for index in sorted(crashed):
+            crash_counts[index] += 1
+            if crash_counts[index] >= retry.max_attempts:
+                if rescue is None:
+                    raise crashed[index]
+                results[index] = rescue(current[index],
+                                        crash_counts[index],
+                                        crashed[index])
+                continue
+            if respawn is not None:
+                current[index] = respawn(current[index],
+                                         crash_counts[index])
+            respawning.append(index)
+            delay = max(delay, retry.delay(str(index),
+                                           crash_counts[index] - 1))
+        if respawning and delay > 0.0:
+            sleep(delay)
+        pending = respawning
+    return results
 
 
 # -- campaign -----------------------------------------------------------------
@@ -143,19 +255,56 @@ class CampaignShard:
     seeds: SeedSpec
     levels: Tuple[str, ...]
     store_path: Optional[str] = None
+    faults: Optional[FaultPlan] = None
+    #: How many times this shard's worker has already died — threaded
+    #: into the containment boundary so respawned workers reconstruct
+    #: exact crash accounting (see FaultPlan.prior_crashes).
+    crash_base: int = 0
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    retry_failed: bool = True
 
 
 def run_campaign_shard(shard: CampaignShard) -> CampaignResult:
     """Worker entry point: one shard on the memoized toolchain (writing
-    through the shared WAL-mode store when the shard names one)."""
+    through the shared WAL-mode store when the shard names one).
+    Failures are contained per seed; injected worker death escalates
+    out of the boundary for the supervisor to handle."""
     store = _open_store(shard.store_path)
     try:
         return run_campaign_seeds(
             build_cached(shard.compiler), build_cached(shard.debugger),
-            shard.seeds, levels=shard.levels, store=store)
+            shard.seeds, levels=shard.levels, store=store,
+            faults=shard.faults, max_attempts=shard.max_attempts,
+            crash_base=shard.crash_base, escalate_crashes=True,
+            retry_failed=shard.retry_failed)
     finally:
         if store is not None:
             store.close()
+
+
+def _rescue_campaign_shard(shard: CampaignShard, crashes: int,
+                           error: BaseException) -> CampaignResult:
+    """Last resort for a shard whose worker keeps dying: re-run it
+    in the driver process under the serial containment boundary, which
+    simulates the remaining crash budget per seed — the seeds that
+    keep killing workers quarantine as crash records, everything else
+    evaluates normally.  The campaign always completes."""
+    store = _open_store(shard.store_path)
+    try:
+        return run_campaign_seeds(
+            build_cached(shard.compiler), build_cached(shard.debugger),
+            shard.seeds, levels=shard.levels, store=store,
+            faults=shard.faults, max_attempts=shard.max_attempts,
+            crash_base=crashes, escalate_crashes=False,
+            retry_failed=shard.retry_failed)
+    finally:
+        if store is not None:
+            store.close()
+
+
+def _respawn_bump(shard, crashes: int):
+    """The retry incarnation of a crashed shard."""
+    return replace(shard, crash_base=crashes)
 
 
 def run_campaign_parallel(compiler: CompilerLike, debugger: DebuggerLike,
@@ -163,17 +312,29 @@ def run_campaign_parallel(compiler: CompilerLike, debugger: DebuggerLike,
                           levels: Optional[Sequence[str]] = None,
                           workers: Optional[int] = None,
                           start_method: str = "spawn",
-                          store_path: Optional[str] = None
+                          store_path: Optional[str] = None,
+                          faults: Optional[FaultPlan] = None,
+                          max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                          retry_failed: bool = True,
+                          retry: Optional[RetryPolicy] = None,
+                          sleeper: Optional[Callable[[float], None]] = None
                           ) -> CampaignResult:
     """Sharded, multi-process equivalent of
     :func:`~repro.pipeline.campaign.run_campaign`.
 
     Produces a result bit-identical to the serial driver for the same
-    ``(pool_size, seed_base, levels)``. ``workers`` defaults to the CPU
+    ``(pool_size, seed_base, levels)`` — including the failure records
+    of a ``faults`` chaos plan, whose injected worker deaths the
+    supervising :func:`_map_shards` absorbs by respawning crashed
+    shards with bounded retries, exponential backoff and deterministic
+    jitter (``retry`` overrides the policy; ``sleeper`` is the backoff
+    clock, injectable for tests).  ``workers`` defaults to the CPU
     count; ``workers <= 1`` runs the shards in-process (no pool), which
-    keeps small campaigns cheap while still exercising the merge path.
-    ``store_path`` names a shared store file every worker writes through
-    (and resumes from) with WAL-mode concurrent access.
+    keeps small campaigns cheap while still exercising the merge and
+    supervision paths.  ``store_path`` names a shared store file every
+    worker writes through (and resumes from) with WAL-mode concurrent
+    access — a respawned shard replays its finished seeds from the
+    store, so only the unfinished range is re-evaluated.
     """
     compiler_spec = as_compiler_spec(compiler)
     debugger_spec = as_debugger_spec(debugger)
@@ -188,11 +349,17 @@ def run_campaign_parallel(compiler: CompilerLike, debugger: DebuggerLike,
     shards = [
         CampaignShard(compiler=compiler_spec, debugger=debugger_spec,
                       seeds=seed_shard, levels=levels,
-                      store_path=store_path)
+                      store_path=store_path, faults=faults,
+                      max_attempts=max_attempts,
+                      retry_failed=retry_failed)
         for seed_shard in spec.shard(max(1, workers) * SHARDS_PER_WORKER)
     ]
+    if retry is None:
+        retry = RetryPolicy(max_attempts=max_attempts)
     return merge_results(
-        _map_shards(run_campaign_shard, shards, workers, start_method))
+        _map_shards(run_campaign_shard, shards, workers, start_method,
+                    retry=retry, respawn=_respawn_bump,
+                    rescue=_rescue_campaign_shard, sleeper=sleeper))
 
 
 # -- study --------------------------------------------------------------------
@@ -259,6 +426,10 @@ class MatrixShard:
     seeds: SeedSpec
     levels: Optional[Tuple[str, ...]] = None
     store_path: Optional[str] = None
+    faults: Optional[FaultPlan] = None
+    crash_base: int = 0
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    retry_failed: bool = True
 
 
 def run_matrix_shard(shard: MatrixShard) -> MatrixCampaignResult:
@@ -267,14 +438,35 @@ def run_matrix_shard(shard: MatrixShard) -> MatrixCampaignResult:
     The returned result carries per-seed lowered-module fingerprints;
     the merge rejects shards that disagree, so a worker whose frontend
     diverged from the serial driver's cannot silently corrupt the
-    campaign.
+    campaign.  Injected worker death escalates for the supervisor.
     """
     store = _open_store(shard.store_path)
     try:
         return run_matrix_campaign_seeds(
             [build_cached(spec) for spec in shard.compilers],
             [build_cached(spec) for spec in shard.debuggers],
-            shard.seeds, levels=shard.levels, store=store)
+            shard.seeds, levels=shard.levels, store=store,
+            faults=shard.faults, max_attempts=shard.max_attempts,
+            crash_base=shard.crash_base, escalate_crashes=True,
+            retry_failed=shard.retry_failed)
+    finally:
+        if store is not None:
+            store.close()
+
+
+def _rescue_matrix_shard(shard: MatrixShard, crashes: int,
+                         error: BaseException) -> MatrixCampaignResult:
+    """Re-run an abandoned matrix shard in-driver under the serial
+    containment boundary (crash-heavy seeds quarantine per cell)."""
+    store = _open_store(shard.store_path)
+    try:
+        return run_matrix_campaign_seeds(
+            [build_cached(spec) for spec in shard.compilers],
+            [build_cached(spec) for spec in shard.debuggers],
+            shard.seeds, levels=shard.levels, store=store,
+            faults=shard.faults, max_attempts=shard.max_attempts,
+            crash_base=crashes, escalate_crashes=False,
+            retry_failed=shard.retry_failed)
     finally:
         if store is not None:
             store.close()
@@ -289,13 +481,21 @@ def run_matrix_campaign_parallel(
         start_method: str = "spawn",
         families: Optional[Sequence[str]] = None,
         version: str = "trunk",
-        store_path: Optional[str] = None) -> MatrixCampaignResult:
+        store_path: Optional[str] = None,
+        faults: Optional[FaultPlan] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        retry_failed: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        sleeper: Optional[Callable[[float], None]] = None
+        ) -> MatrixCampaignResult:
     """Sharded, multi-process compile-once matrix campaign.
 
     Bit-identical to :func:`~repro.pipeline.matrix.run_matrix_campaign`
-    for the same arguments: shards are seed ranges, workers regenerate
-    and lower each program once, and the merged result's fingerprints
-    prove the lowered modules match the serial run's.
+    for the same arguments — chaos plans included: shards are seed
+    ranges, workers regenerate and lower each program once, the merged
+    result's fingerprints prove the lowered modules match the serial
+    run's, and injected worker deaths are supervised with bounded
+    respawns exactly like :func:`run_campaign_parallel`.
     """
     if compilers is None:
         chosen = tuple(families) if families else ("gcc", "clang")
@@ -317,8 +517,14 @@ def run_matrix_campaign_parallel(
         MatrixShard(compilers=compiler_specs, debuggers=debugger_specs,
                     seeds=seed_shard,
                     levels=tuple(levels) if levels is not None else None,
-                    store_path=store_path)
+                    store_path=store_path, faults=faults,
+                    max_attempts=max_attempts,
+                    retry_failed=retry_failed)
         for seed_shard in spec.shard(max(1, workers) * SHARDS_PER_WORKER)
     ]
+    if retry is None:
+        retry = RetryPolicy(max_attempts=max_attempts)
     return merge_matrix_results(
-        _map_shards(run_matrix_shard, shards, workers, start_method))
+        _map_shards(run_matrix_shard, shards, workers, start_method,
+                    retry=retry, respawn=_respawn_bump,
+                    rescue=_rescue_matrix_shard, sleeper=sleeper))

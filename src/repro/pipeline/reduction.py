@@ -28,10 +28,19 @@ from ..compilers.compiler import Compiler
 from ..conjectures.base import Violation
 from ..debugger import NATIVE_DEBUGGERS
 from ..debugger.base import Debugger
+from ..faults.boundary import DEFAULT_MAX_ATTEMPTS, FailureBoundary
+from ..faults.plan import FaultPlan
+from ..faults.records import (
+    FailureRecord, failures_from_dicts, failures_to_dicts,
+    merge_failures,
+)
 from ..fuzz.generator import generate_validated
 from ..reduce import Reducer, ReductionResult, ReferenceReducer
 from ..triage.triage import triage
-from .campaign import CampaignResult, fold_results, missing_field_error
+from .campaign import (
+    CampaignResult, fold_results, missing_field_error, persist_failure,
+    stored_failure,
+)
 
 #: Artifact schema tag; bump only with a migration path in ``from_dict``.
 REDUCE_SCHEMA = "repro-reduce/1"
@@ -110,6 +119,9 @@ class ReductionCampaignResult:
     records: List[ReductionRecord] = field(default_factory=list)
     #: aggregate oracle accounting (summed over witnesses)
     stats: Dict[str, int] = field(default_factory=dict)
+    #: Contained per-witness failures (see repro.faults); omitted from
+    #: the serialized artifact when empty for byte-compatibility.
+    failures: List[FailureRecord] = field(default_factory=list)
 
     @property
     def witnesses(self) -> int:
@@ -153,12 +165,13 @@ class ReductionCampaignResult:
             family=self.family, version=self.version,
             debugger=self.debugger, engine=self.engine,
             pool_size=self.pool_size + other.pool_size,
-            records=records, stats=stats)
+            records=records, stats=stats,
+            failures=merge_failures(self.failures, other.failures))
 
     # -- serialization -----------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "schema": REDUCE_SCHEMA,
             "family": self.family,
             "version": self.version,
@@ -168,6 +181,9 @@ class ReductionCampaignResult:
             "records": [record.to_dict() for record in self.records],
             "stats": dict(sorted(self.stats.items())),
         }
+        if self.failures:
+            data["failures"] = failures_to_dicts(self.failures)
+        return data
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """The ``repro-reduce/1`` artifact document (field-by-field
@@ -190,7 +206,8 @@ class ReductionCampaignResult:
                 pool_size=data["pool_size"],
                 records=[ReductionRecord.from_dict(r)
                          for r in data["records"]],
-                stats=dict(data["stats"]))
+                stats=dict(data["stats"]),
+                failures=failures_from_dicts(data.get("failures", ())))
         except KeyError as error:
             raise missing_field_error(REDUCE_SCHEMA, error) from None
 
@@ -232,7 +249,11 @@ def run_reduction_campaign(campaign: CampaignResult,
                            with_triage: bool = True,
                            workers: Optional[int] = None,
                            limit: Optional[int] = None,
-                           store=None) -> ReductionCampaignResult:
+                           store=None,
+                           faults: Optional[FaultPlan] = None,
+                           max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                           retry_failed: bool = True
+                           ) -> ReductionCampaignResult:
     """Reduce every witness of ``campaign`` and aggregate the outcomes.
 
     ``engine`` selects ``fast`` (serial engine), ``parallel``
@@ -250,6 +271,11 @@ def run_reduction_campaign(campaign: CampaignResult,
     (triage + reduction, with its share of the oracle accounting) is
     written through and replayed on the next run, so an interrupted
     reduction campaign resumes at the first unreduced witness.
+
+    Each witness is fault-contained independently (failure records
+    carry the witness as ``item``, so one pathological witness never
+    takes down the rest of its seed); ``KeyboardInterrupt`` flushes
+    the store before propagating.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown reduction engine {engine!r}; "
@@ -267,58 +293,93 @@ def run_reduction_campaign(campaign: CampaignResult,
             REDUCE_SCHEMA, campaign.family, campaign.version, (),
             debugger=debugger.name, engine=engine,
             attrs={"pool_size": campaign.pool_size})
+    cell = f"{campaign.family}-{campaign.version}/{debugger.name}"
+    boundary = FailureBoundary(cell, faults=faults,
+                               max_attempts=max_attempts)
     totals: Dict[str, int] = {}
-    for count, (seed, level, violation) in enumerate(
-            iter_witnesses(campaign)):
-        if limit is not None and count >= limit:
-            break
-        if run is not None:
-            stored = store.get_reduction(
-                run, seed, level, violation.conjecture,
-                violation.variable)
-            if stored is not None:
-                for key, value in stored.pop("stats", {}).items():
-                    totals[key] = totals.get(key, 0) + value
-                result.records.append(
-                    ReductionRecord.from_dict(stored))
+    try:
+        for count, (seed, level, violation) in enumerate(
+                iter_witnesses(campaign)):
+            if limit is not None and count >= limit:
+                break
+            item = f"{level}/{violation.conjecture}/{violation.variable}"
+            if run is not None:
+                stored = store.get_reduction(
+                    run, seed, level, violation.conjecture,
+                    violation.variable)
+                if stored is not None:
+                    for key, value in stored.pop("stats", {}).items():
+                        totals[key] = totals.get(key, 0) + value
+                    result.records.append(
+                        ReductionRecord.from_dict(stored))
+                    continue
+                if not retry_failed:
+                    prior = stored_failure(store, run, seed, item)
+                    if prior is not None:
+                        result.failures.append(prior)
+                        continue
+
+            def compute(probe, seed=seed, level=level,
+                        violation=violation):
+                probe("generate")
+                program = generate_validated(seed)
+                probe("reduce")
+                culprit = None
+                method = "none"
+                if with_triage:
+                    triaged = triage(compiler, program, level, debugger,
+                                     violation)
+                    culprit = triaged.culprit
+                    method = triaged.method
+                reduction = _reduce_one(
+                    compiler, level, debugger, violation, culprit,
+                    engine, max_steps, workers, program)
+                record = ReductionRecord(
+                    seed=seed, level=level,
+                    conjecture=violation.conjecture,
+                    variable=violation.variable,
+                    function=violation.function,
+                    line=violation.line, culprit=culprit, method=method,
+                    original_size=reduction.original_size,
+                    reduced_size=reduction.reduced_size,
+                    steps_tried=reduction.steps_tried,
+                    steps_accepted=reduction.steps_accepted,
+                    reduced_source=reduction.source)
+                return record, reduction
+            value, failure = boundary.evaluate(seed, compute, item=item)
+            if value is None:
+                if run is not None:
+                    persist_failure(store, run, failure)
                 continue
-        program = generate_validated(seed)
-        culprit = None
-        method = "none"
-        if with_triage:
-            triaged = triage(compiler, program, level, debugger,
-                             violation)
-            culprit = triaged.culprit
-            method = triaged.method
-        reduction = _reduce_one(compiler, level, debugger, violation,
-                                culprit, engine, max_steps, workers,
-                                program)
-        record = ReductionRecord(
-            seed=seed, level=level, conjecture=violation.conjecture,
-            variable=violation.variable, function=violation.function,
-            line=violation.line, culprit=culprit, method=method,
-            original_size=reduction.original_size,
-            reduced_size=reduction.reduced_size,
-            steps_tried=reduction.steps_tried,
-            steps_accepted=reduction.steps_accepted,
-            reduced_source=reduction.source)
-        result.records.append(record)
-        share: Dict[str, int] = {}
-        if reduction.stats is not None:
-            share = reduction.stats.as_dict()
-            for key, value in share.items():
-                totals[key] = totals.get(key, 0) + value
-        if run is not None:
-            payload = record.to_dict()
-            if share:
-                # Each witness carries its own slice of the oracle
-                # accounting so a resumed run reassembles the exact
-                # aggregate (int sums are order-independent).
-                payload["stats"] = share
-            store.put_reduction(
-                run, seed, level, violation.conjecture,
-                violation.variable, count, payload)
+            record, reduction = value
+            result.records.append(record)
+            share: Dict[str, int] = {}
+            if reduction.stats is not None:
+                share = reduction.stats.as_dict()
+                for key, value in share.items():
+                    totals[key] = totals.get(key, 0) + value
+            if run is not None:
+                payload = record.to_dict()
+                if share:
+                    # Each witness carries its own slice of the oracle
+                    # accounting so a resumed run reassembles the exact
+                    # aggregate (int sums are order-independent).
+                    payload["stats"] = share
+
+                def write(seed=seed, level=level, violation=violation,
+                          count=count, payload=payload):
+                    store.put_reduction(
+                        run, seed, level, violation.conjecture,
+                        violation.variable, count, payload)
+                if boundary.store_write(seed, write, item=item):
+                    store.clear_failure(run, seed, item)
+    except KeyboardInterrupt:
+        if store is not None:
+            store.checkpoint()
+        raise
     result.stats = totals
+    result.failures = merge_failures(result.failures,
+                                     boundary.failures)
     return result
 
 

@@ -56,6 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "sqlite file): finished witnesses are "
                              "written through and replayed on the next "
                              "run")
+    parser.add_argument("--faults", metavar="PLAN.json",
+                        help="inject faults from a repro-faults/1 plan "
+                             "(deterministic chaos testing)")
+    parser.add_argument("--max-attempts", type=int, default=None,
+                        metavar="N",
+                        help="containment retry budget per witness "
+                             "(default: 3)")
+    parser.add_argument("--no-retry-failed", action="store_true",
+                        help="with --store, carry quarantined failure "
+                             "records forward instead of retrying the "
+                             "failed witnesses")
     parser.add_argument("--indent", type=int, default=2,
                         help="artifact JSON indentation (default: 2)")
     parser.add_argument("--report", metavar="DIR",
@@ -84,14 +95,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
 
+    from ..pipeline.cli import (
+        _fault_options, _open_cli_store, _print_failures,
+    )
+    fault_options = _fault_options(parser, args)
     started = time.perf_counter()
-    from ..pipeline.cli import _open_cli_store
     store = _open_cli_store(args.store)
     try:
         result = run_reduction_campaign(
             campaign, engine=args.engine, max_steps=args.max_steps,
             with_triage=not args.no_triage, workers=args.workers,
-            limit=args.limit, store=store)
+            limit=args.limit, store=store, **fault_options)
     finally:
         if store is not None:
             store.close()
@@ -116,6 +130,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.output:
             print()
             print(f"artifact written to {args.output}")
+    _print_failures(result, args.quiet)
     if args.report:
         from ..report.manifest import render_all
         from ..report.renderers import DEFAULT_FORMATS

@@ -40,8 +40,8 @@ from .model import (
 from .renderers import DEFAULT_FORMATS, RENDERERS, render_many
 from .table import Table
 from .tables import (
-    STUDY_METRICS, fig1_tables, reduce_table, table1, table2, table3,
-    table4, verify_findings_table, verify_table,
+    STUDY_METRICS, failures_table, fig1_tables, reduce_table, table1,
+    table2, table3, table4, verify_findings_table, verify_table,
 )
 
 _FORMAT_CHOICES = tuple(sorted(set(RENDERERS)))
@@ -113,6 +113,8 @@ def build_parser() -> argparse.ArgumentParser:
     add("fig4", "violated-conjecture count per program (campaign or "
                 "matrix artifact)")
     add("reduce", "minimized witnesses (reduction artifact)")
+    add("failures", "contained failure records of a degraded run "
+                    "(campaign, matrix, verify, or reduction artifact)")
     add("verify", "static findings vs fired defects (verify artifact, "
                   "optionally followed by the same toolchain's "
                   "campaign artifact for the dynamic column)",
@@ -261,6 +263,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         reduction = _load_typed(parser, args.artifact,
                                 (ReductionCampaignResult,), command)
         return _emit(args, [reduce_table(reduction)], "reduce")
+
+    if command == "failures":
+        artifact = _load_typed(
+            parser, args.artifact,
+            (CampaignResult, MatrixCampaignResult, VerifyCampaignResult,
+             ReductionCampaignResult), command)
+        return _emit(args, [failures_table(artifact)], "failures")
 
     if command == "verify":
         if len(args.artifacts) > 2:

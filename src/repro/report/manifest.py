@@ -31,8 +31,8 @@ from .model import Artifact, TriageSummary
 from .renderers import DEFAULT_FORMATS, get_renderer
 from .table import Table
 from .tables import (
-    fig1_tables, reduce_table, table1, table2, table3, table4,
-    verify_findings_table, verify_table,
+    failures_table, fig1_tables, reduce_table, table1, table2, table3,
+    table4, verify_findings_table, verify_table,
 )
 
 #: Manifest schema tag; bump only with a migration path for readers.
@@ -49,6 +49,7 @@ DELIVERABLE_TITLES = {
     "fig4": "Figure 4 — violations per program",
     "reduce": "Reduction — minimized witnesses",
     "verify": "Static verification — findings vs fired defects",
+    "failures": "Fault tolerance — contained failures",
 }
 
 #: Rendering order of deliverables in ``manifest.json``.
@@ -70,6 +71,17 @@ def matrix_cell_tables(matrix: MatrixCampaignResult, builder,
     return tables
 
 
+def _with_failures(artifact: Artifact,
+                   deliverables: List[Tuple[str, List[Table]]]
+                   ) -> List[Tuple[str, List[Table]]]:
+    """Append the failures deliverable when the run degraded.  Fault-free
+    artifacts skip it so their manifests stay byte-identical to those
+    written before containment existed."""
+    if getattr(artifact, "failures", None):
+        deliverables.append(("failures", [failures_table(artifact)]))
+    return deliverables
+
+
 def deliverables_for(artifact: Artifact
                      ) -> List[Tuple[str, List[Table]]]:
     """Which deliverables one artifact can feed, as (id, tables) pairs."""
@@ -86,23 +98,25 @@ def deliverables_for(artifact: Artifact
             # only render an all-failures table, so they skip it.
             deliverables.insert(1, ("table2", [
                 table2(TriageSummary.from_campaign(artifact))]))
-        return deliverables
+        return _with_failures(artifact, deliverables)
     if isinstance(artifact, MatrixCampaignResult):
-        return [
+        return _with_failures(artifact, [
             ("table1", matrix_cell_tables(artifact, table1)),
             ("table4", [table4(artifact)]),
             ("venn", matrix_cell_tables(artifact, venn_table)),
             ("fig4", matrix_cell_tables(artifact, fig4_table)),
-        ]
+        ])
     if isinstance(artifact, StudyResult):
         return [("fig1", fig1_tables(artifact))]
     if isinstance(artifact, TriageSummary):
         return [("table2", [table2(artifact)])]
     if isinstance(artifact, ReductionCampaignResult):
-        return [("reduce", [reduce_table(artifact)])]
+        return _with_failures(artifact, [
+            ("reduce", [reduce_table(artifact)])])
     if isinstance(artifact, VerifyCampaignResult):
-        return [("verify", [verify_table(artifact),
-                            verify_findings_table(artifact)])]
+        return _with_failures(artifact, [
+            ("verify", [verify_table(artifact),
+                        verify_findings_table(artifact)])])
     raise TypeError(f"not a renderable artifact: "
                     f"{type(artifact).__name__}")
 
@@ -165,6 +179,9 @@ def render_all(artifacts: Sequence[Artifact], out_dir: str,
             grouped.setdefault("verify", []).extend(
                 [verify_table(artifact, paired),
                  verify_findings_table(artifact)])
+            if artifact.failures:
+                grouped.setdefault("failures", []).append(
+                    failures_table(artifact))
             continue
         for deliverable, tables in deliverables_for(artifact):
             grouped.setdefault(deliverable, []).extend(tables)

@@ -378,3 +378,47 @@ def reduce_table(reduction: "ReductionCampaignResult") -> Table:
         note=note + ".",
         kind="reduce",
     )
+
+
+# -- Fault tolerance (failures field of any campaign artifact) ----------------
+
+
+def failures_table(artifact) -> Table:
+    """Contained failure records of one degraded run.
+
+    One row per :class:`~repro.faults.FailureRecord` carried on the
+    artifact's ``failures`` field (campaign, matrix, verify, or
+    reduction — the matrix aggregates its cells).  ``quarantined`` rows
+    produced no result and are retried on the next resumed run against
+    the same store; ``recovered`` rows only carry the attempt
+    accounting, the result itself is present.  A fault-free run renders
+    an empty table.
+    """
+    from ..faults import failure_census
+    failures = sorted(artifact.failures)
+    rows: List[List[object]] = [
+        [record.seed, record.cell, record.item or "-", record.stage,
+         record.kind, record.status, record.attempts, record.error,
+         record.detail or "-"]
+        for record in failures
+    ]
+    quarantined = sum(1 for record in failures
+                      if record.status == "quarantined")
+    note = (f"{len(failures)} contained failures "
+            f"({quarantined} quarantined, "
+            f"{len(failures) - quarantined} recovered).")
+    census = failure_census(failures)
+    if census:
+        summary = ", ".join(
+            f"{stage}/{kind}/{error} x{count}"
+            for (stage, kind, error), count in sorted(census.items()))
+        note += f" Census: {summary}."
+    return Table(
+        title=(f"Fault tolerance — contained failures "
+               f"({quarantined} quarantined)"),
+        columns=["seed", "cell", "item", "stage", "kind", "status",
+                 "attempts", "error", "detail"],
+        rows=rows,
+        note=note,
+        kind="failures",
+    )

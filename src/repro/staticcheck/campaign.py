@@ -28,12 +28,20 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..compilers.compiler import Compiler, CompilerSpec
 from ..compilers.frontend import FrontendSession
+from ..faults.boundary import DEFAULT_MAX_ATTEMPTS, FailureBoundary
+from ..faults.plan import FaultPlan
+from ..faults.records import (
+    FailureRecord, failures_from_dicts, failures_to_dicts,
+    merge_failures,
+)
 from ..fuzz.seeds import SeedSpec
 from ..lang.printer import print_program
-from ..pipeline.campaign import fold_results, missing_field_error
+from ..pipeline.campaign import (
+    fold_results, missing_field_error, persist_failure, stored_failure,
+)
 from ..pipeline.parallel import (
-    SHARDS_PER_WORKER, as_compiler_spec, build_cached, default_workers,
-    _map_shards, _open_store,
+    SHARDS_PER_WORKER, RetryPolicy, as_compiler_spec, build_cached,
+    default_workers, _map_shards, _open_store, _respawn_bump,
 )
 from .findings import Finding
 from .verifier import verify_compilation
@@ -106,6 +114,9 @@ class VerifyCampaignResult:
     levels: List[str]
     pool_size: int = 0
     programs: List[VerifyProgramResult] = field(default_factory=list)
+    #: Contained per-seed failures (see repro.faults); omitted from the
+    #: serialized artifact when empty for byte-compatibility.
+    failures: List[FailureRecord] = field(default_factory=list)
 
     def finding_count(self, level: Optional[str] = None) -> int:
         return sum(p.finding_count(level) for p in self.programs)
@@ -154,12 +165,13 @@ class VerifyCampaignResult:
             family=self.family, version=self.version,
             levels=list(self.levels),
             pool_size=self.pool_size + other.pool_size,
-            programs=programs)
+            programs=programs,
+            failures=merge_failures(self.failures, other.failures))
 
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "schema": VERIFY_SCHEMA,
             "family": self.family,
             "version": self.version,
@@ -167,6 +179,9 @@ class VerifyCampaignResult:
             "pool_size": self.pool_size,
             "programs": [p.to_dict() for p in self.programs],
         }
+        if self.failures:
+            data["failures"] = failures_to_dicts(self.failures)
+        return data
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """The ``repro-verify/1`` artifact document (specified in
@@ -185,7 +200,8 @@ class VerifyCampaignResult:
                 family=data["family"], version=data["version"],
                 levels=list(data["levels"]), pool_size=data["pool_size"],
                 programs=[VerifyProgramResult.from_dict(p)
-                          for p in data["programs"]])
+                          for p in data["programs"]],
+                failures=failures_from_dicts(data.get("failures", ())))
         except KeyError as error:
             raise missing_field_error(VERIFY_SCHEMA, error) from None
 
@@ -217,13 +233,22 @@ def _resolve_levels(compiler: Compiler,
 
 def run_verify_campaign_seeds(compiler: Compiler, seeds: SeedSpec,
                               levels: Optional[Sequence[str]] = None,
-                              store=None) -> VerifyCampaignResult:
+                              store=None,
+                              faults: Optional[FaultPlan] = None,
+                              max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                              crash_base: int = 0,
+                              escalate_crashes: bool = False,
+                              retry_failed: bool = True
+                              ) -> VerifyCampaignResult:
     """Verify campaign over an explicit seed range (one shard's worth).
 
     With a :class:`~repro.store.CampaignStore`, already-verified
     ``(seed, cell)`` pairs are loaded back instead of recompiled, and
     fresh ones are written through — the same resume contract as
-    :func:`~repro.pipeline.campaign.run_campaign_seeds`.
+    :func:`~repro.pipeline.campaign.run_campaign_seeds`.  Evaluation
+    is fault-contained with the same boundary and knobs as the dynamic
+    driver (quarantined seeds become failure records instead of
+    aborting; ``KeyboardInterrupt`` flushes the store first).
     """
     levels = _resolve_levels(compiler, levels)
     result = VerifyCampaignResult(
@@ -233,43 +258,84 @@ def run_verify_campaign_seeds(compiler: Compiler, seeds: SeedSpec,
     if store is not None:
         run = store.run_id(VERIFY_SCHEMA, compiler.family,
                            compiler.version, levels)
-    for seed in seeds.seeds():
-        if run is not None:
-            stored = store.get_result(run, seed)
-            if stored is not None:
-                result.programs.append(
-                    VerifyProgramResult.from_dict(stored))
+    cell = f"{compiler.family}-{compiler.version}"
+    boundary = FailureBoundary(cell, faults=faults,
+                               max_attempts=max_attempts,
+                               crash_base=crash_base,
+                               escalate_crashes=escalate_crashes)
+    try:
+        for seed in seeds.seeds():
+            if run is not None:
+                stored = store.get_result(run, seed)
+                if stored is not None:
+                    result.programs.append(
+                        VerifyProgramResult.from_dict(stored))
+                    continue
+                if not retry_failed:
+                    prior = stored_failure(store, run, seed)
+                    if prior is not None:
+                        result.failures.append(prior)
+                        continue
+
+            def compute(probe, seed=seed):
+                probe("generate")
+                session = FrontendSession(seed)
+                program_result = VerifyProgramResult(
+                    seed=seed, fingerprint=session.fingerprint)
+                for level in levels:
+                    probe("compile")
+                    compilation = compiler.compile_ir(
+                        session.ir_module(), level,
+                        program_token=session.program_token)
+                    probe("verify")
+                    found = verify_compilation(compilation)
+                    program_result.findings[level] = found
+                    fired = compilation.fired_defects()
+                    if fired:
+                        program_result.fired[level] = fired
+                return session, program_result
+            value, record = boundary.evaluate(seed, compute)
+            if value is None:
+                if run is not None:
+                    persist_failure(store, run, record)
                 continue
-        session = FrontendSession(seed)
-        program_result = VerifyProgramResult(
-            seed=seed, fingerprint=session.fingerprint)
-        for level in levels:
-            compilation = compiler.compile_ir(
-                session.ir_module(), level,
-                program_token=session.program_token)
-            found = verify_compilation(compilation)
-            program_result.findings[level] = found
-            fired = compilation.fired_defects()
-            if fired:
-                program_result.fired[level] = fired
-        result.programs.append(program_result)
-        if run is not None:
-            store.add_program(seed, print_program(session.program))
-            store.record_module_fingerprint(seed, session.fingerprint)
-            store.put_result(run, seed, program_result.to_dict())
+            session, program_result = value
+            result.programs.append(program_result)
+            if run is not None:
+                def write(session=session,
+                          program_result=program_result, seed=seed):
+                    store.add_program(seed,
+                                      print_program(session.program))
+                    store.record_module_fingerprint(
+                        seed, session.fingerprint)
+                    store.put_result(run, seed,
+                                     program_result.to_dict())
+                if boundary.store_write(seed, write):
+                    store.clear_failure(run, seed, "")
+    except KeyboardInterrupt:
+        if store is not None:
+            store.checkpoint()
+        raise
+    result.failures = merge_failures(result.failures,
+                                     boundary.failures)
     return result
 
 
 def run_verify_campaign(compiler: Compiler, pool_size: int = 100,
                         seed_base: int = 0,
                         levels: Optional[Sequence[str]] = None,
-                        store=None) -> VerifyCampaignResult:
+                        store=None,
+                        faults: Optional[FaultPlan] = None,
+                        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                        retry_failed: bool = True
+                        ) -> VerifyCampaignResult:
     """Generate ``pool_size`` programs and statically verify each at
     every level — the serial driver behind ``repro-verify``
-    (resumable when ``store`` is given)."""
+    (resumable when ``store`` is given, fault-contained always)."""
     return run_verify_campaign_seeds(
         compiler, SeedSpec(base=seed_base, count=pool_size),
-        levels=levels, store=store)
+        levels=levels, store=store, faults=faults,
+        max_attempts=max_attempts, retry_failed=retry_failed)
 
 
 @dataclass(frozen=True)
@@ -280,16 +346,40 @@ class VerifyShard:
     seeds: SeedSpec
     levels: Optional[Tuple[str, ...]] = None
     store_path: Optional[str] = None
+    faults: Optional[FaultPlan] = None
+    crash_base: int = 0
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    retry_failed: bool = True
 
 
 def run_verify_shard(shard: VerifyShard) -> VerifyCampaignResult:
     """Worker entry point: one shard on the memoized toolchain (writing
-    through the shared WAL-mode store when the shard names one)."""
+    through the shared WAL-mode store when the shard names one).
+    Injected worker death escalates for the supervisor."""
     store = _open_store(shard.store_path)
     try:
         return run_verify_campaign_seeds(
             build_cached(shard.compiler), shard.seeds,
-            levels=shard.levels, store=store)
+            levels=shard.levels, store=store, faults=shard.faults,
+            max_attempts=shard.max_attempts,
+            crash_base=shard.crash_base, escalate_crashes=True,
+            retry_failed=shard.retry_failed)
+    finally:
+        if store is not None:
+            store.close()
+
+
+def _rescue_verify_shard(shard: VerifyShard, crashes: int,
+                         error: BaseException) -> VerifyCampaignResult:
+    """Re-run an abandoned shard in-driver under the serial boundary
+    (crash-heavy seeds quarantine, the rest verify normally)."""
+    store = _open_store(shard.store_path)
+    try:
+        return run_verify_campaign_seeds(
+            build_cached(shard.compiler), shard.seeds,
+            levels=shard.levels, store=store, faults=shard.faults,
+            max_attempts=shard.max_attempts, crash_base=crashes,
+            escalate_crashes=False, retry_failed=shard.retry_failed)
     finally:
         if store is not None:
             store.close()
@@ -300,14 +390,23 @@ def run_verify_campaign_parallel(compiler, pool_size: int = 100,
                                  levels: Optional[Sequence[str]] = None,
                                  workers: Optional[int] = None,
                                  start_method: str = "spawn",
-                                 store_path: Optional[str] = None
+                                 store_path: Optional[str] = None,
+                                 faults: Optional[FaultPlan] = None,
+                                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                                 retry_failed: bool = True,
+                                 retry: Optional[RetryPolicy] = None,
+                                 sleeper=None
                                  ) -> VerifyCampaignResult:
     """Sharded, multi-process verify campaign.
 
     Bit-identical to :func:`run_verify_campaign` for the same
-    arguments; ``workers <= 1`` runs the shards in-process.
-    ``store_path`` names a shared store file every worker writes
-    through (and resumes from) with WAL-mode concurrent access.
+    arguments — including under a ``faults`` chaos plan, whose worker
+    deaths are supervised with bounded respawns exactly like the
+    dynamic campaign's (see
+    :func:`~repro.pipeline.parallel.run_campaign_parallel`).
+    ``workers <= 1`` runs the shards in-process.  ``store_path`` names
+    a shared store file every worker writes through (and resumes from)
+    with WAL-mode concurrent access.
     """
     compiler_spec = as_compiler_spec(compiler)
     if workers is None:
@@ -321,8 +420,14 @@ def run_verify_campaign_parallel(compiler, pool_size: int = 100,
     shard_levels = tuple(levels) if levels is not None else None
     shards = [
         VerifyShard(compiler=compiler_spec, seeds=seed_shard,
-                    levels=shard_levels, store_path=store_path)
+                    levels=shard_levels, store_path=store_path,
+                    faults=faults, max_attempts=max_attempts,
+                    retry_failed=retry_failed)
         for seed_shard in spec.shard(max(1, workers) * SHARDS_PER_WORKER)
     ]
+    if retry is None:
+        retry = RetryPolicy(max_attempts=max_attempts)
     return merge_verify_results(
-        _map_shards(run_verify_shard, shards, workers, start_method))
+        _map_shards(run_verify_shard, shards, workers, start_method,
+                    retry=retry, respawn=_respawn_bump,
+                    rescue=_rescue_verify_shard, sleeper=sleeper))

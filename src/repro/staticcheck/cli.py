@@ -57,6 +57,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="persistent campaign store (repro-db/1 "
                              "sqlite file): verified seeds are written "
                              "through and replayed on the next run")
+    parser.add_argument("--faults", metavar="PLAN.json",
+                        help="inject faults from a repro-faults/1 plan "
+                             "(deterministic chaos testing)")
+    parser.add_argument("--max-attempts", type=int, default=None,
+                        metavar="N",
+                        help="containment retry budget per seed and "
+                             "respawn budget per crashed shard "
+                             "(default: 3)")
+    parser.add_argument("--no-retry-failed", action="store_true",
+                        help="with --store, carry quarantined failure "
+                             "records forward instead of retrying the "
+                             "failed seeds")
     parser.add_argument("--indent", type=int, default=2,
                         help="artifact JSON indentation (default: 2)")
     parser.add_argument("--report", metavar="DIR",
@@ -85,6 +97,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     workers = 1 if args.serial else (
         args.workers if args.workers is not None else None)
+    from ..pipeline.cli import _fault_options, _print_failures
+    fault_options = _fault_options(parser, args)
     started = time.perf_counter()
     if args.serial:
         from ..pipeline.cli import _open_cli_store
@@ -93,7 +107,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             result = run_verify_campaign(
                 compiler.build(), pool_size=args.pool_size,
                 seed_base=args.seed_base, levels=args.levels,
-                store=store)
+                store=store, **fault_options)
         finally:
             if store is not None:
                 store.close()
@@ -102,7 +116,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             compiler, pool_size=args.pool_size,
             seed_base=args.seed_base, levels=args.levels,
             workers=workers, start_method=args.start_method,
-            store_path=args.store)
+            store_path=args.store, **fault_options)
     elapsed = time.perf_counter() - started
 
     if args.output:
@@ -127,6 +141,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.output:
             print()
             print(f"artifact written to {args.output}")
+    _print_failures(result, args.quiet)
     if args.report:
         from ..report.manifest import render_all
         from ..report.renderers import DEFAULT_FORMATS

@@ -26,6 +26,9 @@ Layout (schema tag ``repro-db/1``; field-by-field spec in
                        resume for campaign / matrix-cell / verify runs
 ``reductions``         (run, seed, level, conjecture, variable) -> reduction
                        record blob + deduplicated reduced-program blob
+``failures``           (run, seed, item key) -> quarantined failure record
+                       blob (see :mod:`repro.faults`) — what a resumed run
+                       retries; created on demand in pre-failure stores
 =====================  ======================================================
 
 Everything the JSON artifacts serialize round-trips through the store
@@ -100,6 +103,13 @@ CREATE TABLE IF NOT EXISTS reductions (
     source_hash  TEXT NOT NULL REFERENCES blobs(hash),
     PRIMARY KEY (run_id, seed, level, conjecture, variable)
 );
+CREATE TABLE IF NOT EXISTS failures (
+    run_id       INTEGER NOT NULL REFERENCES runs(id),
+    seed         INTEGER NOT NULL,
+    key          TEXT NOT NULL DEFAULT '',
+    payload_hash TEXT NOT NULL REFERENCES blobs(hash),
+    PRIMARY KEY (run_id, seed, key)
+);
 """
 
 
@@ -121,6 +131,8 @@ class StoreStats:
     programs_added: int = 0
     blob_inserts: int = 0
     blob_reuses: int = 0     # content-hash dedup: text already present
+    failures_recorded: int = 0   # quarantined pairs written
+    failures_cleared: int = 0    # quarantined pairs retried successfully
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -131,6 +143,8 @@ class StoreStats:
             "programs_added": self.programs_added,
             "blob_inserts": self.blob_inserts,
             "blob_reuses": self.blob_reuses,
+            "failures_recorded": self.failures_recorded,
+            "failures_cleared": self.failures_cleared,
         }
 
 
@@ -451,6 +465,66 @@ class CampaignStore:
             "SELECT COUNT(*) AS n FROM results WHERE run_id = ?",
             (run_id,)).fetchone()["n"]
 
+    # -- failure records -----------------------------------------------------
+
+    def put_failure(self, run_id: int, seed: int, key: str,
+                    payload: Dict[str, object]) -> None:
+        """Record a quarantined pair (``key`` is the sub-seed item —
+        empty for whole-seed containment, the witness identity for
+        reductions).  A later quarantine of the same pair overwrites:
+        the newest disposition wins, unlike ``put_result`` the payload
+        may legitimately change across attempts."""
+        text = canonical_json(payload)
+        with self._conn:
+            payload_hash = self._put_blob(text)
+            self._conn.execute(
+                "INSERT OR REPLACE INTO failures VALUES (?, ?, ?, ?)",
+                (run_id, seed, key, payload_hash))
+        self.stats.failures_recorded += 1
+
+    def get_failure(self, run_id: int, seed: int, key: str = ""
+                    ) -> Optional[Dict[str, object]]:
+        """The quarantine record stored for one pair, or None."""
+        row = self._conn.execute(
+            "SELECT payload_hash FROM failures"
+            " WHERE run_id = ? AND seed = ? AND key = ?",
+            (run_id, seed, key)).fetchone()
+        if row is None:
+            return None
+        return json.loads(self._blob_text(row["payload_hash"]))
+
+    def clear_failure(self, run_id: int, seed: int,
+                      key: str = "") -> bool:
+        """Drop a pair's quarantine record (a retry succeeded); returns
+        whether one was present."""
+        with self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM failures"
+                " WHERE run_id = ? AND seed = ? AND key = ?",
+                (run_id, seed, key))
+        if cursor.rowcount:
+            self.stats.failures_cleared += 1
+        return bool(cursor.rowcount)
+
+    def failures_for(self, run_id: int) -> List[Dict[str, object]]:
+        """Every quarantine record of the run, in (seed, key) order."""
+        return [json.loads(self._blob_text(row["payload_hash"]))
+                for row in self._conn.execute(
+                    "SELECT payload_hash FROM failures"
+                    " WHERE run_id = ? ORDER BY seed, key", (run_id,))]
+
+    def checkpoint(self) -> None:
+        """Flush completed work to the main database file (commit plus
+        a WAL truncate).  The drivers call this from their
+        ``KeyboardInterrupt`` handlers so Ctrl-C never loses finished
+        cells; best-effort by design."""
+        try:
+            self._conn.commit()
+            if self.path != ":memory:":
+                self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        except sqlite3.Error:
+            return
+
     # -- reduction records ---------------------------------------------------
 
     def get_reduction(self, run_id: int, seed: int, level: str,
@@ -540,6 +614,15 @@ class CampaignStore:
                     "SELECT payload_hash FROM results WHERE run_id = ?"
                     " ORDER BY seed", (run_id,))]
 
+    def _run_failures(self, run_id: int):
+        """The run's quarantine records as typed, sorted
+        :class:`~repro.faults.records.FailureRecord` values — the form
+        the drivers keep on their results, so a loaded run compares
+        equal to the live one."""
+        from ..faults.records import FailureRecord
+        return sorted(FailureRecord.from_dict(payload)
+                      for payload in self.failures_for(run_id))
+
     def _load_campaign(self, info: RunInfo):
         from ..pipeline.campaign import CampaignResult, ProgramResult
         programs = [ProgramResult.from_dict(payload)
@@ -548,7 +631,7 @@ class CampaignStore:
         return CampaignResult(
             family=info.family, version=info.version,
             levels=list(info.levels), pool_size=pool_size,
-            programs=programs)
+            programs=programs, failures=self._run_failures(info.id))
 
     def _load_verify(self, info: RunInfo):
         from ..staticcheck.campaign import (
@@ -560,7 +643,7 @@ class CampaignStore:
         return VerifyCampaignResult(
             family=info.family, version=info.version,
             levels=list(info.levels), pool_size=pool_size,
-            programs=programs)
+            programs=programs, failures=self._run_failures(info.id))
 
     def _load_reduction(self, info: RunInfo):
         from ..pipeline.reduction import (
@@ -577,7 +660,8 @@ class CampaignStore:
             family=info.family, version=info.version,
             debugger=info.debugger, engine=info.engine,
             pool_size=info.attrs.get("pool_size", 0),
-            records=records, stats=dict(stats))
+            records=records, stats=dict(stats),
+            failures=self._run_failures(info.id))
 
     def export_matrix(self, run_ids: Optional[Iterable[int]] = None):
         """Assemble a :class:`~repro.pipeline.matrix.MatrixCampaignResult`
@@ -672,6 +756,9 @@ class CampaignStore:
                           debugger=debugger, attrs=attrs)
         for program in campaign.programs:
             self.put_result(run, program.seed, program.to_dict())
+        for record in campaign.failures:
+            self.put_failure(run, record.seed, record.item,
+                             record.to_dict())
         return run
 
     def _ingest_verify(self, campaign) -> int:
@@ -687,6 +774,9 @@ class CampaignStore:
             if program.fingerprint:
                 self.record_module_fingerprint(program.seed,
                                                program.fingerprint)
+        for record in campaign.failures:
+            self.put_failure(run, record.seed, record.item,
+                             record.to_dict())
         return run
 
     def _ingest_reduction(self, reduction) -> int:
@@ -699,6 +789,9 @@ class CampaignStore:
             self.put_reduction(
                 run, record.seed, record.level, record.conjecture,
                 record.variable, position, record.to_dict())
+        for record in reduction.failures:
+            self.put_failure(run, record.seed, record.item,
+                             record.to_dict())
         # Ingested artifacts carry only the aggregate stats; keep them
         # on the run so export reproduces the document exactly.
         self.set_run_attrs(run, stats=dict(reduction.stats))
@@ -711,7 +804,7 @@ class CampaignStore:
         table, compressed vs raw blob bytes, dedup savings."""
         counts = {}
         for table in ("blobs", "programs", "module_fingerprints",
-                      "runs", "results", "reductions"):
+                      "runs", "results", "reductions", "failures"):
             counts[table] = self._conn.execute(
                 f"SELECT COUNT(*) AS n FROM {table}").fetchone()["n"]
         sizes = self._conn.execute(
@@ -720,6 +813,7 @@ class CampaignStore:
         references = self._conn.execute(
             "SELECT (SELECT COUNT(*) FROM results)"
             " + (SELECT COUNT(*) FROM programs)"
+            " + (SELECT COUNT(*) FROM failures)"
             " + 2 * (SELECT COUNT(*) FROM reductions) AS n").fetchone()
         per_schema: Dict[str, int] = {}
         for row in self._conn.execute(
