@@ -43,11 +43,18 @@ BENCH_FAULTS_PATH = os.environ.get(
     "REPRO_BENCH_FAULTS_OUT",
     os.path.join(os.path.dirname(__file__), "BENCH_faults.json"))
 
+#: Where the version-bisection throughput benchmark lands; override
+#: with REPRO_BENCH_BISECT_OUT.
+BENCH_BISECT_PATH = os.environ.get(
+    "REPRO_BENCH_BISECT_OUT",
+    os.path.join(os.path.dirname(__file__), "BENCH_bisect.json"))
+
 _campaign_bench = {}
 _reduce_bench = {}
 _verify_bench = {}
 _store_bench = {}
 _faults_bench = {}
+_bisect_bench = {}
 
 
 def record_campaign_bench(**fields):
@@ -80,12 +87,19 @@ def record_faults_bench(**fields):
     _faults_bench.update(fields)
 
 
+def record_bisect_bench(**fields):
+    """Collect version-bisection probe/timing accounting; written to
+    ``BENCH_bisect.json`` at session end."""
+    _bisect_bench.update(fields)
+
+
 def pytest_sessionfinish(session, exitstatus):
     for data, path in ((_campaign_bench, BENCH_CAMPAIGN_PATH),
                        (_reduce_bench, BENCH_REDUCE_PATH),
                        (_verify_bench, BENCH_VERIFY_PATH),
                        (_store_bench, BENCH_STORE_PATH),
-                       (_faults_bench, BENCH_FAULTS_PATH)):
+                       (_faults_bench, BENCH_FAULTS_PATH),
+                       (_bisect_bench, BENCH_BISECT_PATH)):
         if data:
             with open(path, "w", encoding="utf-8") as handle:
                 json.dump(data, handle, indent=2, sort_keys=True)

@@ -8,6 +8,7 @@ setup(
     python_requires=">=3.9",
     entry_points={
         "console_scripts": [
+            "repro-bisect=repro.bisect.cli:main",
             "repro-campaign=repro.pipeline.cli:main",
             "repro-db=repro.store.cli:main",
             "repro-reduce=repro.reduce.cli:main",

@@ -1,0 +1,52 @@
+"""Version-axis defect bisection.
+
+Given a witness from a campaign — a seed, family, optimization level,
+and conjecture violation — this package binary-searches the family's
+release axis (``GCC_VERSIONS`` / ``CLANG_VERSIONS``) for the first-bad
+and last-good version of every fired defect, reusing the witness's
+:class:`~repro.compilers.frontend.FrontendSession` so each probe is a
+backend-only recompile.  Probe verdicts are memoized per
+``(version, level)``; non-monotone defect histories (a defect alive
+only in a middle segment of the axis) are handled by an oldest-first
+segment scan before the boundary search.
+
+Outcomes ship as a mergeable ``repro-bisect/1`` artifact
+(:class:`BisectCampaignResult`), produced by the serial driver
+(:func:`run_bisect_campaign`) or the sharded one
+(:func:`run_bisect_campaign_parallel`) — bit-identical either way —
+with store-backed resume keyed by witness fingerprint.  The ``repro-
+bisect`` console script (:mod:`repro.bisect.cli`) chains find →
+bisect; ``repro-report bisect`` renders the defect × version-range
+regression table.
+"""
+
+from .campaign import (
+    BISECT_SCHEMA, BisectCampaignResult, BisectRecord,
+    merge_bisect_results, run_bisect_campaign, witness_fingerprint,
+)
+from .core import (
+    BisectOutcome, ProbeVerdict, VersionProber, bisect_defect,
+    expected_window, family_versions, pass_support,
+)
+from .parallel import (
+    BisectShard, run_bisect_campaign_parallel, run_bisect_shard,
+)
+
+__all__ = [
+    "BISECT_SCHEMA",
+    "BisectCampaignResult",
+    "BisectOutcome",
+    "BisectRecord",
+    "BisectShard",
+    "ProbeVerdict",
+    "VersionProber",
+    "bisect_defect",
+    "expected_window",
+    "family_versions",
+    "merge_bisect_results",
+    "pass_support",
+    "run_bisect_campaign",
+    "run_bisect_campaign_parallel",
+    "run_bisect_shard",
+    "witness_fingerprint",
+]

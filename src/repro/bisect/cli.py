@@ -1,0 +1,212 @@
+"""``repro-bisect`` — bisect every witness of a campaign over the
+version axis.
+
+Takes a stored ``repro-campaign/1`` artifact (as written by
+``repro-campaign --output``) — or runs the find step itself with
+``--pool-size`` — and binary-searches the family's release axis for
+each fired defect's first-bad / last-good / fixed-in version, writing
+the outcomes as a ``repro-bisect/1`` artifact::
+
+    repro-campaign --family gcc --pool-size 40 --output campaign.json
+    repro-reduce campaign.json --output reduce.json
+    repro-bisect campaign.json --output bisect.json
+    repro-report bisect bisect.json --format md
+
+The one-command chain ``repro-bisect --family gcc --pool-size 40``
+runs the campaign (find) and the bisection in a single invocation.
+``--defect ID`` additionally segment-scans an explicitly requested
+defect for every witness; ``--no-discover`` restricts bisection to the
+campaign's fired defects.  Serial and sharded runs are bit-identical;
+``--store`` resumes finished witnesses with zero recompiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from ..pipeline.cli import (
+    _fault_options, _open_cli_store, _print_failures,
+    add_common_driver_args, default_workers,
+)
+from .campaign import run_bisect_campaign
+from .parallel import run_bisect_campaign_parallel
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bisect",
+        description="Bisect every witness of a campaign over the "
+                    "compiler version axis (repro-bisect/1).")
+    parser.add_argument("artifact", nargs="?",
+                        help="repro-campaign/1 artifact JSON path "
+                             "(omit to run the campaign here with "
+                             "--pool-size)")
+    parser.add_argument("--family", choices=("gcc", "clang"),
+                        default="gcc",
+                        help="compiler family (find mode)")
+    parser.add_argument("--version", default="trunk",
+                        help="anchor compiler version (find mode; "
+                             "default: trunk)")
+    parser.add_argument("--pool-size", type=int, default=None,
+                        help="find mode: generate and test this many "
+                             "programs first, then bisect")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed of the find-mode range")
+    parser.add_argument("--levels", nargs="+", metavar="LEVEL",
+                        help="find-mode optimization levels (default: "
+                             "every optimized level of the family)")
+    parser.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="bisect at most N witnesses (forces the "
+                             "serial driver)")
+    parser.add_argument("--defect", action="append", default=[],
+                        metavar="ID",
+                        help="also bisect this defect id for every "
+                             "witness (segment scan; repeatable)")
+    parser.add_argument("--no-discover", action="store_true",
+                        help="bisect only the campaign's fired defects "
+                             "(skip defects seen firing during probes)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: CPU count; "
+                             "1 = in-process)")
+    parser.add_argument("--serial", action="store_true",
+                        help="force the serial driver (ignores --workers)")
+    parser.add_argument("--start-method", default="spawn",
+                        choices=("spawn", "fork", "forkserver"),
+                        help="multiprocessing start method")
+    parser.add_argument("--output", metavar="PATH",
+                        help="write the repro-bisect/1 artifact here")
+    parser.add_argument("--campaign-output", metavar="PATH",
+                        help="find mode: also write the intermediate "
+                             "repro-campaign/1 artifact here")
+    add_common_driver_args(parser, unit="witness")
+    parser.add_argument("--indent", type=int, default=2,
+                        help="artifact JSON indentation (default: 2)")
+    parser.add_argument("--report", metavar="DIR",
+                        help="render the bisection deliverable plus a "
+                             "manifest.json into this directory")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary table")
+    return parser
+
+
+def _find_campaign(parser: argparse.ArgumentParser, args,
+                   workers: int, fault_options: dict):
+    """Find mode: run the campaign this process, sharing the store,
+    fault plan, and worker fleet the bisection will use."""
+    from ..compilers.compiler import CompilerSpec
+    from ..debugger import NATIVE_DEBUGGERS
+    from ..debugger.specs import DebuggerSpec
+    from ..pipeline.campaign import run_campaign
+    from ..pipeline.parallel import run_campaign_parallel
+    compiler = CompilerSpec(family=args.family, version=args.version)
+    debugger = DebuggerSpec(name=NATIVE_DEBUGGERS[args.family].name)
+    if args.serial or workers <= 1:
+        store = _open_cli_store(args.store)
+        try:
+            return run_campaign(
+                compiler.build(), debugger.build(),
+                pool_size=args.pool_size, seed_base=args.seed_base,
+                levels=args.levels, store=store, **fault_options)
+        finally:
+            if store is not None:
+                store.close()
+    return run_campaign_parallel(
+        compiler, debugger, pool_size=args.pool_size,
+        seed_base=args.seed_base, levels=args.levels, workers=workers,
+        start_method=args.start_method, store_path=args.store,
+        **fault_options)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.artifact is None and args.pool_size is None:
+        parser.error("give a repro-campaign/1 artifact path, or "
+                     "--pool-size to run the campaign here")
+    if args.artifact is not None and args.pool_size is not None:
+        parser.error("--pool-size runs the campaign here; it cannot "
+                     "be combined with an artifact path")
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    workers = 1 if args.serial else (
+        args.workers if args.workers is not None else default_workers())
+    fault_options = _fault_options(parser, args)
+
+    if args.artifact is not None:
+        from ..pipeline.campaign import CampaignResult
+        from ..report import load_artifact_file
+        try:
+            campaign = load_artifact_file(args.artifact)
+        except (OSError, ValueError) as error:
+            parser.error(f"{args.artifact}: {error}")
+        if not isinstance(campaign, CampaignResult):
+            parser.error(f"{args.artifact}: repro-bisect needs a "
+                         f"repro-campaign/1 artifact, got "
+                         f"{type(campaign).__name__}")
+    else:
+        campaign = _find_campaign(parser, args, workers, fault_options)
+        if args.campaign_output:
+            with open(args.campaign_output, "w",
+                      encoding="utf-8") as handle:
+                handle.write(campaign.to_json(indent=args.indent))
+                handle.write("\n")
+
+    started = time.perf_counter()
+    try:
+        if args.serial or workers <= 1 or args.limit is not None:
+            store = _open_cli_store(args.store)
+            try:
+                result = run_bisect_campaign(
+                    campaign, limit=args.limit,
+                    discover=not args.no_discover,
+                    defects=tuple(args.defect), store=store,
+                    **fault_options)
+            finally:
+                if store is not None:
+                    store.close()
+        else:
+            result = run_bisect_campaign_parallel(
+                campaign, discover=not args.no_discover,
+                defects=tuple(args.defect), workers=workers,
+                start_method=args.start_method, store_path=args.store,
+                **fault_options)
+    except ValueError as error:
+        parser.error(str(error))
+    elapsed = time.perf_counter() - started
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json(indent=args.indent))
+            handle.write("\n")
+
+    if not args.quiet:
+        from ..report import bisect_table, render
+        stats = result.stats
+        print(f"bisect campaign: {result.family}-{result.version}, "
+              f"{result.witnesses} witnesses, {len(result.records)} "
+              f"defect windows ({len(result.defects_seen())} distinct "
+              f"defects)")
+        print(f"elapsed: {elapsed:.2f}s ({stats.get('probes', 0)} "
+              f"probes for {stats.get('consults', 0)} consults, "
+              f"{stats.get('memo_hits', 0)} memo hits)")
+        if result.records:
+            print()
+            print(render(bisect_table(result), "text"))
+        if args.output:
+            print()
+            print(f"artifact written to {args.output}")
+    _print_failures(result, args.quiet)
+    if args.report:
+        from ..report.manifest import render_all
+        from ..report.renderers import DEFAULT_FORMATS
+        render_all([result], args.report, formats=DEFAULT_FORMATS)
+        if not args.quiet:
+            print(f"report written to {args.report}/manifest.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,26 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="multiprocessing start method")
     parser.add_argument("--output", metavar="PATH",
                         help="write the campaign artifact JSON here")
-    parser.add_argument("--store", metavar="PATH",
-                        help="persistent campaign store (repro-db/1 "
-                             "sqlite file): finished seeds are written "
-                             "through and replayed on the next run, so "
-                             "an interrupted or extended campaign only "
-                             "compiles the delta")
-    parser.add_argument("--faults", metavar="PLAN.json",
-                        help="inject faults from a repro-faults/1 plan "
-                             "(deterministic chaos testing: the "
-                             "campaign completes and records every "
-                             "injected failure)")
-    parser.add_argument("--max-attempts", type=int, default=None,
-                        metavar="N",
-                        help="containment retry budget per seed and "
-                             "respawn budget per crashed shard "
-                             "(default: 3)")
-    parser.add_argument("--no-retry-failed", action="store_true",
-                        help="with --store, carry quarantined failure "
-                             "records forward instead of retrying the "
-                             "failed seeds")
+    add_common_driver_args(parser)
     parser.add_argument("--indent", type=int, default=2,
                         help="artifact JSON indentation (default: 2)")
     parser.add_argument("--report", metavar="DIR",
@@ -118,6 +99,37 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the summary tables")
     return parser
+
+
+def add_common_driver_args(parser: argparse.ArgumentParser,
+                           unit: str = "seed",
+                           sharded: bool = True) -> None:
+    """The ``--store``/``--faults``/``--max-attempts`` /
+    ``--no-retry-failed`` group every campaign driver CLI shares
+    (campaign, verify, reduce, bisect).  ``unit`` is the driver's unit
+    of resume and containment ("seed" or "witness"); ``sharded``
+    drivers also spend the attempt budget on crashed-shard respawns.
+    """
+    parser.add_argument("--store", metavar="PATH",
+                        help=f"persistent campaign store (repro-db/1 "
+                             f"sqlite file): finished {unit}s are "
+                             f"written through and replayed on the "
+                             f"next run, so an interrupted or extended "
+                             f"run only pays for the delta")
+    parser.add_argument("--faults", metavar="PLAN.json",
+                        help="inject faults from a repro-faults/1 plan "
+                             "(deterministic chaos testing: the run "
+                             "completes and records every injected "
+                             "failure)")
+    budget = f"containment retry budget per {unit}"
+    if sharded:
+        budget += " and respawn budget per crashed shard"
+    parser.add_argument("--max-attempts", type=int, default=None,
+                        metavar="N", help=f"{budget} (default: 3)")
+    parser.add_argument("--no-retry-failed", action="store_true",
+                        help=f"with --store, carry quarantined failure "
+                             f"records forward instead of retrying the "
+                             f"failed {unit}s")
 
 
 def _parse_formats_csv(text: str):

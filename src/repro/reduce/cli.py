@@ -26,6 +26,7 @@ import sys
 import time
 from typing import Optional, Sequence
 
+from ..pipeline.cli import add_common_driver_args
 from ..pipeline.reduction import ENGINES, run_reduction_campaign
 
 
@@ -51,22 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "then preserve only the violation)")
     parser.add_argument("--output", metavar="PATH",
                         help="write the repro-reduce/1 artifact here")
-    parser.add_argument("--store", metavar="PATH",
-                        help="persistent campaign store (repro-db/1 "
-                             "sqlite file): finished witnesses are "
-                             "written through and replayed on the next "
-                             "run")
-    parser.add_argument("--faults", metavar="PLAN.json",
-                        help="inject faults from a repro-faults/1 plan "
-                             "(deterministic chaos testing)")
-    parser.add_argument("--max-attempts", type=int, default=None,
-                        metavar="N",
-                        help="containment retry budget per witness "
-                             "(default: 3)")
-    parser.add_argument("--no-retry-failed", action="store_true",
-                        help="with --store, carry quarantined failure "
-                             "records forward instead of retrying the "
-                             "failed witnesses")
+    add_common_driver_args(parser, unit="witness", sharded=False)
     parser.add_argument("--indent", type=int, default=2,
                         help="artifact JSON indentation (default: 2)")
     parser.add_argument("--report", metavar="DIR",

@@ -41,7 +41,8 @@ from .renderers import (
 )
 from .table import Table, format_cell
 from .tables import (
-    STUDY_METRICS, failures_table, fig1_table, fig1_tables,
-    format_table1_text, format_verify_findings_text, reduce_table,
-    table1, table2, table3, table4, verify_findings_table, verify_table,
+    STUDY_METRICS, bisect_table, failures_table, fig1_table,
+    fig1_tables, format_table1_text, format_verify_findings_text,
+    reduce_table, table1, table2, table3, table4,
+    verify_findings_table, verify_table,
 )

@@ -26,6 +26,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from ..bisect.campaign import BisectCampaignResult
 from ..metrics.study import StudyResult
 from ..pipeline.campaign import CampaignResult
 from ..pipeline.matrix import MatrixCampaignResult
@@ -40,8 +41,9 @@ from .model import (
 from .renderers import DEFAULT_FORMATS, RENDERERS, render_many
 from .table import Table
 from .tables import (
-    STUDY_METRICS, failures_table, fig1_tables, reduce_table, table1,
-    table2, table3, table4, verify_findings_table, verify_table,
+    STUDY_METRICS, bisect_table, failures_table, fig1_tables,
+    reduce_table, table1, table2, table3, table4,
+    verify_findings_table, verify_table,
 )
 
 _FORMAT_CHOICES = tuple(sorted(set(RENDERERS)))
@@ -113,8 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
     add("fig4", "violated-conjecture count per program (campaign or "
                 "matrix artifact)")
     add("reduce", "minimized witnesses (reduction artifact)")
+    add("bisect", "defect version ranges vs the catalog ground truth "
+                  "(bisect artifact)")
     add("failures", "contained failure records of a degraded run "
-                    "(campaign, matrix, verify, or reduction artifact)")
+                    "(campaign, matrix, verify, reduction, or bisect "
+                    "artifact)")
     add("verify", "static findings vs fired defects (verify artifact, "
                   "optionally followed by the same toolchain's "
                   "campaign artifact for the dynamic column)",
@@ -264,11 +269,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                 (ReductionCampaignResult,), command)
         return _emit(args, [reduce_table(reduction)], "reduce")
 
+    if command == "bisect":
+        bisection = _load_typed(parser, args.artifact,
+                                (BisectCampaignResult,), command)
+        return _emit(args, [bisect_table(bisection)], "bisect")
+
     if command == "failures":
         artifact = _load_typed(
             parser, args.artifact,
             (CampaignResult, MatrixCampaignResult, VerifyCampaignResult,
-             ReductionCampaignResult), command)
+             ReductionCampaignResult, BisectCampaignResult), command)
         return _emit(args, [failures_table(artifact)], "failures")
 
     if command == "verify":

@@ -21,6 +21,7 @@ import json
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..bisect.campaign import BisectCampaignResult
 from ..metrics.study import StudyResult
 from ..pipeline.campaign import CampaignResult
 from ..pipeline.matrix import MatrixCampaignResult
@@ -31,8 +32,8 @@ from .model import Artifact, TriageSummary
 from .renderers import DEFAULT_FORMATS, get_renderer
 from .table import Table
 from .tables import (
-    failures_table, fig1_tables, reduce_table, table1, table2, table3,
-    table4, verify_findings_table, verify_table,
+    bisect_table, failures_table, fig1_tables, reduce_table, table1,
+    table2, table3, table4, verify_findings_table, verify_table,
 )
 
 #: Manifest schema tag; bump only with a migration path for readers.
@@ -49,6 +50,7 @@ DELIVERABLE_TITLES = {
     "fig4": "Figure 4 — violations per program",
     "reduce": "Reduction — minimized witnesses",
     "verify": "Static verification — findings vs fired defects",
+    "bisect": "Bisection — defect version ranges",
     "failures": "Fault tolerance — contained failures",
 }
 
@@ -117,6 +119,9 @@ def deliverables_for(artifact: Artifact
         return _with_failures(artifact, [
             ("verify", [verify_table(artifact),
                         verify_findings_table(artifact)])])
+    if isinstance(artifact, BisectCampaignResult):
+        return _with_failures(artifact, [
+            ("bisect", [bisect_table(artifact)])])
     raise TypeError(f"not a renderable artifact: "
                     f"{type(artifact).__name__}")
 
@@ -149,6 +154,12 @@ def describe_artifact(artifact: Artifact) -> Dict[str, object]:
                 "version": artifact.version,
                 "pool_size": artifact.pool_size,
                 "findings": artifact.finding_count()}
+    if isinstance(artifact, BisectCampaignResult):
+        return {"schema": "repro-bisect/1", "family": artifact.family,
+                "version": artifact.version,
+                "pool_size": artifact.pool_size,
+                "witnesses": artifact.witnesses,
+                "records": len(artifact.records)}
     raise TypeError(f"not a renderable artifact: "
                     f"{type(artifact).__name__}")
 

@@ -11,6 +11,7 @@ repro JSON document back into its typed result — it sniffs the
 ``repro-triage/1``        :class:`TriageSummary` (defined here)
 ``repro-reduce/1``        :class:`~repro.pipeline.reduction.ReductionCampaignResult`
 ``repro-verify/1``        :class:`~repro.staticcheck.campaign.VerifyCampaignResult`
+``repro-bisect/1``        :class:`~repro.bisect.campaign.BisectCampaignResult`
 ========================  =============================================
 
 Every schema is documented field by field in ``docs/ARTIFACTS.md``.
@@ -33,6 +34,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Union
 
+from ..bisect.campaign import BISECT_SCHEMA, BisectCampaignResult
 from ..metrics.study import STUDY_SCHEMA, StudyResult
 from ..pipeline.campaign import CAMPAIGN_SCHEMA, CampaignResult
 from ..pipeline.matrix import MATRIX_SCHEMA, MatrixCampaignResult
@@ -153,7 +155,7 @@ class TriageSummary:
 #: Anything :func:`load_artifact` can give back.
 Artifact = Union[CampaignResult, MatrixCampaignResult, StudyResult,
                  TriageSummary, ReductionCampaignResult,
-                 VerifyCampaignResult]
+                 VerifyCampaignResult, BisectCampaignResult]
 
 _LOADERS = {
     CAMPAIGN_SCHEMA: CampaignResult.from_dict,
@@ -162,6 +164,7 @@ _LOADERS = {
     TRIAGE_SCHEMA: TriageSummary.from_dict,
     REDUCE_SCHEMA: ReductionCampaignResult.from_dict,
     VERIFY_SCHEMA: VerifyCampaignResult.from_dict,
+    BISECT_SCHEMA: BisectCampaignResult.from_dict,
 }
 
 

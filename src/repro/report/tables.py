@@ -380,6 +380,91 @@ def reduce_table(reduction: "ReductionCampaignResult") -> Table:
     )
 
 
+# -- Bisection (repro-bisect/1) ----------------------------------------------
+
+
+def bisect_table(bisect: "BisectCampaignResult") -> Table:
+    """The defect x version-range regression table of one bisection.
+
+    One row per bisected defect window: the witness it was bisected
+    from, the observed ``(last-good, first-bad, fixed-in)`` boundary in
+    version names, the catalog's static window for cross-reference, and
+    the agreement class — ``match`` (observed boundary equals the
+    catalog window), ``clipped`` (equals the catalog window intersected
+    with the versions that schedule the defect's pass at this level),
+    ``inactive`` (correctly never fired at this level), ``masked``
+    (seen firing in a full compile but never under the isolated probe —
+    a defect exposed only by another defect's interference), or
+    ``mismatch`` (the dynamic bisection disagrees with the static
+    catalog — a real regression in one of the two).
+    """
+    from ..bisect.core import expected_window, family_versions
+    versions = family_versions(bisect.family)
+
+    def name(index: Optional[int]) -> str:
+        return versions[index] if index is not None else "-"
+
+    catalog = {defect.defect_id: defect
+               for defect in defects_for_family(bisect.family)}
+    rows: List[List[object]] = []
+    agreement: dict = {}
+    for record in bisect.records:
+        defect = catalog.get(record.defect)
+        if defect is None:
+            klass = "unknown"
+        else:
+            expected = expected_window(defect, bisect.family,
+                                       record.level)
+            observed = (record.last_good, record.first_bad,
+                        record.fixed_in)
+            naive = (record.introduced - 1 if record.introduced > 0
+                     else None,
+                     record.introduced, record.catalog_fixed_in)
+            if observed == (expected.last_good, expected.first_bad,
+                            expected.fixed_in):
+                if record.first_bad is None:
+                    klass = "inactive"
+                else:
+                    klass = "match" if observed == naive else "clipped"
+            elif record.first_bad is None:
+                klass = "masked"
+            else:
+                klass = "mismatch"
+        agreement[klass] = agreement.get(klass, 0) + 1
+        catalog_range = name(record.introduced)
+        catalog_range += (f"..{name(record.catalog_fixed_in)}"
+                          if record.catalog_fixed_in is not None
+                          else "..")
+        rows.append([record.seed, record.level, record.conjecture,
+                     record.variable, record.defect, record.origin,
+                     name(record.last_good), name(record.first_bad),
+                     name(record.fixed_in), catalog_range, klass,
+                     record.probes])
+    stats = bisect.stats
+    summary = ", ".join(f"{count} {klass}" for klass, count
+                        in sorted(agreement.items())) or "no records"
+    note = (f"{len(bisect.records)} defect windows over "
+            f"{bisect.witnesses} witnesses on the "
+            f"{'/'.join(versions)} axis ({summary}); "
+            f"{stats.get('probes', 0)} probes answered "
+            f"{stats.get('consults', 0)} consults "
+            f"({stats.get('memo_hits', 0)} memo hits). Catalog column "
+            f"is the static introduced..fixed-in window; 'clipped' "
+            f"rows shrink it to versions scheduling the defect's "
+            f"pass.")
+    return Table(
+        title=(f"Bisection — defect version ranges "
+               f"({bisect.family}-{bisect.version}, "
+               f"{bisect.pool_size}-program campaign)"),
+        columns=["seed", "level", "conjecture", "variable", "defect",
+                 "origin", "last-good", "first-bad", "fixed-in",
+                 "catalog", "class", "probes"],
+        rows=rows,
+        note=note,
+        kind="bisect",
+    )
+
+
 # -- Fault tolerance (failures field of any campaign artifact) ----------------
 
 

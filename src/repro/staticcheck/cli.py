@@ -21,6 +21,7 @@ import time
 from typing import Optional, Sequence
 
 from ..compilers.compiler import CompilerSpec
+from ..pipeline.cli import add_common_driver_args
 from .campaign import (
     run_verify_campaign, run_verify_campaign_parallel,
 )
@@ -53,22 +54,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="multiprocessing start method")
     parser.add_argument("--output", metavar="PATH",
                         help="write the verify artifact JSON here")
-    parser.add_argument("--store", metavar="PATH",
-                        help="persistent campaign store (repro-db/1 "
-                             "sqlite file): verified seeds are written "
-                             "through and replayed on the next run")
-    parser.add_argument("--faults", metavar="PLAN.json",
-                        help="inject faults from a repro-faults/1 plan "
-                             "(deterministic chaos testing)")
-    parser.add_argument("--max-attempts", type=int, default=None,
-                        metavar="N",
-                        help="containment retry budget per seed and "
-                             "respawn budget per crashed shard "
-                             "(default: 3)")
-    parser.add_argument("--no-retry-failed", action="store_true",
-                        help="with --store, carry quarantined failure "
-                             "records forward instead of retrying the "
-                             "failed seeds")
+    add_common_driver_args(parser)
     parser.add_argument("--indent", type=int, default=2,
                         help="artifact JSON indentation (default: 2)")
     parser.add_argument("--report", metavar="DIR",

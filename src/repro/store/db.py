@@ -26,6 +26,9 @@ Layout (schema tag ``repro-db/1``; field-by-field spec in
                        resume for campaign / matrix-cell / verify runs
 ``reductions``         (run, seed, level, conjecture, variable) -> reduction
                        record blob + deduplicated reduced-program blob
+``bisections``         (run, witness fingerprint) -> one witness's bisected
+                       version windows (records + probe accounting) — the
+                       unit of resume for bisection campaigns
 ``failures``           (run, seed, item key) -> quarantined failure record
                        blob (see :mod:`repro.faults`) — what a resumed run
                        retries; created on demand in pre-failure stores
@@ -110,6 +113,14 @@ CREATE TABLE IF NOT EXISTS failures (
     payload_hash TEXT NOT NULL REFERENCES blobs(hash),
     PRIMARY KEY (run_id, seed, key)
 );
+CREATE TABLE IF NOT EXISTS bisections (
+    run_id       INTEGER NOT NULL REFERENCES runs(id),
+    witness_fp   TEXT NOT NULL,
+    seed         INTEGER NOT NULL,
+    position     INTEGER NOT NULL,
+    payload_hash TEXT NOT NULL REFERENCES blobs(hash),
+    PRIMARY KEY (run_id, witness_fp)
+);
 """
 
 
@@ -128,6 +139,8 @@ class StoreStats:
     misses: int = 0          # results evaluated live and written
     reductions_reused: int = 0
     reductions_stored: int = 0
+    bisections_reused: int = 0
+    bisections_stored: int = 0
     programs_added: int = 0
     blob_inserts: int = 0
     blob_reuses: int = 0     # content-hash dedup: text already present
@@ -140,6 +153,8 @@ class StoreStats:
             "misses": self.misses,
             "reductions_reused": self.reductions_reused,
             "reductions_stored": self.reductions_stored,
+            "bisections_reused": self.bisections_reused,
+            "bisections_stored": self.bisections_stored,
             "programs_added": self.programs_added,
             "blob_inserts": self.blob_inserts,
             "blob_reuses": self.blob_reuses,
@@ -590,11 +605,63 @@ class CampaignStore:
             out.append(payload)
         return out
 
+    # -- bisection records ---------------------------------------------------
+
+    def get_bisection(self, run_id: int, witness_fp: str
+                      ) -> Optional[Dict[str, object]]:
+        """The stored bisection payload for one witness fingerprint
+        (``witness``/``records``/``stats`` dict), or None."""
+        row = self._conn.execute(
+            "SELECT payload_hash FROM bisections"
+            " WHERE run_id = ? AND witness_fp = ?",
+            (run_id, witness_fp)).fetchone()
+        if row is None:
+            return None
+        self.stats.bisections_reused += 1
+        return json.loads(self._blob_text(row["payload_hash"]))
+
+    def put_bisection(self, run_id: int, witness_fp: str, seed: int,
+                      position: int,
+                      payload: Dict[str, object]) -> None:
+        """Record one bisected witness (idempotent for an identical
+        payload; a divergent payload is a determinism violation).
+        ``position`` is the witness's index in the deterministic
+        enumeration order, which export replays."""
+        text = canonical_json(payload)
+        existing = self._conn.execute(
+            "SELECT payload_hash FROM bisections"
+            " WHERE run_id = ? AND witness_fp = ?",
+            (run_id, witness_fp)).fetchone()
+        if existing is not None:
+            if existing["payload_hash"] != text_digest(text):
+                raise StoreError(
+                    f"run {run_id} witness {witness_fp} already stored "
+                    f"with a different bisection: non-deterministic "
+                    f"probing?")
+            return
+        with self._conn:
+            payload_hash = self._put_blob(text)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO bisections"
+                " VALUES (?, ?, ?, ?, ?)",
+                (run_id, witness_fp, seed, position, payload_hash))
+        self.stats.bisections_stored += 1
+
+    def bisection_payloads(self, run_id: int) -> List[Dict[str, object]]:
+        """Every stored bisection payload of the run, in enumeration
+        (``position``) order."""
+        return [json.loads(self._blob_text(row["payload_hash"]))
+                for row in self._conn.execute(
+                    "SELECT payload_hash FROM bisections"
+                    " WHERE run_id = ? ORDER BY position, witness_fp",
+                    (run_id,))]
+
     # -- artifact export -----------------------------------------------------
 
     def load_run(self, run_id: int):
         """Rebuild the typed result a run's rows represent (the exact
         value the matching driver would return)."""
+        from ..bisect.campaign import BISECT_SCHEMA
         from ..pipeline.campaign import CAMPAIGN_SCHEMA
         from ..pipeline.reduction import REDUCE_SCHEMA
         from ..staticcheck.campaign import VERIFY_SCHEMA
@@ -605,6 +672,8 @@ class CampaignStore:
             return self._load_verify(info)
         if info.schema == REDUCE_SCHEMA:
             return self._load_reduction(info)
+        if info.schema == BISECT_SCHEMA:
+            return self._load_bisection(info)
         raise StoreError(f"run {run_id} has unloadable schema "
                          f"{info.schema!r}")
 
@@ -659,6 +728,22 @@ class CampaignStore:
         return ReductionCampaignResult(
             family=info.family, version=info.version,
             debugger=info.debugger, engine=info.engine,
+            pool_size=info.attrs.get("pool_size", 0),
+            records=records, stats=dict(stats),
+            failures=self._run_failures(info.id))
+
+    def _load_bisection(self, info: RunInfo):
+        from ..bisect.campaign import BisectCampaignResult, BisectRecord
+        records = []
+        totals: Dict[str, int] = {}
+        for payload in self.bisection_payloads(info.id):
+            for key, value in payload.get("stats", {}).items():
+                totals[key] = totals.get(key, 0) + value
+            records.extend(BisectRecord.from_dict(r)
+                           for r in payload["records"])
+        stats = info.attrs.get("stats", totals)
+        return BisectCampaignResult(
+            family=info.family, version=info.version,
             pool_size=info.attrs.get("pool_size", 0),
             records=records, stats=dict(stats),
             failures=self._run_failures(info.id))
@@ -722,12 +807,15 @@ class CampaignStore:
         debugger produced it; pass ``debugger`` to file it under the
         cell a live run would resume.
         """
+        from ..bisect.campaign import BisectCampaignResult
         from ..pipeline.campaign import CampaignResult
         from ..pipeline.matrix import MatrixCampaignResult
         from ..pipeline.reduction import ReductionCampaignResult
         from ..staticcheck.campaign import VerifyCampaignResult
         if isinstance(artifact, CampaignResult):
             return [self._ingest_campaign(artifact, debugger)]
+        if isinstance(artifact, BisectCampaignResult):
+            return [self._ingest_bisect(artifact)]
         if isinstance(artifact, MatrixCampaignResult):
             run_ids = []
             for (family, version, cell_debugger) in artifact.cell_keys():
@@ -744,7 +832,7 @@ class CampaignStore:
         raise StoreError(
             f"{type(artifact).__name__} artifacts are not stored in a "
             f"campaign store (supported: campaign, matrix, verify, "
-            f"reduction results)")
+            f"reduction, bisect results)")
 
     def _ingest_campaign(self, campaign, debugger: str) -> int:
         from ..pipeline.campaign import CAMPAIGN_SCHEMA
@@ -797,6 +885,49 @@ class CampaignStore:
         self.set_run_attrs(run, stats=dict(reduction.stats))
         return run
 
+    def _ingest_bisect(self, result) -> int:
+        """File a ``repro-bisect/1`` artifact under the exact rows a
+        live run would resume.  Bisection rows are keyed by witness
+        fingerprint, which hashes the lowered module's digest — when
+        the store has no recorded fingerprint for a seed, the module
+        is lowered here (a frontend-only cost, paid once per seed and
+        recorded, so later live runs resume for free)."""
+        from ..bisect.campaign import BISECT_SCHEMA, witness_fingerprint
+        run = self.run_id(BISECT_SCHEMA, result.family, result.version,
+                          ())
+        groups: Dict[Tuple[int, str, str, str], List] = {}
+        for record in result.records:
+            key = (record.seed, record.level, record.conjecture,
+                   record.variable)
+            groups.setdefault(key, []).append(record)
+        module_fps: Dict[int, str] = {}
+        for position, (key, records) in enumerate(groups.items()):
+            seed, level, conjecture, variable = key
+            module_fp = module_fps.get(seed)
+            if module_fp is None:
+                module_fp = self.module_fingerprint(seed)
+            if module_fp is None:
+                from ..compilers.frontend import FrontendSession
+                module_fp = FrontendSession(seed).fingerprint
+                self.record_module_fingerprint(seed, module_fp)
+            module_fps[seed] = module_fp
+            fingerprint = witness_fingerprint(module_fp, level,
+                                              conjecture, variable)
+            self.put_bisection(run, fingerprint, seed, position, {
+                "witness": {"seed": seed, "level": level,
+                            "conjecture": conjecture,
+                            "variable": variable},
+                "records": [r.to_dict() for r in records],
+            })
+        for record in result.failures:
+            self.put_failure(run, record.seed, record.item,
+                             record.to_dict())
+        # Ingested artifacts carry only the aggregate stats; keep them
+        # on the run so export reproduces the document exactly.
+        self.set_run_attrs(run, stats=dict(result.stats),
+                           pool_size=result.pool_size)
+        return run
+
     # -- statistics ----------------------------------------------------------
 
     def summary(self) -> Dict[str, object]:
@@ -804,7 +935,8 @@ class CampaignStore:
         table, compressed vs raw blob bytes, dedup savings."""
         counts = {}
         for table in ("blobs", "programs", "module_fingerprints",
-                      "runs", "results", "reductions", "failures"):
+                      "runs", "results", "reductions", "bisections",
+                      "failures"):
             counts[table] = self._conn.execute(
                 f"SELECT COUNT(*) AS n FROM {table}").fetchone()["n"]
         sizes = self._conn.execute(
@@ -814,6 +946,7 @@ class CampaignStore:
             "SELECT (SELECT COUNT(*) FROM results)"
             " + (SELECT COUNT(*) FROM programs)"
             " + (SELECT COUNT(*) FROM failures)"
+            " + (SELECT COUNT(*) FROM bisections)"
             " + 2 * (SELECT COUNT(*) FROM reductions) AS n").fetchone()
         per_schema: Dict[str, int] = {}
         for row in self._conn.execute(

@@ -15,7 +15,6 @@ Plus round-trip and schema-stability coverage for the JSON artifacts.
 import json
 import multiprocessing
 import os
-import random
 
 import pytest
 
@@ -121,40 +120,8 @@ def test_parallel_accepts_live_objects(serial_gcc):
 # -- merge algebra ------------------------------------------------------------
 
 
-def _shards_of(result, cuts):
-    """Rebuild shard CampaignResults from a random split of programs."""
-    shards = []
-    for group in cuts:
-        shards.append(CampaignResult(
-            family=result.family, version=result.version,
-            levels=list(result.levels), pool_size=len(group),
-            programs=list(group)))
-    return shards
-
-
-def test_merge_order_independent_and_associative(serial_gcc):
-    rng = random.Random(1234)
-    for _ in range(10):
-        programs = list(serial_gcc.programs)
-        rng.shuffle(programs)
-        num_shards = rng.randint(2, len(programs))
-        bounds = sorted(rng.sample(range(1, len(programs)),
-                                   num_shards - 1))
-        cuts = [programs[i:j]
-                for i, j in zip([0] + bounds, bounds + [len(programs)])]
-        shards = _shards_of(serial_gcc, cuts)
-
-        # any merge order...
-        rng.shuffle(shards)
-        left = merge_results(shards)
-        # ...and any association
-        right = shards[-1]
-        for shard in reversed(shards[:-1]):
-            right = shard.merge(right)
-        assert left == right == serial_gcc
-        assert left.table1() == serial_gcc.table1()
-        assert left.venn() == serial_gcc.venn()
-        assert left.grid_row() == serial_gcc.grid_row()
+# (Random shard trees / fold-order identity now live in
+# tests/test_merge_algebra.py, covering all five artifact schemas.)
 
 
 def test_merge_rejects_mismatched_shards(serial_gcc):

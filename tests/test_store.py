@@ -25,7 +25,6 @@ Pins the contracts the store subsystem is built on:
 import dataclasses
 import json
 import os
-import random
 
 import pytest
 
@@ -33,7 +32,7 @@ from repro.compilers import Compiler
 from repro.debugger import GdbLike, LldbLike
 from repro.pipeline import (
     CampaignResult, MatrixCampaignResult, ReductionCampaignResult,
-    fold_results, merge_matrix_results, merge_reduction_results,
+    merge_matrix_results, merge_reduction_results,
     merge_results, run_campaign, run_campaign_parallel,
     run_matrix_campaign, run_reduction_campaign,
 )
@@ -317,82 +316,9 @@ def test_reduce_resume_bit_identical_and_incremental(
 # -- merge algebra ------------------------------------------------------------
 
 
-def _shard_campaign(result, cuts, shuffle_levels=None):
-    """Split a campaign-like result into per-seed-range shards."""
-    shards = []
-    bounds = [0] + cuts + [len(result.programs)]
-    for index, (low, high) in enumerate(zip(bounds, bounds[1:])):
-        levels = list(result.levels)
-        if shuffle_levels is not None and index > 0:
-            shuffle_levels.shuffle(levels)
-        shards.append(type(result)(
-            family=result.family, version=result.version, levels=levels,
-            pool_size=high - low, programs=result.programs[low:high]))
-    return shards
-
-
-def test_campaign_merge_random_shard_trees(serial_gcc):
-    rng = random.Random(7)
-    reference = serial_gcc.to_json(indent=2)
-    for _ in range(10):
-        cuts = sorted(rng.sample(range(1, POOL), rng.randint(1, 3)))
-        shards = _shard_campaign(serial_gcc, cuts, shuffle_levels=rng)
-        order = shards[1:]
-        rng.shuffle(order)
-        merged = fold_results([shards[0]] + order)
-        # Any split, any fold order, any *shard* level order: the same
-        # artifact (display order comes from the left-most shard).
-        assert merged.to_json(indent=2) == reference
-
-
-def test_merge_levels_order_insensitive_campaign(serial_gcc):
-    shards = _shard_campaign(serial_gcc, [3])
-    shards[1].levels = list(reversed(shards[1].levels))
-    merged = shards[0].merge(shards[1])
-    assert merged.to_json(indent=2) == serial_gcc.to_json(indent=2)
-    shards[1].levels = ["O1"]
-    with pytest.raises(ValueError, match="different level sets"):
-        shards[0].merge(shards[1])
-
-
-def test_merge_levels_order_insensitive_verify(serial_verify):
-    left = VerifyCampaignResult(
-        family=serial_verify.family, version=serial_verify.version,
-        levels=list(serial_verify.levels), pool_size=2,
-        programs=serial_verify.programs[:2])
-    right = VerifyCampaignResult(
-        family=serial_verify.family, version=serial_verify.version,
-        levels=list(reversed(serial_verify.levels)), pool_size=1,
-        programs=serial_verify.programs[2:])
-    merged = left.merge(right)
-    assert merged.to_json(indent=2) == serial_verify.to_json(indent=2)
-    right.levels = ["O0"]
-    with pytest.raises(ValueError, match="different level "):
-        left.merge(right)
-
-
-def test_merge_levels_order_insensitive_matrix():
-    full = run_matrix_campaign(
-        compilers=[Compiler("gcc", "trunk")], debuggers=[GdbLike()],
-        pool_size=2)
-    key = ("gcc", "trunk", "gdb-like")
-    shards = []
-    for low, high in ((0, 1), (1, 2)):
-        shard = MatrixCampaignResult(pool_size=high - low)
-        cell = full.cells[key]
-        levels = list(cell.levels)
-        if low:  # the right shard evaluated its levels backwards
-            levels.reverse()
-        shard.cells[key] = CampaignResult(
-            family="gcc", version="trunk", levels=levels,
-            pool_size=high - low, programs=cell.programs[low:high])
-        shard.fingerprints = {
-            seed: fingerprint
-            for seed, fingerprint in full.fingerprints.items()
-            if low <= seed < high}
-        shards.append(shard)
-    merged = merge_matrix_results(shards)
-    assert merged.to_json(indent=2) == full.to_json(indent=2)
+# (Random shard trees and level-order insensitivity for the
+# campaign/matrix/verify schemas now live in
+# tests/test_merge_algebra.py, covering all five artifact schemas.)
 
 
 def test_reduction_merge_identity_and_overlap(serial_reduce):
