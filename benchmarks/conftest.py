@@ -49,12 +49,19 @@ BENCH_BISECT_PATH = os.environ.get(
     "REPRO_BENCH_BISECT_OUT",
     os.path.join(os.path.dirname(__file__), "BENCH_bisect.json"))
 
+#: Where the campaign-service throughput benchmark lands; override
+#: with REPRO_BENCH_SERVE_OUT.
+BENCH_SERVE_PATH = os.environ.get(
+    "REPRO_BENCH_SERVE_OUT",
+    os.path.join(os.path.dirname(__file__), "BENCH_serve.json"))
+
 _campaign_bench = {}
 _reduce_bench = {}
 _verify_bench = {}
 _store_bench = {}
 _faults_bench = {}
 _bisect_bench = {}
+_serve_bench = {}
 
 
 def record_campaign_bench(**fields):
@@ -93,13 +100,20 @@ def record_bisect_bench(**fields):
     _bisect_bench.update(fields)
 
 
+def record_serve_bench(**fields):
+    """Collect served-vs-serial campaign timings; written to
+    ``BENCH_serve.json`` at session end."""
+    _serve_bench.update(fields)
+
+
 def pytest_sessionfinish(session, exitstatus):
     for data, path in ((_campaign_bench, BENCH_CAMPAIGN_PATH),
                        (_reduce_bench, BENCH_REDUCE_PATH),
                        (_verify_bench, BENCH_VERIFY_PATH),
                        (_store_bench, BENCH_STORE_PATH),
                        (_faults_bench, BENCH_FAULTS_PATH),
-                       (_bisect_bench, BENCH_BISECT_PATH)):
+                       (_bisect_bench, BENCH_BISECT_PATH),
+                       (_serve_bench, BENCH_SERVE_PATH)):
         if data:
             with open(path, "w", encoding="utf-8") as handle:
                 json.dump(data, handle, indent=2, sort_keys=True)

@@ -13,6 +13,7 @@ setup(
             "repro-db=repro.store.cli:main",
             "repro-reduce=repro.reduce.cli:main",
             "repro-report=repro.report.cli:main",
+            "repro-serve=repro.serve.cli:main",
             "repro-verify=repro.staticcheck.cli:main",
         ],
     },

@@ -20,9 +20,11 @@ from .boundary import (
     in_worker_process,
 )
 from .plan import (
-    ERROR_STAGES, FAULT_KINDS, FAULTPLAN_SCHEMA, PERSISTENT, FaultPlan,
-    FaultSpec, InjectedCrash, InjectedError, InjectedFault, InjectedHang,
+    ERROR_STAGES, FAULT_KINDS, FAULTPLAN_SCHEMA, PERSISTENT,
+    SERVICE_STAGES, FaultPlan, FaultSpec, InjectedCrash, InjectedError,
+    InjectedFault, InjectedHang,
 )
+from .shutdown import install_sigterm_interrupt, run_interruptible
 from .records import (
     FAILURE_KINDS, FAILURE_STAGES, FAILURE_STATUSES, FailureRecord,
     failure_census, failures_from_dicts, failures_to_dicts,
@@ -34,7 +36,8 @@ __all__ = [
     "FAILURE_STAGES", "FAILURE_STATUSES", "FAULTPLAN_SCHEMA",
     "FAULT_KINDS", "FailureBoundary", "FailureRecord", "FaultPlan",
     "FaultSpec", "InjectedCrash", "InjectedError", "InjectedFault",
-    "InjectedHang", "PERSISTENT", "crash_record", "failure_census",
-    "failures_from_dicts", "failures_to_dicts", "in_worker_process",
-    "merge_failures", "record_failure",
+    "InjectedHang", "PERSISTENT", "SERVICE_STAGES", "crash_record",
+    "failure_census", "failures_from_dicts", "failures_to_dicts",
+    "in_worker_process", "install_sigterm_interrupt", "merge_failures",
+    "record_failure", "run_interruptible",
 ]

@@ -33,6 +33,14 @@ Four fault kinds:
     recovered-crash records via :meth:`FaultPlan.prior_crashes`.
 ``store``
     A write failure on the store write-through of a finished result.
+``service``
+    A service-layer fault keyed by *request ordinal* instead of seed:
+    ``accept`` drops the connection before a response is written,
+    ``respond`` truncates the response mid-stream, and ``kill`` asks
+    the process to die (honoured only by subprocess harnesses — an
+    in-process service treats it as a hard error).  Clients retry
+    against the idempotent service, so chaos runs still converge on
+    bit-identical artifacts.
 
 Each spec targets explicit ``seeds`` or a deterministic ``rate`` (a
 seed participates iff ``hash(plan_seed, kind, stage, seed) < rate``).
@@ -55,11 +63,15 @@ FAULTPLAN_SCHEMA = "repro-faults/1"
 #: ``count`` value meaning the fault never recovers.
 PERSISTENT = -1
 
-FAULT_KINDS = ("error", "hang", "crash", "store")
+FAULT_KINDS = ("error", "hang", "crash", "store", "service")
 
 #: Stages an ``error`` spec may target (hangs always hit ``trace``,
 #: store faults always hit ``store``).
 ERROR_STAGES = ("generate", "compile", "trace", "verify", "reduce")
+
+#: Stages a ``service`` spec may target.  Service faults key on the
+#: request ordinal (0-based arrival index), not a campaign seed.
+SERVICE_STAGES = ("accept", "respond", "kill")
 
 
 class InjectedFault(Exception):
@@ -106,6 +118,11 @@ class FaultSpec:
                 raise ValueError(
                     f"error fault needs a stage in "
                     f"{'/'.join(ERROR_STAGES)}, got {self.stage!r}")
+        elif self.kind == "service":
+            if self.stage not in SERVICE_STAGES:
+                raise ValueError(
+                    f"service fault needs a stage in "
+                    f"{'/'.join(SERVICE_STAGES)}, got {self.stage!r}")
         elif self.stage:
             raise ValueError(
                 f"{self.kind} faults have a fixed stage; drop "
@@ -192,6 +209,26 @@ class FaultPlan:
                     raise InjectedError(
                         f"injected store write failure "
                         f"(seed {seed}, attempt {attempt + 1})")
+
+    def service_fault(self, stage: str, ordinal: int
+                      ) -> Optional[FaultSpec]:
+        """The service spec due at ``stage`` for the ``ordinal``-th
+        request, or None.  ``seeds`` on a service spec name request
+        ordinals; ``count`` bounds how many times the same ordinal may
+        fault across client retries (the ordinal is sticky per logical
+        request, so a retried submission stops faulting once spent —
+        callers pass the retry index as ``attempt`` via :meth:`check`
+        semantics by re-asking with the same ordinal and tracking
+        attempts themselves)."""
+        if stage not in SERVICE_STAGES:
+            raise ValueError(
+                f"unknown service stage {stage!r} "
+                f"(known: {'/'.join(SERVICE_STAGES)})")
+        for spec in self.specs:
+            if (spec.kind == "service" and spec.stage == stage
+                    and self._applies(spec, ordinal)):
+                return spec
+        return None
 
     def crash_due(self, seed: int, incarnation: int
                   ) -> Optional[FaultSpec]:

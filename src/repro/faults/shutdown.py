@@ -1,0 +1,74 @@
+"""Graceful-shutdown parity: SIGTERM behaves like Ctrl-C.
+
+Every campaign driver already flushes its store on
+``KeyboardInterrupt`` — an interactive Ctrl-C checkpoints the in-flight
+shard and resumes bit-identically.  A plain ``kill <pid>`` bypassed
+that path entirely: Python's default SIGTERM disposition tears the
+process down without unwinding the stack, losing whatever the driver
+had not yet written through.  :func:`install_sigterm_interrupt` closes
+the gap by rerouting SIGTERM onto the interrupt path the drivers
+already handle, so supervisors (systemd, Kubernetes, the serve-smoke
+CI job) get the same checkpoint-and-exit semantics as a human.
+
+Signal handlers only fire in the main thread, and only the main thread
+may install them; worker threads and spawn children call this as a
+no-op and rely on their supervisor's drain instead.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+from typing import Callable, Optional, Sequence
+
+__all__ = ["install_sigterm_interrupt", "run_interruptible"]
+
+#: Exit status of an interrupted CLI: 128 + SIGINT, the shell
+#: convention for death-by-interrupt.
+INTERRUPTED_EXIT = 130
+
+_DEFAULT_NOTE = ("interrupted: finished work was checkpointed to the "
+                 "store; rerun with the same --store to resume")
+
+
+def _raise_interrupt(signum: int, frame: object) -> None:
+    raise KeyboardInterrupt
+
+
+def install_sigterm_interrupt() -> bool:
+    """Route SIGTERM onto the ``KeyboardInterrupt`` unwind path.
+
+    Returns True when the handler was installed, False when it could
+    not be (not the main thread, or the platform lacks SIGTERM) — the
+    caller keeps working either way.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return False
+    term = getattr(signal, "SIGTERM", None)
+    if term is None:  # pragma: no cover - all CI platforms have it
+        return False
+    try:
+        signal.signal(term, _raise_interrupt)
+    except (ValueError, OSError):  # pragma: no cover - defensive
+        return False
+    return True
+
+
+def run_interruptible(runner: Callable[[Optional[Sequence[str]]], int],
+                      argv: Optional[Sequence[str]] = None,
+                      note: str = _DEFAULT_NOTE) -> int:
+    """Run a CLI entry point with graceful-shutdown parity.
+
+    Installs the SIGTERM handler, then converts the resulting
+    ``KeyboardInterrupt`` (from either signal) into exit status 130
+    after printing ``note`` — by the time the interrupt reaches here,
+    every store-backed driver has already checkpointed its finished
+    work on the unwind path.
+    """
+    install_sigterm_interrupt()
+    try:
+        return runner(argv)
+    except KeyboardInterrupt:
+        print(note, file=sys.stderr)
+        return INTERRUPTED_EXIT

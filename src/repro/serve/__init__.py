@@ -1,0 +1,54 @@
+"""Campaign-as-a-service: resilient long-running job serving.
+
+The ROADMAP's "serve heavy traffic" step, built from the pieces the
+earlier layers already guarantee: the store makes every result durable,
+idempotent and resumable; the fault layer makes chaos deterministic;
+this package adds the long-running loop — bounded admission with
+explicit load shedding, deadline-supervised worker threads with
+heartbeat respawn, graceful drain on SIGTERM, crash-safe restart, and
+idempotent shard ingestion for federated workers.  The modules, bottom
+up:
+
+- :mod:`repro.serve.jobs` — the ``repro-job/1`` submission schema and
+  content-addressed job identity;
+- :mod:`repro.serve.window` — the bounded admission queue
+  (:class:`ServiceOverloaded` is the 503);
+- :mod:`repro.serve.scheduler` — intake/worker/monitor threads over
+  the window;
+- :mod:`repro.serve.service` — the facade composing store, ledger and
+  scheduler;
+- :mod:`repro.serve.http` — the stdlib ``ThreadingHTTPServer`` front
+  (plus service-stage fault hooks);
+- :mod:`repro.serve.client` — the retrying stdlib client the CLIs and
+  tests share;
+- :mod:`repro.serve.cli` — the ``repro-serve`` console script.
+
+See ``docs/ARCHITECTURE.md`` ("repro.serve") for the lifecycle diagram
+and ``docs/ARTIFACTS.md`` for the ``repro-job/1`` spec.
+
+>>> from repro.serve import JobSpec
+>>> spec = JobSpec(family="gcc", seed_base=0, pool_size=10)
+>>> spec.job_id == JobSpec.from_dict(spec.to_dict()).job_id
+True
+"""
+
+from .client import (
+    ClientError, ServiceClient, ServiceUnavailable,
+)
+from .http import ServiceHTTPServer, ServiceRequestHandler, build_server
+from .jobs import JOB_SCHEMA, JOB_STATES, JobSpec
+from .scheduler import (
+    DEFAULT_STALL_TIMEOUT, DEFAULT_UNIT_SEEDS, JobProgress, Scheduler,
+    WorkUnit,
+)
+from .service import CampaignService, JobNotFinished, JobNotFound
+from .window import AdmissionQueue, ServiceOverloaded
+
+__all__ = [
+    "AdmissionQueue", "CampaignService", "ClientError",
+    "DEFAULT_STALL_TIMEOUT", "DEFAULT_UNIT_SEEDS", "JOB_SCHEMA",
+    "JOB_STATES", "JobNotFinished", "JobNotFound", "JobProgress",
+    "JobSpec", "Scheduler", "ServiceClient", "ServiceHTTPServer",
+    "ServiceOverloaded", "ServiceRequestHandler", "ServiceUnavailable",
+    "WorkUnit", "build_server",
+]

@@ -1,0 +1,161 @@
+"""A thin stdlib client for the campaign service.
+
+:class:`ServiceClient` wraps ``urllib.request`` with the retry
+discipline the service's failure model calls for: connection drops,
+truncated responses and ``503 + Retry-After`` shedding are all retried
+with the :class:`~repro.pipeline.parallel.RetryPolicy` backoff
+(exponential, capped, deterministically jittered) — safe to retry
+blindly because every mutating endpoint is idempotent (job submission
+dedups on the content-addressed job id; shard ingestion dedups on
+stored bytes).  Everything else (4xx, malformed JSON) raises
+immediately: retrying a bad request cannot fix it.
+
+The CLIs and the chaos tests share this client, so the behaviour under
+deterministic service faults is pinned by the same code paths users
+run.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Callable, Dict, List, Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from ..pipeline.parallel import RetryPolicy
+
+#: Errors worth retrying: the request may never have reached the
+#: service, or the response died on the wire — either way the
+#: idempotent server makes a replay safe.
+_RETRIABLE = (URLError, ConnectionError, socket.timeout,
+              http.client.HTTPException)
+
+#: Default attempts across transient failures; chaos plans drop several
+#: requests in a row, and each retry backs off, so this is cheap.
+DEFAULT_CLIENT_ATTEMPTS = 8
+
+
+class ServiceUnavailable(RuntimeError):
+    """The service kept shedding or dropping past the retry budget."""
+
+
+class ClientError(RuntimeError):
+    """A non-retriable HTTP error (4xx / 409)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """One service endpoint plus a retry policy (see module docstring)."""
+
+    def __init__(self, base_url: str,
+                 retry: Optional[RetryPolicy] = None,
+                 timeout: float = 30.0,
+                 sleeper: Callable[[float], None] = time.sleep):
+        self.base_url = base_url.rstrip("/")
+        self.retry = retry or RetryPolicy(
+            max_attempts=DEFAULT_CLIENT_ATTEMPTS)
+        self.timeout = timeout
+        self.sleeper = sleeper
+
+    # -- transport -----------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                payload: Optional[Dict[str, object]] = None,
+                raw: bool = False):
+        """One retried request; returns the decoded JSON body (or the
+        raw text with ``raw=True``)."""
+        url = f"{self.base_url}{path}"
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                self.sleeper(self.retry.delay(path, attempt - 1))
+            try:
+                request = Request(url, data=body, headers=headers,
+                                  method=method)
+                with urlopen(request, timeout=self.timeout) as reply:
+                    text = reply.read().decode("utf-8")
+                    return text if raw else json.loads(text)
+            except HTTPError as error:
+                if error.code == 503:
+                    retry_after = error.headers.get("Retry-After")
+                    error.read()
+                    last_error = error
+                    if retry_after is not None:
+                        # Honor the server's hint, bounded so a chaos
+                        # test never sleeps for real minutes.
+                        self.sleeper(min(float(retry_after), 2.0))
+                    continue
+                detail = ""
+                try:
+                    detail = json.loads(
+                        error.read().decode("utf-8")).get("error", "")
+                except (ValueError, OSError):
+                    pass
+                raise ClientError(error.code,
+                                  detail or error.reason) from None
+            except _RETRIABLE as error:
+                # Dropped connection, truncated body, refused socket:
+                # replaying is safe (idempotent server).
+                last_error = error
+                continue
+        raise ServiceUnavailable(
+            f"{method} {url} failed after "
+            f"{self.retry.max_attempts} attempts "
+            f"(last error: {last_error})")
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        return self.request("GET", "/healthz")
+
+    def submit(self, job: Dict[str, object]) -> Dict[str, object]:
+        """Submit a ``repro-job/1`` document (duplicates are no-ops
+        returning the existing job's status)."""
+        return self.request("POST", "/jobs", payload=job)
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self.request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def artifact(self, job_id: str) -> Dict[str, object]:
+        """The finished job's ``repro-campaign/1`` document."""
+        return self.request("GET", f"/jobs/{job_id}/artifact")
+
+    def ingest(self, shard: Dict[str, object]) -> Dict[str, object]:
+        """Push one computed shard (idempotent; see
+        :meth:`~repro.serve.service.CampaignService.ingest_shard`)."""
+        return self.request("POST", "/shards", payload=shard)
+
+    def report(self, deliverable: str, job_id: str,
+               fmt: str = "md") -> str:
+        return self.request(
+            "GET", f"/report/{deliverable}?job={job_id}&format={fmt}",
+            raw=True)
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.2) -> Dict[str, object]:
+        """Block until the job reaches a terminal state (or raise
+        ``TimeoutError`` after ``timeout`` seconds of wall clock)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["state"] in ("done", "failed", "expired"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} "
+                    f"({status['detail']}) after {timeout:.0f}s")
+            self.sleeper(poll)

@@ -1,0 +1,240 @@
+"""The stdlib HTTP front of the campaign service.
+
+A :class:`~http.server.ThreadingHTTPServer` whose handler is a thin
+JSON shim over :class:`~repro.serve.service.CampaignService`:
+
+=========  =============================  =================================
+``GET``    ``/healthz``                   scheduler/queue/worker snapshot
+``POST``   ``/jobs``                      submit a ``repro-job/1`` document
+                                          (``202`` created, ``200``
+                                          duplicate, ``503 + Retry-After``
+                                          shed, ``400`` malformed)
+``GET``    ``/jobs``                      every ledger job
+``GET``    ``/jobs/<id>``                 one job's state
+``GET``    ``/jobs/<id>/artifact``        the finished ``repro-campaign/1``
+                                          document (``409`` while running)
+``POST``   ``/shards``                    idempotent shard ingestion
+                                          (``409`` on divergent bytes)
+``GET``    ``/report/<deliverable>``      rendered deliverable
+           ``?job=<id>&format=md``        (md/html/csv/text)
+=========  =============================  =================================
+
+Robustness hooks:
+
+* the handler's ``timeout`` drops slow-loris connections — a submitter
+  that trickles its request body stalls only its own socket, which the
+  server closes after ``REQUEST_TIMEOUT`` seconds, never a worker;
+* a :class:`~repro.faults.FaultPlan` with ``service`` specs makes the
+  server itself misbehave deterministically, keyed by request ordinal:
+  ``accept`` drops the connection before any response, ``respond``
+  truncates the response body mid-stream, ``kill`` dies via
+  ``os._exit`` — honoured only when the server was built with
+  ``hard_kill=True`` (the subprocess CLI), downgraded to a dropped
+  connection in-process so a chaos test cannot take pytest down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..faults.plan import FaultPlan
+from ..store import StoreError
+from .service import CampaignService, JobNotFinished, JobNotFound
+from .window import ServiceOverloaded
+
+#: Seconds a connection may sit idle mid-request before it is dropped
+#: (the slow-loris guard; ``BaseHTTPRequestHandler`` treats a timed-out
+#: read as a fatal request error and closes the socket).
+REQUEST_TIMEOUT = 10.0
+
+#: Largest accepted request body (a shard push of a few thousand seeds
+#: fits comfortably; anything bigger is shed, not buffered).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """The threading server plus the service-level chaos state."""
+
+    daemon_threads = True
+
+    def __init__(self, address, handler, service: CampaignService,
+                 faults: Optional[FaultPlan] = None,
+                 hard_kill: bool = False):
+        super().__init__(address, handler)
+        self.service = service
+        self.faults = faults
+        self.hard_kill = hard_kill
+        self._ordinal_lock = threading.Lock()
+        self._ordinal = 0
+
+    def next_ordinal(self) -> int:
+        """The arrival index of this request — the seed axis of
+        ``service`` fault specs."""
+        with self._ordinal_lock:
+            ordinal = self._ordinal
+            self._ordinal += 1
+            return ordinal
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """JSON shim over the service (see module table)."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    timeout = REQUEST_TIMEOUT
+
+    #: Set by the chaos hook when the response must be truncated.
+    _truncate_response = False
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        if getattr(self.server, "quiet", True):
+            return
+        super().log_message(format, *args)
+
+    # -- chaos ---------------------------------------------------------------
+
+    def _service_fault(self) -> bool:
+        """Apply any due service-stage fault; True means the request
+        was consumed (connection dropped / process killed)."""
+        self._truncate_response = False  # keep-alive: reset per request
+        faults = self.server.faults
+        if not faults:
+            return False
+        ordinal = self.server.next_ordinal()
+        if faults.service_fault("kill", ordinal) is not None:
+            if self.server.hard_kill:
+                os._exit(1)
+            self.close_connection = True
+            return True
+        if faults.service_fault("accept", ordinal) is not None:
+            # Drop before any response bytes: the client sees a reset /
+            # empty reply and retries against the idempotent service.
+            self.close_connection = True
+            return True
+        if faults.service_fault("respond", ordinal) is not None:
+            self._truncate_response = True
+        return False
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send_json(self, code: int, payload,
+                   retry_after: Optional[float] = None) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send_body(code, body, "application/json; charset=utf-8",
+                        retry_after)
+
+    def _send_body(self, code: int, body: bytes, content_type: str,
+                   retry_after: Optional[float] = None) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        if retry_after is not None:
+            self.send_header("Retry-After",
+                             str(max(1, round(retry_after))))
+        if self._truncate_response and len(body) > 1:
+            # Injected mid-stream death: advertise the full length,
+            # send half, drop the socket.
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body[:len(body) // 2])
+            self.close_connection = True
+            return
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_BODY_BYTES:
+            raise ServiceOverloaded(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte bound", 5.0)
+        data = json.loads(self.rfile.read(length) or b"{}")
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        if self._service_fault():
+            return
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        service = self.server.service
+        try:
+            if parts == ["healthz"]:
+                self._send_json(200, service.health())
+            elif parts == ["jobs"]:
+                self._send_json(200, {"jobs": service.jobs()})
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._send_json(200, service.job_status(parts[1]))
+            elif (len(parts) == 3 and parts[0] == "jobs"
+                    and parts[2] == "artifact"):
+                self._send_json(200, service.job_artifact(parts[1]))
+            elif len(parts) == 2 and parts[0] == "report":
+                query = parse_qs(url.query)
+                job = query.get("job", [""])[0]
+                fmt = query.get("format", ["md"])[0]
+                text, content_type = service.report(parts[1], job, fmt)
+                self._send_body(200, text.encode("utf-8"),
+                                content_type)
+            else:
+                self._send_json(404, {"error": f"no route "
+                                               f"{url.path!r}"})
+        except JobNotFound as error:
+            self._send_json(404, {"error": f"no job "
+                                           f"{error.args[0]!r}"})
+        except JobNotFinished as error:
+            self._send_json(409, {"error": str(error)})
+        except (ValueError, KeyError) as error:
+            self._send_json(400, {"error": str(error)})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        if self._service_fault():
+            return
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        service = self.server.service
+        try:
+            payload = self._read_json()
+            if parts == ["jobs"]:
+                job_id, created = service.submit(payload)
+                if not created:
+                    service.resubmit(job_id)
+                status = service.job_status(job_id)
+                status["created"] = created
+                self._send_json(202 if created else 200, status)
+            elif parts == ["shards"]:
+                self._send_json(200, service.ingest_shard(payload))
+            else:
+                self._send_json(404, {"error": f"no route "
+                                               f"{url.path!r}"})
+        except ServiceOverloaded as error:
+            self._send_json(503, {"error": str(error)},
+                            retry_after=error.retry_after)
+        except StoreError as error:
+            self._send_json(409, {"error": str(error)})
+        except JobNotFound as error:
+            self._send_json(404, {"error": f"no job "
+                                           f"{error.args[0]!r}"})
+        except (ValueError, KeyError) as error:
+            self._send_json(400, {"error": str(error)})
+
+
+def build_server(service: CampaignService, host: str = "127.0.0.1",
+                 port: int = 0, faults: Optional[FaultPlan] = None,
+                 hard_kill: bool = False,
+                 quiet: bool = True) -> ServiceHTTPServer:
+    """A ready-to-serve (not yet serving) server bound to
+    ``host:port`` (port 0 picks a free one — read
+    ``server.server_address``)."""
+    server = ServiceHTTPServer((host, port), ServiceRequestHandler,
+                               service, faults=faults,
+                               hard_kill=hard_kill)
+    server.quiet = quiet
+    return server

@@ -1,0 +1,115 @@
+"""Bounded admission: the backpressure primitive of the service.
+
+Everything the service keeps in flight lives in an
+:class:`AdmissionQueue` — a fixed-capacity FIFO with two distinct entry
+points for its two callers:
+
+* :meth:`offer` is the *edge* (HTTP submission): it never blocks.  A
+  full or draining queue raises :class:`ServiceOverloaded`, which the
+  HTTP layer turns into ``503 + Retry-After`` — explicit load shedding
+  instead of unbounded memory, the hardened version of diopter's
+  ``max_parallel_jobs`` chunked-submission workaround.
+* :meth:`put` is the *interior* (the intake thread expanding a job into
+  work units): it blocks until a slot frees, so a huge job streams
+  through a small window without ever materializing all its units.
+
+Draining flips both entry points off while :meth:`get` keeps serving
+whatever is already inside — the graceful-shutdown half of the
+contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+
+class ServiceOverloaded(RuntimeError):
+    """The bounded window is full (or the service is draining); the
+    caller should retry after ``retry_after`` seconds."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class AdmissionQueue:
+    """A bounded FIFO with shedding and blocking producers (see module
+    docstring).  Thread-safe; ``limit`` is the hard capacity."""
+
+    def __init__(self, limit: int, retry_after: float = 1.0,
+                 name: str = "queue"):
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.retry_after = retry_after
+        self.name = name
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._draining = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def offer(self, item) -> None:
+        """Non-blocking admission; sheds instead of waiting."""
+        with self._lock:
+            if self._draining:
+                raise ServiceOverloaded(
+                    f"{self.name} is draining", self.retry_after)
+            if len(self._items) >= self.limit:
+                raise ServiceOverloaded(
+                    f"{self.name} is full "
+                    f"({self.limit} in flight)", self.retry_after)
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def put(self, item, timeout: Optional[float] = None) -> bool:
+        """Blocking admission (the interior producer).  Returns False —
+        without enqueuing — once the queue is draining or the timeout
+        elapses with no free slot."""
+        with self._not_full:
+            while not self._draining and len(self._items) >= self.limit:
+                if not self._not_full.wait(timeout=timeout):
+                    return False
+            if self._draining:
+                return False
+            self._items.append(item)
+            self._not_empty.notify()
+            return True
+
+    def get(self, timeout: Optional[float] = None):
+        """The oldest item, or None after ``timeout`` with nothing
+        admitted.  Keeps serving during a drain until empty."""
+        with self._not_empty:
+            if not self._items:
+                self._not_empty.wait(timeout=timeout)
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def requeue(self, item) -> None:
+        """Put an abandoned unit back at the *front* (it was admitted
+        once already, so it must not compete with — or be shed by — new
+        admissions, even mid-drain)."""
+        with self._lock:
+            self._items.appendleft(item)
+            self._not_empty.notify()
+
+    def drain(self) -> None:
+        """Stop admitting; wake every blocked producer and consumer."""
+        with self._lock:
+            self._draining = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()

@@ -75,6 +75,14 @@ def _parse_formats_csv(text: str):
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point with graceful-shutdown parity: SIGTERM (like
+    Ctrl-C) checkpoints finished work to the ``--store`` file on the
+    way out and exits 130."""
+    from ..faults import run_interruptible
+    return run_interruptible(_main, argv)
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     compiler = CompilerSpec(family=args.family, version=args.version)

@@ -16,11 +16,13 @@ artifacts, exports artifacts back out, and reports size/dedup totals.
 """
 
 from .db import (
-    DB_SCHEMA, CampaignStore, RunInfo, StoreError, StoreStats,
-    canonical_json, text_digest,
+    BUSY_MAX_ATTEMPTS, DB_SCHEMA, CampaignStore, RunInfo,
+    StoreBusyError, StoreError, StoreStats, busy_delay, canonical_json,
+    text_digest,
 )
 
 __all__ = [
-    "DB_SCHEMA", "CampaignStore", "RunInfo", "StoreError", "StoreStats",
+    "BUSY_MAX_ATTEMPTS", "DB_SCHEMA", "CampaignStore", "RunInfo",
+    "StoreBusyError", "StoreError", "StoreStats", "busy_delay",
     "canonical_json", "text_digest",
 ]

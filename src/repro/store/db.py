@@ -44,15 +44,28 @@ serial runs.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 import sqlite3
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Store schema tag; bump only with a migration path in ``_check_schema``.
 DB_SCHEMA = "repro-db/1"
+
+#: Bounded retry budget for ``database is locked`` write contention
+#: (beyond sqlite's own ``busy_timeout``, which covers page-level
+#: waits but not a writer starved across whole transactions).
+BUSY_MAX_ATTEMPTS = 5
+
+#: Backoff shape for busy retries (seconds): ``base * 2**attempt``
+#: capped at ``limit``, scaled by deterministic jitter.
+_BUSY_BASE_DELAY = 0.01
+_BUSY_DELAY_LIMIT = 0.5
+_BUSY_JITTER = 0.5
 
 #: zlib level 6: within a few percent of level 9 on generated programs at
 #: roughly twice the speed.
@@ -121,12 +134,76 @@ CREATE TABLE IF NOT EXISTS bisections (
     payload_hash TEXT NOT NULL REFERENCES blobs(hash),
     PRIMARY KEY (run_id, witness_fp)
 );
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id TEXT PRIMARY KEY,
+    spec   TEXT NOT NULL,
+    state  TEXT NOT NULL,
+    detail TEXT NOT NULL DEFAULT ''
+);
 """
 
 
 class StoreError(ValueError):
     """A store-level invariant was violated (schema mismatch, divergent
     payload for an already-evaluated key, inconsistent fingerprints)."""
+
+
+class StoreBusyError(StoreError):
+    """Write contention outlasted the bounded retry budget: another
+    connection held the write lock through every backoff window.  The
+    store itself is consistent — the caller's write simply never
+    landed — so campaign drivers treat this like any other contained
+    store failure (the result stays in the artifact; resume retries)."""
+
+
+def _is_busy(error: sqlite3.OperationalError) -> bool:
+    """Is this the transient multi-writer lock contention worth
+    retrying (as opposed to a real operational failure, e.g. a
+    read-only filesystem)?"""
+    text = str(error).lower()
+    return "database is locked" in text or "database is busy" in text
+
+
+def busy_delay(token: str, attempt: int,
+               base: float = _BUSY_BASE_DELAY,
+               limit: float = _BUSY_DELAY_LIMIT,
+               jitter: float = _BUSY_JITTER) -> float:
+    """Backoff before busy-retry ``attempt`` (0-based): exponential,
+    capped, scaled by a jitter factor in ``[1 - jitter, 1 + jitter)``
+    hashed from ``(token, attempt)`` — deterministic, so two workers
+    replaying the same schedule still spread out (their tokens differ)
+    and a test run reproduces exactly."""
+    delay = min(limit, base * 2.0 ** attempt)
+    digest = hashlib.sha256(f"{token}:{attempt}".encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:8], "big") / 2 ** 64
+    return delay * (1.0 - jitter + 2.0 * jitter * fraction)
+
+
+def _retries_busy(method):
+    """Wrap a :class:`CampaignStore` write so ``database is locked``
+    contention retries with bounded, deterministically-jittered
+    backoff instead of crashing mid-campaign.  The wrapped methods are
+    idempotent re-runs (their pre-checks re-execute), so a retry after
+    a partially-failed transaction (already rolled back by the
+    ``with self._conn`` block) is safe."""
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        attempt = 0
+        while True:
+            try:
+                return method(self, *args, **kwargs)
+            except sqlite3.OperationalError as error:
+                if not _is_busy(error):
+                    raise
+                attempt += 1
+                if attempt >= self.busy_attempts:
+                    raise StoreBusyError(
+                        f"store {self.path!r} is busy: "
+                        f"{method.__name__} gave up after {attempt} "
+                        f"attempts ({error})") from None
+                self._busy_sleep(busy_delay(
+                    f"{self.path}:{method.__name__}", attempt - 1))
+    return wrapper
 
 
 @dataclass
@@ -206,6 +283,10 @@ class CampaignStore:
                              f"{error}") from None
         self._conn.row_factory = sqlite3.Row
         self.stats = StoreStats()
+        #: Busy-retry budget per write (see :func:`busy_delay`); the
+        #: sleep is injectable so tests assert the schedule directly.
+        self.busy_attempts = BUSY_MAX_ATTEMPTS
+        self._busy_sleep = time.sleep
         try:
             self._conn.execute("PRAGMA busy_timeout=30000")
             self._conn.execute("PRAGMA journal_mode=WAL")
@@ -273,6 +354,7 @@ class CampaignStore:
 
     # -- program corpus ------------------------------------------------------
 
+    @_retries_busy
     def add_program(self, seed: int, source: str) -> None:
         """Record the printed program for ``seed`` (content-deduplicated;
         re-adding with different text is a determinism violation)."""
@@ -311,6 +393,7 @@ class CampaignStore:
             (seed,)).fetchone()
         return None if row is None else row["fingerprint"]
 
+    @_retries_busy
     def record_module_fingerprint(self, seed: int,
                                   fingerprint: str) -> None:
         """Record the lowered-module digest for ``seed``; a differing
@@ -338,6 +421,7 @@ class CampaignStore:
 
     # -- runs (campaign cells) -----------------------------------------------
 
+    @_retries_busy
     def run_id(self, schema: str, family: str, version: str,
                levels: Sequence[str], debugger: str = "",
                engine: str = "",
@@ -394,6 +478,7 @@ class CampaignStore:
                 "UPDATE runs SET attrs = ? WHERE id = ?",
                 (canonical_json(existing), run_id))
 
+    @_retries_busy
     def set_run_attrs(self, run_id: int, **attrs: object) -> None:
         """Overwrite run attributes (used for end-of-run aggregates that
         legitimately change across resumes, e.g. reduction stats)."""
@@ -449,6 +534,7 @@ class CampaignStore:
             "SELECT 1 FROM results WHERE run_id = ? AND seed = ?",
             (run_id, seed)).fetchone() is not None
 
+    @_retries_busy
     def put_result(self, run_id: int, seed: int,
                    payload: Dict[str, object]) -> None:
         """Record one evaluated ``(run, seed)`` pair (idempotent for an
@@ -482,6 +568,7 @@ class CampaignStore:
 
     # -- failure records -----------------------------------------------------
 
+    @_retries_busy
     def put_failure(self, run_id: int, seed: int, key: str,
                     payload: Dict[str, object]) -> None:
         """Record a quarantined pair (``key`` is the sub-seed item —
@@ -508,6 +595,7 @@ class CampaignStore:
             return None
         return json.loads(self._blob_text(row["payload_hash"]))
 
+    @_retries_busy
     def clear_failure(self, run_id: int, seed: int,
                       key: str = "") -> bool:
         """Drop a pair's quarantine record (a retry succeeded); returns
@@ -540,6 +628,65 @@ class CampaignStore:
         except sqlite3.Error:
             return
 
+    # -- service job ledger --------------------------------------------------
+
+    @_retries_busy
+    def put_job(self, job_id: str, spec: Dict[str, object],
+                state: str = "queued") -> bool:
+        """Record a submitted service job (see :mod:`repro.serve`).
+
+        Idempotent: re-recording an identical spec is a no-op
+        returning False (the client's retry / duplicate POST case); a
+        *different* spec under the same id is an identity violation.
+        """
+        text = canonical_json(spec)
+        row = self._conn.execute(
+            "SELECT spec FROM jobs WHERE job_id = ?",
+            (job_id,)).fetchone()
+        if row is not None:
+            if row["spec"] != text:
+                raise StoreError(
+                    f"job {job_id} already recorded with a different "
+                    f"spec: id collision or mutated submission?")
+            return False
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO jobs VALUES (?, ?, ?, '')",
+                (job_id, text, state))
+        return True
+
+    def get_job(self, job_id: str) -> Optional[Dict[str, object]]:
+        """One ledger row: ``{"job", "spec", "state", "detail"}`` (or
+        None)."""
+        row = self._conn.execute(
+            "SELECT spec, state, detail FROM jobs WHERE job_id = ?",
+            (job_id,)).fetchone()
+        if row is None:
+            return None
+        return {"job": job_id, "spec": json.loads(row["spec"]),
+                "state": row["state"], "detail": row["detail"]}
+
+    @_retries_busy
+    def set_job_state(self, job_id: str, state: str,
+                      detail: str = "") -> None:
+        with self._conn:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = ?, detail = ? WHERE job_id = ?",
+                (state, detail, job_id))
+        if not cursor.rowcount:
+            raise StoreError(f"no job {job_id!r} in {self.path!r}")
+
+    def jobs_in_state(self, *states: str) -> List[Dict[str, object]]:
+        """Ledger rows in any of ``states`` (all jobs when none given),
+        in job-id order — what a restarted service re-enqueues."""
+        rows = self._conn.execute(
+            "SELECT job_id, spec, state, detail FROM jobs"
+            " ORDER BY job_id")
+        return [{"job": row["job_id"], "spec": json.loads(row["spec"]),
+                 "state": row["state"], "detail": row["detail"]}
+                for row in rows
+                if not states or row["state"] in states]
+
     # -- reduction records ---------------------------------------------------
 
     def get_reduction(self, run_id: int, seed: int, level: str,
@@ -559,6 +706,7 @@ class CampaignStore:
         self.stats.reductions_reused += 1
         return payload
 
+    @_retries_busy
     def put_reduction(self, run_id: int, seed: int, level: str,
                       conjecture: str, variable: str, position: int,
                       payload: Dict[str, object]) -> None:
@@ -620,6 +768,7 @@ class CampaignStore:
         self.stats.bisections_reused += 1
         return json.loads(self._blob_text(row["payload_hash"]))
 
+    @_retries_busy
     def put_bisection(self, run_id: int, witness_fp: str, seed: int,
                       position: int,
                       payload: Dict[str, object]) -> None:
@@ -936,7 +1085,7 @@ class CampaignStore:
         counts = {}
         for table in ("blobs", "programs", "module_fingerprints",
                       "runs", "results", "reductions", "bisections",
-                      "failures"):
+                      "failures", "jobs"):
             counts[table] = self._conn.execute(
                 f"SELECT COUNT(*) AS n FROM {table}").fetchone()["n"]
         sizes = self._conn.execute(

@@ -1,0 +1,139 @@
+"""Graceful-shutdown parity: SIGTERM checkpoints like Ctrl-C.
+
+The bugfix under test: campaign CLIs flushed the store only on
+``KeyboardInterrupt`` (Ctrl-C); a plain ``kill <pid>`` tore the process
+down losing the in-flight shard.  ``repro.faults.install_sigterm_interrupt``
+reroutes SIGTERM onto the same interrupt path, so a supervised ``kill``
+now exits 130 with every finished seed durable in the store — and a
+resumed run reproduces the uninterrupted artifact bit for bit at zero
+recompiles for the stored prefix.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.faults import install_sigterm_interrupt, run_interruptible
+from repro.store import CampaignStore
+
+
+# -- unit level ---------------------------------------------------------------
+
+
+def test_install_sigterm_interrupt_main_thread():
+    previous = signal.getsignal(signal.SIGTERM)
+    try:
+        assert install_sigterm_interrupt() is True
+        with pytest.raises(KeyboardInterrupt):
+            os.kill(os.getpid(), signal.SIGTERM)
+            # The handler runs on the next bytecode boundary; give the
+            # signal a place to land.
+            time.sleep(1.0)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def test_install_sigterm_interrupt_refuses_worker_threads():
+    outcome = {}
+
+    def attempt():
+        outcome["installed"] = install_sigterm_interrupt()
+
+    thread = threading.Thread(target=attempt)
+    thread.start()
+    thread.join()
+    assert outcome["installed"] is False
+
+
+def test_run_interruptible_converts_interrupt(capsys):
+    def runner(argv):
+        raise KeyboardInterrupt
+
+    previous = signal.getsignal(signal.SIGTERM)
+    try:
+        assert run_interruptible(runner, None) == 130
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    assert "checkpointed" in capsys.readouterr().err
+
+
+def test_run_interruptible_passes_through(capsys):
+    previous = signal.getsignal(signal.SIGTERM)
+    try:
+        assert run_interruptible(lambda argv: 0, None) == 0
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+# -- subprocess level ---------------------------------------------------------
+
+
+def _campaign_env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def test_sigterm_checkpoints_store_and_resumes(tmp_path):
+    """kill <pid> mid-campaign: exit 130, finished seeds durable,
+    resume completes with zero recompiles for the stored prefix."""
+    store_path = str(tmp_path / "campaign.db")
+    argv = [sys.executable, "-m", "repro.pipeline.cli", "--serial",
+            "--family", "gcc", "--pool-size", "150",
+            "--store", store_path, "--quiet"]
+    process = subprocess.Popen(argv, env=_campaign_env(),
+                               stdout=subprocess.PIPE,
+                               stderr=subprocess.PIPE)
+    try:
+        # Wait until at least a few seeds are durable, then SIGTERM.
+        deadline = time.time() + 120
+        stored = 0
+        while time.time() < deadline:
+            if os.path.exists(store_path):
+                with CampaignStore(store_path) as store:
+                    runs = store.runs()
+                    if runs:
+                        stored = store.result_count(runs[0].id)
+            if stored >= 3:
+                break
+            time.sleep(0.1)
+        assert stored >= 3, "campaign never started storing results"
+        process.send_signal(signal.SIGTERM)
+        stdout, stderr = process.communicate(timeout=60)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.communicate()
+    assert process.returncode == 130, stderr.decode()
+    assert b"checkpointed" in stderr
+
+    # The killed run left a consistent store behind...
+    with CampaignStore(store_path) as store:
+        run = store.runs()[0].id
+        survivors = store.result_count(run)
+    assert survivors >= 3
+    # ...and an in-process resume over a smaller prefix replays it
+    # without recompiling a single stored seed.
+    from repro.compilers.compiler import CompilerSpec
+    from repro.debugger.specs import DebuggerSpec
+    from repro.pipeline.campaign import run_campaign
+
+    pool = min(survivors, 5)
+    with CampaignStore(store_path) as store:
+        resumed = run_campaign(
+            CompilerSpec(family="gcc", version="trunk").build(),
+            DebuggerSpec(name="gdb-like").build(),
+            pool_size=pool, store=store)
+        assert store.stats.hits == pool
+        assert store.stats.misses == 0
+    serial = run_campaign(
+        CompilerSpec(family="gcc", version="trunk").build(),
+        DebuggerSpec(name="gdb-like").build(), pool_size=pool)
+    assert resumed.to_json(indent=2) == serial.to_json(indent=2)
